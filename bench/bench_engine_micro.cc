@@ -1,0 +1,148 @@
+// Engine microbenchmarks: throughput/latency of the substrate primitives
+// the reproduction is built on — sequential scan, hash/index/block-nested
+// joins, optimizer calls (plain and constrained), ESS construction, and
+// one full SpillBound discovery. These are conventional timing benchmarks
+// (real iterations), useful for tracking substrate regressions; the
+// per-figure binaries measure the *algorithms*.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/oracle.h"
+#include "core/spillbound.h"
+#include "exec/executor.h"
+#include "harness/workbench.h"
+#include "optimizer/optimizer.h"
+#include "workloads/queries.h"
+#include "workloads/tpcds.h"
+
+namespace robustqp {
+namespace {
+
+const Catalog& SharedCatalog() { return *Workbench::TpcdsCatalog(); }
+
+void BM_SeqScan(benchmark::State& state) {
+  const Catalog& catalog = SharedCatalog();
+  Query q("scan_only", {"store_sales", "date_dim"},
+          {{"store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", ""}},
+          {{"store_sales", "ss_quantity", CompareOp::kLe, 5}}, std::vector<int>{0});
+  Optimizer opt(&catalog, &q);
+  Executor exec(&catalog, CostModel::PostgresFlavour());
+  const std::unique_ptr<Plan> plan = opt.Optimize({1e-4});
+  int64_t rows = 0;
+  for (auto _ : state) {
+    const auto res = exec.Execute(*plan, -1.0);
+    RQP_CHECK(res.ok() && res->completed);
+    rows = res->node_stats[static_cast<size_t>(plan->num_nodes() - 1)].left_in +
+           res->node_stats[0].left_in;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * catalog.RowCount("store_sales"));
+}
+BENCHMARK(BM_SeqScan)->Unit(benchmark::kMillisecond);
+
+void BM_JoinOperators(benchmark::State& state, PlanOp op, bool swap) {
+  const Catalog& catalog = SharedCatalog();
+  Query q("join_micro", {"store_sales", "date_dim"},
+          {{"store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", ""}},
+          {{"date_dim", "d_moy", CompareOp::kEq, 3}}, std::vector<int>{0});
+  auto scan_ss = std::make_unique<PlanNode>();
+  scan_ss->op = PlanOp::kSeqScan;
+  scan_ss->table_idx = 0;
+  auto scan_d = std::make_unique<PlanNode>();
+  scan_d->op = PlanOp::kSeqScan;
+  scan_d->table_idx = 1;
+  scan_d->filter_indices = {0};
+  auto join = std::make_unique<PlanNode>();
+  join->op = op;
+  join->join_indices = {0};
+  join->left = swap ? std::move(scan_d) : std::move(scan_ss);
+  join->right = swap ? std::move(scan_ss) : std::move(scan_d);
+  Plan plan(&q, std::move(join));
+  Executor exec(&catalog, CostModel::PostgresFlavour());
+  for (auto _ : state) {
+    const auto res = exec.Execute(plan, -1.0);
+    RQP_CHECK(res.ok() && res->completed);
+    benchmark::DoNotOptimize(res->output_rows);
+  }
+  state.SetItemsProcessed(state.iterations() * catalog.RowCount("store_sales"));
+}
+BENCHMARK_CAPTURE(BM_JoinOperators, HashJoin_BuildDim, PlanOp::kHashJoin, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_JoinOperators, IndexNLJoin_ProbeDim, PlanOp::kIndexNLJoin,
+                  false)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizerCall(benchmark::State& state, const std::string& id) {
+  const Catalog& catalog = SharedCatalog();
+  const Query q = MakeSuiteQuery(id);
+  Optimizer opt(&catalog, &q);
+  EssPoint inj(static_cast<size_t>(q.num_epps()), 1e-3);
+  for (auto _ : state) {
+    auto plan = opt.Optimize(inj);
+    benchmark::DoNotOptimize(plan->num_nodes());
+  }
+}
+BENCHMARK_CAPTURE(BM_OptimizerCall, Q96_4tables, std::string("3D_Q96"))
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_OptimizerCall, Q91_7tables, std::string("6D_Q91"))
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConstrainedOptimizerCall(benchmark::State& state) {
+  const Catalog& catalog = SharedCatalog();
+  const Query q = MakeSuiteQuery("4D_Q91");
+  Optimizer opt(&catalog, &q);
+  const EssPoint inj(4, 1e-3);
+  const std::vector<bool> unlearned(4, true);
+  int dim = 0;
+  for (auto _ : state) {
+    auto plan = opt.OptimizeConstrainedSpill(inj, dim, unlearned);
+    benchmark::DoNotOptimize(plan);
+    dim = (dim + 1) % 4;
+  }
+}
+BENCHMARK(BM_ConstrainedOptimizerCall)->Unit(benchmark::kMicrosecond);
+
+void BM_PlanCosting(benchmark::State& state) {
+  const Catalog& catalog = SharedCatalog();
+  const Query q = MakeSuiteQuery("4D_Q91");
+  Optimizer opt(&catalog, &q);
+  const EssPoint inj(4, 1e-3);
+  const std::unique_ptr<Plan> plan = opt.Optimize(inj);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.PlanCost(*plan, inj));
+  }
+}
+BENCHMARK(BM_PlanCosting)->Unit(benchmark::kNanosecond);
+
+void BM_EssBuild(benchmark::State& state) {
+  const Catalog& catalog = SharedCatalog();
+  const Query q = MakeSuiteQuery("2D_Q91");
+  for (auto _ : state) {
+    Ess::Config config;
+    config.points_per_dim = static_cast<int>(state.range(0));
+    auto ess = Ess::Build(catalog, q, config);
+    benchmark::DoNotOptimize(ess->num_locations());
+  }
+}
+BENCHMARK(BM_EssBuild)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_SpillBoundDiscovery(benchmark::State& state) {
+  const Workbench::Entry& wb = Workbench::Get("4D_Q91");
+  SpillBound sb(wb.ess.get());
+  const int64_t n = wb.ess->num_locations();
+  int64_t lin = n / 3;
+  for (auto _ : state) {
+    SimulatedOracle oracle(wb.ess.get(), wb.ess->FromLinear(lin));
+    const DiscoveryResult r = sb.Run(&oracle);
+    benchmark::DoNotOptimize(r.total_cost);
+    lin = (lin + 7919) % n;
+  }
+}
+BENCHMARK(BM_SpillBoundDiscovery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace robustqp
+
+BENCHMARK_MAIN();

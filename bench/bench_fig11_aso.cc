@@ -1,0 +1,58 @@
+// Reproduces Fig. 11: average sub-optimality (ASO, Eq. (8)) of
+// PlanBouquet vs SpillBound over the ESS, all q_a equally likely.
+//
+// Expected shape (paper Section 6.2.4): SB clearly better, especially at
+// higher dimensionality (paper: 5D_Q19 PB 17 vs SB 8.6).
+
+#include "bench_util.h"
+#include "core/planbouquet.h"
+#include "core/spillbound.h"
+#include "harness/evaluator.h"
+#include "harness/workbench.h"
+#include "workloads/queries.h"
+
+namespace robustqp {
+
+bench::FigureCollector& Collector() {
+  static auto* c = new bench::FigureCollector(
+      {"query", "D", "PB ASO", "SB ASO", "SB gain"});
+  return *c;
+}
+
+namespace {
+
+void BM_Fig11(benchmark::State& state, const std::string& id) {
+  double pb_aso = 0.0, sb_aso = 0.0;
+  int dims = 0;
+  for (auto _ : state) {
+    const Workbench::Entry& wb = Workbench::Get(id);
+    dims = wb.ess->dims();
+    PlanBouquet pb(wb.ess.get(), {0.2, true});
+    pb_aso = EvaluatePlanBouquet(pb, *wb.ess).aso;
+    SpillBound sb(wb.ess.get());
+    sb_aso = EvaluateSpillBound(&sb).aso;
+  }
+  state.counters["PB_ASO"] = pb_aso;
+  state.counters["SB_ASO"] = sb_aso;
+  Collector().AddRow(
+      {id, std::to_string(dims), TablePrinter::Num(pb_aso, 2),
+       TablePrinter::Num(sb_aso, 2),
+       TablePrinter::Num((pb_aso / sb_aso - 1.0) * 100.0, 0) + "%"});
+}
+
+const int kRegistered = [] {
+  for (const std::string& id : PaperQuerySuite()) {
+    benchmark::RegisterBenchmark(
+        ("Fig11/" + id).c_str(),
+        [id](benchmark::State& s) { BM_Fig11(s, id); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace robustqp
+
+RQP_BENCH_MAIN(robustqp::Collector(),
+               "Fig. 11 — average sub-optimality (ASO): PB vs SB")

@@ -1,0 +1,64 @@
+// Reproduces Fig. 12: distribution of sub-optimality over the ESS for
+// TPC-DS 4D_Q91, as a histogram with buckets of width 5.
+//
+// Expected shape (paper Section 6.2.5): the bulk of locations land in the
+// first bucket (subopt <= 5) under SB — over 90% in the paper — versus a
+// much flatter distribution for PB (35% in the first bucket).
+
+#include "bench_util.h"
+#include "core/planbouquet.h"
+#include "core/spillbound.h"
+#include "harness/evaluator.h"
+#include "harness/workbench.h"
+
+namespace robustqp {
+
+bench::FigureCollector& Collector() {
+  static auto* c = new bench::FigureCollector(
+      {"subopt bucket", "PB % of locations", "SB % of locations"});
+  return *c;
+}
+
+namespace {
+
+constexpr double kBucketWidth = 5.0;
+constexpr int kBuckets = 10;
+
+void BM_Fig12(benchmark::State& state) {
+  std::vector<int64_t> pb_hist, sb_hist;
+  int64_t total = 0;
+  double pb_frac5 = 0.0, sb_frac5 = 0.0;
+  for (auto _ : state) {
+    const Workbench::Entry& wb = Workbench::Get("4D_Q91");
+    PlanBouquet pb(wb.ess.get(), {0.2, true});
+    const SuboptimalityStats pb_stats = EvaluatePlanBouquet(pb, *wb.ess);
+    SpillBound sb(wb.ess.get());
+    const SuboptimalityStats sb_stats = EvaluateSpillBound(&sb);
+    pb_hist = SuboptHistogram(pb_stats, kBucketWidth, kBuckets);
+    sb_hist = SuboptHistogram(sb_stats, kBucketWidth, kBuckets);
+    total = wb.ess->num_locations();
+    pb_frac5 = pb_stats.FractionWithin(5.0);
+    sb_frac5 = sb_stats.FractionWithin(5.0);
+  }
+  state.counters["PB_within5_pct"] = pb_frac5 * 100.0;
+  state.counters["SB_within5_pct"] = sb_frac5 * 100.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::string label =
+        b + 1 == kBuckets
+            ? "> " + TablePrinter::Num(b * kBucketWidth, 0)
+            : TablePrinter::Num(b * kBucketWidth, 0) + " - " +
+                  TablePrinter::Num((b + 1) * kBucketWidth, 0);
+    Collector().AddRow(
+        {label,
+         TablePrinter::Num(100.0 * pb_hist[static_cast<size_t>(b)] / total, 1),
+         TablePrinter::Num(100.0 * sb_hist[static_cast<size_t>(b)] / total, 1)});
+  }
+}
+
+BENCHMARK(BM_Fig12)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace robustqp
+
+RQP_BENCH_MAIN(robustqp::Collector(),
+               "Fig. 12 — sub-optimality distribution over the ESS (4D_Q91)")

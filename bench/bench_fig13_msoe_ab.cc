@@ -1,0 +1,67 @@
+// Reproduces Fig. 13: empirical MSO of SpillBound vs AlignedBound over
+// the query suite, with the 2D + 2 lower-end guarantee shown alongside.
+//
+// Expected shape (paper Section 6.4.1): AB consistently at or below SB,
+// close to the 2D+2 line and around 10 or lower for virtually all
+// queries; the largest gains appear on the queries hardest for SB
+// (paper: 6D_Q91 19 -> 10.4).
+
+#include "bench_util.h"
+#include "core/alignedbound.h"
+#include "core/spillbound.h"
+#include "harness/evaluator.h"
+#include "harness/workbench.h"
+#include "workloads/queries.h"
+
+namespace robustqp {
+
+bench::FigureCollector& Collector() {
+  static auto* c = new bench::FigureCollector(
+      {"query", "D", "SB MSOe", "AB MSOe", "SB ASO", "AB ASO", "AB p95", "AB lower guarantee 2D+2"});
+  return *c;
+}
+
+namespace {
+
+void BM_Fig13(benchmark::State& state, const std::string& id) {
+  double sb_msoe = 0.0, ab_msoe = 0.0, sb_aso = 0.0, ab_aso = 0.0;
+  double ab_p95 = 0.0;
+  int dims = 0;
+  for (auto _ : state) {
+    const Workbench::Entry& wb = Workbench::Get(id);
+    dims = wb.ess->dims();
+    SpillBound sb(wb.ess.get());
+    const SuboptimalityStats s_sb = EvaluateSpillBound(&sb);
+    sb_msoe = s_sb.mso;
+    sb_aso = s_sb.aso;
+    AlignedBound ab(wb.ess.get());
+    const SuboptimalityStats s_ab = EvaluateAlignedBound(&ab, *wb.ess);
+    ab_msoe = s_ab.mso;
+    ab_aso = s_ab.aso;
+    ab_p95 = s_ab.Percentile(95.0);
+  }
+  state.counters["SB_MSOe"] = sb_msoe;
+  state.counters["AB_MSOe"] = ab_msoe;
+  Collector().AddRow({id, std::to_string(dims), TablePrinter::Num(sb_msoe, 1),
+                      TablePrinter::Num(ab_msoe, 1),
+                      TablePrinter::Num(sb_aso, 2), TablePrinter::Num(ab_aso, 2),
+                      TablePrinter::Num(ab_p95, 1),
+                      TablePrinter::Num(2.0 * dims + 2.0, 0)});
+}
+
+const int kRegistered = [] {
+  for (const std::string& id : PaperQuerySuite()) {
+    benchmark::RegisterBenchmark(
+        ("Fig13/" + id).c_str(),
+        [id](benchmark::State& s) { BM_Fig13(s, id); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace robustqp
+
+RQP_BENCH_MAIN(robustqp::Collector(),
+               "Fig. 13 — empirical MSO (MSOe): SpillBound vs AlignedBound")

@@ -1,0 +1,59 @@
+// Reproduces Fig. 8: comparison of MSO *guarantees* (MSOg) between
+// PlanBouquet (4 (1+lambda) rho_RED, behavioural) and SpillBound
+// (D^2 + 3D, structural) over the eleven-query TPC-DS suite.
+//
+// Expected shape (paper Section 6.2.1): comparable magnitudes overall,
+// with SB noticeably tighter for several queries (in the paper: 4D_Q26,
+// 4D_Q91, 6D_Q91) and increasingly favourable at higher dimensionality.
+
+#include "bench_util.h"
+#include "core/planbouquet.h"
+#include "core/spillbound.h"
+#include "harness/workbench.h"
+#include "workloads/queries.h"
+
+namespace robustqp {
+
+bench::FigureCollector& Collector() {
+  static auto* c = new bench::FigureCollector(
+      {"query", "D", "rho_RED", "PB MSOg = 4(1+l)rho", "SB MSOg = D^2+3D"});
+  return *c;
+}
+
+namespace {
+
+void BM_Fig8(benchmark::State& state, const std::string& id) {
+  double pb_msog = 0.0;
+  double sb_msog = 0.0;
+  int rho = 0;
+  int dims = 0;
+  for (auto _ : state) {
+    const Workbench::Entry& wb = Workbench::Get(id);
+    PlanBouquet pb(wb.ess.get(), {0.2, true});
+    rho = pb.rho();
+    dims = wb.ess->dims();
+    pb_msog = pb.MsoGuarantee();
+    sb_msog = SpillBound::MsoGuarantee(dims);
+  }
+  state.counters["PB_MSOg"] = pb_msog;
+  state.counters["SB_MSOg"] = sb_msog;
+  Collector().AddRow({id, std::to_string(dims), std::to_string(rho),
+                      TablePrinter::Num(pb_msog, 1),
+                      TablePrinter::Num(sb_msog, 1)});
+}
+
+const int kRegistered = [] {
+  for (const std::string& id : PaperQuerySuite()) {
+    benchmark::RegisterBenchmark(("Fig8/" + id).c_str(),
+                                 [id](benchmark::State& s) { BM_Fig8(s, id); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace robustqp
+
+RQP_BENCH_MAIN(robustqp::Collector(),
+               "Fig. 8 — MSO guarantees (MSOg): PlanBouquet vs SpillBound")

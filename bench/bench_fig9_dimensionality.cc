@@ -1,0 +1,58 @@
+// Reproduces Fig. 9: MSO guarantee as a function of ESS dimensionality
+// for TPC-DS Q91, with the number of error-prone predicates swept from 2
+// to 6.
+//
+// Expected shape (paper Section 6.2.2): SB marginally worse at D = 2,
+// increasingly better than PB as D grows (paper: 96 vs 54 at 6D).
+
+#include "bench_util.h"
+#include "core/planbouquet.h"
+#include "core/spillbound.h"
+#include "harness/workbench.h"
+#include "workloads/queries.h"
+
+namespace robustqp {
+
+bench::FigureCollector& Collector() {
+  static auto* c = new bench::FigureCollector(
+      {"query", "D", "rho_RED", "PB MSOg", "SB MSOg"});
+  return *c;
+}
+
+namespace {
+
+void BM_Fig9(benchmark::State& state, const std::string& id) {
+  double pb_msog = 0.0;
+  double sb_msog = 0.0;
+  int rho = 0;
+  int dims = 0;
+  for (auto _ : state) {
+    const Workbench::Entry& wb = Workbench::Get(id);
+    PlanBouquet pb(wb.ess.get(), {0.2, true});
+    rho = pb.rho();
+    dims = wb.ess->dims();
+    pb_msog = pb.MsoGuarantee();
+    sb_msog = SpillBound::MsoGuarantee(dims);
+  }
+  state.counters["PB_MSOg"] = pb_msog;
+  state.counters["SB_MSOg"] = sb_msog;
+  Collector().AddRow({id, std::to_string(dims), std::to_string(rho),
+                      TablePrinter::Num(pb_msog, 1),
+                      TablePrinter::Num(sb_msog, 1)});
+}
+
+const int kRegistered = [] {
+  for (const std::string& id : Q91Family()) {
+    benchmark::RegisterBenchmark(("Fig9/" + id).c_str(),
+                                 [id](benchmark::State& s) { BM_Fig9(s, id); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace robustqp
+
+RQP_BENCH_MAIN(robustqp::Collector(),
+               "Fig. 9 — MSOg vs ESS dimensionality (TPC-DS Q91, 2D..6D)")

@@ -1,0 +1,58 @@
+// Reproduces Section 6.5: the Join Order Benchmark experiment. JOB Q1a
+// (acyclic SPJ skeleton, implicit cyclic predicates disabled as in the
+// paper) over the IMDB-shaped catalog with heavy zipf skew.
+//
+// Expected shape (paper: native MSO > 6000, SB ~ 12, AB < 9): the native
+// optimizer's worst case explodes — JOB is designed to break estimators —
+// while the discovery algorithms stay within their guarantees, an order
+// of magnitude story rather than exact values.
+
+#include "bench_util.h"
+#include "core/alignedbound.h"
+#include "core/spillbound.h"
+#include "harness/evaluator.h"
+#include "harness/workbench.h"
+
+namespace robustqp {
+
+bench::FigureCollector& Collector() {
+  static auto* c = new bench::FigureCollector({"approach", "MSOe", "ASO"});
+  return *c;
+}
+
+namespace {
+
+void BM_Job(benchmark::State& state) {
+  for (auto _ : state) {
+    const Workbench::Entry& wb = Workbench::Get("4D_JOB_Q1a");
+    const Ess& ess = *wb.ess;
+
+    const SuboptimalityStats native = EvaluateNativeWorstCase(ess);
+    const SuboptimalityStats at_est = EvaluateNativeAtEstimate(ess);
+    SpillBound sb(&ess);
+    const SuboptimalityStats s_sb = EvaluateSpillBound(&sb);
+    AlignedBound ab(&ess);
+    const SuboptimalityStats s_ab = EvaluateAlignedBound(&ab, ess);
+
+    auto add = [&](const std::string& name, const SuboptimalityStats& s) {
+      Collector().AddRow({name, TablePrinter::Num(s.mso, 1),
+                          TablePrinter::Num(s.aso, 2)});
+    };
+    add("native optimizer (worst q_e)", native);
+    add("native optimizer (stats q_e)", at_est);
+    add("SpillBound", s_sb);
+    add("AlignedBound", s_ab);
+
+    state.counters["native_MSO"] = native.mso;
+    state.counters["SB_MSO"] = s_sb.mso;
+    state.counters["AB_MSO"] = s_ab.mso;
+  }
+}
+
+BENCHMARK(BM_Job)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace robustqp
+
+RQP_BENCH_MAIN(robustqp::Collector(),
+               "Section 6.5 — JOB Q1a: native optimizer vs SB vs AB")

@@ -1,0 +1,72 @@
+// Reproduces Table 2: the cost of enforcing contour alignment. For each
+// query, the percentage of contours that are natively aligned
+// ("Original") and that become aligned when replacement plans may exceed
+// the optimal cost by factors lambda in {1.2, 1.5, 2.0}, plus the maximum
+// penalty needed to align every contour.
+//
+// Expected shape (paper Section 5.1): wide variance — some queries align
+// cheaply (paper: 5D_Q29 fully aligned at lambda 1.5, 5D_Q84 natively
+// 100%), others need extreme penalties (paper: 3D_Q96 max lambda 130).
+
+#include <cmath>
+#include <limits>
+
+#include "bench_util.h"
+#include "core/alignment.h"
+#include "harness/workbench.h"
+#include "workloads/queries.h"
+
+namespace robustqp {
+
+bench::FigureCollector& Collector() {
+  static auto* c = new bench::FigureCollector(
+      {"query", "Original %", "l=1.2 %", "l=1.5 %", "l=2.0 %", "Max l"});
+  return *c;
+}
+
+namespace {
+
+void BM_Table2(benchmark::State& state, const std::string& id) {
+  std::vector<ContourAlignmentInfo> infos;
+  for (auto _ : state) {
+    const Workbench::Entry& wb = Workbench::Get(id);
+    ConstrainedPlanCache cache(wb.ess.get());
+    infos = AnalyzeContourAlignment(*wb.ess, &cache);
+  }
+  int total = 0, native = 0, l12 = 0, l15 = 0, l20 = 0;
+  double max_lambda = 1.0;
+  for (const auto& info : infos) {
+    ++total;
+    if (info.natively_aligned) ++native;
+    if (info.min_induce_penalty <= 1.2) ++l12;
+    if (info.min_induce_penalty <= 1.5) ++l15;
+    if (info.min_induce_penalty <= 2.0) ++l20;
+    max_lambda = std::max(max_lambda, info.min_induce_penalty);
+  }
+  auto pct = [&](int n) {
+    return TablePrinter::Num(total == 0 ? 0.0 : 100.0 * n / total, 0);
+  };
+  state.counters["native_pct"] = total == 0 ? 0.0 : 100.0 * native / total;
+  state.counters["max_lambda"] = max_lambda;
+  Collector().AddRow({id, pct(native), pct(l12), pct(l15), pct(l20),
+                      std::isinf(max_lambda)
+                          ? "inf"
+                          : TablePrinter::Num(max_lambda, 2)});
+}
+
+const int kRegistered = [] {
+  for (const std::string& id : AlignmentQuerySuite()) {
+    benchmark::RegisterBenchmark(
+        ("Table2/" + id).c_str(),
+        [id](benchmark::State& s) { BM_Table2(s, id); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace robustqp
+
+RQP_BENCH_MAIN(robustqp::Collector(),
+               "Table 2 — cost of enforcing contour alignment")

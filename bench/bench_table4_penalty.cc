@@ -1,0 +1,58 @@
+// Reproduces Table 4: the maximum replacement penalty incurred by
+// AlignedBound across all partitions encountered while executing the
+// query suite (exhaustively over every true location).
+//
+// Expected shape (paper Section 6.4.2): small values — the paper sees at
+// most 3 even for 6D queries — because the minimum-penalty partition
+// search falls back to SpillBound-like singleton parts (penalty 1)
+// whenever induced alignment is expensive.
+
+#include "bench_util.h"
+#include "core/alignedbound.h"
+#include "harness/evaluator.h"
+#include "harness/workbench.h"
+#include "workloads/queries.h"
+
+namespace robustqp {
+
+bench::FigureCollector& Collector() {
+  static auto* c = new bench::FigureCollector(
+      {"query", "D", "max penalty for AB", "AB MSOe"});
+  return *c;
+}
+
+namespace {
+
+void BM_Table4(benchmark::State& state, const std::string& id) {
+  double max_penalty = 0.0;
+  double ab_msoe = 0.0;
+  int dims = 0;
+  for (auto _ : state) {
+    const Workbench::Entry& wb = Workbench::Get(id);
+    dims = wb.ess->dims();
+    AlignedBound ab(wb.ess.get());
+    ab_msoe = EvaluateAlignedBound(&ab, *wb.ess).mso;
+    max_penalty = ab.max_penalty_seen();
+  }
+  state.counters["max_penalty"] = max_penalty;
+  Collector().AddRow({id, std::to_string(dims),
+                      TablePrinter::Num(max_penalty, 2),
+                      TablePrinter::Num(ab_msoe, 1)});
+}
+
+const int kRegistered = [] {
+  for (const std::string& id : PaperQuerySuite()) {
+    benchmark::RegisterBenchmark(
+        ("Table4/" + id).c_str(),
+        [id](benchmark::State& s) { BM_Table4(s, id); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace robustqp
+
+RQP_BENCH_MAIN(robustqp::Collector(),
+               "Table 4 — maximum partition penalty for AlignedBound")

@@ -1,0 +1,61 @@
+// Shared helpers for the per-table/figure benchmark binaries: a global
+// row collector printed after the google-benchmark run, so each binary
+// emits both timing output and the paper-style table it regenerates.
+
+#ifndef ROBUSTQP_BENCH_BENCH_UTIL_H_
+#define ROBUSTQP_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+
+namespace robustqp {
+namespace bench {
+
+/// Accumulates the figure/table rows produced inside benchmark bodies and
+/// prints them once at exit.
+class FigureCollector {
+ public:
+  explicit FigureCollector(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  void Print(const std::string& title) const {
+    std::cout << "\n=== " << title << " ===\n";
+    TablePrinter table(header_);
+    for (const auto& row : rows_) {
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout.flush();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Standard main body: run benchmarks, then print the collected figure.
+#define RQP_BENCH_MAIN(collector_expr, title)                      \
+  int main(int argc, char** argv) {                                \
+    ::benchmark::Initialize(&argc, argv);                          \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {    \
+      return 1;                                                    \
+    }                                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                         \
+    ::benchmark::Shutdown();                                       \
+    (collector_expr).Print(title);                                 \
+    return 0;                                                      \
+  }
+
+}  // namespace bench
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_BENCH_BENCH_UTIL_H_

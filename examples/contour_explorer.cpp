@@ -1,0 +1,125 @@
+// Visual explorer for the 2D error-prone selectivity space: renders the
+// plan diagram (which POSP plan is optimal where), the doubling iso-cost
+// contours, and per-contour alignment diagnostics — ASCII renditions of
+// the paper's Figs. 2, 3, 5 and 6.
+
+#include <iostream>
+#include <algorithm>
+#include <map>
+
+#include "core/alignment.h"
+#include "core/oracle.h"
+#include "core/spillbound.h"
+#include "harness/workbench.h"
+
+using namespace robustqp;
+
+namespace {
+
+char PlanGlyph(int plan_ordinal) {
+  static const char* glyphs =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  return glyphs[plan_ordinal % 62];
+}
+
+}  // namespace
+
+int main() {
+  const Workbench::Entry& wb = Workbench::Get("2D_Q91");
+  const Ess& ess = *wb.ess;
+  const int n = ess.points();
+
+  std::cout << "=== ESS explorer: 2D_Q91 ===\n";
+  std::cout << "X axis: " << wb.query->EppLabel(0)
+            << " selectivity (log-spaced " << ess.config().min_sel
+            << " .. 1)\nY axis: " << wb.query->EppLabel(1) << "\n";
+  std::cout << "POSP: " << ess.pool().size() << " plans; contours: "
+            << ess.num_contours() << " (cost " << ess.cmin() << " .. "
+            << ess.cmax() << ")\n\n";
+
+  // Plan diagram: one glyph per location; '#' marks contour frontiers.
+  std::map<const Plan*, int> ordinal;
+  for (const Plan* p : ess.pool().plans()) {
+    const int k = static_cast<int>(ordinal.size());
+    ordinal[p] = k;
+  }
+  std::vector<std::vector<bool>> on_frontier(
+      static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n), false));
+  for (int i = 0; i < ess.num_contours(); ++i) {
+    for (int64_t lin : ess.FrontierLocations(i)) {
+      const GridLoc loc = ess.FromLinear(lin);
+      on_frontier[static_cast<size_t>(loc[0])][static_cast<size_t>(loc[1])] =
+          true;
+    }
+  }
+
+  std::cout << "plan diagram (letters = distinct optimal plans; '.' over a "
+               "glyph marks an iso-cost contour frontier):\n\n";
+  for (int y = n - 1; y >= 0; --y) {
+    std::cout << (y == n - 1 ? "sel=1 " : "      ");
+    for (int x = 0; x < n; ++x) {
+      const GridLoc loc = {x, y};
+      const char g = PlanGlyph(ordinal[ess.OptimalPlan(loc)]);
+      std::cout << (on_frontier[static_cast<size_t>(x)][static_cast<size_t>(y)]
+                        ? '.'
+                        : g);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "      ";
+  for (int x = 0; x < n; ++x) std::cout << '-';
+  std::cout << "\n      sel=" << ess.config().min_sel << "  ->  sel=1 (X)\n\n";
+
+  // Fig. 7 flavour: overlay SpillBound's Manhattan profile for a hostile
+  // true location ('*' = running-location corner after a step, '@' = q_a).
+  GridLoc qa = {ess.axis().NearestIndex(0.04), ess.axis().NearestIndex(0.1)};
+  SpillBound sb(&ess);
+  SimulatedOracle oracle(&ess, qa);
+  const DiscoveryResult run = sb.Run(&oracle);
+  std::vector<std::vector<char>> overlay(
+      static_cast<size_t>(n), std::vector<char>(static_cast<size_t>(n), ' '));
+  for (const ExecutionStep& step : run.steps) {
+    if (step.qrun.size() != 2) continue;
+    const int x = ess.axis().NearestIndex(std::max(step.qrun[0], ess.config().min_sel));
+    const int y = ess.axis().NearestIndex(std::max(step.qrun[1], ess.config().min_sel));
+    overlay[static_cast<size_t>(x)][static_cast<size_t>(y)] = '*';
+  }
+  overlay[static_cast<size_t>(qa[0])][static_cast<size_t>(qa[1])] = '@';
+
+  std::cout << "SpillBound Manhattan profile toward q_a = ("
+            << ess.axis().value(qa[0]) << ", " << ess.axis().value(qa[1])
+            << ")  ['*' = q_run after a step, '@' = q_a; "
+            << run.num_executions() << " executions, subopt "
+            << run.total_cost / ess.OptimalCost(qa) << "]:\n\n";
+  for (int y = n - 1; y >= 0; --y) {
+    std::cout << "      ";
+    for (int x = 0; x < n; ++x) {
+      const char o = overlay[static_cast<size_t>(x)][static_cast<size_t>(y)];
+      if (o != ' ') {
+        std::cout << o;
+      } else {
+        const GridLoc loc = {x, y};
+        std::cout << (on_frontier[static_cast<size_t>(x)][static_cast<size_t>(y)]
+                          ? '.'
+                          : ' ');
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+
+  // Per-contour summary with alignment info (Fig. 6 flavour).
+  ConstrainedPlanCache cache(&ess);
+  const std::vector<ContourAlignmentInfo> infos =
+      AnalyzeContourAlignment(ess, &cache);
+  std::cout << "contour  cost          #plans  frontier  aligned  induce-penalty\n";
+  for (int i = 0; i < ess.num_contours(); ++i) {
+    std::cout << "IC" << i + 1 << (i + 1 < 10 ? "      " : "     ")
+              << ess.ContourCost(i) << "\t" << ess.ContourPlans(i).size()
+              << "\t" << ess.FrontierLocations(i).size() << "\t"
+              << (infos[static_cast<size_t>(i)].natively_aligned ? "yes" : "no")
+              << "\t"
+              << infos[static_cast<size_t>(i)].min_induce_penalty << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "catalog/catalog.h"
+
+#include "storage/hash_index.h"
+#include "storage/table.h"
+
+namespace robustqp {
+
+Status Catalog::AddTable(std::shared_ptr<Table> table,
+                         std::vector<ColumnStats> stats) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  const std::string& name = table->schema().name();
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("table '" + name + "' already registered");
+  }
+  if (static_cast<int>(stats.size()) != table->schema().num_columns()) {
+    return Status::InvalidArgument("stats arity mismatch for '" + name + "'");
+  }
+  tables_[name] = CatalogEntry{std::move(table), std::move(stats)};
+  return Status::OK();
+}
+
+const CatalogEntry* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+int64_t Catalog::RowCount(const std::string& name) const {
+  const CatalogEntry* entry = FindTable(name);
+  return entry == nullptr ? 0 : entry->table->num_rows();
+}
+
+const ColumnStats* Catalog::FindColumnStats(
+    const std::string& table_name, const std::string& column_name) const {
+  const CatalogEntry* entry = FindTable(table_name);
+  if (entry == nullptr) return nullptr;
+  const int idx = entry->table->schema().FindColumn(column_name);
+  if (idx < 0) return nullptr;
+  return &entry->stats[static_cast<size_t>(idx)];
+}
+
+Status Catalog::BuildIndex(const std::string& table_name,
+                           const std::string& column_name) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + table_name + "'");
+  }
+  const Table& table = *it->second.table;
+  const int col = table.schema().FindColumn(column_name);
+  if (col < 0) {
+    return Status::NotFound("column '" + table_name + "." + column_name + "'");
+  }
+  if (table.schema().column(col).type != DataType::kInt64) {
+    return Status::Unsupported("hash index requires an INT64 column");
+  }
+  it->second.indexes[column_name] = std::make_shared<HashIndex>(table, col);
+  return Status::OK();
+}
+
+const HashIndex* Catalog::FindIndex(const std::string& table_name,
+                                    const std::string& column_name) const {
+  const CatalogEntry* entry = FindTable(table_name);
+  if (entry == nullptr) return nullptr;
+  auto it = entry->indexes.find(column_name);
+  return it == entry->indexes.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,27 @@
+#include "catalog/column_stats.h"
+
+#include <algorithm>
+
+namespace robustqp {
+
+double EquiDepthHistogram::EstimateLessEq(double v) const {
+  if (total_rows == 0 || bounds.empty()) return 0.0;
+  if (v >= bounds.back()) return 1.0;
+  // Find the first bucket whose upper edge is >= v.
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  const size_t bucket = static_cast<size_t>(it - bounds.begin());
+  const double lower = bucket == 0 ? bounds.front() - 1.0 : bounds[bucket - 1];
+  const double upper = bounds[bucket];
+  double frac_in_bucket = 0.0;
+  if (upper > lower) {
+    frac_in_bucket = (v - lower) / (upper - lower);
+    frac_in_bucket = std::clamp(frac_in_bucket, 0.0, 1.0);
+  } else {
+    frac_in_bucket = 1.0;
+  }
+  const double full = static_cast<double>(bucket) * rows_per_bucket;
+  const double partial = frac_in_bucket * rows_per_bucket;
+  return std::clamp((full + partial) / static_cast<double>(total_rows), 0.0, 1.0);
+}
+
+}  // namespace robustqp

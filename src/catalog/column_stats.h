@@ -1,0 +1,38 @@
+// Per-column statistics used by the optimizer's cardinality estimator:
+// min/max, number of distinct values, and an equi-depth histogram. These
+// are the engine's "native" statistics — the ones a traditional optimizer
+// would consult, and the ones whose errors the paper's algorithms guard
+// against.
+
+#ifndef ROBUSTQP_CATALOG_COLUMN_STATS_H_
+#define ROBUSTQP_CATALOG_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace robustqp {
+
+/// Equi-depth histogram over a numeric column: `bounds` holds bucket upper
+/// edges; each bucket covers an (approximately) equal number of rows.
+struct EquiDepthHistogram {
+  std::vector<double> bounds;  // ascending; bounds.back() == column max
+  int64_t rows_per_bucket = 0;
+  int64_t total_rows = 0;
+
+  /// Estimated fraction of rows with value <= v, assuming uniformity
+  /// inside buckets. Returns a value in [0, 1].
+  double EstimateLessEq(double v) const;
+};
+
+/// Statistics for one column of one table.
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  int64_t distinct_count = 0;
+  int64_t row_count = 0;
+  EquiDepthHistogram histogram;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_CATALOG_COLUMN_STATS_H_

@@ -1,0 +1,22 @@
+#include "catalog/schema.h"
+
+namespace robustqp {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+  }
+  return "UNKNOWN";
+}
+
+int TableSchema::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace robustqp

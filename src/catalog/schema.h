@@ -1,0 +1,52 @@
+// Table schemas: named, typed columns. The engine supports the two value
+// types the reproduction needs (64-bit integers for keys/codes and doubles
+// for measures); strings in the original benchmarks are dictionary-encoded
+// to integers by the data generators.
+
+#ifndef ROBUSTQP_CATALOG_SCHEMA_H_
+#define ROBUSTQP_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace robustqp {
+
+/// Column value type.
+enum class DataType {
+  kInt64,
+  kDouble,
+};
+
+const char* DataTypeToString(DataType t);
+
+/// A named, typed column.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// An ordered list of columns with a table name.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int idx) const {
+    return columns_[static_cast<size_t>(idx)];
+  }
+
+  /// Returns the index of the named column, or -1 if absent.
+  int FindColumn(const std::string& column_name) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_CATALOG_SCHEMA_H_

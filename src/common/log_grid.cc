@@ -1,0 +1,45 @@
+#include "common/log_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace robustqp {
+
+LogAxis::LogAxis(double min_sel, int points) {
+  RQP_CHECK(points >= 2);
+  RQP_CHECK(min_sel > 0.0 && min_sel < 1.0);
+  values_.resize(static_cast<size_t>(points));
+  const double lmin = std::log(min_sel);
+  for (int i = 0; i < points; ++i) {
+    const double frac = static_cast<double>(i) / (points - 1);
+    values_[static_cast<size_t>(i)] = std::exp(lmin * (1.0 - frac));
+  }
+  values_.front() = min_sel;
+  values_.back() = 1.0;
+}
+
+int LogAxis::FloorIndex(double sel) const {
+  // Relative tolerance so that values equal to an axis point up to
+  // rounding are treated as that point.
+  auto it = std::upper_bound(values_.begin(), values_.end(), sel * (1.0 + 1e-9));
+  return static_cast<int>(it - values_.begin()) - 1;
+}
+
+int LogAxis::CeilIndex(double sel) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), sel * (1.0 - 1e-9));
+  return static_cast<int>(it - values_.begin());
+}
+
+int LogAxis::NearestIndex(double sel) const {
+  if (sel <= values_.front()) return 0;
+  if (sel >= values_.back()) return points() - 1;
+  int lo = FloorIndex(sel);
+  int hi = lo + 1;
+  const double dlo = std::fabs(std::log(sel) - std::log(values_[lo]));
+  const double dhi = std::fabs(std::log(values_[hi]) - std::log(sel));
+  return dlo <= dhi ? lo : hi;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,42 @@
+// Log-spaced axis used to discretize each dimension of the error-prone
+// selectivity space (ESS). The paper works on "an appropriately discretized
+// grid version of [0,1]^D" (Section 2.1); selectivities span several orders
+// of magnitude, so a geometric spacing is the natural discretization (cf.
+// the log-scaled axes of the paper's Fig. 7).
+
+#ifndef ROBUSTQP_COMMON_LOG_GRID_H_
+#define ROBUSTQP_COMMON_LOG_GRID_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace robustqp {
+
+/// A strictly increasing sequence of selectivity values in (0, 1], spaced
+/// geometrically from `min_sel` to 1.0 with `points` entries.
+class LogAxis {
+ public:
+  /// Builds an axis of `points` values; value(0) == min_sel and
+  /// value(points-1) == 1.0 exactly.
+  LogAxis(double min_sel, int points);
+
+  int points() const { return static_cast<int>(values_.size()); }
+  double value(int idx) const { return values_[static_cast<size_t>(idx)]; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Largest index whose value is <= sel; returns -1 if sel < value(0).
+  int FloorIndex(double sel) const;
+
+  /// Smallest index whose value is >= sel; returns points() if sel > 1.0.
+  int CeilIndex(double sel) const;
+
+  /// Index of the axis value closest (in log space) to sel, clamped.
+  int NearestIndex(double sel) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_COMMON_LOG_GRID_H_

@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace robustqp {
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  ZipfSampler sampler(n, theta);
+  return sampler.Sample(this);
+}
+
+ZipfSampler::ZipfSampler(int64_t n, double theta) {
+  RQP_CHECK(n >= 1);
+  RQP_CHECK(theta > 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (int64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    cdf_[static_cast<size_t>(i - 1)] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+int64_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,64 @@
+// Deterministic random number utilities used by the synthetic data
+// generators. All randomness in the repository flows through Rng with an
+// explicit seed so that every experiment is exactly reproducible.
+
+#ifndef ROBUSTQP_COMMON_RNG_H_
+#define ROBUSTQP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace robustqp {
+
+/// Seeded pseudo-random generator with the distributions the data
+/// generators need (uniform, zipfian, bounded normal).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Zipf-distributed rank in [1, n] with exponent theta (> 0). Implemented
+  /// via inverse-CDF over a precomputable harmonic table for small n, or
+  /// rejection-free approximation for large n.
+  int64_t Zipf(int64_t n, double theta);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// A reusable Zipf sampler that precomputes the CDF once for a fixed
+/// (n, theta); much faster than Rng::Zipf in generation loops.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double theta);
+
+  /// Draws a rank in [1, n].
+  int64_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_COMMON_RNG_H_

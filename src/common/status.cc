@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace robustqp {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kBudgetExhausted:
+      return "BudgetExhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void CheckFailed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "RQP_CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace robustqp

@@ -1,0 +1,139 @@
+// Lightweight Status / Result error-handling primitives in the style of
+// Apache Arrow and RocksDB: no exceptions cross library boundaries; fallible
+// operations return Status (or Result<T> when they produce a value).
+
+#ifndef ROBUSTQP_COMMON_STATUS_H_
+#define ROBUSTQP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace robustqp {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kUnsupported,
+  kInternal,
+  /// A budgeted execution was terminated because it exhausted its budget.
+  /// This is an expected outcome for the discovery algorithms, not a bug.
+  kBudgetExhausted,
+};
+
+/// Returns a human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation that produces no value.
+///
+/// The OK state carries no allocation; error states carry a code and a
+/// message. Copyable and cheaply movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Outcome of a fallible operation that produces a T on success.
+///
+/// Holds either a value or a non-OK Status. Accessors assert on misuse in
+/// debug builds; call ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status from `expr` out of the enclosing function.
+#define RQP_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::robustqp::Status _st = (expr);       \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Asserts an invariant in all build modes; logs and aborts on violation.
+#define RQP_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::robustqp::internal::CheckFailed(#cond, __FILE__, __LINE__);      \
+    }                                                                    \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* cond, const char* file, int line);
+}  // namespace internal
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+// Plain-text table rendering used by the benchmark harness to print the
+// paper's tables and figure data series in a readable, diffable format.
+
+#ifndef ROBUSTQP_COMMON_TABLE_PRINTER_H_
+#define ROBUSTQP_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace robustqp {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the header, a separator, and all rows to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `digits` significant decimal places, trimming
+  /// trailing zeros ("12.5", "0.04", "130").
+  static std::string Num(double v, int digits = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_COMMON_TABLE_PRINTER_H_

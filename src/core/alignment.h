@@ -1,0 +1,62 @@
+// Contour-alignment machinery (Sections 3.3 and 5): a cache around the
+// optimizer's constrained "least-cost plan that spills on epp j" search,
+// and the contour-alignment analysis behind the paper's Table 2.
+
+#ifndef ROBUSTQP_CORE_ALIGNMENT_H_
+#define ROBUSTQP_CORE_ALIGNMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "ess/ess.h"
+#include "plan/plan_pool.h"
+
+namespace robustqp {
+
+/// Memoizing wrapper over Optimizer::OptimizeConstrainedSpill, keyed by
+/// (grid location, spill dimension, unlearned-set). Owns the replacement
+/// plans it discovers.
+class ConstrainedPlanCache {
+ public:
+  explicit ConstrainedPlanCache(const Ess* ess) : ess_(ess) {}
+
+  struct Entry {
+    /// Cost of the cheapest plan spilling on the dimension at the
+    /// location; infinity if none exists.
+    double cost = 0.0;
+    const Plan* plan = nullptr;
+  };
+
+  /// Cheapest plan at grid location `lin` whose spill dimension (w.r.t.
+  /// `unlearned`) is `dim`.
+  const Entry& Get(int64_t lin, int dim, const std::vector<bool>& unlearned);
+
+  int num_plans() const { return pool_.size(); }
+
+ private:
+  const Ess* ess_;
+  PlanPool pool_;
+  std::map<std::tuple<int64_t, int, uint64_t>, Entry> cache_;
+};
+
+/// Alignment diagnostics for one contour over the full (nothing-learnt)
+/// ESS grid.
+struct ContourAlignmentInfo {
+  /// Contour is natively aligned along at least one dimension, i.e. some
+  /// dimension's extreme location has an optimal plan spilling on it.
+  bool natively_aligned = false;
+  /// Minimum over dimensions of the replacement penalty needed to align
+  /// the contour (1.0 when natively aligned).
+  double min_induce_penalty = 1.0;
+};
+
+/// Per-contour alignment analysis (drives Table 2). `max_candidates`
+/// caps how many extreme locations are probed per dimension.
+std::vector<ContourAlignmentInfo> AnalyzeContourAlignment(
+    const Ess& ess, ConstrainedPlanCache* cache, int max_candidates = 8);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_CORE_ALIGNMENT_H_

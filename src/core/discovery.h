@@ -1,0 +1,47 @@
+// Shared result/trace types for the discovery algorithms.
+
+#ifndef ROBUSTQP_CORE_DISCOVERY_H_
+#define ROBUSTQP_CORE_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+namespace robustqp {
+
+/// One budgeted execution performed during discovery (a row of the
+/// paper's Table 3 drill-down, a segment of Fig. 7's Manhattan profile).
+struct ExecutionStep {
+  /// 0-based contour index the execution belongs to.
+  int contour = 0;
+  /// Display name of the executed plan ("P7"); spill-mode executions are
+  /// conventionally lower-cased by the printers ("p7").
+  std::string plan_name;
+  /// ESS dimension spilled on, or -1 for a full (non-spill) execution.
+  int spill_dim = -1;
+  double budget = 0.0;
+  double cost_charged = 0.0;
+  bool completed = false;
+  /// Exact selectivity learnt (spill completions), or the certified lower
+  /// bound reached (aborted spills).
+  double learned_sel = 0.0;
+  /// Selectivity knowledge after the step: exact value for learnt dims,
+  /// current lower bound for the rest (the running location q_run).
+  std::vector<double> qrun;
+};
+
+/// Outcome of one full discovery run for one true location.
+struct DiscoveryResult {
+  bool completed = false;
+  /// Sum of cost charged over all executions — the numerator of
+  /// SubOpt(Seq, q_a) in Eq. (3).
+  double total_cost = 0.0;
+  /// Contour at which the query finally completed.
+  int final_contour = -1;
+  std::vector<ExecutionStep> steps;
+
+  int num_executions() const { return static_cast<int>(steps.size()); }
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_CORE_DISCOVERY_H_

@@ -1,0 +1,110 @@
+#include "core/lower_bound_game.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace robustqp {
+
+LowerBoundGame::LowerBoundGame(int dims, double unit_cost) : unit_(unit_cost) {
+  RQP_CHECK(dims >= 2);
+  RQP_CHECK(unit_cost > 0.0);
+  alive_.assign(static_cast<size_t>(dims), true);
+}
+
+int LowerBoundGame::remaining_scenarios() const {
+  int n = 0;
+  for (bool a : alive_) {
+    if (a) ++n;
+  }
+  return n;
+}
+
+LowerBoundGame::ProbeResult LowerBoundGame::ProbeDimension(int dim,
+                                                           double budget) {
+  RQP_CHECK(!finished_);
+  RQP_CHECK(dim >= 0 && dim < dims());
+  ProbeResult result;
+  if (budget < unit_) {
+    // Below the first informative contour: the execution aborts without
+    // distinguishing any scenario; the whole budget is burnt.
+    total_cost_ += budget;
+    return result;
+  }
+  // The probe would resolve the dimension, so the adversary must commit.
+  // A resolving spill completes at actual cost C (<= budget).
+  total_cost_ += unit_;
+  result.resolved = true;
+  if (alive_[static_cast<size_t>(dim)] && remaining_scenarios() > 1) {
+    // The adversary can still deny this scenario: answer "origin".
+    alive_[static_cast<size_t>(dim)] = false;
+    result.coordinate_is_far = false;
+  } else {
+    // Either already denied, or it is the last consistent scenario.
+    result.coordinate_is_far = alive_[static_cast<size_t>(dim)];
+  }
+  return result;
+}
+
+bool LowerBoundGame::AttemptCompletion(int k, double budget) {
+  RQP_CHECK(!finished_);
+  RQP_CHECK(k >= 0 && k < dims());
+  if (budget < unit_) {
+    // Even the right plan cannot finish below its optimal cost.
+    total_cost_ += budget;
+    return false;
+  }
+  if (alive_[static_cast<size_t>(k)] && remaining_scenarios() == 1) {
+    // The adversary is pinned: the plan completes at its true cost.
+    total_cost_ += unit_;
+    finished_ = true;
+    return true;
+  }
+  // The adversary denies scenario k (keeping some other scenario alive):
+  // the plan does not terminate within any finite budget it is given.
+  alive_[static_cast<size_t>(k)] = false;
+  RQP_CHECK(remaining_scenarios() >= 1);
+  total_cost_ += budget;
+  return false;
+}
+
+double PlaySpillBoundStyleStrategy(int dims) {
+  LowerBoundGame game(dims, 1.0);
+  // Contour-wise: doubling budgets; on each "contour", probe every
+  // still-unresolved dimension once (the CDI pattern), then attempt
+  // completion with any pinned scenario.
+  std::vector<bool> resolved(static_cast<size_t>(dims), false);
+  double budget = 0.25;  // start below the informative contour
+  int far_dim = -1;
+  while (!game.finished()) {
+    for (int d = 0; d < dims && far_dim < 0; ++d) {
+      if (resolved[static_cast<size_t>(d)]) continue;
+      const LowerBoundGame::ProbeResult r = game.ProbeDimension(d, budget);
+      if (r.resolved) {
+        resolved[static_cast<size_t>(d)] = true;
+        if (r.coordinate_is_far) far_dim = d;
+      }
+    }
+    if (far_dim >= 0) {
+      RQP_CHECK(game.AttemptCompletion(far_dim, budget * 2.0));
+      break;
+    }
+    if (game.remaining_scenarios() == 1) {
+      for (int d = 0; d < dims; ++d) {
+        if (!resolved[static_cast<size_t>(d)]) far_dim = d;
+      }
+      if (far_dim < 0) {
+        // All probed dims answered "origin"; the survivor is the one the
+        // adversary kept — find it by probing the remaining one.
+        break;
+      }
+      RQP_CHECK(game.AttemptCompletion(far_dim, budget * 2.0));
+      break;
+    }
+    budget *= 2.0;
+  }
+  RQP_CHECK(game.finished());
+  return game.total_cost() / game.optimal_cost();
+}
+
+}  // namespace robustqp

@@ -1,0 +1,71 @@
+// The MSO lower bound (Theorem 4.6): for any deterministic half-space
+// discovery algorithm and D >= 2 there exists a D-dimensional ESS forcing
+// MSO >= D. This module implements the adversary argument behind the
+// theorem as an explicit game, so the bound can be demonstrated (and
+// regression-tested) against arbitrary discovery strategies.
+//
+// Game model. There are D scenarios S_1..S_D; in scenario S_j the true
+// location sits at the far end of axis j and at the origin of every other
+// axis, and the scenario's dedicated plan finishes the query at cost C
+// (the oracle-optimal cost, identical in every scenario — so MSO is
+// total-cost / C). A discovery probe on dimension j (the spill-execution
+// analogue) with budget >= C resolves that dimension; with budget < C it
+// reveals nothing (the iso-cost geometry hides all scenarios below C).
+// A completion attempt with plan k finishes only if the true scenario is
+// S_k. The adversary answers adaptively, always keeping a consistent
+// scenario alive, so any deterministic strategy must resolve D-1
+// dimensions (>= C each) before its completion attempt (>= C) can be
+// forced to succeed: total >= D * C.
+
+#ifndef ROBUSTQP_CORE_LOWER_BOUND_GAME_H_
+#define ROBUSTQP_CORE_LOWER_BOUND_GAME_H_
+
+#include <vector>
+
+namespace robustqp {
+
+/// Adaptive adversary for the half-space discovery lower bound.
+class LowerBoundGame {
+ public:
+  /// `dims` >= 2 scenarios; `unit_cost` is C, the oracle-optimal cost.
+  explicit LowerBoundGame(int dims, double unit_cost = 1.0);
+
+  struct ProbeResult {
+    /// Probe resolved the dimension (budget >= C and the adversary had to
+    /// commit).
+    bool resolved = false;
+    /// When resolved: true iff the true location lies at the far end of
+    /// the probed axis — i.e. the probed dimension's scenario is the
+    /// answer.
+    bool coordinate_is_far = false;
+  };
+
+  /// Spill-execution analogue: probe dimension `dim` with `budget`.
+  ProbeResult ProbeDimension(int dim, double budget);
+
+  /// Full-execution analogue: attempt to finish with scenario `k`'s plan.
+  /// Succeeds only if the adversary can no longer deny scenario k.
+  bool AttemptCompletion(int k, double budget);
+
+  bool finished() const { return finished_; }
+  double total_cost() const { return total_cost_; }
+  double optimal_cost() const { return unit_; }
+  /// Scenarios still consistent with every answer given so far.
+  int remaining_scenarios() const;
+  int dims() const { return static_cast<int>(alive_.size()); }
+
+ private:
+  double unit_;
+  std::vector<bool> alive_;
+  bool finished_ = false;
+  double total_cost_ = 0.0;
+};
+
+/// Plays a SpillBound-style strategy (round-robin dimension probes with
+/// doubling budgets, then completion) against the adversary; returns the
+/// incurred sub-optimality (total cost / C). Always >= D by Theorem 4.6.
+double PlaySpillBoundStyleStrategy(int dims);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_CORE_LOWER_BOUND_GAME_H_

@@ -1,0 +1,44 @@
+// Bounded cost-model error (Section 7, first deployment aspect): if the
+// cost model's predictions are off by at most a factor (1 + delta), every
+// MSO guarantee carries through inflated by (1 + delta)^2. NoisyOracle
+// simulates exactly that world: each plan's *actual* execution cost is
+// its modelled cost times a deterministic per-plan factor drawn from
+// [1/(1+delta), 1+delta]. Budget enforcement sees actual costs; the
+// algorithms still budget using modelled contour costs.
+
+#ifndef ROBUSTQP_CORE_NOISY_ORACLE_H_
+#define ROBUSTQP_CORE_NOISY_ORACLE_H_
+
+#include "core/oracle.h"
+
+namespace robustqp {
+
+/// SimulatedOracle with delta-bounded multiplicative cost-model error.
+class NoisyOracle : public ExecutionOracle {
+ public:
+  /// `delta` >= 0 bounds the cost-model error factor; `seed` picks the
+  /// deterministic per-plan error assignment.
+  NoisyOracle(const Ess* ess, GridLoc qa, double delta, uint64_t seed);
+
+  ExecOutcome ExecuteFull(const Plan& plan, double budget) override;
+  ExecOutcome ExecuteSpill(const Plan& plan, int dim, double budget,
+                           const std::vector<double>& learned) override;
+
+  /// The error factor applied to `plan` (in [1/(1+delta), 1+delta]).
+  double ErrorFactor(const Plan& plan) const;
+
+  /// What an oracle that knows q_a would actually pay: the cheapest
+  /// *actual* (error-inflated) cost among the POSP plans at q_a.
+  double ActualOptimalCost() const;
+
+ private:
+  const Ess* ess_;
+  GridLoc qa_;
+  EssPoint qa_sel_;
+  double delta_;
+  uint64_t seed_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_CORE_NOISY_ORACLE_H_

@@ -1,0 +1,125 @@
+#include "core/oracle.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace robustqp {
+
+namespace {
+/// Completion tolerance: treat cost <= budget * (1 + eps) as within budget
+/// so that contour-boundary locations are not lost to rounding.
+constexpr double kBudgetEps = 1e-9;
+}  // namespace
+
+SimulatedOracle::SimulatedOracle(const Ess* ess, GridLoc qa)
+    : ess_(ess), qa_(std::move(qa)) {
+  RQP_CHECK(static_cast<int>(qa_.size()) == ess_->dims());
+  qa_sel_ = ess_->SelAt(qa_);
+}
+
+ExecOutcome SimulatedOracle::ExecuteFull(const Plan& plan, double budget) {
+  ExecOutcome out;
+  const double cost = ess_->optimizer().PlanCost(plan, qa_sel_);
+  if (cost <= budget * (1.0 + kBudgetEps)) {
+    out.completed = true;
+    out.cost_charged = cost;
+  } else {
+    out.completed = false;
+    out.cost_charged = budget;
+  }
+  return out;
+}
+
+ExecOutcome SimulatedOracle::ExecuteSpill(const Plan& plan, int dim,
+                                          double budget,
+                                          const std::vector<double>& learned) {
+  ExecOutcome out;
+  const int node_id = plan.EppNodeId(dim);
+  RQP_CHECK(node_id >= 0);
+
+  // The spilled subtree contains, besides dim itself, only already-learnt
+  // epps (Section 3.1.3's ordering rule), so its cost is a monotone
+  // function of dim's selectivity alone. Evaluate it at a point that fixes
+  // learnt dims to their exact values; remaining dims are irrelevant to
+  // the subtree and pinned to q_a for definiteness.
+  EssPoint base = qa_sel_;
+  for (int d = 0; d < ess_->dims(); ++d) {
+    if (learned[static_cast<size_t>(d)] >= 0.0) {
+      base[static_cast<size_t>(d)] = learned[static_cast<size_t>(d)];
+    }
+  }
+  auto spill_cost = [&](double sel) {
+    EssPoint q = base;
+    q[static_cast<size_t>(dim)] = sel;
+    return ess_->optimizer().CostPlan(plan, q).cost[static_cast<size_t>(node_id)];
+  };
+
+  const double true_sel = qa_sel_[static_cast<size_t>(dim)];
+  const double cost_at_truth = spill_cost(true_sel);
+  if (cost_at_truth <= budget * (1.0 + kBudgetEps)) {
+    out.completed = true;
+    out.cost_charged = cost_at_truth;
+    out.learned_sel = true_sel;
+    out.learned_floor = qa_[static_cast<size_t>(dim)];
+    return out;
+  }
+
+  out.completed = false;
+  out.cost_charged = budget;
+  // Largest axis index whose selectivity the budget covered: binary search
+  // (spill cost is monotone in the selectivity).
+  const LogAxis& axis = ess_->axis();
+  int lo = -1;
+  int hi = axis.points() - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (spill_cost(axis.value(mid)) <= budget * (1.0 + kBudgetEps)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  out.learned_floor = lo;
+  out.learned_sel = lo >= 0 ? axis.value(lo) : 0.0;
+  return out;
+}
+
+ExecOutcome EngineOracle::ExecuteFull(const Plan& plan, double budget) {
+  ExecOutcome out;
+  Result<ExecutionResult> res = executor_->Execute(plan, budget);
+  RQP_CHECK(res.ok());
+  out.completed = res->completed;
+  out.cost_charged = res->completed ? res->cost_used : budget;
+  return out;
+}
+
+ExecOutcome EngineOracle::ExecuteSpill(const Plan& plan, int dim,
+                                       double budget,
+                                       const std::vector<double>&) {
+  ExecOutcome out;
+  const int node_id = plan.EppNodeId(dim);
+  RQP_CHECK(node_id >= 0);
+  Result<ExecutionResult> res = executor_->ExecuteSpill(plan, node_id, budget);
+  RQP_CHECK(res.ok());
+  out.completed = res->completed;
+  out.cost_charged = res->completed ? res->cost_used : budget;
+  if (res->completed) {
+    const int filter_idx = plan.query().FilterOfEppDimension(dim);
+    if (filter_idx >= 0) {
+      // Position of the error-prone filter within the spill (scan) node's
+      // predicate list.
+      const auto& fi = plan.node(node_id).filter_indices;
+      const auto it = std::find(fi.begin(), fi.end(), filter_idx);
+      RQP_CHECK(it != fi.end());
+      out.learned_sel = res->ObservedFilterSelectivity(
+          node_id, static_cast<int>(it - fi.begin()));
+    } else {
+      out.learned_sel = res->ObservedJoinSelectivity(node_id);
+    }
+  }
+  out.learned_floor = -1;  // partial counts are not inverted in engine mode
+  return out;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,95 @@
+// The execution oracle: the single interface through which the discovery
+// algorithms (PlanBouquet / SpillBound / AlignedBound) interact with the
+// "database engine". An oracle answers budgeted execution requests —
+// full-plan or spill-mode — with whether the execution completed, what it
+// cost, and (for spills) what was learnt about the spilled predicate's
+// selectivity, i.e. exactly the semantics of Lemma 3.1.
+//
+// Two implementations:
+//  * SimulatedOracle — answers from the cost model at a hypothetical true
+//    location q_a. Used for the exhaustive MSO/ASO sweeps of Sections
+//    6.1-6.2 (which the paper also runs on optimizer cost values).
+//  * EngineOracle — actually runs the Volcano executor with budget
+//    enforcement and tuple-count monitoring on stored data. Used for the
+//    wall-clock experiments of Section 6.3 / Table 3.
+
+#ifndef ROBUSTQP_CORE_ORACLE_H_
+#define ROBUSTQP_CORE_ORACLE_H_
+
+#include <vector>
+
+#include "ess/ess.h"
+#include "exec/executor.h"
+
+namespace robustqp {
+
+/// Outcome of one budgeted execution request.
+struct ExecOutcome {
+  /// True iff the (sub)plan ran to completion within the budget.
+  bool completed = false;
+  /// Cost units actually charged (== budget for aborted executions; the
+  /// true execution cost, <= budget, for completed ones).
+  double cost_charged = 0.0;
+  /// Spill executions only: the exact selectivity of the spilled epp when
+  /// completed; unused otherwise.
+  double learned_sel = 0.0;
+  /// Spill executions only: greatest grid index i such that the execution
+  /// certifies q_a's selectivity exceeds axis[i] coverage — i.e. on abort
+  /// we know q_a.dim > axis.value(learned_floor). -1 when nothing was
+  /// certified (e.g. engine mode, where partial counts are not inverted).
+  int learned_floor = -1;
+};
+
+/// Interface the algorithms program against.
+class ExecutionOracle {
+ public:
+  virtual ~ExecutionOracle() = default;
+
+  /// Executes the full plan with `budget` cost units.
+  virtual ExecOutcome ExecuteFull(const Plan& plan, double budget) = 0;
+
+  /// Executes `plan` in spill mode on ESS dimension `dim` with `budget`.
+  /// `learned` gives the already-learnt dimensions and their exact
+  /// selectivities (entries are <0 when unlearnt) — the oracle needs them
+  /// to cost the spilled subtree, mirroring the fact that all predicates
+  /// upstream of the spill node have exactly-known selectivities.
+  virtual ExecOutcome ExecuteSpill(const Plan& plan, int dim, double budget,
+                                   const std::vector<double>& learned) = 0;
+};
+
+/// Cost-model-backed oracle for a hypothetical true location (a grid point
+/// of the ESS).
+class SimulatedOracle : public ExecutionOracle {
+ public:
+  SimulatedOracle(const Ess* ess, GridLoc qa);
+
+  ExecOutcome ExecuteFull(const Plan& plan, double budget) override;
+  ExecOutcome ExecuteSpill(const Plan& plan, int dim, double budget,
+                           const std::vector<double>& learned) override;
+
+  const GridLoc& qa() const { return qa_; }
+
+ private:
+  const Ess* ess_;
+  GridLoc qa_;
+  EssPoint qa_sel_;
+};
+
+/// Executor-backed oracle: real scans, joins, budget aborts, and observed
+/// selectivities on the stored data. The true location is whatever the
+/// data implies.
+class EngineOracle : public ExecutionOracle {
+ public:
+  EngineOracle(const Executor* executor) : executor_(executor) {}
+
+  ExecOutcome ExecuteFull(const Plan& plan, double budget) override;
+  ExecOutcome ExecuteSpill(const Plan& plan, int dim, double budget,
+                           const std::vector<double>& learned) override;
+
+ private:
+  const Executor* executor_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_CORE_ORACLE_H_

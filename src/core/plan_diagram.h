@@ -1,0 +1,79 @@
+// Plan-diagram machinery from the anorexic-reduction lineage (Harish,
+// Darera & Haritsa [10]) that PlanBouquet's rho_RED rests on: statistics
+// of the POSP plan diagram (which plan is optimal where), and the global
+// anorexic reduction transform — reassign each ESS location to a swallower
+// plan whose cost there stays within (1 + lambda) of optimal, minimizing
+// the number of surviving plans. PlanBouquet can then draw its contour
+// plan sets from the reduced diagram, exactly as the paper's experimental
+// setup does.
+
+#ifndef ROBUSTQP_CORE_PLAN_DIAGRAM_H_
+#define ROBUSTQP_CORE_PLAN_DIAGRAM_H_
+
+#include <map>
+#include <vector>
+
+#include "ess/ess.h"
+
+namespace robustqp {
+
+/// Descriptive statistics of a plan diagram (assignment of one plan per
+/// ESS grid location).
+struct PlanDiagramStats {
+  /// Number of distinct plans in the diagram.
+  int num_plans = 0;
+  /// Fraction of the ESS area covered by the largest plan region.
+  double largest_region_fraction = 0.0;
+  /// Gini coefficient of the per-plan area distribution (0 = perfectly
+  /// even, -> 1 = a single plan dominates). The plan-diagram literature
+  /// uses this to characterize diagram skew.
+  double area_gini = 0.0;
+};
+
+/// A (possibly reduced) plan diagram over an Ess grid.
+class PlanDiagram {
+ public:
+  /// The native POSP diagram of `ess`.
+  explicit PlanDiagram(const Ess* ess);
+
+  /// Plan assigned to linear location `lin`.
+  const Plan* PlanAt(int64_t lin) const {
+    return assignment_[static_cast<size_t>(lin)];
+  }
+
+  /// Cost of the assigned plan at its location (== optimal cost for the
+  /// native diagram; within (1+lambda) of it after reduction).
+  double CostAt(int64_t lin) const {
+    return cost_[static_cast<size_t>(lin)];
+  }
+
+  /// Distinct plans in the diagram.
+  std::vector<const Plan*> DistinctPlans() const;
+
+  PlanDiagramStats Stats() const;
+
+  /// Global anorexic reduction (greedy set cover): reassigns locations to
+  /// swallower plans within the (1 + lambda) cost threshold so that the
+  /// number of surviving plans is (approximately) minimized. Returns the
+  /// number of plans swallowed.
+  int Reduce(double lambda);
+
+  /// Plans of the reduced diagram appearing on contour i's frontier —
+  /// the PL_i a diagram-level-reduced PlanBouquet would execute.
+  std::vector<const Plan*> ContourPlans(int contour) const;
+
+  /// Max over contours of |ContourPlans| — the rho a diagram-reduced
+  /// PlanBouquet would plug into 4 (1 + lambda) rho.
+  int MaxContourDensity() const;
+
+  const Ess& ess() const { return *ess_; }
+
+ private:
+  const Ess* ess_;
+  std::vector<const Plan*> assignment_;
+  std::vector<double> cost_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_CORE_PLAN_DIAGRAM_H_

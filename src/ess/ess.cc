@@ -1,0 +1,235 @@
+#include "ess/ess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <thread>
+
+#include "common/status.h"
+
+namespace robustqp {
+
+int DefaultPointsPerDim(int dims) {
+  switch (dims) {
+    case 1:
+      return 64;
+    case 2:
+      return 40;
+    case 3:
+      return 16;
+    case 4:
+      return 10;
+    case 5:
+      return 8;
+    default:
+      return 6;
+  }
+}
+
+int64_t Ess::ToLinear(const GridLoc& loc) const {
+  int64_t idx = 0;
+  for (int d = 0; d < dims_; ++d) {
+    idx += static_cast<int64_t>(loc[static_cast<size_t>(d)]) *
+           strides_[static_cast<size_t>(d)];
+  }
+  return idx;
+}
+
+GridLoc Ess::FromLinear(int64_t idx) const {
+  GridLoc loc(static_cast<size_t>(dims_));
+  for (int d = 0; d < dims_; ++d) {
+    loc[static_cast<size_t>(d)] =
+        static_cast<int>((idx / strides_[static_cast<size_t>(d)]) % axis_.points());
+  }
+  return loc;
+}
+
+EssPoint Ess::SelAt(const GridLoc& loc) const {
+  EssPoint q(static_cast<size_t>(dims_));
+  for (int d = 0; d < dims_; ++d) {
+    q[static_cast<size_t>(d)] = axis_.value(loc[static_cast<size_t>(d)]);
+  }
+  return q;
+}
+
+int Ess::ContourOf(double cost) const {
+  for (int i = 0; i < num_contours(); ++i) {
+    if (cost <= contour_costs_[static_cast<size_t>(i)] * (1.0 + 1e-12)) return i;
+  }
+  return num_contours() - 1;
+}
+
+std::vector<const Plan*> Ess::ContourPlans(int i) const {
+  std::vector<const Plan*> plans;
+  for (int64_t lin : frontiers_[static_cast<size_t>(i)]) {
+    const Plan* p = plan_[static_cast<size_t>(lin)];
+    if (std::find(plans.begin(), plans.end(), p) == plans.end()) {
+      plans.push_back(p);
+    }
+  }
+  return plans;
+}
+
+std::vector<int64_t> Ess::SliceFrontier(int i, const std::vector<int>& fixed) const {
+  RQP_CHECK(static_cast<int>(fixed.size()) == dims_);
+  const double budget = contour_costs_[static_cast<size_t>(i)] * (1.0 + 1e-12);
+  std::vector<int> free_dims;
+  for (int d = 0; d < dims_; ++d) {
+    if (fixed[static_cast<size_t>(d)] < 0) free_dims.push_back(d);
+  }
+
+  std::vector<int64_t> out;
+  GridLoc loc(static_cast<size_t>(dims_), 0);
+  for (int d = 0; d < dims_; ++d) {
+    if (fixed[static_cast<size_t>(d)] >= 0) {
+      loc[static_cast<size_t>(d)] = fixed[static_cast<size_t>(d)];
+    }
+  }
+  // Odometer over the free dimensions.
+  while (true) {
+    const int64_t lin = ToLinear(loc);
+    if (cost_[static_cast<size_t>(lin)] <= budget) {
+      bool frontier = true;
+      for (int d : free_dims) {
+        if (loc[static_cast<size_t>(d)] + 1 >= axis_.points()) continue;
+        const int64_t up = lin + strides_[static_cast<size_t>(d)];
+        if (cost_[static_cast<size_t>(up)] <= budget) {
+          frontier = false;
+          break;
+        }
+      }
+      if (frontier) out.push_back(lin);
+    }
+    // Advance odometer.
+    int k = static_cast<int>(free_dims.size()) - 1;
+    while (k >= 0) {
+      int& v = loc[static_cast<size_t>(free_dims[static_cast<size_t>(k)])];
+      if (++v < axis_.points()) break;
+      v = 0;
+      --k;
+    }
+    if (k < 0) break;
+  }
+  return out;
+}
+
+int64_t Ess::TotalFrontierCells() const {
+  int64_t total = 0;
+  for (const auto& f : frontiers_) total += static_cast<int64_t>(f.size());
+  return total;
+}
+
+void Ess::InitStrides() {
+  strides_.resize(static_cast<size_t>(dims_));
+  int64_t stride = 1;
+  for (int d = dims_ - 1; d >= 0; --d) {
+    strides_[static_cast<size_t>(d)] = stride;
+    stride *= axis_.points();
+  }
+}
+
+void Ess::ComputeContoursAndFrontiers() {
+  const int64_t total = num_locations();
+  const int points = axis_.points();
+  cmin_ = cost_[0];
+  cmax_ = cost_[static_cast<size_t>(total - 1)];
+  RQP_CHECK(cmax_ >= cmin_);
+
+  // Contour budgets: CC_0 = cmin; geometric with the configured ratio;
+  // final contour capped at cmax (Section 2.5 discretization).
+  const double ratio = config_.contour_cost_ratio;
+  RQP_CHECK(ratio > 1.0);
+  contour_costs_.clear();
+  double cc = cmin_;
+  while (cc < cmax_ * (1.0 - 1e-12)) {
+    contour_costs_.push_back(cc);
+    cc *= ratio;
+  }
+  contour_costs_.push_back(cmax_);
+
+  // Frontier membership per contour.
+  frontiers_.assign(contour_costs_.size(), {});
+  for (int64_t lin = 0; lin < total; ++lin) {
+    const double c = cost_[static_cast<size_t>(lin)];
+    const GridLoc loc = FromLinear(lin);
+    // Cheapest up-neighbour cost (infinity at the grid's top corner).
+    double min_up = std::numeric_limits<double>::infinity();
+    for (int d = 0; d < dims_; ++d) {
+      if (loc[static_cast<size_t>(d)] + 1 >= points) continue;
+      const int64_t up = lin + strides_[static_cast<size_t>(d)];
+      min_up = std::min(min_up, cost_[static_cast<size_t>(up)]);
+    }
+    // Location is on frontier i iff c <= CC_i and every up-neighbour is
+    // outside, i.e. CC_i < min_up (costs are monotone).
+    for (size_t i = 0; i < contour_costs_.size(); ++i) {
+      const double cci = contour_costs_[i];
+      if (c <= cci * (1.0 + 1e-12) && cci * (1.0 + 1e-12) < min_up) {
+        frontiers_[i].push_back(lin);
+      }
+    }
+  }
+}
+
+std::unique_ptr<Ess> Ess::Build(const Catalog& catalog, const Query& query,
+                                const Config& config) {
+  auto ess = std::unique_ptr<Ess>(new Ess());
+  ess->query_ = &query;
+  ess->config_ = config;
+  ess->dims_ = query.num_epps();
+  RQP_CHECK(ess->dims_ >= 1);
+  const int points = config.points_per_dim > 0 ? config.points_per_dim
+                                               : DefaultPointsPerDim(ess->dims_);
+  ess->axis_ = LogAxis(config.min_sel, points);
+  ess->optimizer_ = std::make_unique<Optimizer>(&catalog, &query, config.cost_model);
+
+  ess->InitStrides();
+  const int64_t total = ess->strides_[0] * points;
+
+  ess->cost_.assign(static_cast<size_t>(total), 0.0);
+  ess->plan_.assign(static_cast<size_t>(total), nullptr);
+
+  // Sweep the grid: optimize at every location. Optimizer calls are pure,
+  // so the sweep parallelizes over location ranges; plans are interned
+  // sequentially afterwards to keep the pool single-threaded.
+  int threads = config.num_threads > 0
+                    ? config.num_threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::max(1, std::min<int>(threads, 16));
+
+  std::vector<std::unique_ptr<Plan>> raw_plans(static_cast<size_t>(total));
+  auto worker = [&](int64_t begin, int64_t end) {
+    for (int64_t lin = begin; lin < end; ++lin) {
+      const GridLoc loc = ess->FromLinear(lin);
+      const EssPoint q = ess->SelAt(loc);
+      raw_plans[static_cast<size_t>(lin)] = ess->optimizer_->Optimize(q);
+    }
+  };
+  if (threads == 1 || total < 256) {
+    worker(0, total);
+  } else {
+    std::vector<std::future<void>> futures;
+    const int64_t chunk = (total + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const int64_t begin = static_cast<int64_t>(t) * chunk;
+      const int64_t end = std::min<int64_t>(total, begin + chunk);
+      if (begin >= end) break;
+      futures.push_back(std::async(std::launch::async, worker, begin, end));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  for (int64_t lin = 0; lin < total; ++lin) {
+    const GridLoc loc = ess->FromLinear(lin);
+    const EssPoint q = ess->SelAt(loc);
+    std::unique_ptr<Plan>& raw = raw_plans[static_cast<size_t>(lin)];
+    const double cost = ess->optimizer_->PlanCost(*raw, q);
+    ess->plan_[static_cast<size_t>(lin)] = ess->pool_.Intern(std::move(raw));
+    ess->cost_[static_cast<size_t>(lin)] = cost;
+  }
+
+  ess->ComputeContoursAndFrontiers();
+  return ess;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,88 @@
+// Volcano-style (demand-driven iterator) execution engine with the two
+// engine extensions the paper adds to PostgreSQL (Section 6.1):
+//
+//  * cost-budgeted execution — the engine charges cost units per tuple
+//    using the same constants as the optimizer's cost model and aborts the
+//    moment the assigned budget is exhausted (the "time-limited execution"
+//    primitive);
+//  * spill-mode execution — only the subtree rooted at a chosen node is
+//    executed and its output discarded, devoting the whole budget to
+//    learning that node's selectivity (Section 3.1.2);
+//
+// plus run-time selectivity monitoring: every join operator counts its
+// input and output tuples, so a completed (sub)tree yields the exact
+// observed selectivity of its predicates.
+
+#ifndef ROBUSTQP_EXEC_EXECUTOR_H_
+#define ROBUSTQP_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+#include "plan/plan.h"
+
+namespace robustqp {
+
+/// Per-plan-node execution counters (indexed by PlanNode::id).
+struct NodeStats {
+  int64_t left_in = 0;   // tuples consumed from the left child (or scanned)
+  int64_t right_in = 0;  // tuples consumed from the right child
+  int64_t out = 0;       // tuples produced
+  /// Scan nodes only: per filter (in filter_indices order), tuples that
+  /// reached the filter and tuples that passed it — the run-time
+  /// monitoring that lets a spill learn an error-prone *filter*'s
+  /// selectivity.
+  std::vector<int64_t> filter_in;
+  std::vector<int64_t> filter_pass;
+};
+
+/// Outcome of one (possibly budget-limited, possibly spilled) execution.
+struct ExecutionResult {
+  /// True iff the (sub)tree ran to completion within budget.
+  bool completed = false;
+  /// Cost units charged (<= budget when budgeted).
+  double cost_used = 0.0;
+  /// Rows produced by the executed root (discarded in spill mode).
+  int64_t output_rows = 0;
+  /// Counters per plan-node id (zeros for nodes outside a spilled subtree).
+  std::vector<NodeStats> node_stats;
+
+  /// Observed selectivity of the join at `node_id`:
+  /// out / (left_in * right_in). Only exact once the subtree completed.
+  double ObservedJoinSelectivity(int node_id) const;
+
+  /// Observed selectivity of the `k`-th filter (position within the scan
+  /// node's filter_indices) at scan `node_id`: pass / reached.
+  double ObservedFilterSelectivity(int node_id, int k) const;
+};
+
+/// Execution engine bound to a catalog and cost-model flavour.
+class Executor {
+ public:
+  Executor(const Catalog* catalog, CostModel cost_model)
+      : catalog_(catalog), cost_model_(cost_model) {}
+
+  /// Runs the full plan. `budget` < 0 means unlimited. Returns a result
+  /// with completed=false when the budget ran out (not an error).
+  Result<ExecutionResult> Execute(const Plan& plan, double budget) const;
+
+  /// Runs only the subtree rooted at `spill_node_id`, discarding output.
+  Result<ExecutionResult> ExecuteSpill(const Plan& plan, int spill_node_id,
+                                       double budget) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  Result<ExecutionResult> Run(const Plan& plan, const PlanNode& root,
+                              double budget) const;
+
+  const Catalog* catalog_;
+  CostModel cost_model_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_EXEC_EXECUTOR_H_

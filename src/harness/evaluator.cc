@@ -1,0 +1,129 @@
+#include "harness/evaluator.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "core/oracle.h"
+
+namespace robustqp {
+
+double SuboptimalityStats::FractionWithin(double bound) const {
+  if (subopt.empty()) return 0.0;
+  int64_t n = 0;
+  for (double s : subopt) {
+    if (s <= bound) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(subopt.size());
+}
+
+double SuboptimalityStats::Percentile(double p) const {
+  RQP_CHECK(p > 0.0 && p <= 100.0);
+  if (subopt.empty()) return 0.0;
+  std::vector<double> sorted = subopt;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t idx = static_cast<size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+SuboptimalityStats EvaluateOverEss(
+    const Ess& ess, const std::function<DiscoveryResult(int64_t)>& runner) {
+  SuboptimalityStats stats;
+  const int64_t total = ess.num_locations();
+  stats.subopt.resize(static_cast<size_t>(total));
+  double sum = 0.0;
+  for (int64_t lin = 0; lin < total; ++lin) {
+    const DiscoveryResult result = runner(lin);
+    RQP_CHECK(result.completed);
+    const double subopt = result.total_cost / ess.OptimalCost(lin);
+    stats.subopt[static_cast<size_t>(lin)] = subopt;
+    sum += subopt;
+    if (subopt > stats.mso) {
+      stats.mso = subopt;
+      stats.worst_location = lin;
+    }
+  }
+  stats.aso = sum / static_cast<double>(total);
+  return stats;
+}
+
+SuboptimalityStats EvaluateSpillBound(SpillBound* sb) {
+  const Ess& ess = sb->ess();
+  return EvaluateOverEss(ess, [&](int64_t lin) {
+    SimulatedOracle oracle(&ess, ess.FromLinear(lin));
+    return sb->Run(&oracle);
+  });
+}
+
+SuboptimalityStats EvaluatePlanBouquet(const PlanBouquet& pb, const Ess& ess) {
+  return EvaluateOverEss(ess, [&](int64_t lin) {
+    SimulatedOracle oracle(&ess, ess.FromLinear(lin));
+    return pb.Run(&oracle);
+  });
+}
+
+SuboptimalityStats EvaluateAlignedBound(AlignedBound* ab, const Ess& ess) {
+  return EvaluateOverEss(ess, [&](int64_t lin) {
+    SimulatedOracle oracle(&ess, ess.FromLinear(lin));
+    return ab->Run(&oracle);
+  });
+}
+
+SuboptimalityStats EvaluateNativeWorstCase(const Ess& ess) {
+  SuboptimalityStats stats;
+  const int64_t total = ess.num_locations();
+  stats.subopt.resize(static_cast<size_t>(total));
+  const std::vector<const Plan*>& posp = ess.pool().plans();
+  double sum = 0.0;
+  for (int64_t lin = 0; lin < total; ++lin) {
+    const EssPoint q = ess.SelAt(ess.FromLinear(lin));
+    const double opt = ess.OptimalCost(lin);
+    double worst = 1.0;
+    for (const Plan* p : posp) {
+      worst = std::max(worst, ess.optimizer().PlanCost(*p, q) / opt);
+    }
+    stats.subopt[static_cast<size_t>(lin)] = worst;
+    sum += worst;
+    if (worst > stats.mso) {
+      stats.mso = worst;
+      stats.worst_location = lin;
+    }
+  }
+  stats.aso = sum / static_cast<double>(total);
+  return stats;
+}
+
+SuboptimalityStats EvaluateNativeAtEstimate(const Ess& ess) {
+  SuboptimalityStats stats;
+  const EssPoint qe = ess.optimizer().estimator().NativeEstimatePoint();
+  const std::unique_ptr<Plan> plan = ess.optimizer().Optimize(qe);
+  const int64_t total = ess.num_locations();
+  stats.subopt.resize(static_cast<size_t>(total));
+  double sum = 0.0;
+  for (int64_t lin = 0; lin < total; ++lin) {
+    const EssPoint q = ess.SelAt(ess.FromLinear(lin));
+    const double subopt = ess.optimizer().PlanCost(*plan, q) / ess.OptimalCost(lin);
+    stats.subopt[static_cast<size_t>(lin)] = subopt;
+    sum += subopt;
+    if (subopt > stats.mso) {
+      stats.mso = subopt;
+      stats.worst_location = lin;
+    }
+  }
+  stats.aso = sum / static_cast<double>(total);
+  return stats;
+}
+
+std::vector<int64_t> SuboptHistogram(const SuboptimalityStats& stats,
+                                     double width, int max_buckets) {
+  std::vector<int64_t> buckets(static_cast<size_t>(max_buckets), 0);
+  for (double s : stats.subopt) {
+    int b = static_cast<int>((s - 1e-12) / width);
+    b = std::clamp(b, 0, max_buckets - 1);
+    ++buckets[static_cast<size_t>(b)];
+  }
+  return buckets;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,65 @@
+// Exhaustive ESS evaluation harness (the methodology of Sections 6.2 and
+// 6.4): every grid location is taken as the true location q_a; the
+// discovery algorithm runs against a simulated oracle there, and its
+// sub-optimality Eq. (3) is recorded. MSO is the maximum, ASO the mean
+// (Eq. (8)); the per-location vector feeds the Fig. 12 histograms. Also
+// provides the traditional-optimizer baselines of Eq. (1).
+
+#ifndef ROBUSTQP_HARNESS_EVALUATOR_H_
+#define ROBUSTQP_HARNESS_EVALUATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/alignedbound.h"
+#include "core/planbouquet.h"
+#include "core/spillbound.h"
+#include "ess/ess.h"
+
+namespace robustqp {
+
+/// Sub-optimality profile of one algorithm over the whole ESS.
+struct SuboptimalityStats {
+  double mso = 0.0;
+  double aso = 0.0;
+  int64_t worst_location = -1;
+  /// SubOpt per linear grid location.
+  std::vector<double> subopt;
+
+  /// Fraction of locations with sub-optimality <= bound.
+  double FractionWithin(double bound) const;
+
+  /// Sub-optimality at percentile p (0 < p <= 100), e.g. Percentile(95).
+  double Percentile(double p) const;
+};
+
+/// Runs `runner` for every q_a in the grid and aggregates.
+SuboptimalityStats EvaluateOverEss(
+    const Ess& ess, const std::function<DiscoveryResult(int64_t)>& runner);
+
+/// Exhaustive evaluation of the three discovery algorithms. The algorithm
+/// objects are mutated (their memo caches warm up across locations).
+SuboptimalityStats EvaluateSpillBound(SpillBound* sb);
+SuboptimalityStats EvaluatePlanBouquet(const PlanBouquet& pb, const Ess& ess);
+SuboptimalityStats EvaluateAlignedBound(AlignedBound* ab, const Ess& ess);
+
+/// Traditional optimizer, worst case over estimate locations: for each
+/// q_a, the worst Cost(P_qe, q_a)/Cost(P_qa, q_a) over all POSP plans
+/// (every q_e in the ESS yields some POSP plan, so this is the exact
+/// worst case of Eq. (2)).
+SuboptimalityStats EvaluateNativeWorstCase(const Ess& ess);
+
+/// Traditional optimizer at its actual statistics-based estimate: the
+/// plan is chosen once at the estimator's native q_e and executed at
+/// every q_a.
+SuboptimalityStats EvaluateNativeAtEstimate(const Ess& ess);
+
+/// Histogram of sub-optimalities in buckets of `width` (Fig. 12): entry k
+/// counts locations with subopt in (k*width, (k+1)*width], entry 0
+/// includes [1, width].
+std::vector<int64_t> SuboptHistogram(const SuboptimalityStats& stats,
+                                     double width, int max_buckets = 20);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_HARNESS_EVALUATOR_H_

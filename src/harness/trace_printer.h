@@ -1,0 +1,27 @@
+// Human-readable rendering of discovery traces: the step listing behind
+// Fig. 7's Manhattan profile and the per-contour drill-down of Table 3.
+
+#ifndef ROBUSTQP_HARNESS_TRACE_PRINTER_H_
+#define ROBUSTQP_HARNESS_TRACE_PRINTER_H_
+
+#include <ostream>
+
+#include "core/discovery.h"
+#include "ess/ess.h"
+
+namespace robustqp {
+
+/// Prints one line per budgeted execution: contour, plan (spills in
+/// lower-case, e.g. "p7[e2]"), budget, charge, and the running location.
+void PrintExecutionTrace(const Ess& ess, const DiscoveryResult& result,
+                         std::ostream& os);
+
+/// Prints a Table 3-style drill-down: one row per execution with the
+/// per-epp selectivity knowledge (in %) and cumulative cost; when
+/// `seconds_per_unit` > 0 a cumulative wall-clock column is included.
+void PrintContourDrilldown(const Ess& ess, const DiscoveryResult& result,
+                           std::ostream& os, double seconds_per_unit = 0.0);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_HARNESS_TRACE_PRINTER_H_

@@ -1,0 +1,109 @@
+#include "harness/true_selectivity.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace robustqp {
+
+namespace {
+
+/// Values of `column` for rows of `table` passing the query's filters on
+/// that table.
+std::vector<double> FilteredColumn(const Catalog& catalog, const Query& query,
+                                   const std::string& table,
+                                   const std::string& column) {
+  const CatalogEntry* entry = catalog.FindTable(table);
+  RQP_CHECK(entry != nullptr);
+  const Table& t = *entry->table;
+  const int col = t.schema().FindColumn(column);
+  RQP_CHECK(col >= 0);
+
+  struct Filter {
+    int col;
+    CompareOp op;
+    double value;
+  };
+  std::vector<Filter> filters;
+  for (const auto& f : query.filters()) {
+    if (f.table != table) continue;
+    filters.push_back({t.schema().FindColumn(f.column), f.op, f.value});
+  }
+
+  std::vector<double> out;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    bool pass = true;
+    for (const auto& f : filters) {
+      const double v = t.column(f.col).GetNumeric(r);
+      switch (f.op) {
+        case CompareOp::kLt: pass = v < f.value; break;
+        case CompareOp::kLe: pass = v <= f.value; break;
+        case CompareOp::kGt: pass = v > f.value; break;
+        case CompareOp::kGe: pass = v >= f.value; break;
+        case CompareOp::kEq: pass = v == f.value; break;
+      }
+      if (!pass) break;
+    }
+    if (pass) out.push_back(t.column(col).GetNumeric(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+EssPoint ComputeTrueSelectivities(const Catalog& catalog, const Query& query) {
+  EssPoint truth(static_cast<size_t>(query.num_epps()));
+  for (int d = 0; d < query.num_epps(); ++d) {
+    const int filter_idx = query.FilterOfEppDimension(d);
+    if (filter_idx >= 0) {
+      // Marginal selectivity of the error-prone filter over its table.
+      const FilterPredicate& fp =
+          query.filters()[static_cast<size_t>(filter_idx)];
+      const CatalogEntry* entry = catalog.FindTable(fp.table);
+      RQP_CHECK(entry != nullptr);
+      const Table& t = *entry->table;
+      const int col = t.schema().FindColumn(fp.column);
+      RQP_CHECK(col >= 0);
+      int64_t pass = 0;
+      for (int64_t r = 0; r < t.num_rows(); ++r) {
+        const double v = t.column(col).GetNumeric(r);
+        bool p = true;
+        switch (fp.op) {
+          case CompareOp::kLt: p = v < fp.value; break;
+          case CompareOp::kLe: p = v <= fp.value; break;
+          case CompareOp::kGt: p = v > fp.value; break;
+          case CompareOp::kGe: p = v >= fp.value; break;
+          case CompareOp::kEq: p = v == fp.value; break;
+        }
+        if (p) ++pass;
+      }
+      truth[static_cast<size_t>(d)] =
+          t.num_rows() > 0
+              ? static_cast<double>(pass) / static_cast<double>(t.num_rows())
+              : 0.0;
+      continue;
+    }
+    const JoinPredicate& jp =
+        query.joins()[static_cast<size_t>(query.JoinOfEppDimension(d))];
+    const std::vector<double> left =
+        FilteredColumn(catalog, query, jp.left_table, jp.left_column);
+    const std::vector<double> right =
+        FilteredColumn(catalog, query, jp.right_table, jp.right_column);
+    std::unordered_map<double, int64_t> counts;
+    for (double v : right) ++counts[v];
+    int64_t matches = 0;
+    for (double v : left) {
+      auto it = counts.find(v);
+      if (it != counts.end()) matches += it->second;
+    }
+    const double denom =
+        static_cast<double>(left.size()) * static_cast<double>(right.size());
+    truth[static_cast<size_t>(d)] =
+        denom > 0.0 ? static_cast<double>(matches) / denom : 0.0;
+  }
+  return truth;
+}
+
+}  // namespace robustqp

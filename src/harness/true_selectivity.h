@@ -1,0 +1,20 @@
+// Ground-truth selectivities of a query's epp join predicates, computed
+// directly from the stored data: sel(j) = |L' x R' matches| / (|L'| |R'|)
+// over the filtered base tables — the quantity the paper's run-time
+// monitoring observes and that the ESS axes parameterize.
+
+#ifndef ROBUSTQP_HARNESS_TRUE_SELECTIVITY_H_
+#define ROBUSTQP_HARNESS_TRUE_SELECTIVITY_H_
+
+#include "catalog/catalog.h"
+#include "optimizer/estimator.h"
+#include "query/query.h"
+
+namespace robustqp {
+
+/// True selectivity of each epp dimension, measured on the data.
+EssPoint ComputeTrueSelectivities(const Catalog& catalog, const Query& query);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_HARNESS_TRUE_SELECTIVITY_H_

@@ -1,0 +1,37 @@
+// One-stop experiment setup: catalog + query + built ESS for a suite
+// query id, cached process-wide so tests, benches and examples share the
+// (optimizer-call-heavy) ESS construction.
+
+#ifndef ROBUSTQP_HARNESS_WORKBENCH_H_
+#define ROBUSTQP_HARNESS_WORKBENCH_H_
+
+#include <memory>
+#include <string>
+
+#include "ess/ess.h"
+#include "query/query.h"
+
+namespace robustqp {
+
+/// Process-wide registry of built experiment contexts.
+class Workbench {
+ public:
+  struct Entry {
+    std::shared_ptr<Catalog> catalog;
+    std::unique_ptr<Query> query;
+    std::unique_ptr<Ess> ess;
+  };
+
+  /// Returns the cached context for `id` under `config`, building it on
+  /// first use. The returned reference stays valid for process lifetime.
+  static const Entry& Get(const std::string& id,
+                          const Ess::Config& config = Ess::Config{});
+
+  /// The shared synthetic catalogs (built once).
+  static std::shared_ptr<Catalog> TpcdsCatalog();
+  static std::shared_ptr<Catalog> JobCatalog();
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_HARNESS_WORKBENCH_H_

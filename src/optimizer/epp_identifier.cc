@@ -1,0 +1,71 @@
+#include "optimizer/epp_identifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace robustqp {
+
+double ColumnSkewScore(const ColumnStats& stats) {
+  const EquiDepthHistogram& h = stats.histogram;
+  if (h.bounds.size() < 2) return 1.0;
+  double min_width = std::numeric_limits<double>::infinity();
+  double max_width = 0.0;
+  for (size_t b = 1; b < h.bounds.size(); ++b) {
+    const double width = h.bounds[b] - h.bounds[b - 1];
+    if (width <= 0.0) continue;  // duplicate-heavy bucket edges
+    min_width = std::min(min_width, width);
+    max_width = std::max(max_width, width);
+  }
+  if (max_width == 0.0 || !std::isfinite(min_width)) return 1.0;
+  // Equi-depth buckets hold equal row counts, so a wide bucket means
+  // sparse values and a narrow one means hot values: the width ratio is a
+  // direct frequency-skew signal.
+  return max_width / std::max(min_width, 1.0);
+}
+
+std::vector<int> IdentifyErrorProneJoins(const Catalog& catalog,
+                                         const Query& query,
+                                         const EppIdentifierOptions& options) {
+  std::vector<int> flagged;
+  for (int j = 0; j < query.num_joins(); ++j) {
+    const JoinPredicate& jp = query.joins()[static_cast<size_t>(j)];
+    if (options.conservative) {
+      flagged.push_back(j);
+      continue;
+    }
+    bool is_epp = false;
+    for (const auto& [table, column] :
+         {std::pair<const std::string&, const std::string&>{jp.left_table,
+                                                            jp.left_column},
+          {jp.right_table, jp.right_column}}) {
+      const ColumnStats* stats = catalog.FindColumnStats(table, column);
+      RQP_CHECK(stats != nullptr);
+      if (ColumnSkewScore(*stats) > options.skew_threshold) {
+        is_epp = true;
+        break;
+      }
+      if (options.flag_filtered_inputs) {
+        for (const auto& f : query.filters()) {
+          if (f.table == table) {
+            is_epp = true;
+            break;
+          }
+        }
+      }
+      if (is_epp) break;
+    }
+    if (is_epp) flagged.push_back(j);
+  }
+  return flagged;
+}
+
+Query WithIdentifiedEpps(const Catalog& catalog, const Query& query,
+                         const EppIdentifierOptions& options) {
+  return Query(query.name(), query.tables(), query.joins(), query.filters(),
+               IdentifyErrorProneJoins(catalog, query, options));
+}
+
+}  // namespace robustqp

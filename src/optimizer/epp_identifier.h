@@ -1,0 +1,47 @@
+// Identification of error-prone predicates (Section 7, second deployment
+// aspect). The paper suggests leveraging domain knowledge / query logs or
+// being conservative; this helper implements the statistics-driven middle
+// ground: a join predicate is flagged error-prone when the available
+// statistics give reasons to distrust the 1/max(NDV) estimate —
+// value-frequency skew on a join column (visible as wildly varying
+// equi-depth bucket widths) or filters on either input (AVI-style error
+// propagation into the join).
+
+#ifndef ROBUSTQP_OPTIMIZER_EPP_IDENTIFIER_H_
+#define ROBUSTQP_OPTIMIZER_EPP_IDENTIFIER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace robustqp {
+
+struct EppIdentifierOptions {
+  /// Flag a join when a join column's equi-depth bucket-width ratio
+  /// (max/min) exceeds this — heavy skew makes NDV estimates unreliable.
+  double skew_threshold = 8.0;
+  /// Flag a join when either input table carries filter predicates
+  /// (selectivity interactions propagate into the join estimate).
+  bool flag_filtered_inputs = true;
+  /// Conservative mode: flag every join predicate (the paper's "simply be
+  /// conservative" fallback). Overrides the other options.
+  bool conservative = false;
+};
+
+/// Skew score of a column: max/min equi-depth bucket width (>= 1);
+/// returns 1 for degenerate histograms.
+double ColumnSkewScore(const ColumnStats& stats);
+
+/// Join-predicate indices of `query` deemed error-prone under `options`.
+std::vector<int> IdentifyErrorProneJoins(const Catalog& catalog,
+                                         const Query& query,
+                                         const EppIdentifierOptions& options);
+
+/// Rebuilds `query` with its epp set replaced by the identified one.
+Query WithIdentifiedEpps(const Catalog& catalog, const Query& query,
+                         const EppIdentifierOptions& options);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_OPTIMIZER_EPP_IDENTIFIER_H_

@@ -1,0 +1,164 @@
+#include "query/query.h"
+
+#include <set>
+
+#include "catalog/catalog.h"
+#include "storage/table.h"
+
+namespace robustqp {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+Query::Query(std::string name, std::vector<std::string> tables,
+             std::vector<JoinPredicate> joins,
+             std::vector<FilterPredicate> filters, std::vector<int> epp_joins)
+    : name_(std::move(name)),
+      tables_(std::move(tables)),
+      joins_(std::move(joins)),
+      filters_(std::move(filters)) {
+  epps_.reserve(epp_joins.size());
+  for (int j : epp_joins) {
+    epps_.push_back(EppRef{EppRef::Kind::kJoin, j});
+  }
+}
+
+Query::Query(std::string name, std::vector<std::string> tables,
+             std::vector<JoinPredicate> joins,
+             std::vector<FilterPredicate> filters, std::vector<EppRef> epps)
+    : name_(std::move(name)),
+      tables_(std::move(tables)),
+      joins_(std::move(joins)),
+      filters_(std::move(filters)),
+      epps_(std::move(epps)) {}
+
+int Query::TableIndex(const std::string& table) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i] == table) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Query::EppDimensionOfJoin(int join_idx) const {
+  for (size_t d = 0; d < epps_.size(); ++d) {
+    if (epps_[d].kind == EppRef::Kind::kJoin && epps_[d].index == join_idx) {
+      return static_cast<int>(d);
+    }
+  }
+  return -1;
+}
+
+int Query::EppDimensionOfFilter(int filter_idx) const {
+  for (size_t d = 0; d < epps_.size(); ++d) {
+    if (epps_[d].kind == EppRef::Kind::kFilter &&
+        epps_[d].index == filter_idx) {
+      return static_cast<int>(d);
+    }
+  }
+  return -1;
+}
+
+std::string Query::EppLabel(int dim) const {
+  const EppRef& e = epps_[static_cast<size_t>(dim)];
+  if (e.kind == EppRef::Kind::kFilter) {
+    const FilterPredicate& fp = filters_[static_cast<size_t>(e.index)];
+    return "s(" + fp.table + "." + fp.column + ")";
+  }
+  const JoinPredicate& jp = joins_[static_cast<size_t>(e.index)];
+  if (!jp.label.empty()) return jp.label;
+  return jp.left_table + "~" + jp.right_table;
+}
+
+uint64_t Query::JoinTableMask(int join_idx) const {
+  const JoinPredicate& jp = joins_[static_cast<size_t>(join_idx)];
+  const int l = TableIndex(jp.left_table);
+  const int r = TableIndex(jp.right_table);
+  RQP_CHECK(l >= 0 && r >= 0);
+  return (uint64_t{1} << l) | (uint64_t{1} << r);
+}
+
+Status Query::Validate(const Catalog& catalog) const {
+  if (tables_.empty()) return Status::InvalidArgument("query has no tables");
+  if (tables_.size() > 63) return Status::InvalidArgument("too many tables");
+
+  std::set<std::string> seen;
+  for (const auto& t : tables_) {
+    if (!seen.insert(t).second) {
+      return Status::InvalidArgument("duplicate table '" + t + "'");
+    }
+    const CatalogEntry* entry = catalog.FindTable(t);
+    if (entry == nullptr) {
+      return Status::NotFound("table '" + t + "' not in catalog");
+    }
+  }
+
+  auto check_column = [&](const std::string& table,
+                          const std::string& column) -> Status {
+    if (TableIndex(table) < 0) {
+      return Status::InvalidArgument("table '" + table + "' not in query");
+    }
+    const CatalogEntry* entry = catalog.FindTable(table);
+    if (entry->table->schema().FindColumn(column) < 0) {
+      return Status::NotFound("column '" + table + "." + column + "'");
+    }
+    return Status::OK();
+  };
+
+  for (const auto& jp : joins_) {
+    RQP_RETURN_NOT_OK(check_column(jp.left_table, jp.left_column));
+    RQP_RETURN_NOT_OK(check_column(jp.right_table, jp.right_column));
+  }
+  for (const auto& fp : filters_) {
+    RQP_RETURN_NOT_OK(check_column(fp.table, fp.column));
+  }
+
+  // Join-graph connectivity over table ids.
+  if (tables_.size() > 1) {
+    std::vector<int> component(tables_.size());
+    for (size_t i = 0; i < component.size(); ++i) component[i] = static_cast<int>(i);
+    auto find = [&](int x) {
+      while (component[static_cast<size_t>(x)] != x) x = component[static_cast<size_t>(x)];
+      return x;
+    };
+    for (const auto& jp : joins_) {
+      const int a = find(TableIndex(jp.left_table));
+      const int b = find(TableIndex(jp.right_table));
+      if (a != b) component[static_cast<size_t>(a)] = b;
+    }
+    const int root = find(0);
+    for (size_t i = 1; i < tables_.size(); ++i) {
+      if (find(static_cast<int>(i)) != root) {
+        return Status::InvalidArgument("join graph is disconnected");
+      }
+    }
+  }
+
+  std::set<std::pair<int, int>> epp_set;
+  for (const EppRef& e : epps_) {
+    const int limit = e.kind == EppRef::Kind::kJoin
+                          ? num_joins()
+                          : static_cast<int>(filters_.size());
+    if (e.index < 0 || e.index >= limit) {
+      return Status::OutOfRange("epp predicate index out of range");
+    }
+    if (!epp_set.insert({static_cast<int>(e.kind), e.index}).second) {
+      return Status::InvalidArgument("duplicate epp predicate");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace robustqp

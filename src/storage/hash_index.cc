@@ -1,0 +1,23 @@
+#include "storage/hash_index.h"
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace robustqp {
+
+HashIndex::HashIndex(const Table& table, int column_idx)
+    : column_idx_(column_idx) {
+  const ColumnData& col = table.column(column_idx);
+  RQP_CHECK(col.type() == DataType::kInt64);
+  map_.reserve(static_cast<size_t>(table.num_rows()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    map_[col.GetInt(r)].push_back(r);
+  }
+}
+
+const std::vector<int64_t>* HashIndex::Lookup(int64_t key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+}  // namespace robustqp

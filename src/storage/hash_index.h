@@ -1,0 +1,39 @@
+// In-memory hash index over one integer column: the access path behind
+// the engine's index nested-loop joins. Dimension-table keys get indexed
+// by the workload generators, giving the optimizer the plan class that
+// dominates at tiny selectivities and collapses at large ones — a major
+// source of POSP diversity across the ESS (the paper's PostgreSQL
+// substrate relies on index paths the same way).
+
+#ifndef ROBUSTQP_STORAGE_HASH_INDEX_H_
+#define ROBUSTQP_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace robustqp {
+
+class Table;
+
+/// Equality index: value -> row ids. Immutable after construction.
+class HashIndex {
+ public:
+  /// Builds over `column_idx` of `table` (must be an INT64 column).
+  HashIndex(const Table& table, int column_idx);
+
+  int column_idx() const { return column_idx_; }
+
+  /// Row ids whose column value equals `key`; nullptr when none.
+  const std::vector<int64_t>* Lookup(int64_t key) const;
+
+  int64_t distinct_keys() const { return static_cast<int64_t>(map_.size()); }
+
+ private:
+  int column_idx_;
+  std::unordered_map<int64_t, std::vector<int64_t>> map_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_STORAGE_HASH_INDEX_H_

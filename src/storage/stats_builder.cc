@@ -1,0 +1,54 @@
+#include "storage/stats_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robustqp {
+namespace {
+
+ColumnStats ComputeColumnStats(const ColumnData& col) {
+  ColumnStats stats;
+  const int64_t n = col.size();
+  stats.row_count = n;
+  if (n == 0) return stats;
+
+  std::vector<double> sorted;
+  sorted.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) sorted.push_back(col.GetNumeric(i));
+  std::sort(sorted.begin(), sorted.end());
+
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+
+  int64_t distinct = 1;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] != sorted[i - 1]) ++distinct;
+  }
+  stats.distinct_count = distinct;
+
+  const int buckets = static_cast<int>(
+      std::min<int64_t>(kHistogramBuckets, std::max<int64_t>(1, distinct)));
+  EquiDepthHistogram& h = stats.histogram;
+  h.total_rows = n;
+  h.rows_per_bucket = (n + buckets - 1) / buckets;
+  for (int b = 1; b <= buckets; ++b) {
+    int64_t edge_row = std::min<int64_t>(n - 1, static_cast<int64_t>(b) * n / buckets - 1);
+    if (edge_row < 0) edge_row = 0;
+    h.bounds.push_back(sorted[static_cast<size_t>(edge_row)]);
+  }
+  h.bounds.back() = stats.max;
+  return stats;
+}
+
+}  // namespace
+
+std::vector<ColumnStats> ComputeTableStats(const Table& table) {
+  std::vector<ColumnStats> all;
+  all.reserve(static_cast<size_t>(table.schema().num_columns()));
+  for (int c = 0; c < table.schema().num_columns(); ++c) {
+    all.push_back(ComputeColumnStats(table.column(c)));
+  }
+  return all;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,22 @@
+// Computes per-column statistics (min/max/NDV/equi-depth histogram) over a
+// stored table, mirroring an ANALYZE pass.
+
+#ifndef ROBUSTQP_STORAGE_STATS_BUILDER_H_
+#define ROBUSTQP_STORAGE_STATS_BUILDER_H_
+
+#include <vector>
+
+#include "catalog/column_stats.h"
+#include "storage/table.h"
+
+namespace robustqp {
+
+/// Number of buckets built per histogram.
+inline constexpr int kHistogramBuckets = 32;
+
+/// Computes statistics for every column of `table`.
+std::vector<ColumnStats> ComputeTableStats(const Table& table);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_STORAGE_STATS_BUILDER_H_

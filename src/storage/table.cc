@@ -1,0 +1,28 @@
+#include "storage/table.h"
+
+namespace robustqp {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_.num_columns()));
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    columns_.push_back(std::make_unique<ColumnData>(schema_.column(i).type));
+  }
+}
+
+Status Table::Finalize() {
+  if (columns_.empty()) {
+    num_rows_ = 0;
+    return Status::OK();
+  }
+  const int64_t n = columns_[0]->size();
+  for (const auto& col : columns_) {
+    if (col->size() != n) {
+      return Status::Internal("table '" + schema_.name() +
+                              "' has ragged columns");
+    }
+  }
+  num_rows_ = n;
+  return Status::OK();
+}
+
+}  // namespace robustqp

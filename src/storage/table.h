@@ -1,0 +1,90 @@
+// In-memory columnar storage. A Table owns one value vector per column;
+// the Volcano executor scans these vectors directly. This plays the role
+// of the heap/buffer-pool layer of the paper's PostgreSQL substrate — the
+// discovery algorithms only need a scannable relation with countable
+// cardinalities, which this provides at laptop scale.
+
+#ifndef ROBUSTQP_STORAGE_TABLE_H_
+#define ROBUSTQP_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace robustqp {
+
+/// A single column of values. Exactly one of the two vectors is populated,
+/// per the declared type.
+class ColumnData {
+ public:
+  explicit ColumnData(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  int64_t size() const {
+    return type_ == DataType::kInt64 ? static_cast<int64_t>(ints_.size())
+                                     : static_cast<int64_t>(doubles_.size());
+  }
+
+  void AppendInt(int64_t v) { ints_.push_back(v); }
+  void AppendDouble(double v) { doubles_.push_back(v); }
+
+  int64_t GetInt(int64_t row) const { return ints_[static_cast<size_t>(row)]; }
+  double GetDouble(int64_t row) const {
+    return doubles_[static_cast<size_t>(row)];
+  }
+
+  /// Value as double regardless of storage type (used by stats and
+  /// predicate evaluation).
+  double GetNumeric(int64_t row) const {
+    return type_ == DataType::kInt64
+               ? static_cast<double>(ints_[static_cast<size_t>(row)])
+               : doubles_[static_cast<size_t>(row)];
+  }
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+
+  void Reserve(int64_t n) {
+    if (type_ == DataType::kInt64) {
+      ints_.reserve(static_cast<size_t>(n));
+    } else {
+      doubles_.reserve(static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+};
+
+/// An immutable (once built) columnar table.
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+
+  ColumnData& column(int idx) { return *columns_[static_cast<size_t>(idx)]; }
+  const ColumnData& column(int idx) const {
+    return *columns_[static_cast<size_t>(idx)];
+  }
+
+  /// Validates that all columns have equal length and records the row
+  /// count. Must be called after bulk-appending values.
+  Status Finalize();
+
+ private:
+  TableSchema schema_;
+  std::vector<std::unique_ptr<ColumnData>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_STORAGE_TABLE_H_

@@ -1,0 +1,29 @@
+#include "workloads/generator_util.h"
+
+#include "storage/stats_builder.h"
+
+namespace robustqp {
+
+void BuildAndRegister(Catalog* catalog, const std::string& name, int64_t rows,
+                      const std::vector<ColumnSpec>& columns, Rng* rng) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(columns.size());
+  for (const auto& c : columns) defs.push_back({c.name, c.type});
+  auto table = std::make_shared<Table>(TableSchema(name, std::move(defs)));
+
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const double v = columns[c].gen(*rng, r);
+      if (columns[c].type == DataType::kInt64) {
+        table->column(static_cast<int>(c)).AppendInt(static_cast<int64_t>(v));
+      } else {
+        table->column(static_cast<int>(c)).AppendDouble(v);
+      }
+    }
+  }
+  RQP_CHECK(table->Finalize().ok());
+  std::vector<ColumnStats> stats = ComputeTableStats(*table);
+  RQP_CHECK(catalog->AddTable(std::move(table), std::move(stats)).ok());
+}
+
+}  // namespace robustqp

@@ -1,0 +1,32 @@
+// Helpers shared by the synthetic workload generators.
+
+#ifndef ROBUSTQP_WORKLOADS_GENERATOR_UTIL_H_
+#define ROBUSTQP_WORKLOADS_GENERATOR_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace robustqp {
+
+/// Declarative column spec: name, type, and a per-row value generator.
+struct ColumnSpec {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Called once per row (row index passed) to produce the value.
+  std::function<double(Rng&, int64_t)> gen;
+};
+
+/// Materializes a table of `rows` rows from column specs and registers it
+/// (with freshly computed statistics) in `catalog`.
+void BuildAndRegister(Catalog* catalog, const std::string& name, int64_t rows,
+                      const std::vector<ColumnSpec>& columns, Rng* rng);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_WORKLOADS_GENERATOR_UTIL_H_

@@ -1,0 +1,96 @@
+#include "workloads/job.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/generator_util.h"
+
+namespace robustqp {
+
+std::unique_ptr<Catalog> BuildJobCatalog(uint64_t seed, double scale) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(seed);
+
+  const auto scaled = [scale](int64_t base) {
+    return static_cast<int64_t>(std::llround(base * scale));
+  };
+  const int64_t n_title = scaled(30000);
+  const int64_t n_mc = scaled(60000);
+  const int64_t n_miidx = scaled(45000);
+  const int64_t n_company = scaled(8000);
+  const int64_t n_ct = 4;
+  const int64_t n_it = 113;
+
+  BuildAndRegister(catalog.get(), "company_type", n_ct,
+                   {{"ct_id", DataType::kInt64,
+                     [](Rng&, int64_t row) { return static_cast<double>(row + 1); }},
+                    {"ct_kind_id", DataType::kInt64,
+                     [](Rng&, int64_t row) { return static_cast<double>(row + 1); }}},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "info_type", n_it,
+                   {{"it_id", DataType::kInt64,
+                     [](Rng&, int64_t row) { return static_cast<double>(row + 1); }},
+                    {"it_info_id", DataType::kInt64,
+                     [](Rng&, int64_t row) { return static_cast<double>(row + 1); }}},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "title", n_title,
+                   {{"t_id", DataType::kInt64,
+                     [](Rng&, int64_t row) { return static_cast<double>(row + 1); }},
+                    {"t_kind_id", DataType::kInt64,
+                     [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 7)); }},
+                    {"t_production_year", DataType::kInt64,
+                     [](Rng& r, int64_t) {
+                       return static_cast<double>(r.UniformInt(1950, 2025));
+                     }}},
+                   &rng);
+
+  {
+    auto movie_zipf = std::make_shared<ZipfSampler>(n_title, 1.1);
+    auto company_zipf = std::make_shared<ZipfSampler>(n_company, 1.0);
+    BuildAndRegister(
+        catalog.get(), "movie_companies", n_mc,
+        {{"mc_movie_id", DataType::kInt64,
+          [movie_zipf](Rng& r, int64_t) {
+            return static_cast<double>(movie_zipf->Sample(&r));
+          }},
+         {"mc_company_id", DataType::kInt64,
+          [company_zipf](Rng& r, int64_t) {
+            return static_cast<double>(company_zipf->Sample(&r));
+          }},
+         {"mc_company_type_id", DataType::kInt64,
+          [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 4)); }},
+         {"mc_note_id", DataType::kInt64,
+          [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 50)); }}},
+        &rng);
+  }
+
+  {
+    auto movie_zipf = std::make_shared<ZipfSampler>(n_title, 0.9);
+    auto it_zipf = std::make_shared<ZipfSampler>(n_it, 1.4);
+    BuildAndRegister(
+        catalog.get(), "movie_info_idx", n_miidx,
+        {{"mi_movie_id", DataType::kInt64,
+          [movie_zipf](Rng& r, int64_t) {
+            return static_cast<double>(movie_zipf->Sample(&r));
+          }},
+         {"mi_info_type_id", DataType::kInt64,
+          [it_zipf](Rng& r, int64_t) {
+            return static_cast<double>(it_zipf->Sample(&r));
+          }},
+         {"mi_info_rank", DataType::kInt64,
+          [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 250)); }}},
+        &rng);
+  }
+
+  for (const auto& [table, column] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"company_type", "ct_id"}, {"info_type", "it_id"},
+           {"title", "t_id"}}) {
+    RQP_CHECK(catalog->BuildIndex(table, column).ok());
+  }
+  return catalog;
+}
+
+}  // namespace robustqp

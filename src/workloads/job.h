@@ -1,0 +1,22 @@
+// Synthetic IMDB-shaped database for the Join Order Benchmark experiments
+// of Section 6.5 (JOB Q1a). Heavy zipfian skew on the movie foreign keys —
+// the property that makes JOB catastrophic for NDV-based native
+// estimation — is reproduced here.
+
+#ifndef ROBUSTQP_WORKLOADS_JOB_H_
+#define ROBUSTQP_WORKLOADS_JOB_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "catalog/catalog.h"
+
+namespace robustqp {
+
+/// Builds the IMDB-shaped catalog. `scale` multiplies the large tables'
+/// row counts. Deterministic for a given seed.
+std::unique_ptr<Catalog> BuildJobCatalog(uint64_t seed = 7, double scale = 1.0);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_WORKLOADS_JOB_H_

@@ -1,0 +1,260 @@
+#include "workloads/queries.h"
+
+#include "common/status.h"
+
+namespace robustqp {
+namespace {
+
+JoinPredicate J(const std::string& lt, const std::string& lc,
+                const std::string& rt, const std::string& rc,
+                const std::string& label) {
+  return JoinPredicate{lt, lc, rt, rc, label};
+}
+
+FilterPredicate F(const std::string& t, const std::string& c, CompareOp op,
+                  double v) {
+  return FilterPredicate{t, c, op, v};
+}
+
+/// TPC-DS Q91 skeleton: catalog_sales star joined to a customer chain.
+/// The epp progression matches the paper's Fig. 9 dimensionality sweep,
+/// with the 2D pair (CS~DD, C~CA) matching Fig. 7.
+Query MakeQ91(int dims) {
+  std::vector<int> epps;
+  for (int d = 0; d < dims; ++d) epps.push_back(d);
+  return Query(
+      std::to_string(dims) + "D_Q91",
+      {"catalog_sales", "date_dim", "customer", "customer_address",
+       "customer_demographics", "household_demographics", "call_center"},
+      {J("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk", "CS~DD"),
+       J("customer", "c_current_addr_sk", "customer_address", "ca_address_sk",
+         "C~CA"),
+       J("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk",
+         "CS~C"),
+       J("customer", "c_current_cdemo_sk", "customer_demographics",
+         "cd_demo_sk", "C~CD"),
+       J("customer", "c_current_hdemo_sk", "household_demographics",
+         "hd_demo_sk", "C~HD"),
+       J("catalog_sales", "cs_call_center_sk", "call_center",
+         "cc_call_center_sk", "CS~CC")},
+      {F("date_dim", "d_year", CompareOp::kEq, 2021),
+       F("call_center", "cc_class_id", CompareOp::kEq, 2),
+       F("customer", "c_birth_year", CompareOp::kLt, 1970)},
+      epps);
+}
+
+Query MakeQ15() {
+  return Query("3D_Q15",
+               {"catalog_sales", "customer", "customer_address", "date_dim"},
+               {J("catalog_sales", "cs_bill_customer_sk", "customer",
+                  "c_customer_sk", "CS~C"),
+                J("customer", "c_current_addr_sk", "customer_address",
+                  "ca_address_sk", "C~CA"),
+                J("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk",
+                  "CS~DD")},
+               {F("date_dim", "d_moy", CompareOp::kEq, 4),
+                F("customer_address", "ca_state_id", CompareOp::kLe, 10)},
+               {0, 1, 2});
+}
+
+Query MakeQ96() {
+  return Query("3D_Q96",
+               {"store_sales", "time_dim", "household_demographics", "store"},
+               {J("store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk",
+                  "SS~TD"),
+                J("store_sales", "ss_hdemo_sk", "household_demographics",
+                  "hd_demo_sk", "SS~HD"),
+                J("store_sales", "ss_store_sk", "store", "s_store_sk", "SS~S")},
+               {F("time_dim", "t_hour", CompareOp::kEq, 20),
+                F("household_demographics", "hd_dep_count", CompareOp::kEq, 7)},
+               {0, 1, 2});
+}
+
+Query MakeQ7() {
+  return Query(
+      "4D_Q7",
+      {"store_sales", "date_dim", "item", "customer_demographics", "promotion"},
+      {J("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", "SS~DD"),
+       J("store_sales", "ss_item_sk", "item", "i_item_sk", "SS~I"),
+       J("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk",
+         "SS~CD"),
+       J("store_sales", "ss_promo_sk", "promotion", "p_promo_sk", "SS~P")},
+      {F("date_dim", "d_year", CompareOp::kEq, 2022),
+       F("customer_demographics", "cd_gender", CompareOp::kEq, 1),
+       F("promotion", "p_channel_id", CompareOp::kEq, 3)},
+      {0, 1, 2, 3});
+}
+
+Query MakeQ26() {
+  return Query(
+      "4D_Q26",
+      {"catalog_sales", "date_dim", "item", "customer_demographics",
+       "promotion"},
+      {J("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk", "CS~DD"),
+       J("catalog_sales", "cs_item_sk", "item", "i_item_sk", "CS~I"),
+       J("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics",
+         "cd_demo_sk", "CS~CD"),
+       J("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk", "CS~P")},
+      {F("date_dim", "d_year", CompareOp::kEq, 2020),
+       F("customer_demographics", "cd_marital_status", CompareOp::kEq, 2),
+       F("item", "i_category_id", CompareOp::kLe, 4)},
+      {0, 1, 2, 3});
+}
+
+Query MakeQ27() {
+  return Query(
+      "4D_Q27",
+      {"store_sales", "date_dim", "item", "customer_demographics", "store"},
+      {J("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", "SS~DD"),
+       J("store_sales", "ss_item_sk", "item", "i_item_sk", "SS~I"),
+       J("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk",
+         "SS~CD"),
+       J("store_sales", "ss_store_sk", "store", "s_store_sk", "SS~S")},
+      {F("date_dim", "d_year", CompareOp::kEq, 2023),
+       F("customer_demographics", "cd_education_id", CompareOp::kEq, 5),
+       F("store", "s_city_id", CompareOp::kLe, 10)},
+      {0, 1, 2, 3});
+}
+
+Query MakeQ19() {
+  return Query(
+      "5D_Q19",
+      {"store_sales", "date_dim", "item", "customer", "customer_address",
+       "store"},
+      {J("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", "SS~DD"),
+       J("store_sales", "ss_item_sk", "item", "i_item_sk", "SS~I"),
+       J("store_sales", "ss_customer_sk", "customer", "c_customer_sk", "SS~C"),
+       J("customer", "c_current_addr_sk", "customer_address", "ca_address_sk",
+         "C~CA"),
+       J("store_sales", "ss_store_sk", "store", "s_store_sk", "SS~S")},
+      {F("date_dim", "d_moy", CompareOp::kEq, 11),
+       F("item", "i_manufact_id", CompareOp::kLe, 20)},
+      {0, 1, 2, 3, 4});
+}
+
+Query MakeQ29() {
+  return Query(
+      "5D_Q29",
+      {"store_sales", "store_returns", "catalog_sales", "date_dim", "item",
+       "store"},
+      {J("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", "SS~DD"),
+       J("store_sales", "ss_item_sk", "item", "i_item_sk", "SS~I"),
+       J("store_sales", "ss_ticket_number", "store_returns",
+         "sr_ticket_number", "SS~SR"),
+       J("store_returns", "sr_customer_sk", "catalog_sales",
+         "cs_bill_customer_sk", "SR~CS"),
+       J("store_sales", "ss_store_sk", "store", "s_store_sk", "SS~S")},
+      {F("date_dim", "d_moy", CompareOp::kEq, 9),
+       F("item", "i_category_id", CompareOp::kEq, 3)},
+      {0, 1, 2, 3, 4});
+}
+
+Query MakeQ84() {
+  return Query(
+      "5D_Q84",
+      {"customer", "customer_address", "customer_demographics",
+       "household_demographics", "income_band", "store_returns"},
+      {J("customer", "c_current_addr_sk", "customer_address", "ca_address_sk",
+         "C~CA"),
+       J("customer", "c_current_cdemo_sk", "customer_demographics",
+         "cd_demo_sk", "C~CD"),
+       J("customer", "c_current_hdemo_sk", "household_demographics",
+         "hd_demo_sk", "C~HD"),
+       J("household_demographics", "hd_income_band_sk", "income_band",
+         "ib_income_band_sk", "HD~IB"),
+       J("store_returns", "sr_customer_sk", "customer", "c_customer_sk",
+         "SR~C")},
+      {F("customer_address", "ca_city_id", CompareOp::kLe, 60),
+       F("income_band", "ib_lower_bound", CompareOp::kGe, 60000)},
+      {0, 1, 2, 3, 4});
+}
+
+Query MakeQ18() {
+  return Query(
+      "6D_Q18",
+      {"catalog_sales", "date_dim", "item", "customer_demographics",
+       "customer", "customer_address", "household_demographics"},
+      {J("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk", "CS~DD"),
+       J("catalog_sales", "cs_item_sk", "item", "i_item_sk", "CS~I"),
+       J("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics",
+         "cd_demo_sk", "CS~CD"),
+       J("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk",
+         "CS~C"),
+       J("customer", "c_current_addr_sk", "customer_address", "ca_address_sk",
+         "C~CA"),
+       J("customer", "c_current_hdemo_sk", "household_demographics",
+         "hd_demo_sk", "C~HD")},
+      {F("date_dim", "d_year", CompareOp::kEq, 2024),
+       F("customer_demographics", "cd_dep_count", CompareOp::kEq, 2),
+       F("item", "i_category_id", CompareOp::kLe, 5)},
+      {0, 1, 2, 3, 4, 5});
+}
+
+/// JOB Q1a skeleton over the IMDB-shaped catalog (acyclic: the paper shuts
+/// off implicit cyclic predicates for this experiment).
+Query MakeJobQ1a() {
+  return Query(
+      "4D_JOB_Q1a",
+      {"company_type", "info_type", "title", "movie_companies",
+       "movie_info_idx"},
+      {J("company_type", "ct_id", "movie_companies", "mc_company_type_id",
+         "CT~MC"),
+       J("title", "t_id", "movie_companies", "mc_movie_id", "T~MC"),
+       J("title", "t_id", "movie_info_idx", "mi_movie_id", "T~MI"),
+       J("info_type", "it_id", "movie_info_idx", "mi_info_type_id", "IT~MI")},
+      {F("company_type", "ct_kind_id", CompareOp::kEq, 2),
+       F("info_type", "it_info_id", CompareOp::kEq, 112),
+       F("movie_companies", "mc_note_id", CompareOp::kLe, 10),
+       F("title", "t_production_year", CompareOp::kGt, 2000)},
+      {0, 1, 2, 3});
+}
+
+}  // namespace
+
+Query MakeSuiteQuery(const std::string& id) {
+  if (id == "2D_Q91") return MakeQ91(2);
+  if (id == "3D_Q91") return MakeQ91(3);
+  if (id == "4D_Q91") return MakeQ91(4);
+  if (id == "5D_Q91") return MakeQ91(5);
+  if (id == "6D_Q91") return MakeQ91(6);
+  if (id == "3D_Q15") return MakeQ15();
+  if (id == "3D_Q96") return MakeQ96();
+  if (id == "4D_Q7") return MakeQ7();
+  if (id == "4D_Q26") return MakeQ26();
+  if (id == "4D_Q27") return MakeQ27();
+  if (id == "5D_Q19") return MakeQ19();
+  if (id == "5D_Q29") return MakeQ29();
+  if (id == "5D_Q84") return MakeQ84();
+  if (id == "6D_Q18") return MakeQ18();
+  if (id == "4D_JOB_Q1a") return MakeJobQ1a();
+  RQP_CHECK(false && "unknown suite query id");
+  return Query();
+}
+
+std::vector<std::string> PaperQuerySuite() {
+  return {"3D_Q15", "3D_Q96", "4D_Q7",  "4D_Q26", "4D_Q27", "4D_Q91",
+          "5D_Q19", "5D_Q29", "5D_Q84", "6D_Q18", "6D_Q91"};
+}
+
+std::vector<std::string> Q91Family() {
+  return {"2D_Q91", "3D_Q91", "4D_Q91", "5D_Q91", "6D_Q91"};
+}
+
+std::vector<std::string> AlignmentQuerySuite() {
+  return {"3D_Q96", "4D_Q7", "4D_Q26", "4D_Q91", "5D_Q29", "5D_Q84"};
+}
+
+std::vector<std::string> SuiteQueryIds() {
+  std::vector<std::string> ids = Q91Family();
+  for (const auto& q : PaperQuerySuite()) {
+    if (q != "4D_Q91" && q != "6D_Q91") ids.push_back(q);
+  }
+  ids.push_back("4D_JOB_Q1a");
+  return ids;
+}
+
+bool IsJobQuery(const std::string& id) {
+  return id.find("JOB") != std::string::npos;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,38 @@
+// The paper's query suite: SPJ skeletons of the TPC-DS queries used in
+// Section 6 (nomenclature xD_Qz — x error-prone join predicates, TPC-DS
+// query z) plus JOB Q1a for Section 6.5. Join-graph geometries (chain,
+// star, branch) and epp counts match the paper's description.
+
+#ifndef ROBUSTQP_WORKLOADS_QUERIES_H_
+#define ROBUSTQP_WORKLOADS_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace robustqp {
+
+/// Builds a suite query by id, e.g. "4D_Q91" or "4D_JOB_Q1a". Aborts on an
+/// unknown id (programming error); see SuiteQueryIds() for the valid set.
+Query MakeSuiteQuery(const std::string& id);
+
+/// The eleven TPC-DS queries evaluated in Figs. 8, 10, 11 and 13.
+std::vector<std::string> PaperQuerySuite();
+
+/// The Q91 dimensionality family of Fig. 9 (2D..6D).
+std::vector<std::string> Q91Family();
+
+/// The queries of Table 2 / Table 4 (alignment-cost analysis).
+std::vector<std::string> AlignmentQuerySuite();
+
+/// All valid suite ids (TPC-DS + JOB).
+std::vector<std::string> SuiteQueryIds();
+
+/// True if the id's catalog is the JOB (IMDB-shaped) database rather than
+/// the TPC-DS-shaped one.
+bool IsJobQuery(const std::string& id);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_WORKLOADS_QUERIES_H_

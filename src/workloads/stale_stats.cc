@@ -1,0 +1,33 @@
+#include "workloads/stale_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace robustqp {
+
+std::unique_ptr<Catalog> WithStaleStatistics(const Catalog& fresh,
+                                             double ndv_inflation) {
+  RQP_CHECK(ndv_inflation > 0.0);
+  auto stale = std::make_unique<Catalog>();
+  for (const std::string& name : fresh.TableNames()) {
+    const CatalogEntry* entry = fresh.FindTable(name);
+    std::vector<ColumnStats> stats = entry->stats;
+    for (ColumnStats& cs : stats) {
+      // Deliberately not clamped to the current row count: stale NDVs were
+      // computed against a different (since-shrunk or since-grown) table.
+      cs.distinct_count = std::max<int64_t>(
+          1, std::llround(static_cast<double>(cs.distinct_count) * ndv_inflation));
+    }
+    RQP_CHECK(stale->AddTable(entry->table, std::move(stats)).ok());
+    // Indexes track the physical data, not the statistics; carry them over.
+    for (const auto& [column, _] : entry->indexes) {
+      RQP_CHECK(stale->BuildIndex(name, column).ok());
+    }
+  }
+  return stale;
+}
+
+}  // namespace robustqp

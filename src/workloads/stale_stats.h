@@ -1,0 +1,29 @@
+// Stale-statistics emulation. The paper's list of estimation-error
+// sources starts with "outdated statistics": the data has drifted since
+// ANALYZE ran, so NDV-based join estimates are off by large factors.
+// This helper derives a catalog that shares the (current) stored tables
+// but carries drifted statistics, so the optimizer's native estimates are
+// wrong while executions see the true data — the Section 6.3 wall-clock
+// scenario where the native plan pays and the discovery algorithms keep
+// their guarantees.
+
+#ifndef ROBUSTQP_WORKLOADS_STALE_STATS_H_
+#define ROBUSTQP_WORKLOADS_STALE_STATS_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+
+namespace robustqp {
+
+/// Returns a catalog with the same tables as `fresh` but with every
+/// integer column's distinct count multiplied by `ndv_inflation`
+/// (clamped to the row count). Inflation > 1 makes the optimizer
+/// *underestimate* join selectivities — the classic NLJ-explosion
+/// failure mode.
+std::unique_ptr<Catalog> WithStaleStatistics(const Catalog& fresh,
+                                             double ndv_inflation);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_WORKLOADS_STALE_STATS_H_

@@ -1,0 +1,207 @@
+#include "workloads/tpcds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/generator_util.h"
+
+namespace robustqp {
+namespace {
+
+/// Serial surrogate key 1..N.
+ColumnSpec SerialKey(const std::string& name) {
+  return {name, DataType::kInt64,
+          [](Rng&, int64_t row) { return static_cast<double>(row + 1); }};
+}
+
+/// Uniform FK into [1, parent_rows].
+ColumnSpec UniformFk(const std::string& name, int64_t parent_rows) {
+  return {name, DataType::kInt64, [parent_rows](Rng& rng, int64_t) {
+            return static_cast<double>(rng.UniformInt(1, parent_rows));
+          }};
+}
+
+/// Zipf-skewed FK into [1, parent_rows] — the skew that makes native
+/// NDV-based join estimates unreliable, which is the error source the
+/// paper's algorithms are designed to survive.
+ColumnSpec ZipfFk(const std::string& name, int64_t parent_rows, double theta) {
+  auto sampler = std::make_shared<ZipfSampler>(parent_rows, theta);
+  return {name, DataType::kInt64, [sampler](Rng& rng, int64_t) {
+            return static_cast<double>(sampler->Sample(&rng));
+          }};
+}
+
+/// Uniform integer attribute in [lo, hi].
+ColumnSpec UniformAttr(const std::string& name, int64_t lo, int64_t hi) {
+  return {name, DataType::kInt64, [lo, hi](Rng& rng, int64_t) {
+            return static_cast<double>(rng.UniformInt(lo, hi));
+          }};
+}
+
+/// Uniform double attribute in [lo, hi).
+ColumnSpec UniformPrice(const std::string& name, double lo, double hi) {
+  return {name, DataType::kDouble,
+          [lo, hi](Rng& rng, int64_t) { return rng.UniformDouble(lo, hi); }};
+}
+
+}  // namespace
+
+std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(seed);
+
+  // Dimension row counts (fixed) and fact row counts (scaled).
+  const int64_t n_date = 1826;    // five years of days
+  const int64_t n_time = 2400;
+  const int64_t n_item = 2000;
+  const int64_t n_customer = 10000;
+  const int64_t n_address = 5000;
+  const int64_t n_cdemo = 1920;
+  const int64_t n_hdemo = 720;
+  const int64_t n_income = 20;
+  const int64_t n_store = 60;
+  const int64_t n_callcenter = 30;
+  const int64_t n_promo = 300;
+  const auto fact = [scale](int64_t base) {
+    return static_cast<int64_t>(std::llround(base * scale));
+  };
+  const int64_t n_ss = fact(60000);
+  const int64_t n_cs = fact(40000);
+  const int64_t n_sr = fact(12000);
+
+  BuildAndRegister(catalog.get(), "date_dim", n_date,
+                   {SerialKey("d_date_sk"),
+                    {"d_year", DataType::kInt64,
+                     [](Rng&, int64_t row) {
+                       return static_cast<double>(2020 + row / 365);
+                     }},
+                    {"d_moy", DataType::kInt64,
+                     [](Rng&, int64_t row) {
+                       return static_cast<double>((row / 30) % 12 + 1);
+                     }},
+                    UniformAttr("d_dow", 1, 7)},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "time_dim", n_time,
+                   {SerialKey("t_time_sk"),
+                    {"t_hour", DataType::kInt64,
+                     [n_time](Rng&, int64_t row) {
+                       return static_cast<double>(row * 24 / n_time);
+                     }},
+                    UniformAttr("t_minute", 0, 59)},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "item", n_item,
+                   {SerialKey("i_item_sk"), UniformAttr("i_category_id", 1, 10),
+                    UniformAttr("i_manufact_id", 1, 100),
+                    UniformPrice("i_current_price", 0.5, 100.0)},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "customer_address", n_address,
+                   {SerialKey("ca_address_sk"), UniformAttr("ca_state_id", 1, 50),
+                    UniformAttr("ca_city_id", 1, 400),
+                    UniformAttr("ca_gmt_offset", -10, -5)},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "customer_demographics", n_cdemo,
+                   {SerialKey("cd_demo_sk"), UniformAttr("cd_gender", 0, 1),
+                    UniformAttr("cd_marital_status", 1, 5),
+                    UniformAttr("cd_education_id", 1, 7),
+                    UniformAttr("cd_dep_count", 0, 6)},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "household_demographics", n_hdemo,
+                   {SerialKey("hd_demo_sk"),
+                    UniformFk("hd_income_band_sk", n_income),
+                    UniformAttr("hd_dep_count", 0, 9),
+                    UniformAttr("hd_vehicle_count", 0, 4)},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "income_band", n_income,
+                   {SerialKey("ib_income_band_sk"),
+                    {"ib_lower_bound", DataType::kInt64,
+                     [](Rng&, int64_t row) { return static_cast<double>(row * 10000); }},
+                    {"ib_upper_bound", DataType::kInt64,
+                     [](Rng&, int64_t row) {
+                       return static_cast<double>((row + 1) * 10000 - 1);
+                     }}},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "store", n_store,
+                   {SerialKey("s_store_sk"), UniformAttr("s_city_id", 1, 30),
+                    UniformAttr("s_number_employees", 50, 300)},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "call_center", n_callcenter,
+                   {SerialKey("cc_call_center_sk"), UniformAttr("cc_class_id", 1, 3),
+                    UniformAttr("cc_employees", 10, 200)},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "promotion", n_promo,
+                   {SerialKey("p_promo_sk"), UniformAttr("p_channel_id", 1, 5),
+                    UniformPrice("p_cost", 100.0, 5000.0)},
+                   &rng);
+
+  BuildAndRegister(catalog.get(), "customer", n_customer,
+                   {SerialKey("c_customer_sk"),
+                    ZipfFk("c_current_addr_sk", n_address, 0.8),
+                    UniformFk("c_current_cdemo_sk", n_cdemo),
+                    ZipfFk("c_current_hdemo_sk", n_hdemo, 0.6),
+                    UniformAttr("c_birth_year", 1930, 2005)},
+                   &rng);
+
+  BuildAndRegister(
+      catalog.get(), "store_sales", n_ss,
+      {ZipfFk("ss_sold_date_sk", n_date, 0.5), UniformFk("ss_sold_time_sk", n_time),
+       ZipfFk("ss_item_sk", n_item, 0.9), ZipfFk("ss_customer_sk", n_customer, 0.7),
+       UniformFk("ss_cdemo_sk", n_cdemo), UniformFk("ss_hdemo_sk", n_hdemo),
+       ZipfFk("ss_addr_sk", n_address, 0.8), UniformFk("ss_store_sk", n_store),
+       ZipfFk("ss_promo_sk", n_promo, 1.1), UniformAttr("ss_quantity", 1, 100),
+       UniformPrice("ss_sales_price", 1.0, 300.0),
+       SerialKey("ss_ticket_number")},
+      &rng);
+
+  BuildAndRegister(
+      catalog.get(), "catalog_sales", n_cs,
+      {ZipfFk("cs_sold_date_sk", n_date, 0.6), ZipfFk("cs_item_sk", n_item, 0.8),
+       ZipfFk("cs_bill_customer_sk", n_customer, 0.9),
+       UniformFk("cs_bill_cdemo_sk", n_cdemo), UniformFk("cs_bill_hdemo_sk", n_hdemo),
+       ZipfFk("cs_bill_addr_sk", n_address, 0.7),
+       ZipfFk("cs_call_center_sk", n_callcenter, 0.9),
+       ZipfFk("cs_promo_sk", n_promo, 1.0), UniformAttr("cs_quantity", 1, 100),
+       UniformPrice("cs_sales_price", 1.0, 300.0), SerialKey("cs_order_number")},
+      &rng);
+
+  BuildAndRegister(
+      catalog.get(), "store_returns", n_sr,
+      {ZipfFk("sr_returned_date_sk", n_date, 0.5), ZipfFk("sr_item_sk", n_item, 0.9),
+       ZipfFk("sr_customer_sk", n_customer, 0.8),
+       // Return tickets reference a subset of store_sales tickets.
+       {"sr_ticket_number", DataType::kInt64,
+        [n_ss](Rng& rng2, int64_t) {
+          return static_cast<double>(rng2.UniformInt(1, std::max<int64_t>(1, n_ss)));
+        }},
+       UniformAttr("sr_return_quantity", 1, 40)},
+      &rng);
+
+  // Hash indexes on the dimension keys (and the customer key), giving the
+  // optimizer index nested-loop access paths.
+  for (const auto& [table, column] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"date_dim", "d_date_sk"},
+           {"time_dim", "t_time_sk"},
+           {"item", "i_item_sk"},
+           {"customer", "c_customer_sk"},
+           {"customer_address", "ca_address_sk"},
+           {"customer_demographics", "cd_demo_sk"},
+           {"household_demographics", "hd_demo_sk"},
+           {"income_band", "ib_income_band_sk"},
+           {"store", "s_store_sk"},
+           {"call_center", "cc_call_center_sk"},
+           {"promotion", "p_promo_sk"}}) {
+    RQP_CHECK(catalog->BuildIndex(table, column).ok());
+  }
+  return catalog;
+}
+
+}  // namespace robustqp

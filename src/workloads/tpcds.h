@@ -1,0 +1,24 @@
+// Synthetic TPC-DS-shaped database: the fact/dimension tables (with FK
+// structure, realistic relative sizes, and zipfian skew on fact foreign
+// keys) that the paper's query suite touches. Stands in for the 100 GB
+// TPC-DS instance of Section 6.1 at laptop scale — see DESIGN.md for why
+// the substitution preserves the experiments' shape.
+
+#ifndef ROBUSTQP_WORKLOADS_TPCDS_H_
+#define ROBUSTQP_WORKLOADS_TPCDS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "catalog/catalog.h"
+
+namespace robustqp {
+
+/// Builds the TPC-DS-shaped catalog. `scale` multiplies fact-table row
+/// counts (1.0 ~ 60k store_sales). Deterministic for a given seed.
+std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed = 42,
+                                           double scale = 1.0);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_WORKLOADS_TPCDS_H_

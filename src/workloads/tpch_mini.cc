@@ -1,0 +1,79 @@
+#include "workloads/tpch_mini.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "workloads/generator_util.h"
+
+namespace robustqp {
+
+std::unique_ptr<Catalog> BuildTpchMiniCatalog(uint64_t seed, double scale) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(seed);
+
+  const int64_t n_part = 5000;
+  const int64_t n_orders = 20000;
+  const int64_t n_lineitem =
+      static_cast<int64_t>(std::llround(80000 * scale));
+
+  BuildAndRegister(
+      catalog.get(), "part", n_part,
+      {{"p_partkey", DataType::kInt64,
+        [](Rng&, int64_t row) { return static_cast<double>(row + 1); }},
+       {"p_retailprice", DataType::kDouble,
+        [](Rng& r, int64_t) { return r.UniformDouble(1.0, 2000.0); }},
+       {"p_brand_id", DataType::kInt64,
+        [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 25)); }}},
+      &rng);
+
+  BuildAndRegister(
+      catalog.get(), "orders", n_orders,
+      {{"o_orderkey", DataType::kInt64,
+        [](Rng&, int64_t row) { return static_cast<double>(row + 1); }},
+       {"o_custkey", DataType::kInt64,
+        [n_orders](Rng& r, int64_t) {
+          return static_cast<double>(r.UniformInt(1, n_orders / 10));
+        }},
+       {"o_orderpriority", DataType::kInt64,
+        [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 5)); }}},
+      &rng);
+
+  {
+    // Hot parts and hot orders: the skew that defeats NDV estimation.
+    auto part_zipf = std::make_shared<ZipfSampler>(n_part, 1.0);
+    auto order_zipf = std::make_shared<ZipfSampler>(n_orders, 0.6);
+    BuildAndRegister(
+        catalog.get(), "lineitem", n_lineitem,
+        {{"l_orderkey", DataType::kInt64,
+          [order_zipf](Rng& r, int64_t) {
+            return static_cast<double>(order_zipf->Sample(&r));
+          }},
+         {"l_partkey", DataType::kInt64,
+          [part_zipf](Rng& r, int64_t) {
+            return static_cast<double>(part_zipf->Sample(&r));
+          }},
+         {"l_quantity", DataType::kInt64,
+          [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 50)); }},
+         {"l_extendedprice", DataType::kDouble,
+          [](Rng& r, int64_t) { return r.UniformDouble(10.0, 5000.0); }}},
+        &rng);
+  }
+
+  RQP_CHECK(catalog->BuildIndex("part", "p_partkey").ok());
+  RQP_CHECK(catalog->BuildIndex("orders", "o_orderkey").ok());
+  return catalog;
+}
+
+Query MakeExampleQueryEq(bool filter_epp) {
+  std::vector<EppRef> epps = {EppRef::Join(0), EppRef::Join(1)};
+  if (filter_epp) epps.push_back(EppRef::Filter(0));
+  return Query(
+      filter_epp ? "EQ_3D" : "EQ_2D", {"lineitem", "part", "orders"},
+      {JoinPredicate{"part", "p_partkey", "lineitem", "l_partkey", "P~L"},
+       JoinPredicate{"orders", "o_orderkey", "lineitem", "l_orderkey", "O~L"}},
+      {FilterPredicate{"part", "p_retailprice", CompareOp::kLt, 1000.0}},
+      epps);
+}
+
+}  // namespace robustqp

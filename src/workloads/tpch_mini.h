@@ -1,0 +1,31 @@
+// Synthetic TPC-H-shaped trio (part, orders, lineitem) backing the
+// paper's introductory example query EQ (Fig. 1): orders for cheap parts,
+// with the two join predicates — and optionally the retail-price filter —
+// treated as error-prone.
+
+#ifndef ROBUSTQP_WORKLOADS_TPCH_MINI_H_
+#define ROBUSTQP_WORKLOADS_TPCH_MINI_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace robustqp {
+
+/// Builds the part/orders/lineitem catalog. `scale` multiplies the
+/// lineitem row count. Deterministic for a given seed.
+std::unique_ptr<Catalog> BuildTpchMiniCatalog(uint64_t seed = 4242,
+                                              double scale = 1.0);
+
+/// The paper's example query EQ: part |x| lineitem |x| orders with the
+/// filter p_retailprice < 1000. With `filter_epp` true the filter joins
+/// the two join predicates as a third error-prone dimension (the general
+/// formulation); otherwise only the joins are error-prone, exactly as in
+/// the paper's Fig. 1 walkthrough.
+Query MakeExampleQueryEq(bool filter_epp);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_WORKLOADS_TPCH_MINI_H_

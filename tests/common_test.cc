@@ -1,0 +1,183 @@
+// Unit tests for src/common: Status/Result, Rng/Zipf, LogAxis, TablePrinter.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "common/log_grid.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+
+namespace robustqp {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(StatusTest, BudgetExhaustedIsDistinctCode) {
+  Status s = Status::BudgetExhausted("scan");
+  EXPECT_EQ(s.code(), StatusCode::kBudgetExhausted);
+  EXPECT_NE(s.code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kUnsupported,
+        StatusCode::kInternal, StatusCode::kBudgetExhausted}) {
+    EXPECT_STRNE(StatusCodeToString(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("x"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = r.MoveValue();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformIntRespectsRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformDoubleRespectsRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(ZipfTest, RanksWithinDomain) {
+  Rng rng(3);
+  ZipfSampler z(100, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t r = z.Sample(&rng);
+    EXPECT_GE(r, 1);
+    EXPECT_LE(r, 100);
+  }
+}
+
+TEST(ZipfTest, SkewFavoursLowRanks) {
+  Rng rng(4);
+  ZipfSampler z(1000, 1.2);
+  std::map<int64_t, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  // Rank 1 should dominate rank 100 heavily under theta=1.2.
+  EXPECT_GT(counts[1], counts[100] * 5);
+}
+
+TEST(ZipfTest, ThetaNearZeroIsNearlyUniform) {
+  Rng rng(5);
+  ZipfSampler z(10, 0.01);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[z.Sample(&rng)];
+  for (int64_t r = 1; r <= 10; ++r) {
+    EXPECT_GT(counts[r], 3000);
+    EXPECT_LT(counts[r], 7000);
+  }
+}
+
+TEST(LogAxisTest, EndpointsExact) {
+  LogAxis axis(1e-5, 20);
+  EXPECT_DOUBLE_EQ(axis.value(0), 1e-5);
+  EXPECT_DOUBLE_EQ(axis.value(19), 1.0);
+  EXPECT_EQ(axis.points(), 20);
+}
+
+TEST(LogAxisTest, StrictlyIncreasing) {
+  LogAxis axis(1e-6, 50);
+  for (int i = 1; i < axis.points(); ++i) {
+    EXPECT_GT(axis.value(i), axis.value(i - 1));
+  }
+}
+
+TEST(LogAxisTest, GeometricSpacing) {
+  LogAxis axis(1e-4, 5);
+  // Ratio between consecutive points should be constant (=10 here).
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_NEAR(axis.value(i) / axis.value(i - 1), 10.0, 1e-9);
+  }
+}
+
+TEST(LogAxisTest, FloorIndex) {
+  LogAxis axis(1e-4, 5);  // 1e-4, 1e-3, 1e-2, 1e-1, 1
+  EXPECT_EQ(axis.FloorIndex(5e-3), 1);
+  EXPECT_EQ(axis.FloorIndex(1e-3), 1);
+  EXPECT_EQ(axis.FloorIndex(1.0), 4);
+  EXPECT_EQ(axis.FloorIndex(1e-5), -1);
+}
+
+TEST(LogAxisTest, CeilIndex) {
+  LogAxis axis(1e-4, 5);
+  EXPECT_EQ(axis.CeilIndex(5e-3), 2);
+  EXPECT_EQ(axis.CeilIndex(1e-2), 2);
+  EXPECT_EQ(axis.CeilIndex(2.0), 5);
+}
+
+TEST(LogAxisTest, NearestIndexClampsAndRounds) {
+  LogAxis axis(1e-4, 5);
+  EXPECT_EQ(axis.NearestIndex(1e-9), 0);
+  EXPECT_EQ(axis.NearestIndex(5.0), 4);
+  EXPECT_EQ(axis.NearestIndex(9e-3), 2);   // log-nearer to 1e-2
+  EXPECT_EQ(axis.NearestIndex(2e-3), 1);   // log-nearer to 1e-3
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.AddRow({"xxxxx", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a     | long_header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxxx | 1           |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumTrimsTrailingZeros) {
+  EXPECT_EQ(TablePrinter::Num(12.50), "12.5");
+  EXPECT_EQ(TablePrinter::Num(130.0), "130");
+  EXPECT_EQ(TablePrinter::Num(0.04), "0.04");
+  EXPECT_EQ(TablePrinter::Num(3.14159, 3), "3.142");
+}
+
+}  // namespace
+}  // namespace robustqp

@@ -1,0 +1,163 @@
+// Tests for ESS persistence (Section 7 offline contour construction):
+// exact round-trip of the surface, contour/frontier re-derivation,
+// algorithm-result equivalence on the loaded surface, and rejection of
+// corrupt or mismatched streams.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/oracle.h"
+#include "core/spillbound.h"
+#include "ess/ess.h"
+#include "test_util.h"
+#include "workloads/tpch_mini.h"
+
+namespace robustqp {
+namespace {
+
+using testing_util::MakeBranchQuery;
+using testing_util::MakeStarQuery;
+using testing_util::MakeTinyCatalog;
+
+class EssIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = MakeTinyCatalog().release();
+    query_ = new Query(MakeStarQuery(2));
+    Ess::Config config;
+    config.points_per_dim = 14;
+    config.min_sel = 1e-4;
+    ess_ = Ess::Build(*catalog_, *query_, config).release();
+  }
+  static Catalog* catalog_;
+  static Query* query_;
+  static Ess* ess_;
+};
+Catalog* EssIoTest::catalog_ = nullptr;
+Query* EssIoTest::query_ = nullptr;
+Ess* EssIoTest::ess_ = nullptr;
+
+TEST_F(EssIoTest, RoundTripPreservesSurface) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ess_->Save(buffer).ok());
+  Result<std::unique_ptr<Ess>> loaded = Ess::Load(buffer, *catalog_, *query_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Ess& l = **loaded;
+
+  EXPECT_EQ(l.dims(), ess_->dims());
+  EXPECT_EQ(l.points(), ess_->points());
+  EXPECT_EQ(l.num_locations(), ess_->num_locations());
+  EXPECT_EQ(l.pool().size(), ess_->pool().size());
+  EXPECT_EQ(l.num_contours(), ess_->num_contours());
+  EXPECT_DOUBLE_EQ(l.cmin(), ess_->cmin());
+  EXPECT_DOUBLE_EQ(l.cmax(), ess_->cmax());
+
+  for (int64_t lin = 0; lin < ess_->num_locations(); ++lin) {
+    EXPECT_DOUBLE_EQ(l.OptimalCost(lin), ess_->OptimalCost(lin));
+    EXPECT_EQ(l.OptimalPlan(lin)->signature(),
+              ess_->OptimalPlan(lin)->signature());
+  }
+  for (int i = 0; i < ess_->num_contours(); ++i) {
+    EXPECT_DOUBLE_EQ(l.ContourCost(i), ess_->ContourCost(i));
+    EXPECT_EQ(l.FrontierLocations(i), ess_->FrontierLocations(i));
+  }
+}
+
+TEST_F(EssIoTest, AlgorithmsBehaveIdenticallyOnLoadedSurface) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ess_->Save(buffer).ok());
+  Result<std::unique_ptr<Ess>> loaded = Ess::Load(buffer, *catalog_, *query_);
+  ASSERT_TRUE(loaded.ok());
+
+  SpillBound sb_orig(ess_);
+  SpillBound sb_loaded(loaded->get());
+  for (int64_t lin = 0; lin < ess_->num_locations(); lin += 5) {
+    SimulatedOracle o1(ess_, ess_->FromLinear(lin));
+    SimulatedOracle o2(loaded->get(), (*loaded)->FromLinear(lin));
+    const DiscoveryResult r1 = sb_orig.Run(&o1);
+    const DiscoveryResult r2 = sb_loaded.Run(&o2);
+    ASSERT_TRUE(r1.completed && r2.completed);
+    EXPECT_DOUBLE_EQ(r1.total_cost, r2.total_cost) << "qa=" << lin;
+    EXPECT_EQ(r1.steps.size(), r2.steps.size());
+  }
+}
+
+TEST_F(EssIoTest, RejectsWrongQuery) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ess_->Save(buffer).ok());
+  const Query other = MakeBranchQuery(2);
+  Result<std::unique_ptr<Ess>> loaded = Ess::Load(buffer, *catalog_, other);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EssIoTest, RejectsWrongDimensionality) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ess_->Save(buffer).ok());
+  // Same name trick: a 3-epp star query renamed to match.
+  Query three = MakeStarQuery(3);
+  Query renamed(query_->name(), three.tables(), three.joins(), three.filters(),
+                three.epps());
+  Result<std::unique_ptr<Ess>> loaded = Ess::Load(buffer, *catalog_, renamed);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(EssIoTest, RejectsGarbage) {
+  std::stringstream buffer("this is not an ess stream");
+  Result<std::unique_ptr<Ess>> loaded = Ess::Load(buffer, *catalog_, *query_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(EssIoTest, RejectsTruncatedStream) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ess_->Save(buffer).ok());
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  Result<std::unique_ptr<Ess>> loaded =
+      Ess::Load(truncated, *catalog_, *query_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(EssIoTest, RejectsUnsupportedVersion) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ess_->Save(buffer).ok());
+  std::string text = buffer.str();
+  text.replace(text.find(" 1\n"), 3, " 9\n");
+  std::stringstream patched(text);
+  Result<std::unique_ptr<Ess>> loaded = Ess::Load(patched, *catalog_, *query_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(EssIoMixedEppTest, RoundTripWithFilterEpp) {
+  // The general formulation: plans of a mixed join/filter-epp query
+  // serialize and reload with identical surfaces and discovery behaviour.
+  auto catalog = BuildTpchMiniCatalog(4242, 0.1);
+  const Query query = MakeExampleQueryEq(/*filter_epp=*/true);
+  ASSERT_TRUE(query.Validate(*catalog).ok());
+  Ess::Config config;
+  config.points_per_dim = 6;
+  config.min_sel = 1e-3;
+  auto ess = Ess::Build(*catalog, query, config);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(ess->Save(buffer).ok());
+  Result<std::unique_ptr<Ess>> loaded = Ess::Load(buffer, *catalog, query);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (int64_t lin = 0; lin < ess->num_locations(); ++lin) {
+    ASSERT_DOUBLE_EQ((*loaded)->OptimalCost(lin), ess->OptimalCost(lin));
+    ASSERT_EQ((*loaded)->OptimalPlan(lin)->signature(),
+              ess->OptimalPlan(lin)->signature());
+  }
+  SpillBound sb1(ess.get());
+  SpillBound sb2(loaded->get());
+  for (int64_t lin = 0; lin < ess->num_locations(); lin += 17) {
+    SimulatedOracle o1(ess.get(), ess->FromLinear(lin));
+    SimulatedOracle o2(loaded->get(), (*loaded)->FromLinear(lin));
+    EXPECT_DOUBLE_EQ(sb1.Run(&o1).total_cost, sb2.Run(&o2).total_cost);
+  }
+}
+
+}  // namespace
+}  // namespace robustqp

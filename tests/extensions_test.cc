@@ -1,0 +1,193 @@
+// Tests for the Section 7 deployment extensions: delta-bounded cost-model
+// error (NoisyOracle — the (1+delta)^2 guarantee inflation) and
+// statistics-driven identification of error-prone predicates.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/noisy_oracle.h"
+#include "core/spillbound.h"
+#include "harness/evaluator.h"
+#include "optimizer/epp_identifier.h"
+#include "test_util.h"
+
+namespace robustqp {
+namespace {
+
+using testing_util::MakeStarQuery;
+using testing_util::MakeTinyCatalog;
+
+struct NoisyBundle {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Query> query;
+  std::unique_ptr<Ess> ess;
+};
+
+NoisyBundle MakeBundle(int num_epps, int points) {
+  NoisyBundle b;
+  b.catalog = MakeTinyCatalog();
+  b.query = std::make_unique<Query>(MakeStarQuery(num_epps));
+  Ess::Config config;
+  config.points_per_dim = points;
+  config.min_sel = 1e-4;
+  b.ess = Ess::Build(*b.catalog, *b.query, config);
+  return b;
+}
+
+TEST(NoisyOracleTest, ZeroDeltaMatchesSimulatedOracle) {
+  NoisyBundle b = MakeBundle(2, 12);
+  const GridLoc qa = {7, 4};
+  NoisyOracle noisy(b.ess.get(), qa, 0.0, 1);
+  SimulatedOracle clean(b.ess.get(), qa);
+  const Plan* plan = b.ess->OptimalPlan(qa);
+  const double budget = b.ess->OptimalCost(qa) * 1.5;
+  const ExecOutcome a = noisy.ExecuteFull(*plan, budget);
+  const ExecOutcome c = clean.ExecuteFull(*plan, budget);
+  EXPECT_EQ(a.completed, c.completed);
+  EXPECT_DOUBLE_EQ(a.cost_charged, c.cost_charged);
+  EXPECT_DOUBLE_EQ(noisy.ErrorFactor(*plan), 1.0);
+}
+
+TEST(NoisyOracleTest, ErrorFactorWithinBand) {
+  NoisyBundle b = MakeBundle(2, 12);
+  const double delta = 0.3;
+  NoisyOracle oracle(b.ess.get(), {3, 3}, delta, 17);
+  for (const Plan* p : b.ess->pool().plans()) {
+    const double f = oracle.ErrorFactor(*p);
+    EXPECT_GE(f, 1.0 / (1.0 + delta) - 1e-12);
+    EXPECT_LE(f, (1.0 + delta) + 1e-12);
+  }
+}
+
+TEST(NoisyOracleTest, ErrorFactorDeterministicPerPlan) {
+  NoisyBundle b = MakeBundle(2, 12);
+  NoisyOracle o1(b.ess.get(), {3, 3}, 0.3, 17);
+  NoisyOracle o2(b.ess.get(), {9, 2}, 0.3, 17);
+  for (const Plan* p : b.ess->pool().plans()) {
+    EXPECT_DOUBLE_EQ(o1.ErrorFactor(*p), o2.ErrorFactor(*p));
+  }
+}
+
+TEST(NoisyOracleTest, SpillFloorStaysSound) {
+  // An aborted spill must never certify a floor at or beyond q_a's true
+  // coordinate, whatever the error factor did.
+  NoisyBundle b = MakeBundle(2, 16);
+  const std::vector<double> no_learned = {-1.0, -1.0};
+  const std::vector<bool> unlearned = {true, true};
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (int x = 2; x < 16; x += 4) {
+      const GridLoc qa = {x, 11};
+      NoisyOracle oracle(b.ess.get(), qa, 0.4, seed);
+      for (int lx = 0; lx < 16; lx += 3) {
+        const GridLoc loc = {lx, 5};
+        const Plan* plan = b.ess->OptimalPlan(loc);
+        const int dim = plan->SpillDimension(unlearned);
+        const ExecOutcome out = oracle.ExecuteSpill(
+            *plan, dim, b.ess->OptimalCost(loc), no_learned);
+        if (!out.completed) {
+          EXPECT_LT(out.learned_floor, qa[static_cast<size_t>(dim)])
+              << "unsound floor at seed " << seed;
+        } else {
+          EXPECT_DOUBLE_EQ(
+              out.learned_sel,
+              b.ess->axis().value(qa[static_cast<size_t>(dim)]));
+        }
+      }
+    }
+  }
+}
+
+struct DeltaCase {
+  double delta;
+  uint64_t seed;
+};
+
+class NoisyGuaranteeTest : public ::testing::TestWithParam<DeltaCase> {};
+
+TEST_P(NoisyGuaranteeTest, MsoWithinInflatedGuarantee) {
+  // Section 7: with budgets inflated by (1 + delta), MSO stays within
+  // (D^2 + 3D)(1 + delta)^2 under delta-bounded cost model errors.
+  // Exhaustive over a 2D ESS.
+  NoisyBundle b = MakeBundle(2, 12);
+  const double delta = GetParam().delta;
+  SpillBound sb(b.ess.get(), SpillBound::Options{1.0 + delta});
+  const double inflated =
+      SpillBound::MsoGuarantee(2) * (1.0 + delta) * (1.0 + delta);
+  for (int64_t lin = 0; lin < b.ess->num_locations(); ++lin) {
+    NoisyOracle oracle(b.ess.get(), b.ess->FromLinear(lin), delta,
+                       GetParam().seed);
+    const DiscoveryResult r = sb.Run(&oracle);
+    ASSERT_TRUE(r.completed);
+    const double subopt = r.total_cost / oracle.ActualOptimalCost();
+    EXPECT_LE(subopt, inflated * (1 + 1e-6)) << "qa=" << lin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NoisyGuaranteeTest,
+    ::testing::Values(DeltaCase{0.0, 1}, DeltaCase{0.1, 2}, DeltaCase{0.3, 3},
+                      DeltaCase{0.3, 99}, DeltaCase{0.5, 4}),
+    [](const ::testing::TestParamInfo<DeltaCase>& info) {
+      return "delta" + std::to_string(static_cast<int>(info.param.delta * 10)) +
+             "_s" + std::to_string(info.param.seed);
+    });
+
+// --- EPP identification ---------------------------------------------------
+
+TEST(EppIdentifierTest, SkewScoreDetectsZipf) {
+  auto catalog = MakeTinyCatalog();
+  // f_fk2 is zipf(theta=1.1) over 400 values: heavy skew.
+  const ColumnStats* zipf = catalog->FindColumnStats("f", "f_fk2");
+  // d1_k is a serial key: perfectly uniform.
+  const ColumnStats* uniform = catalog->FindColumnStats("d1", "d1_k");
+  EXPECT_GT(ColumnSkewScore(*zipf), 8.0);
+  EXPECT_LE(ColumnSkewScore(*uniform), 2.0);
+}
+
+TEST(EppIdentifierTest, FlagsSkewedJoins) {
+  auto catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(0);  // no epps designated yet
+  EppIdentifierOptions options;
+  options.flag_filtered_inputs = false;
+  options.skew_threshold = 8.0;
+  const std::vector<int> epps = IdentifyErrorProneJoins(*catalog, q, options);
+  // f_fk2 (zipf 1.1) must be flagged; f_fk3 (zipf 0.5, mild) should not.
+  EXPECT_NE(std::find(epps.begin(), epps.end(), 1), epps.end());
+  EXPECT_EQ(std::find(epps.begin(), epps.end(), 2), epps.end());
+}
+
+TEST(EppIdentifierTest, FiltersTriggerFlagging) {
+  auto catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(0);
+  EppIdentifierOptions options;
+  options.skew_threshold = 1e9;  // disable skew path
+  options.flag_filtered_inputs = true;
+  const std::vector<int> epps = IdentifyErrorProneJoins(*catalog, q, options);
+  // d1 and d2 carry filters -> joins 0 and 1 flagged; join 2 (d3,
+  // unfiltered, mild skew) not.
+  EXPECT_EQ(epps, (std::vector<int>{0, 1}));
+}
+
+TEST(EppIdentifierTest, ConservativeFlagsEverything) {
+  auto catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(0);
+  EppIdentifierOptions options;
+  options.conservative = true;
+  const std::vector<int> epps = IdentifyErrorProneJoins(*catalog, q, options);
+  EXPECT_EQ(static_cast<int>(epps.size()), q.num_joins());
+}
+
+TEST(EppIdentifierTest, WithIdentifiedEppsRebuildsQuery) {
+  auto catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(0);
+  EppIdentifierOptions options;
+  options.conservative = true;
+  const Query q2 = WithIdentifiedEpps(*catalog, q, options);
+  EXPECT_EQ(q2.num_epps(), q.num_joins());
+  EXPECT_TRUE(q2.Validate(*catalog).ok());
+  EXPECT_EQ(q2.tables(), q.tables());
+}
+
+}  // namespace
+}  // namespace robustqp

@@ -1,0 +1,146 @@
+// End-to-end tests for error-prone *filter* predicates: the general
+// formulation where the ESS mixes join and filter dimensions (the
+// paper's Fig. 1 example query EQ with its retail-price filter).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/alignedbound.h"
+#include "core/oracle.h"
+#include "core/planbouquet.h"
+#include "core/spillbound.h"
+#include "exec/executor.h"
+#include "harness/evaluator.h"
+#include "harness/true_selectivity.h"
+#include "workloads/tpch_mini.h"
+
+namespace robustqp {
+namespace {
+
+class FilterEppTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = BuildTpchMiniCatalog(4242, 0.25).release();
+    query_ = new Query(MakeExampleQueryEq(/*filter_epp=*/true));
+    ASSERT_TRUE(query_->Validate(*catalog_).ok());
+    Ess::Config config;
+    config.points_per_dim = 8;
+    config.min_sel = 1e-4;
+    ess_ = Ess::Build(*catalog_, *query_, config).release();
+  }
+  static Catalog* catalog_;
+  static Query* query_;
+  static Ess* ess_;
+};
+Catalog* FilterEppTest::catalog_ = nullptr;
+Query* FilterEppTest::query_ = nullptr;
+Ess* FilterEppTest::ess_ = nullptr;
+
+TEST_F(FilterEppTest, QueryStructure) {
+  EXPECT_EQ(query_->num_epps(), 3);
+  EXPECT_EQ(query_->JoinOfEppDimension(0), 0);
+  EXPECT_EQ(query_->JoinOfEppDimension(2), -1);
+  EXPECT_EQ(query_->FilterOfEppDimension(2), 0);
+  EXPECT_EQ(query_->EppDimensionOfFilter(0), 2);
+  EXPECT_EQ(query_->EppLabel(2), "s(part.p_retailprice)");
+}
+
+TEST_F(FilterEppTest, InjectionDrivesFilterSelectivity) {
+  const CardinalityEstimator& est = ess_->optimizer().estimator();
+  const EssPoint q = {0.01, 0.01, 0.37};
+  EXPECT_DOUBLE_EQ(est.FilterSelectivityAt(0, q), 0.37);
+  // The part scan's estimated output tracks the injection.
+  const double part_rows = est.FilteredRows(query_->TableIndex("part"), {0}, q);
+  EXPECT_NEAR(part_rows, 5000 * 0.37, 1.0);
+}
+
+TEST_F(FilterEppTest, OcsMonotoneInFilterDimension) {
+  for (int64_t lin = 0; lin < ess_->num_locations(); lin += 3) {
+    const GridLoc loc = ess_->FromLinear(lin);
+    if (loc[2] + 1 >= ess_->points()) continue;
+    GridLoc up = loc;
+    ++up[2];
+    EXPECT_GT(ess_->OptimalCost(up), ess_->OptimalCost(loc));
+  }
+}
+
+TEST_F(FilterEppTest, PlansOrderFilterEppUpstream) {
+  // The filter epp resolves at a scan — the most upstream spot of its
+  // pipeline — so in every POSP plan where it appears it precedes any
+  // join epp of the same pipeline chain. Weak but structural check: the
+  // filter dim appears in every plan's epp order.
+  const std::vector<bool> unlearned = {true, true, true};
+  for (const Plan* p : ess_->pool().plans()) {
+    const auto& order = p->epp_execution_order();
+    EXPECT_EQ(order.size(), 3u) << p->signature();
+    EXPECT_NE(std::find(order.begin(), order.end(), 2), order.end());
+    EXPECT_GE(p->SpillDimension(unlearned), 0);
+    // Spilling on the filter dim targets the part scan node.
+    const int node_id = p->EppNodeId(2);
+    ASSERT_GE(node_id, 0);
+    EXPECT_EQ(p->node(node_id).op, PlanOp::kSeqScan);
+  }
+}
+
+TEST_F(FilterEppTest, SpillBoundWithinGuaranteeExhaustive) {
+  SpillBound sb(ess_);
+  const SuboptimalityStats stats = EvaluateSpillBound(&sb);
+  EXPECT_LE(stats.mso, SpillBound::MsoGuarantee(3) * (1 + 1e-6));
+  EXPECT_GE(stats.mso, 1.0);
+}
+
+TEST_F(FilterEppTest, PlanBouquetWithinGuaranteeExhaustive) {
+  PlanBouquet pb(ess_);
+  const SuboptimalityStats stats = EvaluatePlanBouquet(pb, *ess_);
+  EXPECT_LE(stats.mso, pb.MsoGuarantee() * (1 + 1e-6));
+}
+
+TEST_F(FilterEppTest, AlignedBoundWithinGuaranteeExhaustive) {
+  AlignedBound ab(ess_);
+  const SuboptimalityStats stats = EvaluateAlignedBound(&ab, *ess_);
+  EXPECT_LE(stats.mso, SpillBound::MsoGuarantee(3) * (1 + 1e-6));
+}
+
+TEST_F(FilterEppTest, SimulatedSpillLearnsFilterDim) {
+  const GridLoc qa = {4, 3, 5};
+  SpillBound sb(ess_);
+  SimulatedOracle oracle(ess_, qa);
+  const DiscoveryResult r = sb.Run(&oracle);
+  ASSERT_TRUE(r.completed);
+  for (const auto& s : r.steps) {
+    if (s.spill_dim == 2 && s.completed) {
+      EXPECT_DOUBLE_EQ(s.learned_sel, ess_->axis().value(qa[2]));
+    }
+  }
+}
+
+TEST_F(FilterEppTest, EngineLearnsTrueFilterSelectivity) {
+  // The data's true filter selectivity: p_retailprice uniform in
+  // [1, 2000), filter < 1000 -> ~0.5.
+  const EssPoint truth = ComputeTrueSelectivities(*catalog_, *query_);
+  EXPECT_NEAR(truth[2], 0.5, 0.05);
+
+  Executor executor(catalog_, ess_->config().cost_model);
+  SpillBound sb(ess_);
+  EngineOracle oracle(&executor);
+  const DiscoveryResult r = sb.Run(&oracle);
+  ASSERT_TRUE(r.completed);
+  for (const auto& s : r.steps) {
+    if (s.spill_dim == 2 && s.completed) {
+      EXPECT_NEAR(s.learned_sel, truth[2], 0.02)
+          << "engine-observed filter selectivity should match the data";
+    }
+  }
+}
+
+TEST_F(FilterEppTest, TwoDVariantStillJoinOnly) {
+  const Query q2 = MakeExampleQueryEq(/*filter_epp=*/false);
+  EXPECT_EQ(q2.num_epps(), 2);
+  EXPECT_TRUE(q2.Validate(*catalog_).ok());
+  EXPECT_EQ(q2.FilterOfEppDimension(0), -1);
+  EXPECT_EQ(q2.FilterOfEppDimension(1), -1);
+}
+
+}  // namespace
+}  // namespace robustqp

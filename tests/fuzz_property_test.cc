@@ -1,0 +1,203 @@
+// Randomized (fuzz-style) property tests: arbitrary schemas, random tree
+// join graphs, random error-prone subsets (joins and filters), random
+// data skew — for every generated instance, the structural invariants
+// and the MSO guarantees must hold. Each seed is an independent database
+// + query; failures print the seed for reproduction.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/alignedbound.h"
+#include "core/oracle.h"
+#include "core/planbouquet.h"
+#include "core/spillbound.h"
+#include "harness/evaluator.h"
+#include "storage/stats_builder.h"
+#include "storage/table.h"
+
+namespace robustqp {
+namespace {
+
+struct FuzzInstance {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Query> query;
+  std::unique_ptr<Ess> ess;
+};
+
+/// Generates a random database (3-5 tables, random sizes and skews), a
+/// random tree join query over it, random filters, and a random epp set
+/// of size 2-3 (possibly including a filter epp).
+FuzzInstance MakeInstance(uint64_t seed) {
+  Rng rng(seed);
+  FuzzInstance inst;
+  inst.catalog = std::make_unique<Catalog>();
+
+  const int num_tables = static_cast<int>(rng.UniformInt(3, 5));
+  std::vector<std::string> names;
+  std::vector<int64_t> sizes;
+  for (int t = 0; t < num_tables; ++t) {
+    names.push_back("t" + std::to_string(t));
+    // One biggish "fact" table, smaller dimensions.
+    sizes.push_back(t == 0 ? rng.UniformInt(2000, 6000)
+                           : rng.UniformInt(20, 400));
+  }
+
+  // Tree join graph: table t (t >= 1) attaches to a random earlier table
+  // via key column "k<t>" (serial on the smaller side, skewed FK on the
+  // attaching side).
+  std::vector<JoinPredicate> joins;
+  std::vector<std::vector<std::pair<std::string, std::function<double(Rng&, int64_t)>>>>
+      columns(static_cast<size_t>(num_tables));
+  for (int t = 0; t < num_tables; ++t) {
+    // Every table gets a serial key and a small attribute.
+    columns[static_cast<size_t>(t)].push_back(
+        {"k" + std::to_string(t),
+         [](Rng&, int64_t row) { return static_cast<double>(row + 1); }});
+    const int64_t attr_domain = rng.UniformInt(4, 40);
+    columns[static_cast<size_t>(t)].push_back(
+        {"a" + std::to_string(t), [attr_domain](Rng& r, int64_t) {
+           return static_cast<double>(r.UniformInt(1, attr_domain));
+         }});
+  }
+  for (int t = 1; t < num_tables; ++t) {
+    const int parent = static_cast<int>(rng.UniformInt(0, t - 1));
+    const double theta = rng.UniformDouble(0.2, 1.2);
+    auto sampler = std::make_shared<ZipfSampler>(sizes[static_cast<size_t>(parent)], theta);
+    const std::string fk = "fk" + std::to_string(t);
+    // The larger side holds the FK into the smaller side's key.
+    const int big = sizes[static_cast<size_t>(t)] >= sizes[static_cast<size_t>(parent)] ? t : parent;
+    const int small = big == t ? parent : t;
+    columns[static_cast<size_t>(big)].push_back(
+        {fk, [sampler](Rng& r, int64_t) {
+           return static_cast<double>(sampler->Sample(&r));
+         }});
+    joins.push_back({names[static_cast<size_t>(big)], fk,
+                     names[static_cast<size_t>(small)],
+                     "k" + std::to_string(small), ""});
+  }
+
+  for (int t = 0; t < num_tables; ++t) {
+    std::vector<ColumnDef> defs;
+    for (const auto& [cname, gen] : columns[static_cast<size_t>(t)]) {
+      defs.push_back({cname, DataType::kInt64});
+    }
+    auto table = std::make_shared<Table>(TableSchema(names[static_cast<size_t>(t)], defs));
+    for (int64_t r = 0; r < sizes[static_cast<size_t>(t)]; ++r) {
+      for (size_t c = 0; c < columns[static_cast<size_t>(t)].size(); ++c) {
+        table->column(static_cast<int>(c))
+            .AppendInt(static_cast<int64_t>(columns[static_cast<size_t>(t)][c].second(rng, r)));
+      }
+    }
+    RQP_CHECK(table->Finalize().ok());
+    auto stats = ComputeTableStats(*table);
+    RQP_CHECK(inst.catalog->AddTable(std::move(table), std::move(stats)).ok());
+  }
+  // Index some keys so the index-join path participates.
+  for (int t = 1; t < num_tables; ++t) {
+    if (rng.Bernoulli(0.7)) {
+      RQP_CHECK(inst.catalog->BuildIndex(names[static_cast<size_t>(t)],
+                                         "k" + std::to_string(t)).ok() ||
+                true);
+    }
+  }
+
+  // Random filters on up to two non-fact tables.
+  std::vector<FilterPredicate> filters;
+  for (int t = 1; t < num_tables && filters.size() < 2; ++t) {
+    if (rng.Bernoulli(0.6)) {
+      filters.push_back({names[static_cast<size_t>(t)], "a" + std::to_string(t),
+                         CompareOp::kLe,
+                         static_cast<double>(rng.UniformInt(2, 20))});
+    }
+  }
+
+  // Random epp set: 2-3 dims, mostly joins, sometimes a filter.
+  std::vector<EppRef> epps;
+  const int want = static_cast<int>(rng.UniformInt(2, 3));
+  std::vector<int> join_order;
+  for (int j = 0; j < static_cast<int>(joins.size()); ++j) join_order.push_back(j);
+  for (int j = static_cast<int>(join_order.size()) - 1; j > 0; --j) {
+    std::swap(join_order[static_cast<size_t>(j)],
+              join_order[static_cast<size_t>(rng.UniformInt(0, j))]);
+  }
+  for (int j : join_order) {
+    if (static_cast<int>(epps.size()) >= want) break;
+    epps.push_back(EppRef::Join(j));
+  }
+  if (!filters.empty() && static_cast<int>(epps.size()) < want + 1 &&
+      rng.Bernoulli(0.5)) {
+    epps.push_back(EppRef::Filter(0));
+  }
+
+  inst.query = std::make_unique<Query>("fuzz" + std::to_string(seed), names,
+                                       joins, filters, epps);
+  RQP_CHECK(inst.query->Validate(*inst.catalog).ok());
+
+  Ess::Config config;
+  config.points_per_dim = inst.query->num_epps() <= 2 ? 10 : 6;
+  config.min_sel = 1e-4;
+  inst.ess = Ess::Build(*inst.catalog, *inst.query, config);
+  return inst;
+}
+
+class FuzzPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzPropertyTest, GuaranteesHoldOnRandomInstance) {
+  FuzzInstance inst = MakeInstance(GetParam());
+  const Ess& ess = *inst.ess;
+  const int D = ess.dims();
+
+  // Structural: OCS monotonicity. Non-strict here: random instances can
+  // have expected cardinality deltas below double-precision granularity
+  // (tiny tables x tiny selectivities), where the strict inequality
+  // underflows. The curated suite tests assert strictness.
+  for (int64_t lin = 0; lin < ess.num_locations(); lin += 3) {
+    const GridLoc loc = ess.FromLinear(lin);
+    for (int d = 0; d < D; ++d) {
+      if (loc[static_cast<size_t>(d)] + 1 >= ess.points()) continue;
+      GridLoc up = loc;
+      ++up[static_cast<size_t>(d)];
+      ASSERT_GE(ess.OptimalCost(up), ess.OptimalCost(loc))
+          << "seed " << GetParam();
+    }
+  }
+
+  // Algorithms: exhaustive over the (small) grid.
+  SpillBound sb(&ess);
+  const SuboptimalityStats s_sb = EvaluateSpillBound(&sb);
+  EXPECT_LE(s_sb.mso, SpillBound::MsoGuarantee(D) * (1 + 1e-6))
+      << "seed " << GetParam();
+
+  PlanBouquet pb(&ess);
+  const SuboptimalityStats s_pb = EvaluatePlanBouquet(pb, ess);
+  EXPECT_LE(s_pb.mso, pb.MsoGuarantee() * (1 + 1e-6)) << "seed " << GetParam();
+
+  AlignedBound ab(&ess);
+  const SuboptimalityStats s_ab = EvaluateAlignedBound(&ab, ess);
+  EXPECT_LE(s_ab.mso, SpillBound::MsoGuarantee(D) * (1 + 1e-6))
+      << "seed " << GetParam();
+}
+
+TEST_P(FuzzPropertyTest, EngineDiscoveryCompletesOnRandomInstance) {
+  FuzzInstance inst = MakeInstance(GetParam() + 1000);
+  Executor executor(inst.catalog.get(), inst.ess->config().cost_model);
+  SpillBound sb(inst.ess.get());
+  EngineOracle oracle(&executor);
+  const DiscoveryResult r = sb.Run(&oracle);
+  EXPECT_TRUE(r.completed) << "seed " << GetParam();
+  EXPECT_GT(r.total_cost, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010, 1111, 1212, 1313,
+                                           1414, 1515, 1616, 1717, 1818, 1919,
+                                           2020),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace robustqp

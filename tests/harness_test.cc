@@ -1,0 +1,181 @@
+// Tests for the harness layer: exhaustive evaluator plumbing, the
+// workbench cache, ground-truth selectivity measurement, and the trace
+// printers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/oracle.h"
+#include "core/spillbound.h"
+#include "harness/evaluator.h"
+#include "harness/trace_printer.h"
+#include "harness/true_selectivity.h"
+#include "harness/workbench.h"
+#include "test_util.h"
+
+namespace robustqp {
+namespace {
+
+using testing_util::MakeStarQuery;
+using testing_util::MakeTinyCatalog;
+
+TEST(WorkbenchTest, CachesByQueryAndConfig) {
+  const Workbench::Entry& a = Workbench::Get("2D_Q91");
+  const Workbench::Entry& b = Workbench::Get("2D_Q91");
+  EXPECT_EQ(&a, &b);
+
+  Ess::Config other;
+  other.points_per_dim = 12;
+  const Workbench::Entry& c = Workbench::Get("2D_Q91", other);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(c.ess->points(), 12);
+
+  Ess::Config commercial;
+  commercial.cost_model = CostModel::CommercialFlavour();
+  const Workbench::Entry& d = Workbench::Get("2D_Q91", commercial);
+  EXPECT_NE(&a, &d);
+}
+
+TEST(WorkbenchTest, SharedCatalogs) {
+  EXPECT_EQ(Workbench::TpcdsCatalog().get(), Workbench::TpcdsCatalog().get());
+  EXPECT_NE(Workbench::TpcdsCatalog().get(), Workbench::JobCatalog().get());
+  const Workbench::Entry& job = Workbench::Get("4D_JOB_Q1a");
+  EXPECT_EQ(job.catalog.get(), Workbench::JobCatalog().get());
+}
+
+TEST(TrueSelectivityTest, MatchesHandCount) {
+  auto catalog = MakeTinyCatalog();
+  // Unfiltered single FK join: truth is exactly 1/|d1| = 0.01 (every fact
+  // row matches exactly one d1 row; no filter interplay).
+  Query q("t", {"f", "d1"}, {{"f", "f_fk1", "d1", "d1_k", ""}}, {}, std::vector<int>{0});
+  const EssPoint truth = ComputeTrueSelectivities(*catalog, q);
+  ASSERT_EQ(truth.size(), 1u);
+  EXPECT_NEAR(truth[0], 0.01, 1e-12);
+}
+
+TEST(TrueSelectivityTest, FiltersChangeTheDenominator) {
+  auto catalog = MakeTinyCatalog();
+  // With the d1_a <= 3 filter, the denominator shrinks to the filtered d1
+  // and the numerator to facts whose d1 row survives; the ratio stays
+  // within a sane band around 1/100 but is not exactly it (zipf skew).
+  const Query q = MakeStarQuery(1);
+  const EssPoint truth = ComputeTrueSelectivities(*catalog, q);
+  EXPECT_GT(truth[0], 0.003);
+  EXPECT_LT(truth[0], 0.03);
+}
+
+TEST(TrueSelectivityTest, AllEppDimensionsComputed) {
+  auto catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(3);
+  const EssPoint truth = ComputeTrueSelectivities(*catalog, q);
+  ASSERT_EQ(truth.size(), 3u);
+  for (double s : truth) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+class TracePrinterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = MakeTinyCatalog().release();
+    query_ = new Query(MakeStarQuery(2));
+    Ess::Config config;
+    config.points_per_dim = 12;
+    ess_ = Ess::Build(*catalog_, *query_, config).release();
+  }
+  static Catalog* catalog_;
+  static Query* query_;
+  static Ess* ess_;
+};
+Catalog* TracePrinterTest::catalog_ = nullptr;
+Query* TracePrinterTest::query_ = nullptr;
+Ess* TracePrinterTest::ess_ = nullptr;
+
+TEST_F(TracePrinterTest, ExecutionTraceContainsEveryStep) {
+  SpillBound sb(ess_);
+  SimulatedOracle oracle(ess_, {8, 8});
+  const DiscoveryResult r = sb.Run(&oracle);
+  ASSERT_TRUE(r.completed);
+  std::ostringstream os;
+  PrintExecutionTrace(*ess_, r, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("total cost:"), std::string::npos);
+  EXPECT_NE(out.find("query completed"), std::string::npos);
+  // One data row per execution (count pipe-prefixed lines minus header
+  // and separator).
+  int rows = 0;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '|') ++rows;
+  }
+  EXPECT_EQ(rows, r.num_executions() + 2);  // + header + separator rows
+}
+
+TEST_F(TracePrinterTest, SpillStepsLowerCased) {
+  SpillBound sb(ess_);
+  SimulatedOracle oracle(ess_, {8, 8});
+  const DiscoveryResult r = sb.Run(&oracle);
+  std::ostringstream os;
+  PrintExecutionTrace(*ess_, r, os);
+  // Spill executions render as p<N>[e<dim>].
+  bool has_spill = false;
+  for (const auto& s : r.steps) has_spill |= s.spill_dim >= 0;
+  if (has_spill) {
+    EXPECT_NE(os.str().find("[e"), std::string::npos);
+  }
+}
+
+TEST_F(TracePrinterTest, DrilldownHasEppColumns) {
+  SpillBound sb(ess_);
+  SimulatedOracle oracle(ess_, {6, 9});
+  const DiscoveryResult r = sb.Run(&oracle);
+  std::ostringstream os;
+  PrintContourDrilldown(*ess_, r, os);
+  EXPECT_NE(os.str().find("e1 ("), std::string::npos);
+  EXPECT_NE(os.str().find("e2 ("), std::string::npos);
+  EXPECT_NE(os.str().find("cum. cost"), std::string::npos);
+}
+
+TEST_F(TracePrinterTest, DrilldownSecondsColumn) {
+  SpillBound sb(ess_);
+  SimulatedOracle oracle(ess_, {6, 9});
+  const DiscoveryResult r = sb.Run(&oracle);
+  std::ostringstream os;
+  PrintContourDrilldown(*ess_, r, os, /*seconds_per_unit=*/1e-6);
+  EXPECT_NE(os.str().find("time (s)"), std::string::npos);
+}
+
+TEST(EvaluatorPlumbingTest, PercentileSemantics) {
+  SuboptimalityStats stats;
+  for (int i = 1; i <= 100; ++i) stats.subopt.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(stats.Percentile(100.0), 100.0);
+  EXPECT_NEAR(stats.Percentile(50.0), 51.0, 1.0);
+  EXPECT_NEAR(stats.Percentile(95.0), 96.0, 1.0);
+  SuboptimalityStats empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(95.0), 0.0);
+}
+
+TEST(EvaluatorPlumbingTest, WorstLocationConsistent) {
+  auto catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(2);
+  Ess::Config config;
+  config.points_per_dim = 10;
+  auto ess = Ess::Build(*catalog, q, config);
+  SpillBound sb(ess.get());
+  const SuboptimalityStats stats = EvaluateSpillBound(&sb);
+  ASSERT_GE(stats.worst_location, 0);
+  EXPECT_DOUBLE_EQ(stats.subopt[static_cast<size_t>(stats.worst_location)],
+                   stats.mso);
+  // ASO equals the mean of the per-location vector.
+  double sum = 0.0;
+  for (double s : stats.subopt) sum += s;
+  EXPECT_NEAR(stats.aso, sum / static_cast<double>(stats.subopt.size()), 1e-12);
+  // Sub-optimality is >= 1 everywhere.
+  for (double s : stats.subopt) EXPECT_GE(s, 1.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace robustqp

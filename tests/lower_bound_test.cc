@@ -1,0 +1,94 @@
+// Tests for the Theorem 4.6 lower-bound adversary game: every strategy —
+// optimal play, SpillBound-style play, and randomized play — pays at
+// least D times the oracle-optimal cost, and the bound is tight (optimal
+// play pays exactly D).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/lower_bound_game.h"
+
+namespace robustqp {
+namespace {
+
+TEST(LowerBoundGameTest, OptimalPlayPaysExactlyD) {
+  for (int dims = 2; dims <= 8; ++dims) {
+    LowerBoundGame game(dims, 1.0);
+    // Best possible deterministic play: resolve D-1 dimensions at exactly
+    // the informative budget, then complete the pinned scenario.
+    for (int d = 0; d < dims - 1; ++d) {
+      const auto r = game.ProbeDimension(d, 1.0);
+      EXPECT_TRUE(r.resolved);
+      EXPECT_FALSE(r.coordinate_is_far) << "adversary must deny dim " << d;
+    }
+    EXPECT_EQ(game.remaining_scenarios(), 1);
+    EXPECT_TRUE(game.AttemptCompletion(dims - 1, 1.0));
+    EXPECT_DOUBLE_EQ(game.total_cost(), static_cast<double>(dims));
+  }
+}
+
+TEST(LowerBoundGameTest, SubUnitProbesRevealNothing) {
+  LowerBoundGame game(3, 1.0);
+  const auto r = game.ProbeDimension(0, 0.5);
+  EXPECT_FALSE(r.resolved);
+  EXPECT_EQ(game.remaining_scenarios(), 3);
+  EXPECT_DOUBLE_EQ(game.total_cost(), 0.5);
+}
+
+TEST(LowerBoundGameTest, PrematureCompletionIsDenied) {
+  LowerBoundGame game(3, 1.0);
+  // Gambling on a scenario before discovery: the adversary denies it and
+  // the whole budget burns.
+  EXPECT_FALSE(game.AttemptCompletion(1, 7.0));
+  EXPECT_DOUBLE_EQ(game.total_cost(), 7.0);
+  EXPECT_EQ(game.remaining_scenarios(), 2);
+  // Denying all but one pins the adversary.
+  EXPECT_FALSE(game.AttemptCompletion(0, 1.0));
+  EXPECT_EQ(game.remaining_scenarios(), 1);
+  EXPECT_TRUE(game.AttemptCompletion(2, 1.0));
+  EXPECT_GE(game.total_cost(), 3.0);
+}
+
+TEST(LowerBoundGameTest, SpillBoundStyleStrategyAtLeastD) {
+  for (int dims = 2; dims <= 8; ++dims) {
+    const double subopt = PlaySpillBoundStyleStrategy(dims);
+    EXPECT_GE(subopt, static_cast<double>(dims)) << "dims " << dims;
+    // And comfortably below the D^2+3D upper guarantee.
+    EXPECT_LE(subopt, static_cast<double>(dims * dims + 3 * dims));
+  }
+}
+
+TEST(LowerBoundGameTest, RandomStrategiesNeverBeatD) {
+  // Property: no play-out, however lucky-looking, finishes below D * C.
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const int dims = static_cast<int>(rng.UniformInt(2, 6));
+    LowerBoundGame game(dims, 1.0);
+    int guard = 0;
+    while (!game.finished() && ++guard < 500) {
+      const int dim = static_cast<int>(rng.UniformInt(0, dims - 1));
+      const double budget = rng.UniformDouble(0.1, 3.0);
+      if (rng.Bernoulli(0.3)) {
+        game.AttemptCompletion(dim, budget);
+      } else {
+        game.ProbeDimension(dim, budget);
+      }
+    }
+    if (game.finished()) {
+      EXPECT_GE(game.total_cost(), static_cast<double>(dims) - 1e-9)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(LowerBoundGameTest, AdversaryKeepsAScenarioAlive) {
+  LowerBoundGame game(4, 2.0);
+  for (int d = 0; d < 4 && !game.finished(); ++d) {
+    game.ProbeDimension(d, 2.0);
+    EXPECT_GE(game.remaining_scenarios(), 1);
+  }
+  EXPECT_EQ(game.remaining_scenarios(), 1);
+}
+
+}  // namespace
+}  // namespace robustqp

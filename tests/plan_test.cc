@@ -1,0 +1,177 @@
+// Unit tests for physical plans: signatures, node indexing, the epp
+// execution total-order of Section 3.1.3, and spill-node identification.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "plan/plan.h"
+#include "plan/plan_pool.h"
+#include "test_util.h"
+
+namespace robustqp {
+namespace {
+
+using testing_util::MakeStarQuery;
+
+std::unique_ptr<PlanNode> Scan(int table_idx) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = PlanOp::kSeqScan;
+  n->table_idx = table_idx;
+  return n;
+}
+
+std::unique_ptr<PlanNode> Join(PlanOp op, int join_idx,
+                               std::unique_ptr<PlanNode> left,
+                               std::unique_ptr<PlanNode> right) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = op;
+  n->join_indices = {join_idx};
+  n->left = std::move(left);
+  n->right = std::move(right);
+  return n;
+}
+
+// A left-deep plan for the star query:
+//   HJ(j2, HJ(j1, HJ(j0, d1, f), d2), d3)
+// with the scans' children ordered (build, probe).
+std::unique_ptr<PlanNode> LeftDeepStar() {
+  auto j0 = Join(PlanOp::kHashJoin, 0, Scan(1), Scan(0));
+  auto j1 = Join(PlanOp::kHashJoin, 1, Scan(2), std::move(j0));
+  return Join(PlanOp::kHashJoin, 2, Scan(3), std::move(j1));
+}
+
+TEST(PlanTest, PreOrderIds) {
+  const Query q = MakeStarQuery(3);
+  Plan plan(&q, LeftDeepStar());
+  EXPECT_EQ(plan.num_nodes(), 7);
+  EXPECT_EQ(plan.root().id, 0);
+  // Pre-order: root, left(d3 scan), right(HJ j1), its left (d2), ...
+  EXPECT_EQ(plan.node(0).op, PlanOp::kHashJoin);
+  EXPECT_EQ(plan.node(1).op, PlanOp::kSeqScan);
+  EXPECT_EQ(plan.node(1).table_idx, 3);
+  EXPECT_EQ(plan.node(2).op, PlanOp::kHashJoin);
+}
+
+TEST(PlanTest, SignatureDistinguishesStructure) {
+  const Query q = MakeStarQuery(3);
+  Plan a(&q, LeftDeepStar());
+  Plan b(&q, LeftDeepStar());
+  EXPECT_EQ(a.signature(), b.signature());
+
+  // Swapping build/probe of the innermost join changes the signature.
+  auto j0 = Join(PlanOp::kHashJoin, 0, Scan(0), Scan(1));
+  auto j1 = Join(PlanOp::kHashJoin, 1, Scan(2), std::move(j0));
+  Plan c(&q, Join(PlanOp::kHashJoin, 2, Scan(3), std::move(j1)));
+  EXPECT_NE(a.signature(), c.signature());
+
+  // Changing an operator changes the signature.
+  auto j0b = Join(PlanOp::kNLJoin, 0, Scan(1), Scan(0));
+  auto j1b = Join(PlanOp::kHashJoin, 1, Scan(2), std::move(j0b));
+  Plan d(&q, Join(PlanOp::kHashJoin, 2, Scan(3), std::move(j1b)));
+  EXPECT_NE(a.signature(), d.signature());
+}
+
+TEST(PlanTest, CloneIsDeepAndEquivalent) {
+  const Query q = MakeStarQuery(3);
+  Plan a(&q, LeftDeepStar());
+  Plan b(&q, a.root().Clone());
+  EXPECT_EQ(a.signature(), b.signature());
+  EXPECT_NE(&a.root(), &b.root());
+}
+
+TEST(PlanTest, EppExecutionOrderHashJoins) {
+  const Query q = MakeStarQuery(3);
+  Plan plan(&q, LeftDeepStar());
+  // Every join's build side is a plain scan, so the order is bottom-up
+  // along the probe chain: j0 (innermost) first, then j1, then j2.
+  ASSERT_EQ(plan.epp_execution_order().size(), 3u);
+  EXPECT_EQ(plan.epp_execution_order()[0], 0);
+  EXPECT_EQ(plan.epp_execution_order()[1], 1);
+  EXPECT_EQ(plan.epp_execution_order()[2], 2);
+}
+
+TEST(PlanTest, EppExecutionOrderBlockingChildFirst) {
+  const Query q = MakeStarQuery(3);
+  // Bushy: HJ(j1, build = HJ(j0, d1, f), probe = HJ? not possible with one
+  // fact table; instead nest on the build side:
+  //   HJ(j2, build = HJ(j1, d2, HJ(j0, d1, f)), probe = d3)   -- builds first
+  auto inner = Join(PlanOp::kHashJoin, 0, Scan(1), Scan(0));
+  auto mid = Join(PlanOp::kHashJoin, 1, Scan(2), std::move(inner));
+  Plan plan(&q, Join(PlanOp::kHashJoin, 2, std::move(mid), Scan(3)));
+  // The build (blocking) subtree contains j0 then j1; the root j2 is last.
+  ASSERT_EQ(plan.epp_execution_order().size(), 3u);
+  EXPECT_EQ(plan.epp_execution_order()[0], 0);
+  EXPECT_EQ(plan.epp_execution_order()[1], 1);
+  EXPECT_EQ(plan.epp_execution_order()[2], 2);
+}
+
+TEST(PlanTest, EppExecutionOrderNLJoinInnerFirst) {
+  const Query q = MakeStarQuery(3);
+  // NLJ at the root: outer = HJ(j0..j1 chain), inner = scan d3. The inner
+  // (blocking) side has no epps, so order is j0, j1, then root j2.
+  auto j0 = Join(PlanOp::kHashJoin, 0, Scan(1), Scan(0));
+  auto j1 = Join(PlanOp::kHashJoin, 1, Scan(2), std::move(j0));
+  Plan plan(&q, Join(PlanOp::kNLJoin, 2, std::move(j1), Scan(3)));
+  ASSERT_EQ(plan.epp_execution_order().size(), 3u);
+  EXPECT_EQ(plan.epp_execution_order()[2], 2);
+}
+
+TEST(PlanTest, SpillDimensionIsFirstUnlearned) {
+  const Query q = MakeStarQuery(3);
+  Plan plan(&q, LeftDeepStar());
+  EXPECT_EQ(plan.SpillDimension({true, true, true}), 0);
+  EXPECT_EQ(plan.SpillDimension({false, true, true}), 1);
+  EXPECT_EQ(plan.SpillDimension({false, false, true}), 2);
+  EXPECT_EQ(plan.SpillDimension({false, false, false}), -1);
+  EXPECT_EQ(plan.SpillDimension({false, true, false}), 1);
+}
+
+TEST(PlanTest, EppNodeId) {
+  const Query q = MakeStarQuery(3);
+  Plan plan(&q, LeftDeepStar());
+  // Root evaluates j2 -> dim 2 at node 0.
+  EXPECT_EQ(plan.EppNodeId(2), 0);
+  EXPECT_EQ(plan.EppNodeId(1), 2);
+  EXPECT_EQ(plan.EppNodeId(0), 4);
+}
+
+TEST(PlanTest, OnlyEppJoinsInOrder) {
+  const Query q = MakeStarQuery(1);  // only j0 is an epp
+  Plan plan(&q, LeftDeepStar());
+  ASSERT_EQ(plan.epp_execution_order().size(), 1u);
+  EXPECT_EQ(plan.epp_execution_order()[0], 0);
+}
+
+TEST(PlanTest, ToStringMentionsOperatorsAndEpps) {
+  const Query q = MakeStarQuery(3);
+  Plan plan(&q, LeftDeepStar());
+  plan.set_display_name("P1");
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("HashJoin"), std::string::npos);
+  EXPECT_NE(s.find("SeqScan f"), std::string::npos);
+  EXPECT_NE(s.find("epp e1"), std::string::npos);
+}
+
+TEST(PlanPoolTest, InternDedups) {
+  const Query q = MakeStarQuery(3);
+  PlanPool pool;
+  const Plan* a = pool.Intern(std::make_unique<Plan>(&q, LeftDeepStar()));
+  const Plan* b = pool.Intern(std::make_unique<Plan>(&q, LeftDeepStar()));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(a->display_name(), "P1");
+
+  auto j0 = Join(PlanOp::kNLJoin, 0, Scan(1), Scan(0));
+  auto j1 = Join(PlanOp::kHashJoin, 1, Scan(2), std::move(j0));
+  const Plan* c = pool.Intern(std::make_unique<Plan>(
+      &q, Join(PlanOp::kHashJoin, 2, Scan(3), std::move(j1))));
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.size(), 2);
+  EXPECT_EQ(c->display_name(), "P2");
+  EXPECT_EQ(pool.Find(a->signature()), a);
+  EXPECT_EQ(pool.Find("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace robustqp

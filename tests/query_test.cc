@@ -1,0 +1,95 @@
+// Unit tests for the query layer: structure accessors and validation.
+
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+#include "test_util.h"
+
+namespace robustqp {
+namespace {
+
+using testing_util::MakeBranchQuery;
+using testing_util::MakeStarQuery;
+using testing_util::MakeTinyCatalog;
+
+TEST(QueryTest, BasicAccessors) {
+  const Query q = MakeStarQuery(2);
+  EXPECT_EQ(q.num_tables(), 4);
+  EXPECT_EQ(q.num_joins(), 3);
+  EXPECT_EQ(q.num_epps(), 2);
+  EXPECT_EQ(q.TableIndex("f"), 0);
+  EXPECT_EQ(q.TableIndex("d3"), 3);
+  EXPECT_EQ(q.TableIndex("zz"), -1);
+}
+
+TEST(QueryTest, EppDimensionMapping) {
+  const Query q = MakeStarQuery(2);
+  EXPECT_EQ(q.EppDimensionOfJoin(0), 0);
+  EXPECT_EQ(q.EppDimensionOfJoin(1), 1);
+  EXPECT_EQ(q.EppDimensionOfJoin(2), -1);  // third join is not error-prone
+  EXPECT_EQ(q.JoinOfEppDimension(0), 0);
+  EXPECT_EQ(q.EppLabel(0), "F~D1");
+}
+
+TEST(QueryTest, JoinTableMask) {
+  const Query q = MakeStarQuery(3);
+  EXPECT_EQ(q.JoinTableMask(0), 0b0011u);  // f, d1
+  EXPECT_EQ(q.JoinTableMask(1), 0b0101u);  // f, d2
+  EXPECT_EQ(q.JoinTableMask(2), 0b1001u);  // f, d3
+}
+
+TEST(QueryTest, ValidatesAgainstCatalog) {
+  auto catalog = MakeTinyCatalog();
+  EXPECT_TRUE(MakeStarQuery(3).Validate(*catalog).ok());
+  EXPECT_TRUE(MakeBranchQuery(3).Validate(*catalog).ok());
+}
+
+TEST(QueryTest, RejectsUnknownTable) {
+  auto catalog = MakeTinyCatalog();
+  Query q("bad", {"f", "nope"}, {{"f", "f_fk1", "nope", "x", ""}}, {}, std::vector<int>{});
+  EXPECT_FALSE(q.Validate(*catalog).ok());
+}
+
+TEST(QueryTest, RejectsUnknownColumn) {
+  auto catalog = MakeTinyCatalog();
+  Query q("bad", {"f", "d1"}, {{"f", "f_nope", "d1", "d1_k", ""}}, {}, std::vector<int>{});
+  EXPECT_FALSE(q.Validate(*catalog).ok());
+}
+
+TEST(QueryTest, RejectsDisconnectedJoinGraph) {
+  auto catalog = MakeTinyCatalog();
+  Query q("bad", {"f", "d1", "d2"}, {{"f", "f_fk1", "d1", "d1_k", ""}}, {}, std::vector<int>{});
+  EXPECT_FALSE(q.Validate(*catalog).ok());
+}
+
+TEST(QueryTest, RejectsDuplicateTables) {
+  auto catalog = MakeTinyCatalog();
+  Query q("bad", {"f", "f"}, {}, {}, std::vector<int>{});
+  EXPECT_FALSE(q.Validate(*catalog).ok());
+}
+
+TEST(QueryTest, RejectsBadEppIndices) {
+  auto catalog = MakeTinyCatalog();
+  Query q1("bad", {"f", "d1"}, {{"f", "f_fk1", "d1", "d1_k", ""}}, {}, std::vector<int>{5});
+  EXPECT_FALSE(q1.Validate(*catalog).ok());
+  Query q2("bad", {"f", "d1"}, {{"f", "f_fk1", "d1", "d1_k", ""}}, {}, std::vector<int>{0, 0});
+  EXPECT_FALSE(q2.Validate(*catalog).ok());
+}
+
+TEST(QueryTest, RejectsFilterOnForeignTable) {
+  auto catalog = MakeTinyCatalog();
+  Query q("bad", {"f", "d1"}, {{"f", "f_fk1", "d1", "d1_k", ""}},
+          {{"d2", "d2_a", CompareOp::kLt, 1.0}}, std::vector<int>{});
+  EXPECT_FALSE(q.Validate(*catalog).ok());
+}
+
+TEST(CompareOpTest, Names) {
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLt), "<");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kGt), ">");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kGe), ">=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kEq), "=");
+}
+
+}  // namespace
+}  // namespace robustqp

@@ -1,0 +1,177 @@
+// Robustness / failure-injection tests: invariant violations abort loudly
+// (RQP_CHECK), malformed inputs are rejected with Status rather than
+// undefined behaviour, and degenerate shapes (empty filters results,
+// single-row tables, all-equal columns) flow through the stack safely.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/log_grid.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "ess/ess.h"
+#include "optimizer/optimizer.h"
+#include "storage/stats_builder.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace robustqp {
+namespace {
+
+using testing_util::MakeStarQuery;
+using testing_util::MakeTinyCatalog;
+
+TEST(CheckDeathTest, RqpCheckAborts) {
+  EXPECT_DEATH(RQP_CHECK(1 == 2), "RQP_CHECK failed");
+}
+
+TEST(LogAxisDeathTest, RejectsDegenerateArguments) {
+  EXPECT_DEATH(LogAxis(0.0, 10), "RQP_CHECK failed");
+  EXPECT_DEATH(LogAxis(1.5, 10), "RQP_CHECK failed");
+  EXPECT_DEATH(LogAxis(0.1, 1), "RQP_CHECK failed");
+}
+
+TEST(EssDeathTest, RejectsBadContourRatio) {
+  auto catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(2);
+  Ess::Config config;
+  config.points_per_dim = 6;
+  config.contour_cost_ratio = 1.0;  // must be > 1
+  EXPECT_DEATH(Ess::Build(*catalog, q, config), "RQP_CHECK failed");
+}
+
+TEST(RobustnessTest, FilterEliminatingEverything) {
+  // A filter that keeps zero dimension rows: joins produce zero output,
+  // yet execution, costing and discovery must stay well-defined.
+  auto catalog = MakeTinyCatalog();
+  Query q("empty", {"f", "d1"}, {{"f", "f_fk1", "d1", "d1_k", ""}},
+          {{"d1", "d1_a", CompareOp::kGt, 1e9}}, std::vector<int>{0});
+  ASSERT_TRUE(q.Validate(*catalog).ok());
+  Optimizer opt(catalog.get(), &q);
+  const auto plan = opt.Optimize({0.01});
+  EXPECT_GT(opt.PlanCost(*plan, {0.01}), 0.0);
+  Executor exec(catalog.get(), CostModel::PostgresFlavour());
+  const auto res = exec.Execute(*plan, -1.0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->completed);
+  EXPECT_EQ(res->output_rows, 0);
+}
+
+TEST(RobustnessTest, SingleRowTables) {
+  Catalog catalog;
+  for (const char* name : {"a", "b"}) {
+    TableSchema schema(name, {{"k", DataType::kInt64}});
+    auto t = std::make_shared<Table>(schema);
+    t->column(0).AppendInt(1);
+    ASSERT_TRUE(t->Finalize().ok());
+    ASSERT_TRUE(catalog.AddTable(t, ComputeTableStats(*t)).ok());
+  }
+  Query q("tiny", {"a", "b"}, {{"a", "k", "b", "k", ""}}, {}, std::vector<int>{0});
+  ASSERT_TRUE(q.Validate(catalog).ok());
+  Ess::Config config;
+  config.points_per_dim = 4;
+  auto ess = Ess::Build(catalog, q, config);
+  EXPECT_GE(ess->num_contours(), 1);
+  Executor exec(&catalog, CostModel::PostgresFlavour());
+  const auto plan = ess->optimizer().Optimize({1.0});
+  const auto res = exec.Execute(*plan, -1.0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->completed);
+  EXPECT_EQ(res->output_rows, 1);
+}
+
+TEST(RobustnessTest, AllEqualJoinColumn) {
+  // Every row of both sides carries the same key: the join degenerates to
+  // a full cross product; hash, merge and nested-loop variants must agree
+  // and budget enforcement must still bite.
+  Catalog catalog;
+  for (const char* name : {"a", "b"}) {
+    TableSchema schema(name, {{"k", DataType::kInt64}});
+    auto t = std::make_shared<Table>(schema);
+    for (int i = 0; i < 50; ++i) t->column(0).AppendInt(7);
+    ASSERT_TRUE(t->Finalize().ok());
+    ASSERT_TRUE(catalog.AddTable(t, ComputeTableStats(*t)).ok());
+  }
+  Query q("cross", {"a", "b"}, {{"a", "k", "b", "k", ""}}, {}, std::vector<int>{0});
+  ASSERT_TRUE(q.Validate(catalog).ok());
+  Executor exec(&catalog, CostModel::PostgresFlavour());
+
+  int64_t counts[3];
+  int i = 0;
+  for (PlanOp op :
+       {PlanOp::kHashJoin, PlanOp::kNLJoin, PlanOp::kSortMergeJoin}) {
+    auto sa = std::make_unique<PlanNode>();
+    sa->op = PlanOp::kSeqScan;
+    sa->table_idx = 0;
+    auto sb = std::make_unique<PlanNode>();
+    sb->op = PlanOp::kSeqScan;
+    sb->table_idx = 1;
+    auto join = std::make_unique<PlanNode>();
+    join->op = op;
+    join->join_indices = {0};
+    join->left = std::move(sa);
+    join->right = std::move(sb);
+    Plan plan(&q, std::move(join));
+    const auto res = exec.Execute(plan, -1.0);
+    ASSERT_TRUE(res.ok() && res->completed);
+    counts[i++] = res->output_rows;
+
+    const auto aborted = exec.Execute(plan, 75.0);
+    ASSERT_TRUE(aborted.ok());
+    EXPECT_FALSE(aborted->completed);
+  }
+  EXPECT_EQ(counts[0], 2500);
+  EXPECT_EQ(counts[1], 2500);
+  EXPECT_EQ(counts[2], 2500);
+}
+
+TEST(RobustnessTest, ZeroBudgetExecutionAbortsImmediately) {
+  auto catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(1);
+  Optimizer opt(catalog.get(), &q);
+  const auto plan = opt.Optimize({0.01});
+  Executor exec(catalog.get(), CostModel::PostgresFlavour());
+  const auto res = exec.Execute(*plan, 0.0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->completed);
+  EXPECT_EQ(res->output_rows, 0);
+}
+
+TEST(RobustnessTest, ParallelEssBuildMatchesSerial) {
+  // Determinism under the parallel grid sweep: forcing multiple worker
+  // threads must produce exactly the serial surface.
+  auto catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(2);
+  Ess::Config serial;
+  serial.points_per_dim = 14;
+  serial.num_threads = 1;
+  Ess::Config parallel = serial;
+  parallel.num_threads = 4;
+  auto a = Ess::Build(*catalog, q, serial);
+  auto b = Ess::Build(*catalog, q, parallel);
+  ASSERT_EQ(a->num_locations(), b->num_locations());
+  for (int64_t lin = 0; lin < a->num_locations(); ++lin) {
+    EXPECT_DOUBLE_EQ(a->OptimalCost(lin), b->OptimalCost(lin));
+    EXPECT_EQ(a->OptimalPlan(lin)->signature(),
+              b->OptimalPlan(lin)->signature());
+  }
+  EXPECT_EQ(a->pool().size(), b->pool().size());
+}
+
+TEST(RobustnessTest, EstimatorClampsExtremeFilters) {
+  auto catalog = MakeTinyCatalog();
+  Query q("clamp", {"f", "d1"}, {{"f", "f_fk1", "d1", "d1_k", ""}},
+          {{"d1", "d1_a", CompareOp::kLt, -100.0},
+           {"d1", "d1_a", CompareOp::kGe, -100.0}},
+          std::vector<int>{0});
+  ASSERT_TRUE(q.Validate(*catalog).ok());
+  CardinalityEstimator est(catalog.get(), &q);
+  EXPECT_GT(est.FilterSelectivity(0), 0.0);  // clamped away from zero
+  EXPECT_LE(est.FilterSelectivity(0), 1.0);
+  EXPECT_DOUBLE_EQ(est.FilterSelectivity(1), 1.0);
+  EXPECT_GE(est.FilteredRows(1, {0, 1}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace robustqp

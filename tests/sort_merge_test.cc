@@ -1,0 +1,197 @@
+// Tests for the sort-merge join operator: result equivalence with hash
+// join (including duplicate-key cross products), cost-model behaviour,
+// budget abort during sort and merge phases, and epp ordering.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "storage/stats_builder.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace robustqp {
+namespace {
+
+using testing_util::MakeStarQuery;
+using testing_util::MakeTinyCatalog;
+
+std::unique_ptr<Plan> TwoTablePlan(const Query& q, PlanOp op) {
+  auto scan_f = std::make_unique<PlanNode>();
+  scan_f->op = PlanOp::kSeqScan;
+  scan_f->table_idx = 0;
+  auto scan_d = std::make_unique<PlanNode>();
+  scan_d->op = PlanOp::kSeqScan;
+  scan_d->table_idx = 1;
+  scan_d->filter_indices = {0};
+  auto join = std::make_unique<PlanNode>();
+  join->op = op;
+  join->join_indices = {0};
+  join->left = std::move(scan_f);
+  join->right = std::move(scan_d);
+  return std::make_unique<Plan>(&q, std::move(join));
+}
+
+class SortMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = MakeTinyCatalog();
+    executor_ = std::make_unique<Executor>(catalog_.get(),
+                                           CostModel::PostgresFlavour());
+  }
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(SortMergeTest, MatchesHashJoinResult) {
+  const Query q = MakeStarQuery(1);
+  const auto smj = TwoTablePlan(q, PlanOp::kSortMergeJoin);
+  const auto hj = TwoTablePlan(q, PlanOp::kHashJoin);
+  const auto r1 = executor_->Execute(*smj, -1.0);
+  const auto r2 = executor_->Execute(*hj, -1.0);
+  ASSERT_TRUE(r1.ok() && r1->completed);
+  ASSERT_TRUE(r2.ok() && r2->completed);
+  EXPECT_EQ(r1->output_rows, r2->output_rows);
+  EXPECT_GT(r1->output_rows, 0);
+}
+
+TEST_F(SortMergeTest, DuplicateKeysProduceCrossProduct) {
+  // Two tiny tables with duplicate keys on both sides: |{2,2,3}| joined
+  // with |{2,2,2,5}| on equality = 2*3 = 6 matches for key 2.
+  Catalog catalog;
+  {
+    TableSchema schema("l", {{"k", DataType::kInt64}});
+    auto t = std::make_shared<Table>(schema);
+    for (int64_t v : {2, 2, 3}) t->column(0).AppendInt(v);
+    ASSERT_TRUE(t->Finalize().ok());
+    ASSERT_TRUE(catalog.AddTable(t, ComputeTableStats(*t)).ok());
+  }
+  {
+    TableSchema schema("r", {{"k", DataType::kInt64}});
+    auto t = std::make_shared<Table>(schema);
+    for (int64_t v : {2, 2, 2, 5}) t->column(0).AppendInt(v);
+    ASSERT_TRUE(t->Finalize().ok());
+    ASSERT_TRUE(catalog.AddTable(t, ComputeTableStats(*t)).ok());
+  }
+  Query q("dup", {"l", "r"}, {{"l", "k", "r", "k", ""}}, {}, std::vector<int>{0});
+  ASSERT_TRUE(q.Validate(catalog).ok());
+
+  auto scan_l = std::make_unique<PlanNode>();
+  scan_l->op = PlanOp::kSeqScan;
+  scan_l->table_idx = 0;
+  auto scan_r = std::make_unique<PlanNode>();
+  scan_r->op = PlanOp::kSeqScan;
+  scan_r->table_idx = 1;
+  auto join = std::make_unique<PlanNode>();
+  join->op = PlanOp::kSortMergeJoin;
+  join->join_indices = {0};
+  join->left = std::move(scan_l);
+  join->right = std::move(scan_r);
+  Plan plan(&q, std::move(join));
+
+  Executor exec(&catalog, CostModel::PostgresFlavour());
+  const auto res = exec.Execute(plan, -1.0);
+  ASSERT_TRUE(res.ok() && res->completed);
+  EXPECT_EQ(res->output_rows, 6);
+  EXPECT_NEAR(res->ObservedJoinSelectivity(0), 6.0 / (3 * 4), 1e-12);
+}
+
+TEST_F(SortMergeTest, BudgetAbortDuringSort) {
+  const Query q = MakeStarQuery(1);
+  const auto smj = TwoTablePlan(q, PlanOp::kSortMergeJoin);
+  const auto res = executor_->Execute(*smj, 100.0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->completed);
+  EXPECT_LE(res->cost_used, 100.0 + 1e-9);
+}
+
+TEST_F(SortMergeTest, EngineChargeTracksCostModel) {
+  const Query q = MakeStarQuery(1);
+  const auto smj = TwoTablePlan(q, PlanOp::kSortMergeJoin);
+  Optimizer opt(catalog_.get(), &q);
+  const auto res = executor_->Execute(*smj, -1.0);
+  ASSERT_TRUE(res.ok() && res->completed);
+  const double est = opt.PlanCost(*smj, {0.01});
+  EXPECT_GT(res->cost_used, est * 0.3);
+  EXPECT_LT(res->cost_used, est * 3.0);
+}
+
+TEST_F(SortMergeTest, SortTermProperties) {
+  EXPECT_DOUBLE_EQ(CostModel::SortTerm(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(CostModel::SortTerm(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(CostModel::SortTerm(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(CostModel::SortTerm(8.0), 24.0);
+  // Strictly increasing.
+  double prev = 0.0;
+  for (double n = 0.5; n < 100.0; n += 0.5) {
+    const double v = CostModel::SortTerm(n);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(SortMergeTest, EppOrderLeftFirst) {
+  const Query q = MakeStarQuery(3);
+  // SMJ at the root over (HJ chain, scan d3).
+  auto j0 = std::make_unique<PlanNode>();
+  j0->op = PlanOp::kHashJoin;
+  j0->join_indices = {0};
+  auto s1 = std::make_unique<PlanNode>();
+  s1->op = PlanOp::kSeqScan;
+  s1->table_idx = 1;
+  auto sf = std::make_unique<PlanNode>();
+  sf->op = PlanOp::kSeqScan;
+  sf->table_idx = 0;
+  j0->left = std::move(s1);
+  j0->right = std::move(sf);
+  auto j1 = std::make_unique<PlanNode>();
+  j1->op = PlanOp::kHashJoin;
+  j1->join_indices = {1};
+  auto s2 = std::make_unique<PlanNode>();
+  s2->op = PlanOp::kSeqScan;
+  s2->table_idx = 2;
+  j1->left = std::move(s2);
+  j1->right = std::move(j0);
+  auto smj = std::make_unique<PlanNode>();
+  smj->op = PlanOp::kSortMergeJoin;
+  smj->join_indices = {2};
+  auto s3 = std::make_unique<PlanNode>();
+  s3->op = PlanOp::kSeqScan;
+  s3->table_idx = 3;
+  smj->left = std::move(j1);
+  smj->right = std::move(s3);
+  Plan plan(&q, std::move(smj));
+  ASSERT_EQ(plan.epp_execution_order().size(), 3u);
+  EXPECT_EQ(plan.epp_execution_order()[0], 0);
+  EXPECT_EQ(plan.epp_execution_order()[1], 1);
+  EXPECT_EQ(plan.epp_execution_order()[2], 2);
+}
+
+TEST_F(SortMergeTest, OptimizerConsidersSmj) {
+  // Under the commercial flavour (cheap sort, pricey hash build) at a
+  // moderate selectivity, SMJ should win somewhere in the ESS for at
+  // least one location — verify the DP emits it at all by checking a
+  // sweep of injection points.
+  const Query q = MakeStarQuery(2);
+  Optimizer opt(catalog_.get(), &q, CostModel::CommercialFlavour());
+  bool saw_smj = false;
+  for (double s1v : {1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0}) {
+    for (double s2v : {1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0}) {
+      const auto plan = opt.Optimize({s1v, s2v});
+      if (plan->signature().find("SMJ") != std::string::npos) saw_smj = true;
+    }
+  }
+  // SMJ may legitimately never win if hashing dominates everywhere under
+  // this parameterization; in that case at least verify the cost model
+  // orders it sensibly.
+  if (!saw_smj) {
+    CostModel cm = CostModel::CommercialFlavour();
+    EXPECT_GT(cm.SortMergeJoinCost(1000, 1000, 100),
+              cm.HashJoinCost(1000, 1000, 100) * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace robustqp

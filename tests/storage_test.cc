@@ -1,0 +1,120 @@
+// Unit tests for storage (Table/ColumnData), stats building, the catalog
+// registry, and the schema layer.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "storage/stats_builder.h"
+#include "storage/table.h"
+
+namespace robustqp {
+namespace {
+
+std::shared_ptr<Table> MakeSmallTable() {
+  TableSchema schema("t", {{"k", DataType::kInt64}, {"v", DataType::kDouble}});
+  auto table = std::make_shared<Table>(schema);
+  for (int64_t i = 0; i < 10; ++i) {
+    table->column(0).AppendInt(i % 5);
+    table->column(1).AppendDouble(static_cast<double>(i) * 1.5);
+  }
+  EXPECT_TRUE(table->Finalize().ok());
+  return table;
+}
+
+TEST(SchemaTest, FindColumn) {
+  TableSchema schema("t", {{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(schema.FindColumn("a"), 0);
+  EXPECT_EQ(schema.FindColumn("b"), 1);
+  EXPECT_EQ(schema.FindColumn("c"), -1);
+}
+
+TEST(SchemaTest, DataTypeNames) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "DOUBLE");
+}
+
+TEST(TableTest, FinalizeCountsRows) {
+  auto table = MakeSmallTable();
+  EXPECT_EQ(table->num_rows(), 10);
+  EXPECT_EQ(table->column(0).GetInt(7), 2);
+  EXPECT_DOUBLE_EQ(table->column(1).GetDouble(2), 3.0);
+  EXPECT_DOUBLE_EQ(table->column(0).GetNumeric(7), 2.0);
+}
+
+TEST(TableTest, RaggedColumnsRejected) {
+  TableSchema schema("t", {{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Table table(schema);
+  table.column(0).AppendInt(1);
+  EXPECT_FALSE(table.Finalize().ok());
+}
+
+TEST(StatsBuilderTest, MinMaxDistinct) {
+  auto table = MakeSmallTable();
+  auto stats = ComputeTableStats(*table);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(stats[0].max, 4.0);
+  EXPECT_EQ(stats[0].distinct_count, 5);
+  EXPECT_EQ(stats[0].row_count, 10);
+  EXPECT_EQ(stats[1].distinct_count, 10);
+}
+
+TEST(StatsBuilderTest, HistogramEstimatesLessEq) {
+  TableSchema schema("t", {{"x", DataType::kInt64}});
+  auto table = std::make_shared<Table>(schema);
+  for (int64_t i = 1; i <= 1000; ++i) table->column(0).AppendInt(i);
+  ASSERT_TRUE(table->Finalize().ok());
+  auto stats = ComputeTableStats(*table);
+  // Uniform 1..1000: P(x <= 250) ~ 0.25.
+  EXPECT_NEAR(stats[0].histogram.EstimateLessEq(250), 0.25, 0.05);
+  EXPECT_NEAR(stats[0].histogram.EstimateLessEq(900), 0.90, 0.05);
+  EXPECT_DOUBLE_EQ(stats[0].histogram.EstimateLessEq(1000), 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].histogram.EstimateLessEq(2000), 1.0);
+}
+
+TEST(StatsBuilderTest, EmptyHistogramSafe) {
+  EquiDepthHistogram h;
+  EXPECT_DOUBLE_EQ(h.EstimateLessEq(5.0), 0.0);
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog;
+  auto table = MakeSmallTable();
+  auto stats = ComputeTableStats(*table);
+  ASSERT_TRUE(catalog.AddTable(table, stats).ok());
+  EXPECT_NE(catalog.FindTable("t"), nullptr);
+  EXPECT_EQ(catalog.FindTable("nope"), nullptr);
+  EXPECT_EQ(catalog.RowCount("t"), 10);
+  EXPECT_EQ(catalog.RowCount("nope"), 0);
+  const ColumnStats* cs = catalog.FindColumnStats("t", "k");
+  ASSERT_NE(cs, nullptr);
+  EXPECT_EQ(cs->distinct_count, 5);
+  EXPECT_EQ(catalog.FindColumnStats("t", "zz"), nullptr);
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  auto table = MakeSmallTable();
+  auto stats = ComputeTableStats(*table);
+  ASSERT_TRUE(catalog.AddTable(table, stats).ok());
+  EXPECT_FALSE(catalog.AddTable(table, stats).ok());
+}
+
+TEST(CatalogTest, StatsArityChecked) {
+  Catalog catalog;
+  auto table = MakeSmallTable();
+  EXPECT_FALSE(catalog.AddTable(table, {}).ok());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  auto t1 = MakeSmallTable();
+  ASSERT_TRUE(catalog.AddTable(t1, ComputeTableStats(*t1)).ok());
+  auto names = catalog.TableNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "t");
+}
+
+}  // namespace
+}  // namespace robustqp

@@ -1,0 +1,154 @@
+// Suite-wide property tests: for every query of the paper's workload
+// (TPC-DS 3D..6D plus JOB), on a reduced grid, verify the structural
+// invariants the guarantees rest on — PCM of the optimal cost surface,
+// frontier maximality/covering, plan-identity sanity — and spot-check
+// that all three discovery algorithms complete within their guarantees
+// from scattered true locations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/alignedbound.h"
+#include "core/oracle.h"
+#include "core/planbouquet.h"
+#include "core/spillbound.h"
+#include "harness/workbench.h"
+#include "workloads/queries.h"
+
+namespace robustqp {
+namespace {
+
+/// Small grids keep the whole-suite sweep fast while preserving the
+/// structure the invariants quantify over.
+Ess::Config SmallConfig(int dims) {
+  Ess::Config config;
+  switch (dims) {
+    case 2:
+      config.points_per_dim = 12;
+      break;
+    case 3:
+      config.points_per_dim = 8;
+      break;
+    case 4:
+      config.points_per_dim = 6;
+      break;
+    default:
+      config.points_per_dim = 4;
+      break;
+  }
+  return config;
+}
+
+class SuitePropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  const Workbench::Entry& entry() {
+    const Query probe = MakeSuiteQuery(GetParam());
+    return Workbench::Get(GetParam(), SmallConfig(probe.num_epps()));
+  }
+};
+
+TEST_P(SuitePropertyTest, OptimalCostSurfaceMonotone) {
+  const Ess& ess = *entry().ess;
+  for (int64_t lin = 0; lin < ess.num_locations(); ++lin) {
+    const GridLoc loc = ess.FromLinear(lin);
+    for (int d = 0; d < ess.dims(); ++d) {
+      if (loc[static_cast<size_t>(d)] + 1 >= ess.points()) continue;
+      GridLoc up = loc;
+      ++up[static_cast<size_t>(d)];
+      EXPECT_GT(ess.OptimalCost(up), ess.OptimalCost(loc))
+          << GetParam() << " at " << lin << " dim " << d;
+    }
+  }
+}
+
+TEST_P(SuitePropertyTest, FrontiersAreMaximalAndWithinBudget) {
+  const Ess& ess = *entry().ess;
+  for (int i = 0; i < ess.num_contours(); ++i) {
+    // Same relative tolerance as the frontier computation itself.
+    const double budget = ess.ContourCost(i) * (1 + 1e-12);
+    for (int64_t lin : ess.FrontierLocations(i)) {
+      EXPECT_LE(ess.OptimalCost(lin), budget);
+      const GridLoc loc = ess.FromLinear(lin);
+      for (int d = 0; d < ess.dims(); ++d) {
+        if (loc[static_cast<size_t>(d)] + 1 >= ess.points()) continue;
+        GridLoc up = loc;
+        ++up[static_cast<size_t>(d)];
+        EXPECT_GT(ess.OptimalCost(up), budget) << GetParam();
+      }
+    }
+  }
+}
+
+TEST_P(SuitePropertyTest, EveryPlanSpillsOnSomeDim) {
+  // Valid SPJ plans contain every epp join, so with all dims unlearned
+  // each POSP plan has a well-defined spill dimension.
+  const Ess& ess = *entry().ess;
+  const std::vector<bool> unlearned(static_cast<size_t>(ess.dims()), true);
+  for (const Plan* p : ess.pool().plans()) {
+    const int dim = p->SpillDimension(unlearned);
+    EXPECT_GE(dim, 0) << GetParam() << " plan " << p->display_name();
+    EXPECT_LT(dim, ess.dims());
+    // Epp order mentions every dimension exactly once.
+    std::set<int> dims_seen(p->epp_execution_order().begin(),
+                            p->epp_execution_order().end());
+    EXPECT_EQ(static_cast<int>(dims_seen.size()), ess.dims())
+        << GetParam() << " plan " << p->display_name();
+  }
+}
+
+TEST_P(SuitePropertyTest, AllAlgorithmsWithinGuaranteesOnSampledLocations) {
+  const Ess& ess = *entry().ess;
+  const int D = ess.dims();
+  PlanBouquet pb(&ess);
+  SpillBound sb(&ess);
+  AlignedBound ab(&ess);
+  const double pb_guarantee = pb.MsoGuarantee();
+  const double sb_guarantee = SpillBound::MsoGuarantee(D);
+
+  const int64_t stride = std::max<int64_t>(1, ess.num_locations() / 40);
+  for (int64_t lin = 0; lin < ess.num_locations(); lin += stride) {
+    const double opt = ess.OptimalCost(lin);
+    {
+      SimulatedOracle oracle(&ess, ess.FromLinear(lin));
+      const DiscoveryResult r = pb.Run(&oracle);
+      ASSERT_TRUE(r.completed) << GetParam() << " PB qa=" << lin;
+      EXPECT_LE(r.total_cost / opt, pb_guarantee * (1 + 1e-6)) << GetParam();
+    }
+    {
+      SimulatedOracle oracle(&ess, ess.FromLinear(lin));
+      const DiscoveryResult r = sb.Run(&oracle);
+      ASSERT_TRUE(r.completed) << GetParam() << " SB qa=" << lin;
+      EXPECT_LE(r.total_cost / opt, sb_guarantee * (1 + 1e-6)) << GetParam();
+    }
+    {
+      SimulatedOracle oracle(&ess, ess.FromLinear(lin));
+      const DiscoveryResult r = ab.Run(&oracle);
+      ASSERT_TRUE(r.completed) << GetParam() << " AB qa=" << lin;
+      EXPECT_LE(r.total_cost / opt, sb_guarantee * (1 + 1e-6)) << GetParam();
+    }
+  }
+}
+
+TEST_P(SuitePropertyTest, PospPlansAreDistinctAndValid) {
+  const Ess& ess = *entry().ess;
+  std::set<std::string> signatures;
+  for (const Plan* p : ess.pool().plans()) {
+    EXPECT_TRUE(signatures.insert(p->signature()).second)
+        << "duplicate signature in pool: " << p->signature();
+    EXPECT_GE(p->num_nodes(), 2 * ess.query().num_tables() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQueries, SuitePropertyTest,
+    ::testing::Values("2D_Q91", "3D_Q15", "3D_Q96", "4D_Q7", "4D_Q26",
+                      "4D_Q27", "4D_Q91", "5D_Q19", "5D_Q29", "5D_Q84",
+                      "6D_Q18", "6D_Q91", "4D_JOB_Q1a"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace robustqp

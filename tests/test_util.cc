@@ -1,0 +1,117 @@
+#include "test_util.h"
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/stats_builder.h"
+#include "storage/table.h"
+
+namespace robustqp {
+namespace testing_util {
+
+namespace {
+
+void Register(Catalog* catalog, std::shared_ptr<Table> table) {
+  auto stats = ComputeTableStats(*table);
+  RQP_CHECK(catalog->AddTable(std::move(table), std::move(stats)).ok());
+}
+
+}  // namespace
+
+std::unique_ptr<Catalog> MakeTinyCatalog(uint64_t seed) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(seed);
+
+  {
+    TableSchema schema("d1", {{"d1_k", DataType::kInt64},
+                              {"d1_a", DataType::kInt64}});
+    auto t = std::make_shared<Table>(schema);
+    for (int64_t i = 1; i <= 100; ++i) {
+      t->column(0).AppendInt(i);
+      t->column(1).AppendInt(rng.UniformInt(1, 10));
+    }
+    RQP_CHECK(t->Finalize().ok());
+    Register(catalog.get(), t);
+  }
+  {
+    TableSchema schema("d3", {{"d3_k", DataType::kInt64},
+                              {"d3_a", DataType::kInt64}});
+    auto t = std::make_shared<Table>(schema);
+    for (int64_t i = 1; i <= 50; ++i) {
+      t->column(0).AppendInt(i);
+      t->column(1).AppendInt(rng.UniformInt(1, 5));
+    }
+    RQP_CHECK(t->Finalize().ok());
+    Register(catalog.get(), t);
+  }
+  {
+    TableSchema schema("d2", {{"d2_k", DataType::kInt64},
+                              {"d2_fk3", DataType::kInt64},
+                              {"d2_a", DataType::kInt64}});
+    auto t = std::make_shared<Table>(schema);
+    ZipfSampler z(50, 0.7);
+    for (int64_t i = 1; i <= 400; ++i) {
+      t->column(0).AppendInt(i);
+      t->column(1).AppendInt(z.Sample(&rng));
+      t->column(2).AppendInt(rng.UniformInt(1, 20));
+    }
+    RQP_CHECK(t->Finalize().ok());
+    Register(catalog.get(), t);
+  }
+  {
+    TableSchema schema("f", {{"f_fk1", DataType::kInt64},
+                             {"f_fk2", DataType::kInt64},
+                             {"f_fk3", DataType::kInt64},
+                             {"f_v", DataType::kDouble}});
+    auto t = std::make_shared<Table>(schema);
+    ZipfSampler z1(100, 0.9), z2(400, 1.1), z3(50, 0.5);
+    for (int64_t i = 0; i < 4000; ++i) {
+      t->column(0).AppendInt(z1.Sample(&rng));
+      t->column(1).AppendInt(z2.Sample(&rng));
+      t->column(2).AppendInt(z3.Sample(&rng));
+      t->column(3).AppendDouble(rng.UniformDouble(0.0, 100.0));
+    }
+    RQP_CHECK(t->Finalize().ok());
+    Register(catalog.get(), t);
+  }
+  RQP_CHECK(catalog->BuildIndex("d1", "d1_k").ok());
+  RQP_CHECK(catalog->BuildIndex("d2", "d2_k").ok());
+  RQP_CHECK(catalog->BuildIndex("d3", "d3_k").ok());
+  return catalog;
+}
+
+Query MakeStarQuery(int num_epps) {
+  std::vector<int> epps;
+  for (int d = 0; d < num_epps; ++d) epps.push_back(d);
+  return Query("star" + std::to_string(num_epps), {"f", "d1", "d2", "d3"},
+               {{"f", "f_fk1", "d1", "d1_k", "F~D1"},
+                {"f", "f_fk2", "d2", "d2_k", "F~D2"},
+                {"f", "f_fk3", "d3", "d3_k", "F~D3"}},
+               {{"d1", "d1_a", CompareOp::kLe, 3},
+                {"d2", "d2_a", CompareOp::kLe, 10}},
+               epps);
+}
+
+Query MakeBranchQuery(int num_epps) {
+  std::vector<int> epps;
+  for (int d = 0; d < num_epps; ++d) epps.push_back(d);
+  return Query("branch" + std::to_string(num_epps), {"f", "d1", "d2", "d3"},
+               {{"f", "f_fk1", "d1", "d1_k", "F~D1"},
+                {"f", "f_fk2", "d2", "d2_k", "F~D2"},
+                {"d2", "d2_fk3", "d3", "d3_k", "D2~D3"}},
+               {{"d3", "d3_a", CompareOp::kLe, 2}},
+               epps);
+}
+
+Query MakeMixedEppQuery() {
+  return Query("mixed", {"f", "d1", "d2", "d3"},
+               {{"f", "f_fk1", "d1", "d1_k", "F~D1"},
+                {"f", "f_fk2", "d2", "d2_k", "F~D2"},
+                {"f", "f_fk3", "d3", "d3_k", "F~D3"}},
+               {{"d1", "d1_a", CompareOp::kLe, 3},
+                {"d2", "d2_a", CompareOp::kLe, 10}},
+               std::vector<EppRef>{EppRef::Join(0), EppRef::Join(1),
+                                   EppRef::Filter(0)});
+}
+
+}  // namespace testing_util
+}  // namespace robustqp

@@ -1,0 +1,36 @@
+// Shared test fixtures: tiny deterministic catalogs and queries that keep
+// optimizer/ESS tests fast while still exhibiting realistic plan diversity.
+
+#ifndef ROBUSTQP_TESTS_TEST_UTIL_H_
+#define ROBUSTQP_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace robustqp {
+namespace testing_util {
+
+/// A four-table catalog: fact table "f" (4000 rows) with zipf FKs into
+/// dimensions "d1" (100), "d2" (400), and "d3" (50); d2 chains to d3 via
+/// its own FK column.
+std::unique_ptr<Catalog> MakeTinyCatalog(uint64_t seed = 11);
+
+/// Star query: f joins d1, d2, d3 directly; `num_epps` of the three joins
+/// (in order) are error-prone.
+Query MakeStarQuery(int num_epps);
+
+/// Chain query: f - d1 - d2 - d3? Not a natural chain on the tiny schema;
+/// instead: f ~ d2 ~ d3 plus f ~ d1, i.e. a branch. `num_epps` of the
+/// three joins are error-prone.
+Query MakeBranchQuery(int num_epps);
+
+/// Mixed-epp star query: joins 0 and 1 plus the d1 filter are error-prone
+/// (dimensions 0, 1, 2 respectively).
+Query MakeMixedEppQuery();
+
+}  // namespace testing_util
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_TESTS_TEST_UTIL_H_

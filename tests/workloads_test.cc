@@ -1,0 +1,125 @@
+// Tests for the synthetic TPC-DS / JOB catalogs and the paper query suite.
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+#include "workloads/job.h"
+#include "workloads/queries.h"
+#include "workloads/tpcds.h"
+
+namespace robustqp {
+namespace {
+
+TEST(TpcdsCatalogTest, TablesPresentWithExpectedShapes) {
+  auto catalog = BuildTpcdsCatalog(42, 0.2);
+  for (const char* name :
+       {"date_dim", "time_dim", "item", "customer", "customer_address",
+        "customer_demographics", "household_demographics", "income_band",
+        "store", "call_center", "promotion", "store_sales", "catalog_sales",
+        "store_returns"}) {
+    ASSERT_NE(catalog->FindTable(name), nullptr) << name;
+    EXPECT_GT(catalog->RowCount(name), 0) << name;
+  }
+  // Fact tables scale; dimensions don't.
+  EXPECT_EQ(catalog->RowCount("store_sales"), 12000);
+  EXPECT_EQ(catalog->RowCount("date_dim"), 1826);
+}
+
+TEST(TpcdsCatalogTest, DeterministicForSeed) {
+  auto a = BuildTpcdsCatalog(42, 0.05);
+  auto b = BuildTpcdsCatalog(42, 0.05);
+  const Table& ta = *a->FindTable("store_sales")->table;
+  const Table& tb = *b->FindTable("store_sales")->table;
+  ASSERT_EQ(ta.num_rows(), tb.num_rows());
+  for (int64_t r = 0; r < ta.num_rows(); r += 97) {
+    EXPECT_EQ(ta.column(0).GetInt(r), tb.column(0).GetInt(r));
+  }
+}
+
+TEST(TpcdsCatalogTest, ForeignKeysWithinParentDomain) {
+  auto catalog = BuildTpcdsCatalog(42, 0.05);
+  const Table& ss = *catalog->FindTable("store_sales")->table;
+  const int64_t n_date = catalog->RowCount("date_dim");
+  const int col = ss.schema().FindColumn("ss_sold_date_sk");
+  ASSERT_GE(col, 0);
+  for (int64_t r = 0; r < ss.num_rows(); ++r) {
+    const int64_t fk = ss.column(col).GetInt(r);
+    EXPECT_GE(fk, 1);
+    EXPECT_LE(fk, n_date);
+  }
+}
+
+TEST(TpcdsCatalogTest, ZipfSkewPresentOnFactFks) {
+  auto catalog = BuildTpcdsCatalog(42, 1.0);
+  const Table& cs = *catalog->FindTable("catalog_sales")->table;
+  const int col = cs.schema().FindColumn("cs_call_center_sk");
+  std::map<int64_t, int64_t> counts;
+  for (int64_t r = 0; r < cs.num_rows(); ++r) ++counts[cs.column(col).GetInt(r)];
+  // Rank 1 must dominate the median call center noticeably.
+  EXPECT_GT(counts[1], counts[15] * 2);
+}
+
+TEST(JobCatalogTest, TablesPresent) {
+  auto catalog = BuildJobCatalog(7, 0.2);
+  for (const char* name : {"company_type", "info_type", "title",
+                           "movie_companies", "movie_info_idx"}) {
+    ASSERT_NE(catalog->FindTable(name), nullptr) << name;
+    EXPECT_GT(catalog->RowCount(name), 0) << name;
+  }
+  EXPECT_EQ(catalog->RowCount("company_type"), 4);
+  EXPECT_EQ(catalog->RowCount("info_type"), 113);
+}
+
+TEST(QuerySuiteTest, AllTpcdsQueriesValidate) {
+  auto catalog = BuildTpcdsCatalog(42, 0.1);
+  for (const std::string& id : SuiteQueryIds()) {
+    if (IsJobQuery(id)) continue;
+    const Query q = MakeSuiteQuery(id);
+    EXPECT_TRUE(q.Validate(*catalog).ok()) << id;
+  }
+}
+
+TEST(QuerySuiteTest, JobQueryValidates) {
+  auto catalog = BuildJobCatalog(7, 0.2);
+  const Query q = MakeSuiteQuery("4D_JOB_Q1a");
+  EXPECT_TRUE(q.Validate(*catalog).ok());
+}
+
+TEST(QuerySuiteTest, DimensionalityMatchesName) {
+  for (const std::string& id : SuiteQueryIds()) {
+    const Query q = MakeSuiteQuery(id);
+    const int d = id[0] - '0';
+    EXPECT_EQ(q.num_epps(), d) << id;
+  }
+}
+
+TEST(QuerySuiteTest, PaperSuiteHasElevenQueries) {
+  EXPECT_EQ(PaperQuerySuite().size(), 11u);
+  EXPECT_EQ(Q91Family().size(), 5u);
+  EXPECT_EQ(AlignmentQuerySuite().size(), 6u);
+}
+
+TEST(QuerySuiteTest, Q91FamilyIsNested) {
+  // Each higher-D Q91 adds epps while keeping the earlier ones.
+  const Query q2 = MakeSuiteQuery("2D_Q91");
+  const Query q4 = MakeSuiteQuery("4D_Q91");
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_EQ(q2.JoinOfEppDimension(d), q4.JoinOfEppDimension(d));
+  }
+  EXPECT_EQ(q2.num_tables(), q4.num_tables());
+  EXPECT_EQ(q2.num_joins(), q4.num_joins());
+}
+
+TEST(QuerySuiteTest, EppLabelsAreInformative) {
+  const Query q = MakeSuiteQuery("2D_Q91");
+  EXPECT_EQ(q.EppLabel(0), "CS~DD");
+  EXPECT_EQ(q.EppLabel(1), "C~CA");
+}
+
+TEST(QuerySuiteTest, IsJobQueryDetection) {
+  EXPECT_TRUE(IsJobQuery("4D_JOB_Q1a"));
+  EXPECT_FALSE(IsJobQuery("4D_Q91"));
+}
+
+}  // namespace
+}  // namespace robustqp

@@ -1,0 +1,292 @@
+// robustqp_cli — command-line driver for the robust query processing
+// library: pick a suite query, an algorithm, and a (hypothetical or
+// data-implied) true location; run discovery and print the trace.
+//
+// Examples:
+//   robustqp_cli --list
+//   robustqp_cli --query 4D_Q91 --algo sb --qa 0.01,0.005,0.02,0.001
+//   robustqp_cli --query 2D_Q91 --algo ab --qa 0.04,0.1 --trace
+//   robustqp_cli --query 4D_JOB_Q1a --algo sb --engine
+//   robustqp_cli --query 3D_Q96 --algo all --qa 0.1,0.1,0.1
+//   robustqp_cli --query 4D_Q91 --identify-epps
+//   robustqp_cli --query 3D_Q15 --save-ess /tmp/q15.ess
+//   robustqp_cli --query 3D_Q15 --load-ess /tmp/q15.ess --algo sb
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/alignedbound.h"
+#include "core/oracle.h"
+#include "core/planbouquet.h"
+#include "core/spillbound.h"
+#include "exec/executor.h"
+#include "harness/trace_printer.h"
+#include "harness/true_selectivity.h"
+#include "harness/workbench.h"
+#include "optimizer/epp_identifier.h"
+#include "workloads/queries.h"
+
+namespace robustqp {
+namespace {
+
+struct CliOptions {
+  std::string query = "2D_Q91";
+  std::string algo = "sb";  // sb | ab | pb | native | all
+  std::vector<double> qa;   // empty => data truth / ESS midpoint
+  bool engine = false;
+  bool trace = false;
+  bool list = false;
+  bool identify_epps = false;
+  int points = 0;
+  double cost_ratio = 2.0;
+  std::string save_ess;
+  std::string load_ess;
+};
+
+void PrintUsage() {
+  std::cout <<
+      "usage: robustqp_cli [options]\n"
+      "  --list                 list the available suite queries and exit\n"
+      "  --query <id>           suite query id (default 2D_Q91)\n"
+      "  --algo <a>             sb | ab | pb | native | all (default sb)\n"
+      "  --qa s1,s2,...         true epp selectivities (simulated oracle);\n"
+      "                         omitted: the data's measured truth\n"
+      "  --engine               run on the Volcano executor over stored data\n"
+      "  --trace                print the full execution trace\n"
+      "  --points <n>           ESS grid points per dimension (default auto)\n"
+      "  --ratio <r>            inter-contour cost ratio (default 2.0)\n"
+      "  --identify-epps        run the Section 7 epp identifier and exit\n"
+      "  --save-ess <path>      persist the built ESS (offline contours)\n"
+      "  --load-ess <path>      load a previously saved ESS instead of\n"
+      "                         rebuilding (Section 7 deployment mode)\n";
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      out->list = true;
+    } else if (arg == "--engine") {
+      out->engine = true;
+    } else if (arg == "--trace") {
+      out->trace = true;
+    } else if (arg == "--identify-epps") {
+      out->identify_epps = true;
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->query = v;
+    } else if (arg == "--algo") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->algo = v;
+    } else if (arg == "--points") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->points = std::atoi(v);
+    } else if (arg == "--ratio") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->cost_ratio = std::atof(v);
+    } else if (arg == "--save-ess") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->save_ess = v;
+    } else if (arg == "--load-ess") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->load_ess = v;
+    } else if (arg == "--qa") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      std::stringstream ss(v);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) out->qa.push_back(std::atof(tok.c_str()));
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      PrintUsage();
+      return false;
+    }
+  }
+  return true;
+}
+
+void ReportRun(const Ess& ess, const std::string& name,
+               const DiscoveryResult& r, double opt_cost, bool trace) {
+  std::cout << name << ": "
+            << (r.completed ? "completed" : "DID NOT COMPLETE")
+            << "  cost=" << r.total_cost
+            << "  subopt=" << r.total_cost / opt_cost
+            << "  executions=" << r.num_executions()
+            << "  final contour=IC" << r.final_contour + 1 << "\n";
+  if (trace) PrintExecutionTrace(ess, r, std::cout);
+}
+
+int Run(const CliOptions& opts) {
+  if (opts.list) {
+    std::cout << "suite queries:\n";
+    for (const std::string& id : SuiteQueryIds()) {
+      const Query q = MakeSuiteQuery(id);
+      std::cout << "  " << id << "  (" << q.num_tables() << " tables, "
+                << q.num_joins() << " joins, D=" << q.num_epps() << ")\n";
+    }
+    return 0;
+  }
+
+  Ess::Config config;
+  config.points_per_dim = opts.points;
+  config.contour_cost_ratio = opts.cost_ratio;
+
+  // Owners for the --load-ess path (the query must outlive the Ess).
+  static std::unique_ptr<Query> loaded_query;
+  static std::unique_ptr<Ess> loaded_ess;
+  std::shared_ptr<Catalog> catalog;
+  const Ess* ess_ptr = nullptr;
+  const Query* query_ptr = nullptr;
+  if (!opts.load_ess.empty()) {
+    catalog = IsJobQuery(opts.query) ? Workbench::JobCatalog()
+                                     : Workbench::TpcdsCatalog();
+    loaded_query = std::make_unique<Query>(MakeSuiteQuery(opts.query));
+    std::ifstream in(opts.load_ess);
+    if (!in) {
+      std::cerr << "cannot open " << opts.load_ess << "\n";
+      return 1;
+    }
+    Result<std::unique_ptr<Ess>> loaded =
+        Ess::Load(in, *catalog, *loaded_query);
+    if (!loaded.ok()) {
+      std::cerr << "load failed: " << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    loaded_ess = loaded.MoveValue();
+    ess_ptr = loaded_ess.get();
+    query_ptr = loaded_query.get();
+    std::cout << "(loaded ESS from " << opts.load_ess << ")\n";
+  } else {
+    const Workbench::Entry& wb = Workbench::Get(opts.query, config);
+    catalog = wb.catalog;
+    ess_ptr = wb.ess.get();
+    query_ptr = wb.query.get();
+  }
+  const Ess& ess = *ess_ptr;
+
+  if (!opts.save_ess.empty()) {
+    std::ofstream out_file(opts.save_ess);
+    const Status st = ess.Save(out_file);
+    if (!st.ok()) {
+      std::cerr << "save failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "(saved ESS to " << opts.save_ess << ")\n";
+  }
+
+  if (opts.identify_epps) {
+    EppIdentifierOptions id_opts;
+    std::cout << "statistics-driven epp identification for " << opts.query
+              << " (skew threshold " << id_opts.skew_threshold << "):\n";
+    const std::vector<int> flagged =
+        IdentifyErrorProneJoins(*catalog, *query_ptr, id_opts);
+    for (int j = 0; j < query_ptr->num_joins(); ++j) {
+      const JoinPredicate& jp = query_ptr->joins()[static_cast<size_t>(j)];
+      const bool f =
+          std::find(flagged.begin(), flagged.end(), j) != flagged.end();
+      std::cout << "  " << jp.left_table << "." << jp.left_column << " = "
+                << jp.right_table << "." << jp.right_column << "  -> "
+                << (f ? "ERROR-PRONE" : "trusted") << "\n";
+    }
+    return 0;
+  }
+
+  // Resolve the true location.
+  EssPoint qa_sel;
+  if (!opts.qa.empty()) {
+    if (static_cast<int>(opts.qa.size()) != ess.dims()) {
+      std::cerr << "--qa needs exactly " << ess.dims() << " values\n";
+      return 1;
+    }
+    qa_sel = opts.qa;
+  } else {
+    qa_sel = ComputeTrueSelectivities(*catalog, *query_ptr);
+  }
+  GridLoc qa(static_cast<size_t>(ess.dims()));
+  for (int d = 0; d < ess.dims(); ++d) {
+    qa[static_cast<size_t>(d)] =
+        ess.axis().NearestIndex(qa_sel[static_cast<size_t>(d)]);
+  }
+  std::cout << opts.query << ": D=" << ess.dims() << ", grid " << ess.points()
+            << "^D, " << ess.num_contours() << " contours, POSP "
+            << ess.pool().size() << " plans\n";
+  std::cout << "true location (snapped to grid): (";
+  for (int d = 0; d < ess.dims(); ++d) {
+    std::cout << (d ? ", " : "")
+              << ess.axis().value(qa[static_cast<size_t>(d)]);
+  }
+  const double opt_cost = ess.OptimalCost(qa);
+  std::cout << ")  optimal cost " << opt_cost << "\n\n";
+
+  Executor executor(catalog.get(), ess.config().cost_model);
+  auto make_oracle = [&]() -> std::unique_ptr<ExecutionOracle> {
+    if (opts.engine) return std::make_unique<EngineOracle>(&executor);
+    return std::make_unique<SimulatedOracle>(&ess, qa);
+  };
+
+  const bool all = opts.algo == "all";
+  if (all || opts.algo == "native") {
+    const EssPoint qe = ess.optimizer().estimator().NativeEstimatePoint();
+    const std::unique_ptr<Plan> plan = ess.optimizer().Optimize(qe);
+    const double cost = ess.optimizer().PlanCost(*plan, qa_sel);
+    std::cout << "native: plan frozen at the statistics estimate; cost at "
+                 "q_a = "
+              << cost << "  subopt=" << cost / opt_cost << "\n";
+  }
+  if (all || opts.algo == "pb") {
+    PlanBouquet pb(&ess);
+    auto oracle = make_oracle();
+    ReportRun(ess, "PlanBouquet (guarantee " +
+                       std::to_string(pb.MsoGuarantee()) + ")",
+              pb.Run(oracle.get()), opt_cost, opts.trace);
+  }
+  if (all || opts.algo == "sb") {
+    SpillBound sb(&ess);
+    auto oracle = make_oracle();
+    ReportRun(ess, "SpillBound (guarantee " +
+                       std::to_string(SpillBound::MsoGuarantee(ess.dims())) + ")",
+              sb.Run(oracle.get()), opt_cost, opts.trace);
+  }
+  if (all || opts.algo == "ab") {
+    AlignedBound ab(&ess);
+    auto oracle = make_oracle();
+    ReportRun(ess, "AlignedBound", ab.Run(oracle.get()), opt_cost, opts.trace);
+  }
+  if (!all && opts.algo != "native" && opts.algo != "pb" && opts.algo != "sb" &&
+      opts.algo != "ab") {
+    std::cerr << "unknown --algo " << opts.algo << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace robustqp
+
+int main(int argc, char** argv) {
+  robustqp::CliOptions opts;
+  if (!robustqp::ParseArgs(argc, argv, &opts)) return 1;
+  return robustqp::Run(opts);
+}
