@@ -34,7 +34,7 @@ void BM_Anorexic(benchmark::State& state, const std::string& id,
     PlanBouquet pb(wb.ess.get(), {lambda, lambda > 0.0, 1.0});
     rho = pb.rho();
     msog = pb.MsoGuarantee();
-    const SuboptimalityStats stats = EvaluatePlanBouquet(pb, *wb.ess);
+    const SuboptimalityStats stats = Evaluate(pb, *wb.ess, bench::EvalOpts());
     msoe = stats.mso;
     aso = stats.aso;
     // The paper's setup: reduce the plan *diagram* globally, then read

@@ -31,7 +31,7 @@ void BM_CostRatio(benchmark::State& state, const std::string& id,
     const Workbench::Entry& wb = Workbench::Get(id, config);
     guarantee = SpillBound::MsoGuaranteeForRatio(wb.ess->dims(), ratio);
     SpillBound sb(wb.ess.get());
-    const SuboptimalityStats stats = EvaluateSpillBound(&sb);
+    const SuboptimalityStats stats = Evaluate(sb, *wb.ess, bench::EvalOpts());
     msoe = stats.mso;
     aso = stats.aso;
   }

@@ -32,10 +32,10 @@ void BM_Fig10(benchmark::State& state, const std::string& id) {
     dims = wb.ess->dims();
     PlanBouquet pb(wb.ess.get(), {0.2, true});
     pb_msog = pb.MsoGuarantee();
-    pb_msoe = EvaluatePlanBouquet(pb, *wb.ess).mso;
+    pb_msoe = Evaluate(pb, *wb.ess, bench::EvalOpts()).mso;
     SpillBound sb(wb.ess.get());
     sb_msog = SpillBound::MsoGuarantee(dims);
-    sb_msoe = EvaluateSpillBound(&sb).mso;
+    sb_msoe = Evaluate(sb, *wb.ess, bench::EvalOpts()).mso;
   }
   state.counters["PB_MSOe"] = pb_msoe;
   state.counters["SB_MSOe"] = sb_msoe;

@@ -28,9 +28,9 @@ void BM_Fig11(benchmark::State& state, const std::string& id) {
     const Workbench::Entry& wb = Workbench::Get(id);
     dims = wb.ess->dims();
     PlanBouquet pb(wb.ess.get(), {0.2, true});
-    pb_aso = EvaluatePlanBouquet(pb, *wb.ess).aso;
+    pb_aso = Evaluate(pb, *wb.ess, bench::EvalOpts()).aso;
     SpillBound sb(wb.ess.get());
-    sb_aso = EvaluateSpillBound(&sb).aso;
+    sb_aso = Evaluate(sb, *wb.ess, bench::EvalOpts()).aso;
   }
   state.counters["PB_ASO"] = pb_aso;
   state.counters["SB_ASO"] = sb_aso;

@@ -31,9 +31,9 @@ void BM_Fig12(benchmark::State& state) {
   for (auto _ : state) {
     const Workbench::Entry& wb = Workbench::Get("4D_Q91");
     PlanBouquet pb(wb.ess.get(), {0.2, true});
-    const SuboptimalityStats pb_stats = EvaluatePlanBouquet(pb, *wb.ess);
+    const SuboptimalityStats pb_stats = Evaluate(pb, *wb.ess, bench::EvalOpts());
     SpillBound sb(wb.ess.get());
-    const SuboptimalityStats sb_stats = EvaluateSpillBound(&sb);
+    const SuboptimalityStats sb_stats = Evaluate(sb, *wb.ess, bench::EvalOpts());
     pb_hist = SuboptHistogram(pb_stats, kBucketWidth, kBuckets);
     sb_hist = SuboptHistogram(sb_stats, kBucketWidth, kBuckets);
     total = wb.ess->num_locations();

@@ -31,11 +31,11 @@ void BM_Fig13(benchmark::State& state, const std::string& id) {
     const Workbench::Entry& wb = Workbench::Get(id);
     dims = wb.ess->dims();
     SpillBound sb(wb.ess.get());
-    const SuboptimalityStats s_sb = EvaluateSpillBound(&sb);
+    const SuboptimalityStats s_sb = Evaluate(sb, *wb.ess, bench::EvalOpts());
     sb_msoe = s_sb.mso;
     sb_aso = s_sb.aso;
     AlignedBound ab(wb.ess.get());
-    const SuboptimalityStats s_ab = EvaluateAlignedBound(&ab, *wb.ess);
+    const SuboptimalityStats s_ab = Evaluate(ab, *wb.ess, bench::EvalOpts());
     ab_msoe = s_ab.mso;
     ab_aso = s_ab.aso;
     ab_p95 = s_ab.Percentile(95.0);

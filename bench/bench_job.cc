@@ -27,12 +27,12 @@ void BM_Job(benchmark::State& state) {
     const Workbench::Entry& wb = Workbench::Get("4D_JOB_Q1a");
     const Ess& ess = *wb.ess;
 
-    const SuboptimalityStats native = EvaluateNativeWorstCase(ess);
-    const SuboptimalityStats at_est = EvaluateNativeAtEstimate(ess);
+    const SuboptimalityStats native = EvaluateNativeWorstCase(ess, bench::EvalOpts());
+    const SuboptimalityStats at_est = EvaluateNativeAtEstimate(ess, bench::EvalOpts());
     SpillBound sb(&ess);
-    const SuboptimalityStats s_sb = EvaluateSpillBound(&sb);
+    const SuboptimalityStats s_sb = Evaluate(sb, ess, bench::EvalOpts());
     AlignedBound ab(&ess);
-    const SuboptimalityStats s_ab = EvaluateAlignedBound(&ab, ess);
+    const SuboptimalityStats s_ab = Evaluate(ab, ess, bench::EvalOpts());
 
     auto add = [&](const std::string& name, const SuboptimalityStats& s) {
       Collector().AddRow({name, TablePrinter::Num(s.mso, 1),

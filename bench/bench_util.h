@@ -1,20 +1,51 @@
 // Shared helpers for the per-table/figure benchmark binaries: a global
 // row collector printed after the google-benchmark run, so each binary
-// emits both timing output and the paper-style table it regenerates.
+// emits both timing output and the paper-style table it regenerates, and
+// a --threads flag every binary understands (worker threads for the
+// exhaustive per-q_a evaluation sweeps; 0 = hardware concurrency).
 
 #ifndef ROBUSTQP_BENCH_BENCH_UTIL_H_
 #define ROBUSTQP_BENCH_BENCH_UTIL_H_
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table_printer.h"
+#include "harness/evaluator.h"
 
 namespace robustqp {
 namespace bench {
+
+/// Worker-thread count for evaluation sweeps, set by --threads.
+/// 0 (default) = hardware concurrency.
+inline int& Threads() {
+  static int threads = 0;
+  return threads;
+}
+
+/// EvalOptions honouring the --threads flag; pass to every Evaluate call.
+inline EvalOptions EvalOpts() { return EvalOptions{Threads()}; }
+
+/// Consumes --threads=N / --threads N from argv (before
+/// benchmark::Initialize, which rejects unknown flags).
+inline void ParseThreads(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      Threads() = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
+      Threads() = std::atoi(argv[++i]);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
 
 /// Accumulates the figure/table rows produced inside benchmark bodies and
 /// prints them once at exit.
@@ -43,16 +74,17 @@ class FigureCollector {
 };
 
 /// Standard main body: run benchmarks, then print the collected figure.
-#define RQP_BENCH_MAIN(collector_expr, title)                      \
-  int main(int argc, char** argv) {                                \
-    ::benchmark::Initialize(&argc, argv);                          \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {    \
-      return 1;                                                    \
-    }                                                              \
-    ::benchmark::RunSpecifiedBenchmarks();                         \
-    ::benchmark::Shutdown();                                       \
-    (collector_expr).Print(title);                                 \
-    return 0;                                                      \
+#define RQP_BENCH_MAIN(collector_expr, title)                       \
+  int main(int argc, char** argv) {                                 \
+    ::robustqp::bench::ParseThreads(&argc, argv);                   \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
+      return 1;                                                     \
+    }                                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    (collector_expr).Print(title);                                  \
+    return 0;                                                       \
   }
 
 }  // namespace bench

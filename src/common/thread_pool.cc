@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace robustqp {
+
+int ThreadPool::DefaultThreads() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(1, std::min(hw, 16));
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads > 0 ? num_threads : DefaultThreads();
+  workers_.reserve(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    RQP_CHECK(!stop_);
+    tasks_.push(std::move(task));
+    ++outstanding_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int64_t total,
+                 const std::function<void(int worker, int64_t begin,
+                                          int64_t end)>& body) {
+  if (total <= 0) return;
+  const int workers = pool->num_threads();
+  const int64_t block = (total + workers - 1) / workers;
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    const int64_t begin = static_cast<int64_t>(t) * block;
+    const int64_t end = std::min<int64_t>(total, begin + block);
+    if (begin >= end) break;
+    pool->Submit([&body, &errors, t, begin, end] {
+      try {
+        body(t, begin, end);
+      } catch (...) {
+        errors[static_cast<size_t>(t)] = std::current_exception();
+      }
+    });
+  }
+  pool->Wait();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace robustqp

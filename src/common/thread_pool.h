@@ -1,0 +1,116 @@
+// Reusable parallel-execution layer: a fixed-size ThreadPool plus
+// ParallelFor / ParallelMapReduce helpers with deterministic semantics.
+//
+// Determinism contract. ParallelFor partitions the index range into one
+// contiguous block per worker; ParallelMapReduce partitions it into
+// fixed-size chunks whose boundaries depend only on (total, chunk_size) —
+// never on the worker count — and reduces the per-chunk partials strictly
+// in chunk order after every chunk has completed. A caller whose per-index
+// work is independent of the partitioning therefore gets bit-identical
+// results at any thread count, including floating-point accumulations
+// (the association order is fixed by the chunk grid, not the schedule).
+//
+// Exceptions thrown inside a block/chunk are captured and rethrown to the
+// caller once all work has drained; when several blocks throw, the one
+// with the lowest index wins, again independent of the schedule.
+
+#ifndef ROBUSTQP_COMMON_THREAD_POOL_H_
+#define ROBUSTQP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace robustqp {
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+/// Tasks may be submitted from any thread; Wait() blocks until the queue
+/// drains. Not reentrant: tasks must not themselves call Submit/Wait on
+/// the same pool.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 picks DefaultThreads().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  /// Hardware concurrency clamped to [1, 16] — the same policy the ESS
+  /// builder has always used for its optimizer sweep.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  int64_t outstanding_ = 0;  // queued + currently running
+  bool stop_ = false;
+};
+
+/// Splits [0, total) into one contiguous block per pool worker and runs
+/// `body(worker, begin, end)` for each non-empty block. `worker` is the
+/// block index in [0, pool->num_threads()) — stable across runs, so
+/// callers can give each block its own scratch state (algorithm clone,
+/// RNG, oracle). Blocks are disjoint, so `body` may write to shared
+/// per-index storage without synchronization. Rethrows the lowest-index
+/// block's exception after all blocks finish.
+void ParallelFor(ThreadPool* pool, int64_t total,
+                 const std::function<void(int worker, int64_t begin,
+                                          int64_t end)>& body);
+
+/// Maps fixed-size chunks of [0, total) on the pool and reduces the
+/// partials in chunk order: acc = reduce(acc, map(chunk_i)) for i = 0, 1,
+/// ... — the deterministic reduction described in the header comment.
+/// Returns `init` unchanged when `total` <= 0.
+template <typename T>
+T ParallelMapReduce(ThreadPool* pool, int64_t total, int64_t chunk_size, T init,
+                    const std::function<T(int64_t begin, int64_t end)>& map,
+                    const std::function<T(T acc, T partial)>& reduce) {
+  if (total <= 0) return init;
+  if (chunk_size <= 0) chunk_size = 1;
+  const int64_t num_chunks = (total + chunk_size - 1) / chunk_size;
+  std::vector<T> partials(static_cast<size_t>(num_chunks));
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t begin = c * chunk_size;
+    const int64_t end = std::min<int64_t>(total, begin + chunk_size);
+    pool->Submit([&, c, begin, end] {
+      try {
+        partials[static_cast<size_t>(c)] = map(begin, end);
+      } catch (...) {
+        errors[static_cast<size_t>(c)] = std::current_exception();
+      }
+    });
+  }
+  pool->Wait();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  T acc = std::move(init);
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    acc = reduce(std::move(acc), std::move(partials[static_cast<size_t>(c)]));
+  }
+  return acc;
+}
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_COMMON_THREAD_POOL_H_

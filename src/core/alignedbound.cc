@@ -20,7 +20,7 @@ AlignedBound::AlignedBound(const Ess* ess, Options options)
       constrained_(ess) {}
 
 const AlignedBound::ContourChoice& AlignedBound::GetChoice(
-    int contour, const std::vector<int>& fixed) {
+    int contour, const std::vector<int>& fixed) const {
   const auto key = std::make_pair(contour, fixed);
   auto it = choice_cache_.find(key);
   if (it != choice_cache_.end()) return it->second;
@@ -176,7 +176,7 @@ const AlignedBound::ContourChoice& AlignedBound::GetChoice(
   return choice_cache_.emplace(key, std::move(choice)).first->second;
 }
 
-DiscoveryResult AlignedBound::Run(ExecutionOracle* oracle) {
+DiscoveryResult AlignedBound::Run(ExecutionOracle* oracle) const {
   const int dims = ess_->dims();
   DiscoveryResult result;
 
@@ -208,7 +208,8 @@ DiscoveryResult AlignedBound::Run(ExecutionOracle* oracle) {
           *part.plan, part.leader, part.budget * options_.budget_inflation,
           learned);
       result.total_cost += outcome.cost_charged;
-      max_penalty_seen_ = std::max(max_penalty_seen_, part.penalty);
+      result.max_replacement_penalty =
+          std::max(result.max_replacement_penalty, part.penalty);
 
       ExecutionStep step;
       step.contour = i;

@@ -24,8 +24,9 @@ namespace robustqp {
 
 /// The AlignedBound algorithm (Algorithm 2). Reusable across runs;
 /// per-(contour, learnt-slice) partition choices and constrained-plan
-/// searches are memoized.
-class AlignedBound {
+/// searches are memoized, which makes Run logically-const-only — see the
+/// DiscoveryAlgorithm concurrency contract (parallel sweeps Clone()).
+class AlignedBound : public DiscoveryAlgorithm {
  public:
   struct Options {
     /// Cap on the number of slice locations probed when inducing PSA for
@@ -40,12 +41,24 @@ class AlignedBound {
   AlignedBound(const Ess* ess, Options options);
   explicit AlignedBound(const Ess* ess);
 
-  /// Runs discovery against `oracle` until the query completes.
-  DiscoveryResult Run(ExecutionOracle* oracle);
+  /// Runs discovery against `oracle` until the query completes. The
+  /// result's max_replacement_penalty carries the paper's Table 4
+  /// statistic for the partitions this run executed.
+  DiscoveryResult Run(ExecutionOracle* oracle) const override;
 
-  /// Largest per-part replacement penalty among partitions actually
-  /// executed so far (the paper's Table 4 statistic).
-  double max_penalty_seen() const { return max_penalty_seen_; }
+  std::string name() const override { return "AlignedBound"; }
+
+  /// The guaranteed (upper) end of the instance's MSO range: alignment
+  /// only removes executions relative to SpillBound, so SpillBound's
+  /// ratio-generalized bound applies (Theorem 4.5 via Theorem 5.1).
+  double MsoGuarantee() const override {
+    return SpillBound::MsoGuaranteeForRatio(ess_->dims(),
+                                            ess_->config().contour_cost_ratio);
+  }
+
+  std::unique_ptr<DiscoveryAlgorithm> Clone() const override {
+    return std::make_unique<AlignedBound>(ess_, options_);
+  }
 
   /// The guarantee range [2D+2, D^2+3D] (Theorems 5.1 / 4.5).
   static std::pair<double, double> MsoGuaranteeRange(int num_epps) {
@@ -70,14 +83,16 @@ class AlignedBound {
     double total_penalty = 0.0;
   };
 
-  const ContourChoice& GetChoice(int contour, const std::vector<int>& fixed);
+  const ContourChoice& GetChoice(int contour,
+                                 const std::vector<int>& fixed) const;
 
   const Ess* ess_;
   Options options_;
   SpillBound fallback_;  // supplies the terminal 1D phase
-  ConstrainedPlanCache constrained_;
-  std::map<std::pair<int, std::vector<int>>, ContourChoice> choice_cache_;
-  double max_penalty_seen_ = 1.0;
+  // Memo caches (logical constness; not synchronized — see the
+  // DiscoveryAlgorithm concurrency contract).
+  mutable ConstrainedPlanCache constrained_;
+  mutable std::map<std::pair<int, std::vector<int>>, ContourChoice> choice_cache_;
 };
 
 }  // namespace robustqp

@@ -1,12 +1,16 @@
-// Shared result/trace types for the discovery algorithms.
+// Shared result/trace types for the discovery algorithms, and the
+// DiscoveryAlgorithm interface they all implement.
 
 #ifndef ROBUSTQP_CORE_DISCOVERY_H_
 #define ROBUSTQP_CORE_DISCOVERY_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace robustqp {
+
+class ExecutionOracle;
 
 /// One budgeted execution performed during discovery (a row of the
 /// paper's Table 3 drill-down, a segment of Fig. 7's Manhattan profile).
@@ -37,9 +41,43 @@ struct DiscoveryResult {
   double total_cost = 0.0;
   /// Contour at which the query finally completed.
   int final_contour = -1;
+  /// Largest plan-replacement penalty among the partitions this run
+  /// actually executed (AlignedBound's Table 4 statistic; 1.0 for
+  /// algorithms without induced alignment).
+  double max_replacement_penalty = 1.0;
   std::vector<ExecutionStep> steps;
 
   int num_executions() const { return static_cast<int>(steps.size()); }
+};
+
+/// The common face of PlanBouquet, SpillBound and AlignedBound: one
+/// discovery run against an execution oracle, plus the metadata the
+/// harness and reproduction surface need.
+///
+/// Concurrency contract. Run is const but *logically* const only: the
+/// contour-wise algorithms memoize per-(contour, learnt-slice) choices in
+/// mutable caches, so one instance must not run on two threads at once.
+/// Parallel harnesses give every worker its own instance via Clone(),
+/// which is cheap — clones share the (immutable) Ess and start with cold
+/// caches that warm up over the worker's share of locations.
+class DiscoveryAlgorithm {
+ public:
+  virtual ~DiscoveryAlgorithm() = default;
+
+  /// Runs discovery against `oracle` until the query completes.
+  virtual DiscoveryResult Run(ExecutionOracle* oracle) const = 0;
+
+  /// Display name ("SpillBound").
+  virtual std::string name() const = 0;
+
+  /// The algorithm's MSO guarantee for its query/ESS instance: the
+  /// platform-independent bound for SpillBound and AlignedBound, the
+  /// behavioural 4(1+lambda)rho bound for PlanBouquet.
+  virtual double MsoGuarantee() const = 0;
+
+  /// Fresh instance over the same Ess with the same options and cold
+  /// memo caches; used once per worker by parallel evaluation.
+  virtual std::unique_ptr<DiscoveryAlgorithm> Clone() const = 0;
 };
 
 }  // namespace robustqp

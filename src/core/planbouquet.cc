@@ -1,12 +1,11 @@
 #include "core/planbouquet.h"
 
 #include <algorithm>
-#include <future>
 #include <queue>
 #include <set>
-#include <thread>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/plan_diagram.h"
 
 namespace robustqp {
@@ -31,6 +30,7 @@ PlanBouquet::PlanBouquet(const Ess* ess, Options options)
     : ess_(ess), options_(options) {
   const double lambda = effective_lambda();
   contour_sets_.resize(static_cast<size_t>(ess->num_contours()));
+  ThreadPool pool;  // shared by the per-contour coverage fills
 
   for (int i = 0; i < ess->num_contours(); ++i) {
     const std::vector<int64_t>& frontier = ess->FrontierLocations(i);
@@ -62,20 +62,13 @@ PlanBouquet::PlanBouquet(const Ess* ess, Options options)
           }
         }
       };
-      const size_t threads = std::min<size_t>(
-          {posp.size(), 16, std::max<size_t>(1, std::thread::hardware_concurrency())});
-      if (threads <= 1 || posp.size() * frontier.size() < 4096) {
+      if (pool.num_threads() <= 1 || posp.size() * frontier.size() < 4096) {
         fill(0, posp.size());
       } else {
-        std::vector<std::future<void>> futures;
-        const size_t chunk = (posp.size() + threads - 1) / threads;
-        for (size_t t = 0; t < threads; ++t) {
-          const size_t begin = t * chunk;
-          const size_t end = std::min(posp.size(), begin + chunk);
-          if (begin >= end) break;
-          futures.push_back(std::async(std::launch::async, fill, begin, end));
-        }
-        for (auto& f : futures) f.get();
+        ParallelFor(&pool, static_cast<int64_t>(posp.size()),
+                    [&](int /*worker*/, int64_t begin, int64_t end) {
+                      fill(static_cast<size_t>(begin), static_cast<size_t>(end));
+                    });
       }
       // Sparse cover lists + lazy greedy (gains only shrink as locations
       // get covered, so a stale priority-queue entry is an upper bound).

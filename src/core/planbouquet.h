@@ -19,8 +19,10 @@ namespace robustqp {
 class PlanDiagram;
 
 /// The PlanBouquet algorithm. Contour plan sets (optionally anorexically
-/// reduced) are computed once at construction.
-class PlanBouquet {
+/// reduced) are computed once at construction; Run is stateless, so a
+/// built instance is fully thread-safe (Clone still hands out copies to
+/// keep the DiscoveryAlgorithm contract uniform).
+class PlanBouquet : public DiscoveryAlgorithm {
  public:
   struct Options {
     /// Anorexic-reduction cost-degradation threshold; the paper's default
@@ -42,7 +44,13 @@ class PlanBouquet {
   PlanBouquet(const Ess* ess, const PlanDiagram& diagram, Options options);
 
   /// Runs discovery against `oracle` until the query completes.
-  DiscoveryResult Run(ExecutionOracle* oracle) const;
+  DiscoveryResult Run(ExecutionOracle* oracle) const override;
+
+  std::string name() const override { return "PlanBouquet"; }
+
+  std::unique_ptr<DiscoveryAlgorithm> Clone() const override {
+    return std::make_unique<PlanBouquet>(*this);
+  }
 
   /// Maximum contour plan-set cardinality after reduction — the rho that
   /// enters the MSO guarantee.
@@ -51,7 +59,7 @@ class PlanBouquet {
   int rho_original() const { return rho_original_; }
 
   /// The behavioural MSO guarantee 4 (1 + lambda) rho.
-  double MsoGuarantee() const {
+  double MsoGuarantee() const override {
     return 4.0 * (1.0 + effective_lambda()) * rho_;
   }
 

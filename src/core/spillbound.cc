@@ -7,7 +7,7 @@
 namespace robustqp {
 
 const std::vector<SpillBound::SpillChoice>& SpillBound::GetSpillChoices(
-    int contour, const std::vector<int>& fixed) {
+    int contour, const std::vector<int>& fixed) const {
   const auto key = std::make_pair(contour, fixed);
   auto it = choice_cache_.find(key);
   if (it != choice_cache_.end()) return it->second;
@@ -36,7 +36,7 @@ const std::vector<SpillBound::SpillChoice>& SpillBound::GetSpillChoices(
 }
 
 const SpillBound::SpillChoice& SpillBound::Get1DChoice(
-    int contour, const std::vector<int>& fixed) {
+    int contour, const std::vector<int>& fixed) const {
   const auto key = std::make_pair(contour, fixed);
   auto it = choice1d_cache_.find(key);
   if (it != choice1d_cache_.end()) return it->second;
@@ -81,7 +81,7 @@ std::vector<double> SpillBound::QrunSnapshot(const std::vector<double>& learned,
 void SpillBound::RunPlanBouquet1D(ExecutionOracle* oracle, int contour,
                                   const std::vector<int>& fixed,
                                   const std::vector<double>& learned,
-                                  DiscoveryResult* result) {
+                                  DiscoveryResult* result) const {
   // In the terminal 1D phase, each contour of the residual (line) ESS
   // carries a single plan which is executed in regular (non-spill) mode —
   // spilling in 1D would only weaken the bound (Section 4.1).
@@ -111,7 +111,7 @@ void SpillBound::RunPlanBouquet1D(ExecutionOracle* oracle, int contour,
   result->final_contour = ess_->num_contours() - 1;
 }
 
-DiscoveryResult SpillBound::Run(ExecutionOracle* oracle) {
+DiscoveryResult SpillBound::Run(ExecutionOracle* oracle) const {
   const int dims = ess_->dims();
   DiscoveryResult result;
 

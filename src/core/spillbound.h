@@ -21,7 +21,9 @@ namespace robustqp {
 /// 2D special case and the terminal 1D PlanBouquet phase. One instance
 /// can be reused across many oracle runs; per-(contour, learnt-slice)
 /// plan choices are memoized, which makes exhaustive MSO sweeps cheap.
-class SpillBound {
+/// The memo caches make Run logically-const-only — see the
+/// DiscoveryAlgorithm concurrency contract (parallel sweeps Clone()).
+class SpillBound : public DiscoveryAlgorithm {
  public:
   struct Options {
     /// Multiplies every execution budget. Deployments with a known
@@ -36,7 +38,19 @@ class SpillBound {
   explicit SpillBound(const Ess* ess) : SpillBound(ess, Options{}) {}
 
   /// Runs discovery against `oracle` until the query completes.
-  DiscoveryResult Run(ExecutionOracle* oracle);
+  DiscoveryResult Run(ExecutionOracle* oracle) const override;
+
+  std::string name() const override { return "SpillBound"; }
+
+  /// The instance guarantee under the ESS's configured inter-contour
+  /// cost ratio — D^2 + 3D for the paper's default doubling.
+  double MsoGuarantee() const override {
+    return MsoGuaranteeForRatio(ess_->dims(), ess_->config().contour_cost_ratio);
+  }
+
+  std::unique_ptr<DiscoveryAlgorithm> Clone() const override {
+    return std::make_unique<SpillBound>(ess_, options_);
+  }
 
   /// The platform-independent MSO guarantee (Theorem 4.5); D = 1 queries
   /// degenerate to 1D PlanBouquet whose guarantee is 4.
@@ -71,27 +85,30 @@ class SpillBound {
   };
 
   /// Per-dimension P^j_max choices for (contour, learnt-slice); memoized.
-  const std::vector<SpillChoice>& GetSpillChoices(int contour,
-                                                  const std::vector<int>& fixed);
+  const std::vector<SpillChoice>& GetSpillChoices(
+      int contour, const std::vector<int>& fixed) const;
 
   /// The single plan executed per contour in the terminal 1D phase: the
   /// optimal plan at the slice frontier's top location. Memoized.
-  const SpillChoice& Get1DChoice(int contour, const std::vector<int>& fixed);
+  const SpillChoice& Get1DChoice(int contour,
+                                 const std::vector<int>& fixed) const;
 
   /// Runs the terminal 1D PlanBouquet phase starting at `contour`;
   /// appends to `result` and returns when the query completes.
   void RunPlanBouquet1D(ExecutionOracle* oracle, int contour,
                         const std::vector<int>& fixed,
                         const std::vector<double>& learned,
-                        DiscoveryResult* result);
+                        DiscoveryResult* result) const;
 
   std::vector<double> QrunSnapshot(const std::vector<double>& learned,
                                    const std::vector<int>& floor) const;
 
   const Ess* ess_;
   Options options_;
-  std::map<std::pair<int, std::vector<int>>, std::vector<SpillChoice>> choice_cache_;
-  std::map<std::pair<int, std::vector<int>>, SpillChoice> choice1d_cache_;
+  // Memo caches (logical constness; not synchronized — see the
+  // DiscoveryAlgorithm concurrency contract).
+  mutable std::map<std::pair<int, std::vector<int>>, std::vector<SpillChoice>> choice_cache_;
+  mutable std::map<std::pair<int, std::vector<int>>, SpillChoice> choice1d_cache_;
 };
 
 }  // namespace robustqp

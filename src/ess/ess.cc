@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <future>
 #include <limits>
-#include <thread>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace robustqp {
 
@@ -192,10 +191,9 @@ std::unique_ptr<Ess> Ess::Build(const Catalog& catalog, const Query& query,
   // Sweep the grid: optimize at every location. Optimizer calls are pure,
   // so the sweep parallelizes over location ranges; plans are interned
   // sequentially afterwards to keep the pool single-threaded.
-  int threads = config.num_threads > 0
-                    ? config.num_threads
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::max(1, std::min<int>(threads, 16));
+  const int threads = config.num_threads > 0
+                          ? std::min(config.num_threads, 16)
+                          : ThreadPool::DefaultThreads();
 
   std::vector<std::unique_ptr<Plan>> raw_plans(static_cast<size_t>(total));
   auto worker = [&](int64_t begin, int64_t end) {
@@ -208,15 +206,11 @@ std::unique_ptr<Ess> Ess::Build(const Catalog& catalog, const Query& query,
   if (threads == 1 || total < 256) {
     worker(0, total);
   } else {
-    std::vector<std::future<void>> futures;
-    const int64_t chunk = (total + threads - 1) / threads;
-    for (int t = 0; t < threads; ++t) {
-      const int64_t begin = static_cast<int64_t>(t) * chunk;
-      const int64_t end = std::min<int64_t>(total, begin + chunk);
-      if (begin >= end) break;
-      futures.push_back(std::async(std::launch::async, worker, begin, end));
-    }
-    for (auto& f : futures) f.get();
+    ThreadPool sweep_pool(threads);
+    ParallelFor(&sweep_pool, total,
+                [&](int /*worker*/, int64_t begin, int64_t end) {
+                  worker(begin, end);
+                });
   }
 
   for (int64_t lin = 0; lin < total; ++lin) {

@@ -3,9 +3,35 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/oracle.h"
 
 namespace robustqp {
+
+namespace {
+
+int ResolveThreads(const EvalOptions& opts) {
+  return opts.num_threads > 0 ? opts.num_threads : ThreadPool::DefaultThreads();
+}
+
+/// Fills stats.mso / worst_location / aso from the completed subopt
+/// vector. Serial left-to-right scan: the same association order
+/// regardless of how the vector was filled, so the aggregate is
+/// bit-identical at any thread count (first-location tie-break for MSO).
+void ReduceStats(SuboptimalityStats* stats) {
+  double sum = 0.0;
+  for (size_t lin = 0; lin < stats->subopt.size(); ++lin) {
+    const double s = stats->subopt[lin];
+    sum += s;
+    if (s > stats->mso) {
+      stats->mso = s;
+      stats->worst_location = static_cast<int64_t>(lin);
+    }
+  }
+  stats->aso = sum / static_cast<double>(stats->subopt.size());
+}
+
+}  // namespace
 
 double SuboptimalityStats::FractionWithin(double bound) const {
   if (subopt.empty()) return 0.0;
@@ -19,100 +45,99 @@ double SuboptimalityStats::FractionWithin(double bound) const {
 double SuboptimalityStats::Percentile(double p) const {
   RQP_CHECK(p > 0.0 && p <= 100.0);
   if (subopt.empty()) return 0.0;
-  std::vector<double> sorted = subopt;
-  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> sample = subopt;
   const size_t idx = static_cast<size_t>(
-      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
-                       p / 100.0 * static_cast<double>(sorted.size())));
-  return sorted[idx];
+      std::min<double>(static_cast<double>(sample.size()) - 1.0,
+                       p / 100.0 * static_cast<double>(sample.size())));
+  // nth_element: O(n) selection instead of a full sort.
+  std::nth_element(sample.begin(),
+                   sample.begin() + static_cast<std::ptrdiff_t>(idx),
+                   sample.end());
+  return sample[idx];
 }
 
-SuboptimalityStats EvaluateOverEss(
-    const Ess& ess, const std::function<DiscoveryResult(int64_t)>& runner) {
+SuboptimalityStats Evaluate(const DiscoveryAlgorithm& algo, const Ess& ess,
+                            const EvalOptions& opts) {
   SuboptimalityStats stats;
   const int64_t total = ess.num_locations();
   stats.subopt.resize(static_cast<size_t>(total));
-  double sum = 0.0;
-  for (int64_t lin = 0; lin < total; ++lin) {
-    const DiscoveryResult result = runner(lin);
-    RQP_CHECK(result.completed);
-    const double subopt = result.total_cost / ess.OptimalCost(lin);
-    stats.subopt[static_cast<size_t>(lin)] = subopt;
-    sum += subopt;
-    if (subopt > stats.mso) {
-      stats.mso = subopt;
-      stats.worst_location = lin;
+
+  const int threads = ResolveThreads(opts);
+  ThreadPool pool(threads);
+  std::vector<double> worker_penalty(static_cast<size_t>(threads), 1.0);
+  // One contiguous block of locations per worker; each worker clones the
+  // algorithm once (cold memo caches that warm over its block) and builds
+  // its own oracle per q_a. Per-location results are independent of the
+  // partitioning, so any thread count produces the same subopt vector.
+  ParallelFor(&pool, total, [&](int worker, int64_t begin, int64_t end) {
+    const std::unique_ptr<DiscoveryAlgorithm> local = algo.Clone();
+    double max_penalty = 1.0;
+    for (int64_t lin = begin; lin < end; ++lin) {
+      SimulatedOracle oracle(&ess, ess.FromLinear(lin));
+      const DiscoveryResult result = local->Run(&oracle);
+      RQP_CHECK(result.completed);
+      stats.subopt[static_cast<size_t>(lin)] =
+          result.total_cost / ess.OptimalCost(lin);
+      max_penalty = std::max(max_penalty, result.max_replacement_penalty);
     }
-  }
-  stats.aso = sum / static_cast<double>(total);
+    worker_penalty[static_cast<size_t>(worker)] = max_penalty;
+  });
+  // max() over doubles is exact, so the merge order cannot matter.
+  for (double p : worker_penalty) stats.max_penalty = std::max(stats.max_penalty, p);
+  ReduceStats(&stats);
   return stats;
 }
 
-SuboptimalityStats EvaluateSpillBound(SpillBound* sb) {
-  const Ess& ess = sb->ess();
-  return EvaluateOverEss(ess, [&](int64_t lin) {
-    SimulatedOracle oracle(&ess, ess.FromLinear(lin));
-    return sb->Run(&oracle);
-  });
-}
+namespace {
 
-SuboptimalityStats EvaluatePlanBouquet(const PlanBouquet& pb, const Ess& ess) {
-  return EvaluateOverEss(ess, [&](int64_t lin) {
-    SimulatedOracle oracle(&ess, ess.FromLinear(lin));
-    return pb.Run(&oracle);
-  });
-}
-
-SuboptimalityStats EvaluateAlignedBound(AlignedBound* ab, const Ess& ess) {
-  return EvaluateOverEss(ess, [&](int64_t lin) {
-    SimulatedOracle oracle(&ess, ess.FromLinear(lin));
-    return ab->Run(&oracle);
-  });
-}
-
-SuboptimalityStats EvaluateNativeWorstCase(const Ess& ess) {
+/// Shared shape of the two native baselines: fill subopt[lin] via
+/// `subopt_at`, fanned out in fixed-size chunks, then reduce serially.
+SuboptimalityStats EvaluateNative(
+    const Ess& ess, const EvalOptions& opts,
+    const std::function<double(int64_t)>& subopt_at) {
   SuboptimalityStats stats;
   const int64_t total = ess.num_locations();
   stats.subopt.resize(static_cast<size_t>(total));
+  ThreadPool pool(ResolveThreads(opts));
+  constexpr int64_t kChunk = 256;
+  ParallelMapReduce<int>(
+      &pool, total, kChunk, 0,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t lin = begin; lin < end; ++lin) {
+          stats.subopt[static_cast<size_t>(lin)] = subopt_at(lin);
+        }
+        return 0;
+      },
+      [](int acc, int) { return acc; });
+  ReduceStats(&stats);
+  return stats;
+}
+
+}  // namespace
+
+SuboptimalityStats EvaluateNativeWorstCase(const Ess& ess,
+                                           const EvalOptions& opts) {
   const std::vector<const Plan*>& posp = ess.pool().plans();
-  double sum = 0.0;
-  for (int64_t lin = 0; lin < total; ++lin) {
+  return EvaluateNative(ess, opts, [&](int64_t lin) {
     const EssPoint q = ess.SelAt(ess.FromLinear(lin));
-    const double opt = ess.OptimalCost(lin);
-    double worst = 1.0;
+    // Hoist the optimal cost out of the POSP loop: take the max raw plan
+    // cost first, one division per location.
+    double worst_cost = 0.0;
     for (const Plan* p : posp) {
-      worst = std::max(worst, ess.optimizer().PlanCost(*p, q) / opt);
+      worst_cost = std::max(worst_cost, ess.optimizer().PlanCost(*p, q));
     }
-    stats.subopt[static_cast<size_t>(lin)] = worst;
-    sum += worst;
-    if (worst > stats.mso) {
-      stats.mso = worst;
-      stats.worst_location = lin;
-    }
-  }
-  stats.aso = sum / static_cast<double>(total);
-  return stats;
+    return std::max(1.0, worst_cost / ess.OptimalCost(lin));
+  });
 }
 
-SuboptimalityStats EvaluateNativeAtEstimate(const Ess& ess) {
-  SuboptimalityStats stats;
+SuboptimalityStats EvaluateNativeAtEstimate(const Ess& ess,
+                                            const EvalOptions& opts) {
   const EssPoint qe = ess.optimizer().estimator().NativeEstimatePoint();
   const std::unique_ptr<Plan> plan = ess.optimizer().Optimize(qe);
-  const int64_t total = ess.num_locations();
-  stats.subopt.resize(static_cast<size_t>(total));
-  double sum = 0.0;
-  for (int64_t lin = 0; lin < total; ++lin) {
+  return EvaluateNative(ess, opts, [&](int64_t lin) {
     const EssPoint q = ess.SelAt(ess.FromLinear(lin));
-    const double subopt = ess.optimizer().PlanCost(*plan, q) / ess.OptimalCost(lin);
-    stats.subopt[static_cast<size_t>(lin)] = subopt;
-    sum += subopt;
-    if (subopt > stats.mso) {
-      stats.mso = subopt;
-      stats.worst_location = lin;
-    }
-  }
-  stats.aso = sum / static_cast<double>(total);
-  return stats;
+    return ess.optimizer().PlanCost(*plan, q) / ess.OptimalCost(lin);
+  });
 }
 
 std::vector<int64_t> SuboptHistogram(const SuboptimalityStats& stats,

@@ -4,25 +4,38 @@
 // sub-optimality Eq. (3) is recorded. MSO is the maximum, ASO the mean
 // (Eq. (8)); the per-location vector feeds the Fig. 12 histograms. Also
 // provides the traditional-optimizer baselines of Eq. (1).
+//
+// The per-q_a runs are independent, so the sweep fans out across a
+// ThreadPool: each worker owns a Clone() of the algorithm and its own
+// SimulatedOracle per location, and the reduction to SuboptimalityStats
+// is deterministic — results are bit-identical at any thread count.
 
 #ifndef ROBUSTQP_HARNESS_EVALUATOR_H_
 #define ROBUSTQP_HARNESS_EVALUATOR_H_
 
-#include <functional>
+#include <cstdint>
 #include <vector>
 
-#include "core/alignedbound.h"
-#include "core/planbouquet.h"
-#include "core/spillbound.h"
+#include "core/discovery.h"
 #include "ess/ess.h"
 
 namespace robustqp {
+
+/// Knobs for the exhaustive sweep.
+struct EvalOptions {
+  /// Worker threads for the per-q_a fan-out; 0 = hardware concurrency,
+  /// 1 = serial. Any value yields bit-identical SuboptimalityStats.
+  int num_threads = 0;
+};
 
 /// Sub-optimality profile of one algorithm over the whole ESS.
 struct SuboptimalityStats {
   double mso = 0.0;
   double aso = 0.0;
   int64_t worst_location = -1;
+  /// Largest replacement penalty any run reported (AlignedBound's
+  /// Table 4 statistic; 1.0 for penalty-free algorithms).
+  double max_penalty = 1.0;
   /// SubOpt per linear grid location.
   std::vector<double> subopt;
 
@@ -33,26 +46,24 @@ struct SuboptimalityStats {
   double Percentile(double p) const;
 };
 
-/// Runs `runner` for every q_a in the grid and aggregates.
-SuboptimalityStats EvaluateOverEss(
-    const Ess& ess, const std::function<DiscoveryResult(int64_t)>& runner);
-
-/// Exhaustive evaluation of the three discovery algorithms. The algorithm
-/// objects are mutated (their memo caches warm up across locations).
-SuboptimalityStats EvaluateSpillBound(SpillBound* sb);
-SuboptimalityStats EvaluatePlanBouquet(const PlanBouquet& pb, const Ess& ess);
-SuboptimalityStats EvaluateAlignedBound(AlignedBound* ab, const Ess& ess);
+/// Exhaustive evaluation of a discovery algorithm: every grid location is
+/// the true location once. This is the single entry point for
+/// PlanBouquet, SpillBound and AlignedBound alike.
+SuboptimalityStats Evaluate(const DiscoveryAlgorithm& algo, const Ess& ess,
+                            const EvalOptions& opts = EvalOptions{});
 
 /// Traditional optimizer, worst case over estimate locations: for each
 /// q_a, the worst Cost(P_qe, q_a)/Cost(P_qa, q_a) over all POSP plans
 /// (every q_e in the ESS yields some POSP plan, so this is the exact
 /// worst case of Eq. (2)).
-SuboptimalityStats EvaluateNativeWorstCase(const Ess& ess);
+SuboptimalityStats EvaluateNativeWorstCase(
+    const Ess& ess, const EvalOptions& opts = EvalOptions{});
 
 /// Traditional optimizer at its actual statistics-based estimate: the
 /// plan is chosen once at the estimator's native q_e and executed at
 /// every q_a.
-SuboptimalityStats EvaluateNativeAtEstimate(const Ess& ess);
+SuboptimalityStats EvaluateNativeAtEstimate(
+    const Ess& ess, const EvalOptions& opts = EvalOptions{});
 
 /// Histogram of sub-optimalities in buckets of `width` (Fig. 12): entry k
 /// counts locations with subopt in (k*width, (k+1)*width], entry 0

@@ -91,14 +91,14 @@ TEST(AlgorithmEdgeTest, BoundHoldsOnCommercialFlavour) {
   Bundle com = MakeBundle(2, 12, 2.0, CostModel::CommercialFlavour());
   SpillBound sb_pg(pg.ess.get());
   SpillBound sb_com(com.ess.get());
-  EXPECT_LE(EvaluateSpillBound(&sb_pg).mso, 10.0 * (1 + 1e-6));
-  EXPECT_LE(EvaluateSpillBound(&sb_com).mso, 10.0 * (1 + 1e-6));
+  EXPECT_LE(Evaluate(sb_pg, *pg.ess).mso, 10.0 * (1 + 1e-6));
+  EXPECT_LE(Evaluate(sb_com, *com.ess).mso, 10.0 * (1 + 1e-6));
   PlanBouquet pb_pg(pg.ess.get());
   PlanBouquet pb_com(com.ess.get());
   // PB's guarantee may differ across flavours; each must still hold.
-  EXPECT_LE(EvaluatePlanBouquet(pb_pg, *pg.ess).mso,
+  EXPECT_LE(Evaluate(pb_pg, *pg.ess).mso,
             pb_pg.MsoGuarantee() * (1 + 1e-6));
-  EXPECT_LE(EvaluatePlanBouquet(pb_com, *com.ess).mso,
+  EXPECT_LE(Evaluate(pb_com, *com.ess).mso,
             pb_com.MsoGuarantee() * (1 + 1e-6));
 }
 
@@ -112,7 +112,7 @@ TEST_P(CostRatioTest, GuaranteeHoldsForRatio) {
   const double r = GetParam().ratio;
   Bundle b = MakeBundle(2, 12, r);
   SpillBound sb(b.ess.get());
-  const SuboptimalityStats stats = EvaluateSpillBound(&sb);
+  const SuboptimalityStats stats = Evaluate(sb, *b.ess);
   EXPECT_LE(stats.mso,
             SpillBound::MsoGuaranteeForRatio(2, r) * (1 + 1e-6));
 }

@@ -2,13 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "common/log_grid.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 
 namespace robustqp {
 namespace {
@@ -177,6 +181,119 @@ TEST(TablePrinterTest, NumTrimsTrailingZeros) {
   EXPECT_EQ(TablePrinter::Num(130.0), "130");
   EXPECT_EQ(TablePrinter::Num(0.04), "0.04");
   EXPECT_EQ(TablePrinter::Num(3.14159, 3), "3.142");
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+  // The pool stays usable after a Wait.
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(&pool, 1000, [&](int worker, int64_t begin, int64_t end) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 3);
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&](int, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Fewer indices than workers: blocks are skipped, never empty.
+  std::atomic<int> covered{0};
+  ParallelFor(&pool, 2, [&](int, int64_t begin, int64_t end) {
+    EXPECT_LT(begin, end);
+    covered += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 100,
+                  [&](int, int64_t begin, int64_t) {
+                    if (begin == 0) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> count{0};
+  ParallelFor(&pool, 8, [&](int, int64_t begin, int64_t end) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, MapReduceHandlesMoreChunksThanThreads) {
+  ThreadPool pool(2);
+  // 1000 indices in chunks of 7 -> 143 chunks over 2 workers.
+  const int64_t sum = ParallelMapReduce<int64_t>(
+      &pool, 1000, 7, 0,
+      [](int64_t begin, int64_t end) {
+        int64_t s = 0;
+        for (int64_t i = begin; i < end; ++i) s += i;
+        return s;
+      },
+      [](int64_t acc, int64_t part) { return acc + part; });
+  EXPECT_EQ(sum, 999 * 1000 / 2);
+}
+
+TEST(ThreadPoolTest, MapReduceReducesInChunkOrder) {
+  // The reduction must follow chunk order regardless of completion order:
+  // concatenating chunk-begin indices yields the sorted sequence.
+  ThreadPool pool(4);
+  const std::vector<int64_t> order = ParallelMapReduce<std::vector<int64_t>>(
+      &pool, 64, 4, {},
+      [](int64_t begin, int64_t) { return std::vector<int64_t>{begin}; },
+      [](std::vector<int64_t> acc, std::vector<int64_t> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  ASSERT_EQ(order.size(), 16u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int64_t>(i) * 4);
+  }
+}
+
+TEST(ThreadPoolTest, MapReduceEmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const int v = ParallelMapReduce<int>(
+      &pool, 0, 16, 42, [](int64_t, int64_t) { return 7; },
+      [](int acc, int part) { return acc + part; });
+  EXPECT_EQ(v, 42);
+}
+
+TEST(ThreadPoolTest, MapReducePropagatesFirstChunkException) {
+  ThreadPool pool(4);
+  try {
+    ParallelMapReduce<int>(
+        &pool, 100, 10, 0,
+        [](int64_t begin, int64_t) -> int {
+          if (begin == 30) throw std::runtime_error("chunk-3");
+          if (begin == 70) throw std::runtime_error("chunk-7");
+          return 0;
+        },
+        [](int acc, int) { return acc; });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // Lowest chunk index wins, independent of completion order.
+    EXPECT_STREQ(e.what(), "chunk-3");
+  }
 }
 
 }  // namespace

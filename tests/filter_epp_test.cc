@@ -85,20 +85,20 @@ TEST_F(FilterEppTest, PlansOrderFilterEppUpstream) {
 
 TEST_F(FilterEppTest, SpillBoundWithinGuaranteeExhaustive) {
   SpillBound sb(ess_);
-  const SuboptimalityStats stats = EvaluateSpillBound(&sb);
+  const SuboptimalityStats stats = Evaluate(sb, *ess_);
   EXPECT_LE(stats.mso, SpillBound::MsoGuarantee(3) * (1 + 1e-6));
   EXPECT_GE(stats.mso, 1.0);
 }
 
 TEST_F(FilterEppTest, PlanBouquetWithinGuaranteeExhaustive) {
   PlanBouquet pb(ess_);
-  const SuboptimalityStats stats = EvaluatePlanBouquet(pb, *ess_);
+  const SuboptimalityStats stats = Evaluate(pb, *ess_);
   EXPECT_LE(stats.mso, pb.MsoGuarantee() * (1 + 1e-6));
 }
 
 TEST_F(FilterEppTest, AlignedBoundWithinGuaranteeExhaustive) {
   AlignedBound ab(ess_);
-  const SuboptimalityStats stats = EvaluateAlignedBound(&ab, *ess_);
+  const SuboptimalityStats stats = Evaluate(ab, *ess_);
   EXPECT_LE(stats.mso, SpillBound::MsoGuarantee(3) * (1 + 1e-6));
 }
 

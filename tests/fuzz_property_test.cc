@@ -166,16 +166,16 @@ TEST_P(FuzzPropertyTest, GuaranteesHoldOnRandomInstance) {
 
   // Algorithms: exhaustive over the (small) grid.
   SpillBound sb(&ess);
-  const SuboptimalityStats s_sb = EvaluateSpillBound(&sb);
+  const SuboptimalityStats s_sb = Evaluate(sb, ess);
   EXPECT_LE(s_sb.mso, SpillBound::MsoGuarantee(D) * (1 + 1e-6))
       << "seed " << GetParam();
 
   PlanBouquet pb(&ess);
-  const SuboptimalityStats s_pb = EvaluatePlanBouquet(pb, ess);
+  const SuboptimalityStats s_pb = Evaluate(pb, ess);
   EXPECT_LE(s_pb.mso, pb.MsoGuarantee() * (1 + 1e-6)) << "seed " << GetParam();
 
   AlignedBound ab(&ess);
-  const SuboptimalityStats s_ab = EvaluateAlignedBound(&ab, ess);
+  const SuboptimalityStats s_ab = Evaluate(ab, ess);
   EXPECT_LE(s_ab.mso, SpillBound::MsoGuarantee(D) * (1 + 1e-6))
       << "seed " << GetParam();
 }

@@ -158,6 +158,39 @@ TEST(EvaluatorPlumbingTest, PercentileSemantics) {
   EXPECT_DOUBLE_EQ(empty.Percentile(95.0), 0.0);
 }
 
+// Parallel evaluation must be bit-identical to serial: per-location
+// sub-optimalities are independent of the worker partitioning and the
+// reduction is a serial scan, so every field of SuboptimalityStats —
+// including the full subopt vector — must match exactly (operator==,
+// no tolerance) for any thread count.
+class EvaluateDeterminismTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  const Workbench::Entry& entry() {
+    Ess::Config config;
+    config.points_per_dim = GetParam() == "2D_Q91" ? 12 : 8;
+    return Workbench::Get(GetParam(), config);
+  }
+};
+
+TEST_P(EvaluateDeterminismTest, StatsIdenticalAcrossThreadCounts) {
+  const Ess& ess = *entry().ess;
+  const SpillBound sb(&ess);
+  const SuboptimalityStats serial = Evaluate(sb, ess, EvalOptions{1});
+  for (int threads : {2, 8}) {
+    const SuboptimalityStats parallel = Evaluate(sb, ess, EvalOptions{threads});
+    EXPECT_EQ(parallel.mso, serial.mso) << threads << " threads";
+    EXPECT_EQ(parallel.aso, serial.aso) << threads << " threads";
+    EXPECT_EQ(parallel.worst_location, serial.worst_location)
+        << threads << " threads";
+    EXPECT_EQ(parallel.max_penalty, serial.max_penalty) << threads
+                                                        << " threads";
+    EXPECT_TRUE(parallel.subopt == serial.subopt) << threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, EvaluateDeterminismTest,
+                         ::testing::Values("2D_Q91", "3D_Q15"));
+
 TEST(EvaluatorPlumbingTest, WorstLocationConsistent) {
   auto catalog = MakeTinyCatalog();
   const Query q = MakeStarQuery(2);
@@ -165,7 +198,7 @@ TEST(EvaluatorPlumbingTest, WorstLocationConsistent) {
   config.points_per_dim = 10;
   auto ess = Ess::Build(*catalog, q, config);
   SpillBound sb(ess.get());
-  const SuboptimalityStats stats = EvaluateSpillBound(&sb);
+  const SuboptimalityStats stats = Evaluate(sb, *ess);
   ASSERT_GE(stats.worst_location, 0);
   EXPECT_DOUBLE_EQ(stats.subopt[static_cast<size_t>(stats.worst_location)],
                    stats.mso);

@@ -127,7 +127,7 @@ TEST_F(PlanDiagramTest, DiagramBackedPlanBouquetCompletesEverywhere) {
   diagram.Reduce(0.2);
   PlanBouquet pb(ess_, diagram, {0.2, true, 1.0});
   EXPECT_LE(pb.rho(), ess_->pool().size());
-  const SuboptimalityStats stats = EvaluatePlanBouquet(pb, *ess_);
+  const SuboptimalityStats stats = Evaluate(pb, *ess_);
   EXPECT_LE(stats.mso, pb.MsoGuarantee() * (1 + 1e-6));
 }
 

@@ -26,6 +26,7 @@
 #include "core/planbouquet.h"
 #include "core/spillbound.h"
 #include "exec/executor.h"
+#include "harness/evaluator.h"
 #include "harness/trace_printer.h"
 #include "harness/true_selectivity.h"
 #include "harness/workbench.h"
@@ -43,7 +44,9 @@ struct CliOptions {
   bool trace = false;
   bool list = false;
   bool identify_epps = false;
+  bool evaluate = false;
   int points = 0;
+  int threads = 0;
   double cost_ratio = 2.0;
   std::string save_ess;
   std::string load_ess;
@@ -59,6 +62,10 @@ void PrintUsage() {
       "                         omitted: the data's measured truth\n"
       "  --engine               run on the Volcano executor over stored data\n"
       "  --trace                print the full execution trace\n"
+      "  --evaluate             exhaustive sweep: every grid location is the\n"
+      "                         true location once; prints MSO/ASO per algo\n"
+      "  --threads <n>          worker threads for the ESS build and the\n"
+      "                         --evaluate sweep (default: all cores)\n"
       "  --points <n>           ESS grid points per dimension (default auto)\n"
       "  --ratio <r>            inter-contour cost ratio (default 2.0)\n"
       "  --identify-epps        run the Section 7 epp identifier and exit\n"
@@ -85,6 +92,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->trace = true;
     } else if (arg == "--identify-epps") {
       out->identify_epps = true;
+    } else if (arg == "--evaluate") {
+      out->evaluate = true;
     } else if (arg == "--query") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -97,6 +106,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->points = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->threads = std::atoi(v);
     } else if (arg == "--ratio") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -152,6 +165,7 @@ int Run(const CliOptions& opts) {
   Ess::Config config;
   config.points_per_dim = opts.points;
   config.contour_cost_ratio = opts.cost_ratio;
+  config.num_threads = opts.threads;
 
   // Owners for the --load-ess path (the query must outlive the Ess).
   static std::unique_ptr<Query> loaded_query;
@@ -240,13 +254,35 @@ int Run(const CliOptions& opts) {
   const double opt_cost = ess.OptimalCost(qa);
   std::cout << ")  optimal cost " << opt_cost << "\n\n";
 
+  const bool all = opts.algo == "all";
+  if (opts.evaluate) {
+    // Exhaustive MSO/ASO sweep over the whole ESS through the unified
+    // DiscoveryAlgorithm interface, parallelized across --threads.
+    std::vector<std::unique_ptr<DiscoveryAlgorithm>> algos;
+    if (all || opts.algo == "pb") algos.push_back(std::make_unique<PlanBouquet>(&ess));
+    if (all || opts.algo == "sb") algos.push_back(std::make_unique<SpillBound>(&ess));
+    if (all || opts.algo == "ab") algos.push_back(std::make_unique<AlignedBound>(&ess));
+    if (algos.empty()) {
+      std::cerr << "--evaluate needs --algo pb | sb | ab | all\n";
+      return 1;
+    }
+    const EvalOptions eval_opts{opts.threads};
+    for (const auto& algo : algos) {
+      const SuboptimalityStats stats = Evaluate(*algo, ess, eval_opts);
+      std::cout << algo->name() << ": MSOe=" << stats.mso
+                << "  ASO=" << stats.aso << "  p95=" << stats.Percentile(95.0)
+                << "  worst q_a=IC-loc " << stats.worst_location
+                << "  (guarantee " << algo->MsoGuarantee() << ")\n";
+    }
+    return 0;
+  }
+
   Executor executor(catalog.get(), ess.config().cost_model);
   auto make_oracle = [&]() -> std::unique_ptr<ExecutionOracle> {
     if (opts.engine) return std::make_unique<EngineOracle>(&executor);
     return std::make_unique<SimulatedOracle>(&ess, qa);
   };
 
-  const bool all = opts.algo == "all";
   if (all || opts.algo == "native") {
     const EssPoint qe = ess.optimizer().estimator().NativeEstimatePoint();
     const std::unique_ptr<Plan> plan = ess.optimizer().Optimize(qe);
