@@ -116,17 +116,45 @@ void BM_PlanCosting(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanCosting)->Unit(benchmark::kNanosecond);
 
-void BM_EssBuild(benchmark::State& state) {
+void BM_EssBuild(benchmark::State& state, const std::string& id,
+                 EssBuildMode mode) {
   const Catalog& catalog = SharedCatalog();
-  const Query q = MakeSuiteQuery("2D_Q91");
+  const Query q = MakeSuiteQuery(id);
+  int64_t opt_calls = 0;
+  int64_t locations = 0;
   for (auto _ : state) {
     Ess::Config config;
     config.points_per_dim = static_cast<int>(state.range(0));
+    config.build_mode = mode;
     auto ess = Ess::Build(catalog, q, config);
-    benchmark::DoNotOptimize(ess->num_locations());
+    opt_calls = ess->build_stats().optimizer_calls;
+    locations = ess->num_locations();
+    benchmark::DoNotOptimize(locations);
   }
+  state.counters["opt_calls"] = static_cast<double>(opt_calls);
+  state.counters["locations"] = static_cast<double>(locations);
 }
-BENCHMARK(BM_EssBuild)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EssBuild, Exhaustive2D_Q91, std::string("2D_Q91"),
+                  EssBuildMode::kExhaustive)
+    ->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EssBuild, Exact2D_Q91, std::string("2D_Q91"),
+                  EssBuildMode::kExact)
+    ->Arg(40)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EssBuild, Recost2D_Q91, std::string("2D_Q91"),
+                  EssBuildMode::kRecost)
+    ->Arg(40)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EssBuild, Exhaustive3D_Q96, std::string("3D_Q96"),
+                  EssBuildMode::kExhaustive)
+    ->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EssBuild, Exact3D_Q96, std::string("3D_Q96"),
+                  EssBuildMode::kExact)
+    ->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EssBuild, Exhaustive5D_Q91, std::string("5D_Q91"),
+                  EssBuildMode::kExhaustive)
+    ->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EssBuild, Exact5D_Q91, std::string("5D_Q91"),
+                  EssBuildMode::kExact)
+    ->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_SpillBoundDiscovery(benchmark::State& state) {
   const Workbench::Entry& wb = Workbench::Get("4D_Q91");

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_set>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "ess/ess_builder.h"
 
 namespace robustqp {
 
@@ -60,12 +62,13 @@ int Ess::ContourOf(double cost) const {
 }
 
 std::vector<const Plan*> Ess::ContourPlans(int i) const {
+  // Dedup via a hash set; the returned vector keeps first-seen order
+  // (PlanBouquet's bouquet execution order depends on it).
   std::vector<const Plan*> plans;
+  std::unordered_set<const Plan*> seen;
   for (int64_t lin : frontiers_[static_cast<size_t>(i)]) {
     const Plan* p = plan_[static_cast<size_t>(lin)];
-    if (std::find(plans.begin(), plans.end(), p) == plans.end()) {
-      plans.push_back(p);
-    }
+    if (seen.insert(p).second) plans.push_back(p);
   }
   return plans;
 }
@@ -147,11 +150,20 @@ void Ess::ComputeContoursAndFrontiers() {
   }
   contour_costs_.push_back(cmax_);
 
-  // Frontier membership per contour.
+  // Frontier membership per contour. The grid location is decoded
+  // incrementally (odometer; the last dimension is the linear-index LSB)
+  // instead of dividing out strides per location, and the contours a
+  // location belongs to are found by binary search: location lin is on
+  // frontier i iff c <= CC_i (budget covers it) and CC_i < min_up (every
+  // up-neighbour is outside). Both predicates are monotone in i over the
+  // sorted geometric contour_costs_ array, so the member contours form the
+  // contiguous index range [begin, end) bounded by the two searches, which
+  // evaluate the exact same float comparisons as the direct scan.
   frontiers_.assign(contour_costs_.size(), {});
+  const int m = static_cast<int>(contour_costs_.size());
+  GridLoc loc(static_cast<size_t>(dims_), 0);
   for (int64_t lin = 0; lin < total; ++lin) {
     const double c = cost_[static_cast<size_t>(lin)];
-    const GridLoc loc = FromLinear(lin);
     // Cheapest up-neighbour cost (infinity at the grid's top corner).
     double min_up = std::numeric_limits<double>::infinity();
     for (int d = 0; d < dims_; ++d) {
@@ -159,13 +171,34 @@ void Ess::ComputeContoursAndFrontiers() {
       const int64_t up = lin + strides_[static_cast<size_t>(d)];
       min_up = std::min(min_up, cost_[static_cast<size_t>(up)]);
     }
-    // Location is on frontier i iff c <= CC_i and every up-neighbour is
-    // outside, i.e. CC_i < min_up (costs are monotone).
-    for (size_t i = 0; i < contour_costs_.size(); ++i) {
-      const double cci = contour_costs_[i];
-      if (c <= cci * (1.0 + 1e-12) && cci * (1.0 + 1e-12) < min_up) {
-        frontiers_[i].push_back(lin);
+    // First contour whose budget covers c.
+    int lo = 0, hi = m;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (c <= contour_costs_[static_cast<size_t>(mid)] * (1.0 + 1e-12)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
       }
+    }
+    const int begin = lo;
+    // First contour whose budget reaches an up-neighbour.
+    hi = m;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (contour_costs_[static_cast<size_t>(mid)] * (1.0 + 1e-12) < min_up) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    for (int i = begin; i < lo; ++i) {
+      frontiers_[static_cast<size_t>(i)].push_back(lin);
+    }
+    // Advance the odometer.
+    for (int d = dims_ - 1; d >= 0; --d) {
+      if (++loc[static_cast<size_t>(d)] < points) break;
+      loc[static_cast<size_t>(d)] = 0;
     }
   }
 }
@@ -187,6 +220,13 @@ std::unique_ptr<Ess> Ess::Build(const Catalog& catalog, const Query& query,
 
   ess->cost_.assign(static_cast<size_t>(total), 0.0);
   ess->plan_.assign(static_cast<size_t>(total), nullptr);
+
+  if (config.build_mode != EssBuildMode::kExhaustive) {
+    // Grid refinement: optimizer calls only where corner plans disagree.
+    EssBuilder(ess.get()).Run();
+    ess->ComputeContoursAndFrontiers();
+    return ess;
+  }
 
   // Sweep the grid: optimize at every location. Optimizer calls are pure,
   // so the sweep parallelizes over location ranges; plans are interned
@@ -221,6 +261,9 @@ std::unique_ptr<Ess> Ess::Build(const Catalog& catalog, const Query& query,
     ess->plan_[static_cast<size_t>(lin)] = ess->pool_.Intern(std::move(raw));
     ess->cost_[static_cast<size_t>(lin)] = cost;
   }
+  ess->build_stats_ = BuildStats{};
+  ess->build_stats_.optimizer_calls = ess->optimizer_->num_optimize_calls();
+  ess->build_stats_.exact_points = ess->num_locations();
 
   ess->ComputeContoursAndFrontiers();
   return ess;

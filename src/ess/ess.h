@@ -29,6 +29,27 @@ namespace robustqp {
 /// A grid location: one axis index per ESS dimension.
 using GridLoc = std::vector<int>;
 
+/// How the optimal-cost / optimal-plan surfaces are constructed.
+enum class EssBuildMode {
+  /// One optimizer call per grid location (the paper's Section 2.2 sweep).
+  kExhaustive,
+  /// Recursive grid refinement: optimize only at the corners of coarse
+  /// cells, recost the corner plans at interior locations, and recurse
+  /// only where corner plans disagree, down to small leaf cells that are
+  /// recost-filled and then repaired by neighbourhood relaxation and
+  /// junction re-optimization (see EssBuilder). Produces surfaces
+  /// identical to the exhaustive sweep at a fraction of the optimizer
+  /// calls; validated bit-for-bit by golden and fuzz tests.
+  kExact,
+  /// Graefe-style approximate surface: like kExact, but a cell is also
+  /// accepted without corner agreement when the PCM bound
+  /// OptCost(top corner) <= lambda * OptCost(bottom corner) certifies the
+  /// recosted minimum to within factor lambda of the true optimum. The
+  /// realized bound is reported in BuildStats::max_deviation_bound and
+  /// inflates the MSO guarantee by at most that factor.
+  kRecost,
+};
+
 /// The built ESS for one query: optimal-plan / optimal-cost surfaces over
 /// the grid plus contour structure. Immutable after Build.
 class Ess {
@@ -45,10 +66,39 @@ class Ess {
     /// Cost model flavour for the underlying optimizer.
     CostModel cost_model = CostModel::PostgresFlavour();
     /// Worker threads for the grid sweep; 0 = hardware concurrency.
+    /// (The refinement builder is sequential — its call count is small.)
     int num_threads = 0;
+    /// Surface construction strategy; see EssBuildMode.
+    EssBuildMode build_mode = EssBuildMode::kExhaustive;
+    /// Certification factor for kRecost (must be > 1): cells whose corner
+    /// optimal costs span at most this ratio are recosted, not refined.
+    double recost_lambda = 2.0;
   };
 
-  /// Builds the full surface by optimizing at every grid location.
+  /// Construction statistics of the surface build.
+  struct BuildStats {
+    /// Full optimizer (DP) invocations consumed by the build.
+    int64_t optimizer_calls = 0;
+    /// Grid locations whose cost/plan came from a direct optimizer call.
+    int64_t exact_points = 0;
+    /// Grid locations whose cost/plan came from recosting corner plans
+    /// rather than an optimizer call.
+    int64_t recosted_points = 0;
+    /// Refinement cells accepted via a certificate (corner agreement or
+    /// the kRecost PCM bound).
+    int64_t cells_certified = 0;
+    /// Refinement cells split because certification failed.
+    int64_t cells_refined = 0;
+    /// Sound PCM-derived upper bound on max_q recost(q) / OptCost(q) over
+    /// all recosted locations (1.0 when nothing was recosted). In kExact
+    /// mode the corner-agreement certificate additionally pins every
+    /// recosted plan to the optimal one, so the surface is exact even
+    /// when this conservative bound exceeds 1.
+    double max_deviation_bound = 1.0;
+  };
+
+  /// Builds the surface per `config.build_mode` (exhaustive sweep by
+  /// default, grid refinement via EssBuilder otherwise).
   static std::unique_ptr<Ess> Build(const Catalog& catalog, const Query& query,
                                     const Config& config);
 
@@ -56,6 +106,7 @@ class Ess {
   const Optimizer& optimizer() const { return *optimizer_; }
   const PlanPool& pool() const { return pool_; }
   const Config& config() const { return config_; }
+  const BuildStats& build_stats() const { return build_stats_; }
 
   int dims() const { return dims_; }
   int points() const { return axis_.points(); }
@@ -116,6 +167,8 @@ class Ess {
                                            const Query& query);
 
  private:
+  friend class EssBuilder;
+
   Ess() = default;
 
   /// Derives strides; call after dims_/axis_ are set.
@@ -137,6 +190,7 @@ class Ess {
   double cmax_ = 0.0;
   std::vector<double> contour_costs_;
   std::vector<std::vector<int64_t>> frontiers_;
+  BuildStats build_stats_;
 };
 
 /// Default points-per-dimension for a D-dimensional ESS.

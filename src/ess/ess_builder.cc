@@ -1,0 +1,341 @@
+#include "ess/ess_builder.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace robustqp {
+
+EssBuilder::EssBuilder(Ess* ess) : ess_(ess), dims_(ess->dims()) {
+  RQP_CHECK(ess_->config_.build_mode != EssBuildMode::kExhaustive);
+  RQP_CHECK(ess_->config_.build_mode != EssBuildMode::kRecost ||
+            ess_->config_.recost_lambda > 1.0);
+}
+
+void EssBuilder::EnsureExact(int64_t lin) {
+  if (state_[static_cast<size_t>(lin)] == 1) return;
+  if (state_[static_cast<size_t>(lin)] == 2) --stats_.recosted_points;
+  const GridLoc loc = ess_->FromLinear(lin);
+  const EssPoint q = ess_->SelAt(loc);
+  std::unique_ptr<Plan> raw = ess_->optimizer_->Optimize(q);
+  // Same convention as the exhaustive sweep: the stored cost is the plan's
+  // recosted total, computed before interning.
+  const double cost = ess_->optimizer_->PlanCost(*raw, q);
+  ess_->plan_[static_cast<size_t>(lin)] = ess_->pool_.Intern(std::move(raw));
+  ess_->cost_[static_cast<size_t>(lin)] = cost;
+  state_[static_cast<size_t>(lin)] = 1;
+  ++stats_.exact_points;
+}
+
+std::vector<int64_t> EssBuilder::Corners(const Box& box) const {
+  std::vector<int64_t> corners;
+  GridLoc loc = box.lo;
+  // Odometer over {lo_d, hi_d} per dimension; dims with lo == hi
+  // contribute a single choice.
+  std::vector<int> choice(static_cast<size_t>(dims_), 0);
+  while (true) {
+    corners.push_back(ess_->ToLinear(loc));
+    int d = dims_ - 1;
+    for (; d >= 0; --d) {
+      const size_t sd = static_cast<size_t>(d);
+      if (choice[sd] == 0 && box.lo[sd] != box.hi[sd]) {
+        choice[sd] = 1;
+        loc[sd] = box.hi[sd];
+        break;
+      }
+      choice[sd] = 0;
+      loc[sd] = box.lo[sd];
+    }
+    if (d < 0) break;
+  }
+  return corners;
+}
+
+template <typename Fn>
+void EssBuilder::ForEachPoint(const Box& box, Fn fn) const {
+  GridLoc loc = box.lo;
+  while (true) {
+    fn(ess_->ToLinear(loc));
+    int d = dims_ - 1;
+    for (; d >= 0; --d) {
+      const size_t sd = static_cast<size_t>(d);
+      if (++loc[sd] <= box.hi[sd]) break;
+      loc[sd] = box.lo[sd];
+    }
+    if (d < 0) break;
+  }
+}
+
+void EssBuilder::Refine(const Box& box) {
+  const std::vector<int64_t> corners = Corners(box);
+  for (int64_t lin : corners) EnsureExact(lin);
+
+  bool unit = true;
+  for (int d = 0; d < dims_; ++d) {
+    const size_t sd = static_cast<size_t>(d);
+    if (box.hi[sd] - box.lo[sd] > 1) {
+      unit = false;
+      break;
+    }
+  }
+  // Every location of a unit cell is a corner: fully optimized above.
+  if (unit) return;
+
+  // Distinct corner plans in first-seen (row-major corner) order.
+  std::vector<const Plan*> plans;
+  for (int64_t lin : corners) {
+    const Plan* p = ess_->plan_[static_cast<size_t>(lin)];
+    if (std::find(plans.begin(), plans.end(), p) == plans.end()) {
+      plans.push_back(p);
+    }
+  }
+
+  const double bottom = ess_->cost_[static_cast<size_t>(corners.front())];
+  const double top = ess_->cost_[static_cast<size_t>(corners.back())];
+
+  // Witness scan: every location inside the box that an earlier
+  // refinement already optimized (shared faces of sibling cells, centre
+  // witnesses) must be covered by the candidate plan set, else the cell
+  // is provably not homogeneous in that set and must be refined.
+  const auto witnesses_covered = [&]() {
+    bool covered = true;
+    ForEachPoint(box, [&](int64_t lin) {
+      if (state_[static_cast<size_t>(lin)] == 1 &&
+          std::find(plans.begin(), plans.end(),
+                    ess_->plan_[static_cast<size_t>(lin)]) == plans.end()) {
+        covered = false;
+      }
+    });
+    return covered;
+  };
+
+  bool certified = false;
+  if (plans.size() == 1) {
+    certified = witnesses_covered();
+  }
+  if (!certified && ess_->config_.build_mode == EssBuildMode::kRecost &&
+      top <= ess_->config_.recost_lambda * bottom) {
+    certified = true;
+  }
+  if (!certified) {
+    // Leaf cell (see the header): a narrow disagreeing cell is filled
+    // with the minimum over the corner and in-cell witness plans instead
+    // of being traced down to unit cells; the post-fill relaxation sweep
+    // repairs any interior point whose optimal plan region missed this
+    // cell's candidate set.
+    int max_span = 0;
+    for (int d = 0; d < dims_; ++d) {
+      const size_t sd = static_cast<size_t>(d);
+      max_span = std::max(max_span, box.hi[sd] - box.lo[sd]);
+    }
+    if (max_span <= leaf_span_) {
+      ForEachPoint(box, [&](int64_t lin) {
+        if (state_[static_cast<size_t>(lin)] != 1) return;
+        const Plan* p = ess_->plan_[static_cast<size_t>(lin)];
+        if (std::find(plans.begin(), plans.end(), p) == plans.end()) {
+          plans.push_back(p);
+        }
+      });
+      certified = true;
+    }
+  }
+
+  if (certified) {
+    ++stats_.cells_certified;
+    fills_.push_back(FillJob{box, std::move(plans), bottom});
+    return;
+  }
+
+  ++stats_.cells_refined;
+  // Split every dimension of length >= 2 at its midpoint; children share
+  // the midpoint faces (their corners are memoized).
+  std::vector<std::vector<std::pair<int, int>>> ranges(
+      static_cast<size_t>(dims_));
+  for (int d = 0; d < dims_; ++d) {
+    const size_t sd = static_cast<size_t>(d);
+    const int lo = box.lo[sd];
+    const int hi = box.hi[sd];
+    if (hi - lo >= 2) {
+      const int mid = lo + (hi - lo) / 2;
+      ranges[sd] = {{lo, mid}, {mid, hi}};
+    } else {
+      ranges[sd] = {{lo, hi}};
+    }
+  }
+  std::vector<int> choice(static_cast<size_t>(dims_), 0);
+  while (true) {
+    Box child;
+    child.lo.resize(static_cast<size_t>(dims_));
+    child.hi.resize(static_cast<size_t>(dims_));
+    for (int d = 0; d < dims_; ++d) {
+      const size_t sd = static_cast<size_t>(d);
+      child.lo[sd] = ranges[sd][static_cast<size_t>(choice[sd])].first;
+      child.hi[sd] = ranges[sd][static_cast<size_t>(choice[sd])].second;
+    }
+    Refine(child);
+    int d = dims_ - 1;
+    for (; d >= 0; --d) {
+      const size_t sd = static_cast<size_t>(d);
+      if (++choice[sd] < static_cast<int>(ranges[sd].size())) break;
+      choice[sd] = 0;
+    }
+    if (d < 0) break;
+  }
+}
+
+void EssBuilder::Fill(const FillJob& job) {
+  ForEachPoint(job.box, [&](int64_t lin) {
+    if (state_[static_cast<size_t>(lin)] != 0) return;
+    const EssPoint q = ess_->SelAt(ess_->FromLinear(lin));
+    double best = ess_->optimizer_->PlanCost(*job.plans.front(), q);
+    const Plan* best_plan = job.plans.front();
+    for (size_t i = 1; i < job.plans.size(); ++i) {
+      const double c = ess_->optimizer_->PlanCost(*job.plans[i], q);
+      if (c < best) {
+        best = c;
+        best_plan = job.plans[i];
+      }
+    }
+    ess_->cost_[static_cast<size_t>(lin)] = best;
+    ess_->plan_[static_cast<size_t>(lin)] = best_plan;
+    state_[static_cast<size_t>(lin)] = 2;
+    ++stats_.recosted_points;
+    // PCM: the true optimum at q is at least the cell's bottom-corner
+    // optimum, so best/bottom soundly bounds the realized deviation (it
+    // stays sound as later relaxation only lowers recosted values, and is
+    // conservative — in kExact mode the surface ends exact regardless).
+    stats_.max_deviation_bound =
+        std::max(stats_.max_deviation_bound, best / job.bottom_cost);
+  });
+}
+
+template <typename Fn>
+void EssBuilder::ForEachNeighbour(const GridLoc& loc, Fn fn) const {
+  // Odometer over {-1, 0, +1}^D offsets, skipping all-zero and
+  // out-of-grid neighbours.
+  std::vector<int> off(static_cast<size_t>(dims_), -1);
+  while (true) {
+    bool all_zero = true;
+    bool in_grid = true;
+    for (int d = 0; d < dims_ && in_grid; ++d) {
+      const size_t sd = static_cast<size_t>(d);
+      if (off[sd] != 0) all_zero = false;
+      const int v = loc[sd] + off[sd];
+      if (v < 0 || v >= ess_->points()) in_grid = false;
+    }
+    if (!all_zero && in_grid) {
+      GridLoc nloc = loc;
+      for (int d = 0; d < dims_; ++d) {
+        nloc[static_cast<size_t>(d)] += off[static_cast<size_t>(d)];
+      }
+      fn(ess_->ToLinear(nloc));
+    }
+    int d = dims_ - 1;
+    for (; d >= 0; --d) {
+      const size_t sd = static_cast<size_t>(d);
+      if (++off[sd] <= 1) break;
+      off[sd] = -1;
+    }
+    if (d < 0) break;
+  }
+}
+
+// Flood each discovered plan across its true region: any recosted
+// location with a neighbouring plan that is strictly cheaper at it adopts
+// that plan, until a fixpoint. Every adopted value is a genuine plan cost
+// at the location, so the surface decreases monotonically towards the
+// optimal-cost surface and never crosses it, and exact locations (already
+// at the optimum) can never change. The stencil includes diagonals:
+// region tips are regularly connected to their region only diagonally.
+void EssBuilder::Relax() {
+  const int64_t total = ess_->num_locations();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int64_t lin = 0; lin < total; ++lin) {
+      if (state_[static_cast<size_t>(lin)] != 2) continue;
+      const GridLoc loc = ess_->FromLinear(lin);
+      EssPoint q;
+      bool have_q = false;
+      ForEachNeighbour(loc, [&](int64_t nlin) {
+        const Plan* np = ess_->plan_[static_cast<size_t>(nlin)];
+        if (np == ess_->plan_[static_cast<size_t>(lin)]) return;
+        if (!have_q) {
+          q = ess_->SelAt(loc);
+          have_q = true;
+        }
+        const double c = ess_->optimizer_->PlanCost(*np, q);
+        if (c < ess_->cost_[static_cast<size_t>(lin)]) {
+          ess_->cost_[static_cast<size_t>(lin)] = c;
+          ess_->plan_[static_cast<size_t>(lin)] = np;
+          changed = true;
+        }
+      });
+    }
+  }
+}
+
+std::vector<int64_t> EssBuilder::JunctionSuspects() const {
+  std::vector<int64_t> suspects;
+  const int64_t total = ess_->num_locations();
+  std::vector<const Plan*> seen;
+  for (int64_t lin = 0; lin < total; ++lin) {
+    if (state_[static_cast<size_t>(lin)] != 2) continue;
+    const GridLoc loc = ess_->FromLinear(lin);
+    // On a grid face the stencil is truncated (a sliver there shows fewer
+    // distinct neighbours), so any face point next to a plan change is
+    // suspect; in the interior three regions must meet.
+    bool on_face = false;
+    for (int d = 0; d < dims_; ++d) {
+      const int v = loc[static_cast<size_t>(d)];
+      if (v == 0 || v == ess_->points() - 1) on_face = true;
+    }
+    seen.clear();
+    seen.push_back(ess_->plan_[static_cast<size_t>(lin)]);
+    ForEachNeighbour(loc, [&](int64_t nlin) {
+      const Plan* np = ess_->plan_[static_cast<size_t>(nlin)];
+      if (std::find(seen.begin(), seen.end(), np) == seen.end()) {
+        seen.push_back(np);
+      }
+    });
+    if (static_cast<int>(seen.size()) >= (on_face ? 2 : 3)) {
+      suspects.push_back(lin);
+    }
+  }
+  return suspects;
+}
+
+void EssBuilder::Run() {
+  const int64_t total = ess_->num_locations();
+  state_.assign(static_cast<size_t>(total), 0);
+
+  Box root;
+  root.lo.assign(static_cast<size_t>(dims_), 0);
+  root.hi.assign(static_cast<size_t>(dims_), ess_->points() - 1);
+  Refine(root);
+  for (const FillJob& job : fills_) Fill(job);
+  Relax();
+  if (ess_->config_.build_mode == EssBuildMode::kExact) {
+    // Junction repair (see the header): re-optimize recosted locations
+    // sitting where three or more plan regions meet, then re-flood.
+    // Terminates: each pass converts its suspects to exact locations,
+    // which are never suspects again.
+    while (true) {
+      const std::vector<int64_t> suspects = JunctionSuspects();
+      if (suspects.empty()) break;
+      for (int64_t lin : suspects) EnsureExact(lin);
+      Relax();
+    }
+  }
+
+  for (int64_t lin = 0; lin < total; ++lin) {
+    RQP_CHECK(state_[static_cast<size_t>(lin)] != 0);
+  }
+  stats_.optimizer_calls = ess_->optimizer_->num_optimize_calls();
+  ess_->build_stats_ = stats_;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,136 @@
+// Recursive grid-refinement construction of the ESS surfaces (the
+// compile-time path of Section 7): instead of one optimizer call per grid
+// location, optimize only at the corners of coarse cells, recost the
+// corner plans at interior locations, and recurse into a cell only when
+// its corner plans disagree (kExact) or the PCM certification bound fails
+// (kRecost). Exact optimizer results always take precedence over recosted
+// fills, so refinement never degrades a location that was optimized.
+//
+// Certificates:
+//  * Corner agreement (kExact and kRecost): all 2^D corners of a cell are
+//    optimal under the same plan P. Every operator cost formula except the
+//    sort term is linear in its input/output cardinalities, and each epp
+//    selectivity appears at most once in any cardinality product, so
+//    Cost(P', q) - Cost(P, q) is multilinear in q for sort-free plans and
+//    attains its extrema at cell corners: P being optimal at every corner
+//    makes it optimal throughout the cell. Sort-merge nodes add convex
+//    n*log2(n) terms for which the corner argument is heuristic; the
+//    golden tests verify bit-identical surfaces on the seed suite, and
+//    any already-optimized interior witness that disagrees with the
+//    corners forces a refinement regardless.
+//  * PCM bound (kRecost only): by plan cost monotonicity the true optimum
+//    anywhere in a cell lies between the optimal costs of the cell's
+//    bottom and top corners, and so does the recosted minimum (it is
+//    sandwiched by the same two surfaces). If OptCost(top) <= lambda *
+//    OptCost(bottom), every recosted value is within factor lambda of the
+//    true optimum. The realized per-location bound recost(q) /
+//    OptCost(bottom corner) is accumulated into
+//    BuildStats::max_deviation_bound.
+//  * Leaf-cell recost + neighbourhood relaxation (both modes): a cell no
+//    wider than a few grid steps whose corners disagree is not refined
+//    further; its interior is filled with the minimum over the recosted
+//    surfaces of the corner (and in-cell witness) plans. Afterwards a
+//    zero-optimizer-cost relaxation pass sweeps the grid to a fixpoint,
+//    letting every recosted location adopt any axis-neighbour's plan that
+//    strictly lowers its cost. Plan-diagram regions are connected in
+//    practice, and every region wide enough to matter is discovered at
+//    some refinement corner, so relaxation floods each region's plan
+//    across its true extent — repairing the rare interior points whose
+//    optimal plan region misses the local cell's corner set. Every
+//    relaxed value is a genuine plan cost, so the surface only ever moves
+//    down towards (never past) the true optimum, and already-optimal
+//    locations are immune. Unlike corner tracing down to unit cells,
+//    whose optimizer-call count is proportional to the total length of
+//    the region boundaries, leaf cells keep the call count proportional
+//    to the coarse lattice.
+//  * Junction repair (kExact only): plan regions too small to reach any
+//    refinement corner (single-point slivers exist even on 24x24 seed
+//    grids) are invisible to every fill above. Such slivers sit where
+//    several recosted surfaces cross, so after relaxation every recosted
+//    location whose neighbourhood carries three or more distinct plans is
+//    re-optimized exactly, and relaxation reruns to flood any newly
+//    discovered region; this repeats until no suspect remains. A
+//    certificate that the result is *provably* exact is not attainable at
+//    sub-exhaustive call counts: near-optimal plans are dense (on the
+//    seed suite even the 24th-best plan is often within 1% of optimal),
+//    so any sound plan-gap bound fails on a log-spaced grid where one
+//    step moves costs by ~25%. Exactness of kExact is instead validated
+//    bit-for-bit against the exhaustive sweep by golden and fuzz tests.
+
+#ifndef ROBUSTQP_ESS_ESS_BUILDER_H_
+#define ROBUSTQP_ESS_ESS_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ess/ess.h"
+
+namespace robustqp {
+
+/// One-shot builder that fills an Ess's cost_/plan_ surfaces by grid
+/// refinement. Used by Ess::Build for kExact / kRecost build modes.
+class EssBuilder {
+ public:
+  /// `ess` must have query/config/axis/strides/optimizer set and the
+  /// cost_/plan_ arrays allocated (zero / nullptr filled).
+  explicit EssBuilder(Ess* ess);
+
+  /// Runs refinement; on return every grid location has a cost and plan
+  /// and ess->build_stats_ is populated.
+  void Run();
+
+ private:
+  /// A refinement cell: inclusive per-dimension index bounds.
+  struct Box {
+    GridLoc lo;
+    GridLoc hi;
+  };
+
+  /// An accepted cell awaiting interior recosting: the distinct candidate
+  /// plans (first-seen order) and the bottom-corner optimal cost used for
+  /// the PCM deviation bound.
+  struct FillJob {
+    Box box;
+    std::vector<const Plan*> plans;
+    double bottom_cost;
+  };
+
+  /// Optimizes (once) at the grid location, interning the plan.
+  void EnsureExact(int64_t lin);
+  /// Linear indices of the cell's corners (deduplicated).
+  std::vector<int64_t> Corners(const Box& box) const;
+  /// Recursive refinement of one cell.
+  void Refine(const Box& box);
+  /// Recosts the cell's not-yet-assigned locations.
+  void Fill(const FillJob& job);
+  /// Fixpoint sweep: recosted locations adopt any neighbouring plan (full
+  /// 3^D - 1 stencil) that strictly lowers their cost. No optimizer calls.
+  void Relax();
+  /// Recosted locations whose neighbourhood (self + 3^D - 1 stencil)
+  /// carries three or more distinct plans — plan-diagram junctions, where
+  /// sliver regions too small to reach any refinement corner live.
+  std::vector<int64_t> JunctionSuspects() const;
+  /// Invokes fn(lin) for every in-grid neighbour of loc in the full
+  /// 3^D - 1 stencil.
+  template <typename Fn>
+  void ForEachNeighbour(const GridLoc& loc, Fn fn) const;
+  /// Invokes fn(lin) for every location in the box (row-major order).
+  template <typename Fn>
+  void ForEachPoint(const Box& box, Fn fn) const;
+
+  Ess* ess_;
+  int dims_;
+  /// Maximum per-dimension width of a leaf cell: a disagreeing cell at
+  /// most this wide is recost-filled instead of refined further.
+  int leaf_span_ = 4;
+  /// Per location: 0 = unassigned, 1 = exact (optimizer), 2 = recosted.
+  std::vector<uint8_t> state_;
+  /// Certified cells, recosted only after refinement finishes so exact
+  /// results always win on shared faces.
+  std::vector<FillJob> fills_;
+  Ess::BuildStats stats_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_ESS_ESS_BUILDER_H_

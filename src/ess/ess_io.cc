@@ -19,7 +19,9 @@ namespace robustqp {
 namespace {
 
 constexpr const char kMagic[] = "RQPESS";
-constexpr int kVersion = 1;
+// Version 2 adds the build-mode / recost-lambda pair and the BuildStats
+// line; version-1 streams (no stats) still load with default stats.
+constexpr int kVersion = 2;
 
 void WriteNode(std::ostream& os, const PlanNode& node) {
   switch (node.op) {
@@ -107,6 +109,12 @@ Status Ess::Save(std::ostream& os) const {
      << " " << p.nlj_materialize_tuple << " " << p.nlj_pair << " "
      << p.join_output_tuple << " " << p.index_probe << " " << p.index_fetch
      << " " << p.sort_tuple << " " << p.merge_tuple << "\n";
+  os << static_cast<int>(config_.build_mode) << " " << config_.recost_lambda
+     << "\n";
+  os << build_stats_.optimizer_calls << " " << build_stats_.exact_points << " "
+     << build_stats_.recosted_points << " " << build_stats_.cells_certified
+     << " " << build_stats_.cells_refined << " "
+     << build_stats_.max_deviation_bound << "\n";
 
   const std::vector<const Plan*>& plans = pool_.plans();
   os << plans.size() << "\n";
@@ -137,7 +145,7 @@ Result<std::unique_ptr<Ess>> Ess::Load(std::istream& is,
   if (!(is >> magic >> version) || magic != kMagic) {
     return Status::InvalidArgument("not an ESS stream");
   }
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return Status::Unsupported("unsupported ESS version " +
                                std::to_string(version));
   }
@@ -171,6 +179,28 @@ Result<std::unique_ptr<Ess>> Ess::Load(std::istream& is,
     return Status::Internal("truncated cost-model params");
   }
   ess->config_.cost_model = CostModel(p);
+
+  if (version >= 2) {
+    int mode = 0;
+    if (!(is >> mode >> ess->config_.recost_lambda)) {
+      return Status::Internal("truncated build-mode header");
+    }
+    if (mode < 0 || mode > static_cast<int>(EssBuildMode::kRecost) ||
+        ess->config_.recost_lambda <= 1.0) {
+      return Status::InvalidArgument("corrupt build-mode header");
+    }
+    ess->config_.build_mode = static_cast<EssBuildMode>(mode);
+    BuildStats& s = ess->build_stats_;
+    if (!(is >> s.optimizer_calls >> s.exact_points >> s.recosted_points >>
+          s.cells_certified >> s.cells_refined >> s.max_deviation_bound)) {
+      return Status::Internal("truncated build stats");
+    }
+    if (s.optimizer_calls < 0 || s.exact_points < 0 || s.recosted_points < 0 ||
+        s.cells_certified < 0 || s.cells_refined < 0 ||
+        s.max_deviation_bound < 1.0) {
+      return Status::InvalidArgument("corrupt build stats");
+    }
+  }
 
   ess->axis_ = LogAxis(ess->config_.min_sel, points);
   ess->optimizer_ =

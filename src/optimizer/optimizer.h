@@ -20,6 +20,8 @@
 #ifndef ROBUSTQP_OPTIMIZER_OPTIMIZER_H_
 #define ROBUSTQP_OPTIMIZER_OPTIMIZER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -58,6 +60,14 @@ class Optimizer {
   std::unique_ptr<Plan> OptimizeConstrainedSpill(
       const EssPoint& q, int dim, const std::vector<bool>& unlearned) const;
 
+  /// The k cheapest structurally distinct full plans at `q`, cheapest
+  /// first (fewer if the query admits fewer than k plans). One k-best DP
+  /// pass over masks (no spill states), counted as a single optimizer
+  /// call. The ESS refinement builder uses the list to lower-bound the
+  /// cost of the best plan outside a candidate plan set.
+  std::vector<std::unique_ptr<Plan>> OptimizeTopK(const EssPoint& q,
+                                                  int k) const;
+
   /// Costs an arbitrary plan of this query at `q`.
   PlanCosting CostPlan(const Plan& plan, const EssPoint& q) const;
 
@@ -74,17 +84,40 @@ class Optimizer {
   const CostModel& cost_model() const { return cost_model_; }
   const Query& query() const { return *query_; }
 
+  /// Number of full DP searches (Optimize, OptimizeConstrainedSpill,
+  /// OptimizeTopK) served by this instance so far. Cheap relaxed counter; used by the
+  /// ESS builders and benches to report how many optimizer invocations a
+  /// surface construction needed.
+  int64_t num_optimize_calls() const {
+    return optimize_calls_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct DpCell;
+  struct TopKEntry;
+  /// Per-thread scratch for RunDp / OptimizeTopK: the per-mask
+  /// cardinality table and the DP tables. Reused across calls (and across
+  /// Optimizer instances) so the hot ESS-construction loop never
+  /// allocates.
+  struct DpArena;
 
-  /// Runs the (mask, state) DP; returns the table of cells. `states` is
-  /// D+1: state 0 = no unlearned epp in subtree, state d+1 = first
+  static DpArena& ThreadArena();
+
+  /// Fills the arena's per-table filtered rows, per-join selectivities
+  /// and per-mask cardinalities at `q` (the q-dependent quantities every
+  /// DP variant consumes).
+  void ComputeCards(const EssPoint& q, DpArena* arena) const;
+
+  /// Runs the (mask, state) DP into `arena` (resized as needed). `states`
+  /// is D+1: state 0 = no unlearned epp in subtree, state d+1 = first
   /// unlearned epp is dimension d.
-  std::vector<DpCell> RunDp(const EssPoint& q,
-                            const std::vector<bool>& unlearned) const;
+  void RunDp(const EssPoint& q, const std::vector<bool>& unlearned,
+             DpArena* arena) const;
 
   std::unique_ptr<PlanNode> Reconstruct(const std::vector<DpCell>& dp,
                                         uint64_t mask, int state) const;
+  std::unique_ptr<PlanNode> ReconstructTopK(const DpArena& arena, int k,
+                                            uint64_t mask, int idx) const;
 
   double CostNode(const PlanNode& node, const EssPoint& q,
                   PlanCosting* out) const;
@@ -105,6 +138,18 @@ class Optimizer {
   /// index nested-loop join (a hash index exists on its join column), or
   /// -1. Both sides may qualify; we store a bitmask of the two table ids.
   std::vector<uint64_t> inlj_inner_mask_;
+
+  // q-independent per-mask structure, hoisted out of RunDp so repeated
+  // optimizer calls (the ESS sweep) only redo the q-dependent work.
+  /// Whether the table subset is connected under the join graph.
+  std::vector<char> connected_;
+  /// CSR layout of the joins fully contained in each mask, in ascending
+  /// join-index order: joins `mask_join_list_[mask_join_offsets_[m] ..
+  /// mask_join_offsets_[m + 1])` have both sides inside mask m.
+  std::vector<int32_t> mask_join_offsets_;
+  std::vector<int32_t> mask_join_list_;
+
+  mutable std::atomic<int64_t> optimize_calls_{0};
 };
 
 }  // namespace robustqp

@@ -123,11 +123,54 @@ TEST_F(EssIoTest, RejectsUnsupportedVersion) {
   std::stringstream buffer;
   ASSERT_TRUE(ess_->Save(buffer).ok());
   std::string text = buffer.str();
-  text.replace(text.find(" 1\n"), 3, " 9\n");
+  text.replace(text.find(" 2\n"), 3, " 9\n");
   std::stringstream patched(text);
   Result<std::unique_ptr<Ess>> loaded = Ess::Load(patched, *catalog_, *query_);
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(EssIoTest, RoundTripPreservesBuildStats) {
+  Ess::Config config = ess_->config();
+  config.build_mode = EssBuildMode::kExact;
+  auto refined = Ess::Build(*catalog_, *query_, config);
+  std::stringstream buffer;
+  ASSERT_TRUE(refined->Save(buffer).ok());
+  Result<std::unique_ptr<Ess>> loaded = Ess::Load(buffer, *catalog_, *query_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ((*loaded)->config().build_mode, EssBuildMode::kExact);
+  const Ess::BuildStats& saved = refined->build_stats();
+  const Ess::BuildStats& got = (*loaded)->build_stats();
+  EXPECT_EQ(got.optimizer_calls, saved.optimizer_calls);
+  EXPECT_EQ(got.exact_points, saved.exact_points);
+  EXPECT_EQ(got.recosted_points, saved.recosted_points);
+  EXPECT_EQ(got.cells_certified, saved.cells_certified);
+  EXPECT_EQ(got.cells_refined, saved.cells_refined);
+  EXPECT_DOUBLE_EQ(got.max_deviation_bound, saved.max_deviation_bound);
+}
+
+TEST_F(EssIoTest, LoadsVersion1StreamWithDefaultStats) {
+  // A v1 stream is a v2 stream minus the build-mode and stats lines
+  // (lines 5 and 6); loading one must succeed with default-initialized
+  // stats so pre-existing saved surfaces keep working.
+  std::stringstream buffer;
+  ASSERT_TRUE(ess_->Save(buffer).ok());
+  std::string text = buffer.str();
+  text.replace(text.find(" 2\n"), 3, " 1\n");
+  size_t pos = 0;
+  for (int line = 0; line < 4; ++line) pos = text.find('\n', pos) + 1;
+  const size_t stats_end = text.find('\n', text.find('\n', pos) + 1) + 1;
+  text.erase(pos, stats_end - pos);
+
+  std::stringstream patched(text);
+  Result<std::unique_ptr<Ess>> loaded = Ess::Load(patched, *catalog_, *query_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->build_stats().optimizer_calls, 0);
+  EXPECT_EQ((*loaded)->num_locations(), ess_->num_locations());
+  for (int64_t lin = 0; lin < ess_->num_locations(); lin += 7) {
+    EXPECT_DOUBLE_EQ((*loaded)->OptimalCost(lin), ess_->OptimalCost(lin));
+  }
 }
 
 TEST(EssIoMixedEppTest, RoundTripWithFilterEpp) {

@@ -180,6 +180,28 @@ TEST_P(FuzzPropertyTest, GuaranteesHoldOnRandomInstance) {
       << "seed " << GetParam();
 }
 
+TEST_P(FuzzPropertyTest, RefinedBuildMatchesExhaustiveOnRandomInstance) {
+  FuzzInstance inst = MakeInstance(GetParam());
+  const Ess& exhaustive = *inst.ess;
+
+  Ess::Config config = exhaustive.config();
+  config.build_mode = EssBuildMode::kExact;
+  const std::unique_ptr<Ess> refined =
+      Ess::Build(*inst.catalog, *inst.query, config);
+
+  ASSERT_EQ(exhaustive.num_locations(), refined->num_locations());
+  for (int64_t lin = 0; lin < exhaustive.num_locations(); ++lin) {
+    ASSERT_EQ(exhaustive.OptimalCost(lin), refined->OptimalCost(lin))
+        << "seed " << GetParam() << " lin " << lin;
+    ASSERT_EQ(exhaustive.OptimalPlan(lin)->signature(),
+              refined->OptimalPlan(lin)->signature())
+        << "seed " << GetParam() << " lin " << lin;
+  }
+  EXPECT_LE(refined->build_stats().optimizer_calls,
+            exhaustive.build_stats().optimizer_calls)
+      << "seed " << GetParam();
+}
+
 TEST_P(FuzzPropertyTest, EngineDiscoveryCompletesOnRandomInstance) {
   FuzzInstance inst = MakeInstance(GetParam() + 1000);
   Executor executor(inst.catalog.get(), inst.ess->config().cost_model);

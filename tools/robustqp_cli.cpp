@@ -48,6 +48,8 @@ struct CliOptions {
   int points = 0;
   int threads = 0;
   double cost_ratio = 2.0;
+  EssBuildMode build_mode = EssBuildMode::kExhaustive;
+  double recost_lambda = 2.0;
   std::string save_ess;
   std::string load_ess;
 };
@@ -68,6 +70,9 @@ void PrintUsage() {
       "                         --evaluate sweep (default: all cores)\n"
       "  --points <n>           ESS grid points per dimension (default auto)\n"
       "  --ratio <r>            inter-contour cost ratio (default 2.0)\n"
+      "  --ess-build-mode <m>   exhaustive | exact | recost:<lambda>\n"
+      "                         (grid-refinement surface construction;\n"
+      "                         default exhaustive)\n"
       "  --identify-epps        run the Section 7 epp identifier and exit\n"
       "  --save-ess <path>      persist the built ESS (offline contours)\n"
       "  --load-ess <path>      load a previously saved ESS instead of\n"
@@ -114,6 +119,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->cost_ratio = std::atof(v);
+    } else if (arg == "--ess-build-mode") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string mode = v;
+      if (mode == "exhaustive") {
+        out->build_mode = EssBuildMode::kExhaustive;
+      } else if (mode == "exact") {
+        out->build_mode = EssBuildMode::kExact;
+      } else if (mode.rfind("recost", 0) == 0) {
+        out->build_mode = EssBuildMode::kRecost;
+        if (mode.size() > 7 && mode[6] == ':') {
+          out->recost_lambda = std::atof(mode.c_str() + 7);
+        }
+        if (out->recost_lambda <= 1.0) {
+          std::cerr << "recost lambda must be > 1\n";
+          return false;
+        }
+      } else {
+        std::cerr << "unknown --ess-build-mode " << mode
+                  << " (want exhaustive | exact | recost:<lambda>)\n";
+        return false;
+      }
     } else if (arg == "--save-ess") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -166,6 +193,8 @@ int Run(const CliOptions& opts) {
   config.points_per_dim = opts.points;
   config.contour_cost_ratio = opts.cost_ratio;
   config.num_threads = opts.threads;
+  config.build_mode = opts.build_mode;
+  config.recost_lambda = opts.recost_lambda;
 
   // Owners for the --load-ess path (the query must outlive the Ess).
   static std::unique_ptr<Query> loaded_query;
@@ -246,6 +275,21 @@ int Run(const CliOptions& opts) {
   std::cout << opts.query << ": D=" << ess.dims() << ", grid " << ess.points()
             << "^D, " << ess.num_contours() << " contours, POSP "
             << ess.pool().size() << " plans\n";
+  const Ess::BuildStats& bs = ess.build_stats();
+  if (bs.optimizer_calls > 0) {
+    std::cout << "ESS build: " << bs.optimizer_calls << " optimizer calls for "
+              << ess.num_locations() << " locations";
+    if (bs.recosted_points > 0) {
+      std::cout << " (" << bs.exact_points << " exact, " << bs.recosted_points
+                << " recosted, " << bs.cells_certified << " cells certified, "
+                << bs.cells_refined << " refined";
+      if (ess.config().build_mode == EssBuildMode::kRecost) {
+        std::cout << ", deviation bound " << bs.max_deviation_bound;
+      }
+      std::cout << ")";
+    }
+    std::cout << "\n";
+  }
   std::cout << "true location (snapped to grid): (";
   for (int d = 0; d < ess.dims(); ++d) {
     std::cout << (d ? ", " : "")
