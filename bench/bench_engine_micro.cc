@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "bench_util.h"
 #include "core/oracle.h"
 #include "core/spillbound.h"
 #include "exec/executor.h"
@@ -22,13 +23,22 @@ namespace {
 
 const Catalog& SharedCatalog() { return *Workbench::TpcdsCatalog(); }
 
-void BM_SeqScan(benchmark::State& state) {
+Executor::Options EngineOpts(Executor::Engine engine, int threads = 1) {
+  Executor::Options options;
+  options.engine = engine;
+  options.num_threads = threads;
+  return options;
+}
+
+void BM_SeqScan(benchmark::State& state, Executor::Engine engine,
+                int threads) {
   const Catalog& catalog = SharedCatalog();
   Query q("scan_only", {"store_sales", "date_dim"},
           {{"store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", ""}},
           {{"store_sales", "ss_quantity", CompareOp::kLe, 5}}, std::vector<int>{0});
   Optimizer opt(&catalog, &q);
-  Executor exec(&catalog, CostModel::PostgresFlavour());
+  Executor exec(&catalog, CostModel::PostgresFlavour(),
+                EngineOpts(engine, threads));
   const std::unique_ptr<Plan> plan = opt.Optimize({1e-4});
   int64_t rows = 0;
   for (auto _ : state) {
@@ -40,9 +50,15 @@ void BM_SeqScan(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * catalog.RowCount("store_sales"));
 }
-BENCHMARK(BM_SeqScan)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SeqScan, Tuple, Executor::Engine::kTuple, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SeqScan, Batch, Executor::Engine::kBatch, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SeqScan, BatchMorsels, Executor::Engine::kBatch, 0)
+    ->Unit(benchmark::kMillisecond);
 
-void BM_JoinOperators(benchmark::State& state, PlanOp op, bool swap) {
+void BM_JoinOperators(benchmark::State& state, PlanOp op, bool swap,
+                      Executor::Engine engine) {
   const Catalog& catalog = SharedCatalog();
   Query q("join_micro", {"store_sales", "date_dim"},
           {{"store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", ""}},
@@ -60,7 +76,7 @@ void BM_JoinOperators(benchmark::State& state, PlanOp op, bool swap) {
   join->left = swap ? std::move(scan_d) : std::move(scan_ss);
   join->right = swap ? std::move(scan_ss) : std::move(scan_d);
   Plan plan(&q, std::move(join));
-  Executor exec(&catalog, CostModel::PostgresFlavour());
+  Executor exec(&catalog, CostModel::PostgresFlavour(), EngineOpts(engine));
   for (auto _ : state) {
     const auto res = exec.Execute(plan, -1.0);
     RQP_CHECK(res.ok() && res->completed);
@@ -68,10 +84,17 @@ void BM_JoinOperators(benchmark::State& state, PlanOp op, bool swap) {
   }
   state.SetItemsProcessed(state.iterations() * catalog.RowCount("store_sales"));
 }
-BENCHMARK_CAPTURE(BM_JoinOperators, HashJoin_BuildDim, PlanOp::kHashJoin, true)
+BENCHMARK_CAPTURE(BM_JoinOperators, HashJoin_BuildDim_Tuple, PlanOp::kHashJoin,
+                  true, Executor::Engine::kTuple)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_JoinOperators, IndexNLJoin_ProbeDim, PlanOp::kIndexNLJoin,
-                  false)
+BENCHMARK_CAPTURE(BM_JoinOperators, HashJoin_BuildDim_Batch, PlanOp::kHashJoin,
+                  true, Executor::Engine::kBatch)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_JoinOperators, IndexNLJoin_ProbeDim_Tuple,
+                  PlanOp::kIndexNLJoin, false, Executor::Engine::kTuple)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_JoinOperators, IndexNLJoin_ProbeDim_Batch,
+                  PlanOp::kIndexNLJoin, false, Executor::Engine::kBatch)
     ->Unit(benchmark::kMillisecond);
 
 void BM_OptimizerCall(benchmark::State& state, const std::string& id) {
@@ -173,4 +196,11 @@ BENCHMARK(BM_SpillBoundDiscovery)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace robustqp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::robustqp::bench::ParseThreads(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

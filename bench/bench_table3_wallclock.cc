@@ -51,7 +51,8 @@ void BM_Table3(benchmark::State& state) {
   for (auto _ : state) {
     const Workbench::Entry& wb = Workbench::Get("4D_Q91");
     const Ess& ess = *wb.ess;
-    Executor executor(wb.catalog.get(), ess.config().cost_model);
+    Executor executor(wb.catalog.get(), ess.config().cost_model,
+                      bench::ExecOpts());
 
     // Oracle-optimal: optimize at the data's true selectivities.
     const EssPoint truth = ComputeTrueSelectivities(*wb.catalog, *wb.query);

@@ -1,8 +1,11 @@
 // Shared helpers for the per-table/figure benchmark binaries: a global
 // row collector printed after the google-benchmark run, so each binary
 // emits both timing output and the paper-style table it regenerates, and
-// a --threads flag every binary understands (worker threads for the
-// exhaustive per-q_a evaluation sweeps; 0 = hardware concurrency).
+// two flags every binary understands:
+//   --threads <n>      worker threads for evaluation sweeps and for the
+//                      batch engine's morsel-parallel scans (0 = all cores)
+//   --exec-engine <e>  tuple | batch — which execution engine the
+//                      engine-backed benchmarks construct (default batch)
 
 #ifndef ROBUSTQP_BENCH_BENCH_UTIL_H_
 #define ROBUSTQP_BENCH_BENCH_UTIL_H_
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "common/table_printer.h"
+#include "exec/executor.h"
 #include "harness/evaluator.h"
 
 namespace robustqp {
@@ -31,8 +35,24 @@ inline int& Threads() {
 /// EvalOptions honouring the --threads flag; pass to every Evaluate call.
 inline EvalOptions EvalOpts() { return EvalOptions{Threads()}; }
 
-/// Consumes --threads=N / --threads N from argv (before
-/// benchmark::Initialize, which rejects unknown flags).
+/// Execution engine selected by --exec-engine (default batch).
+inline Executor::Engine& ExecEngine() {
+  static Executor::Engine engine = Executor::Engine::kBatch;
+  return engine;
+}
+
+/// Executor::Options honouring --exec-engine and --threads; pass to every
+/// engine-backed Executor construction.
+inline Executor::Options ExecOpts() {
+  Executor::Options options;
+  options.engine = ExecEngine();
+  options.num_threads = Threads();
+  return options;
+}
+
+/// Consumes --threads=N / --threads N and --exec-engine=E /
+/// --exec-engine E from argv (before benchmark::Initialize, which rejects
+/// unknown flags).
 inline void ParseThreads(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -40,6 +60,10 @@ inline void ParseThreads(int* argc, char** argv) {
       Threads() = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
       Threads() = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--exec-engine=", 14) == 0) {
+      RQP_CHECK(Executor::ParseEngine(argv[i] + 14, &ExecEngine()));
+    } else if (std::strcmp(argv[i], "--exec-engine") == 0 && i + 1 < *argc) {
+      RQP_CHECK(Executor::ParseEngine(argv[++i], &ExecEngine()));
     } else {
       argv[out++] = argv[i];
     }

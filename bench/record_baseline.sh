@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Records the execution-engine micro-benchmark baseline into
+# bench/BENCH_engine.json (tuple vs. batch engine, google-benchmark JSON
+# with environment metadata). Run from the repo root after a Release
+# build; pass the build directory as $1 (default: build).
+#
+#   ./bench/record_baseline.sh [build-dir] [repetitions]
+#
+# The committed BENCH_engine.json is the reference the ROADMAP speedup
+# claims point at; regenerate it whenever the engine hot paths change
+# and eyeball the tuple/batch ratios before committing.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPS="${2:-5}"
+BIN="$BUILD_DIR/bench/bench_engine_micro"
+OUT="$(dirname "$0")/BENCH_engine.json"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found or not executable (build first)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_SeqScan|BM_JoinOperators' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT"
+
+echo "wrote $OUT"

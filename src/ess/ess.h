@@ -65,14 +65,23 @@ class Ess {
     double contour_cost_ratio = 2.0;
     /// Cost model flavour for the underlying optimizer.
     CostModel cost_model = CostModel::PostgresFlavour();
-    /// Worker threads for the grid sweep; 0 = hardware concurrency.
-    /// (The refinement builder is sequential — its call count is small.)
+    /// Worker threads for the exhaustive grid sweep and for the
+    /// refinement builder's per-level corner batches; 0 = hardware
+    /// concurrency.
     int num_threads = 0;
     /// Surface construction strategy; see EssBuildMode.
     EssBuildMode build_mode = EssBuildMode::kExhaustive;
     /// Certification factor for kRecost (must be > 1): cells whose corner
     /// optimal costs span at most this ratio are recosted, not refined.
     double recost_lambda = 2.0;
+    /// Refinement escape hatch: once the builder's optimizer-call count
+    /// exceeds this fraction of the grid size, refinement is abandoned
+    /// and the remaining locations are optimized by a parallel exhaustive
+    /// sweep (recorded in BuildStats::fell_back) — on surfaces with many
+    /// small plan regions, refinement's corner tracing can approach one
+    /// call per location while paying the cell bookkeeping on top. 1.0
+    /// disables the fallback.
+    double refine_fallback_fraction = 0.5;
   };
 
   /// Construction statistics of the surface build.
@@ -95,6 +104,11 @@ class Ess {
     /// recosted plan to the optimal one, so the surface is exact even
     /// when this conservative bound exceeds 1.
     double max_deviation_bound = 1.0;
+    /// True iff a refinement build crossed
+    /// Config::refine_fallback_fraction of the grid in optimizer calls
+    /// and finished as an exhaustive sweep (the surface is then exact in
+    /// every build mode).
+    bool fell_back = false;
   };
 
   /// Builds the surface per `config.build_mode` (exhaustive sweep by

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace robustqp {
 
@@ -15,19 +16,39 @@ EssBuilder::EssBuilder(Ess* ess) : ess_(ess), dims_(ess->dims()) {
             ess_->config_.recost_lambda > 1.0);
 }
 
-void EssBuilder::EnsureExact(int64_t lin) {
-  if (state_[static_cast<size_t>(lin)] == 1) return;
-  if (state_[static_cast<size_t>(lin)] == 2) --stats_.recosted_points;
-  const GridLoc loc = ess_->FromLinear(lin);
-  const EssPoint q = ess_->SelAt(loc);
-  std::unique_ptr<Plan> raw = ess_->optimizer_->Optimize(q);
-  // Same convention as the exhaustive sweep: the stored cost is the plan's
-  // recosted total, computed before interning.
-  const double cost = ess_->optimizer_->PlanCost(*raw, q);
-  ess_->plan_[static_cast<size_t>(lin)] = ess_->pool_.Intern(std::move(raw));
-  ess_->cost_[static_cast<size_t>(lin)] = cost;
-  state_[static_cast<size_t>(lin)] = 1;
-  ++stats_.exact_points;
+void EssBuilder::EnsureExactBatch(const std::vector<int64_t>& lins) {
+  const int64_t n = static_cast<int64_t>(lins.size());
+  if (n == 0) return;
+  // Same parallel shape as the exhaustive sweep in Ess::Build: optimizer
+  // calls are pure and fan out; interning stays sequential and in
+  // ascending-lin order so the plan pool is deterministic.
+  std::vector<std::unique_ptr<Plan>> raw(lins.size());
+  std::vector<double> costs(lins.size());
+  auto work = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const GridLoc loc = ess_->FromLinear(lins[static_cast<size_t>(i)]);
+      const EssPoint q = ess_->SelAt(loc);
+      raw[static_cast<size_t>(i)] = ess_->optimizer_->Optimize(q);
+      // Same convention as the exhaustive sweep: the stored cost is the
+      // plan's recosted total, computed before interning.
+      costs[static_cast<size_t>(i)] =
+          ess_->optimizer_->PlanCost(*raw[static_cast<size_t>(i)], q);
+    }
+  };
+  if (pool_ == nullptr || n < 32) {
+    work(0, n);
+  } else {
+    ParallelFor(pool_.get(), n, [&](int /*worker*/, int64_t begin,
+                                    int64_t end) { work(begin, end); });
+  }
+  for (size_t i = 0; i < lins.size(); ++i) {
+    const size_t lin = static_cast<size_t>(lins[i]);
+    if (state_[lin] == 2) --stats_.recosted_points;
+    ess_->plan_[lin] = ess_->pool_.Intern(std::move(raw[i]));
+    ess_->cost_[lin] = costs[i];
+    state_[lin] = 1;
+    ++stats_.exact_points;
+  }
 }
 
 std::vector<int64_t> EssBuilder::Corners(const Box& box) const {
@@ -69,9 +90,8 @@ void EssBuilder::ForEachPoint(const Box& box, Fn fn) const {
   }
 }
 
-void EssBuilder::Refine(const Box& box) {
+void EssBuilder::CertifyOrSplit(const Box& box, std::vector<Box>* next) {
   const std::vector<int64_t> corners = Corners(box);
-  for (int64_t lin : corners) EnsureExact(lin);
 
   bool unit = true;
   for (int d = 0; d < dims_; ++d) {
@@ -175,7 +195,7 @@ void EssBuilder::Refine(const Box& box) {
       child.lo[sd] = ranges[sd][static_cast<size_t>(choice[sd])].first;
       child.hi[sd] = ranges[sd][static_cast<size_t>(choice[sd])].second;
     }
-    Refine(child);
+    next->push_back(std::move(child));
     int d = dims_ - 1;
     for (; d >= 0; --d) {
       const size_t sd = static_cast<size_t>(d);
@@ -308,26 +328,82 @@ std::vector<int64_t> EssBuilder::JunctionSuspects() const {
   return suspects;
 }
 
+void EssBuilder::FinishBySweep() {
+  stats_.fell_back = true;
+  std::vector<int64_t> rest;
+  const int64_t total = ess_->num_locations();
+  for (int64_t lin = 0; lin < total; ++lin) {
+    if (state_[static_cast<size_t>(lin)] != 1) rest.push_back(lin);
+  }
+  // Overwrites recosted fills too: after a fallback the surface is the
+  // exhaustive sweep's, bit for bit, in every build mode.
+  EnsureExactBatch(rest);
+}
+
 void EssBuilder::Run() {
   const int64_t total = ess_->num_locations();
   state_.assign(static_cast<size_t>(total), 0);
 
+  const int threads = ess_->config_.num_threads > 0
+                          ? std::min(ess_->config_.num_threads, 16)
+                          : ThreadPool::DefaultThreads();
+  if (threads > 1 && total >= 256) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  // Every EnsureExactBatch entry is one optimizer call; past this many,
+  // refinement has lost against the (parallel) exhaustive sweep.
+  const double call_budget = ess_->config_.refine_fallback_fraction *
+                             static_cast<double>(total);
+  bool fell_back = false;
+
+  // Breadth-first refinement: optimize all of a level's missing corners
+  // in one parallel batch, then certify/split each cell sequentially
+  // (cells at one level see exactly the same exact-point state regardless
+  // of thread count, so the refinement tree is deterministic).
   Box root;
   root.lo.assign(static_cast<size_t>(dims_), 0);
   root.hi.assign(static_cast<size_t>(dims_), ess_->points() - 1);
-  Refine(root);
-  for (const FillJob& job : fills_) Fill(job);
-  Relax();
-  if (ess_->config_.build_mode == EssBuildMode::kExact) {
-    // Junction repair (see the header): re-optimize recosted locations
-    // sitting where three or more plan regions meet, then re-flood.
-    // Terminates: each pass converts its suspects to exact locations,
-    // which are never suspects again.
-    while (true) {
-      const std::vector<int64_t> suspects = JunctionSuspects();
-      if (suspects.empty()) break;
-      for (int64_t lin : suspects) EnsureExact(lin);
-      Relax();
+  std::vector<Box> frontier;
+  frontier.push_back(std::move(root));
+  while (!frontier.empty()) {
+    std::vector<int64_t> need;
+    for (const Box& box : frontier) {
+      for (int64_t lin : Corners(box)) {
+        if (state_[static_cast<size_t>(lin)] != 1) need.push_back(lin);
+      }
+    }
+    std::sort(need.begin(), need.end());
+    need.erase(std::unique(need.begin(), need.end()), need.end());
+    EnsureExactBatch(need);
+    if (static_cast<double>(stats_.exact_points) > call_budget) {
+      fell_back = true;
+      break;
+    }
+    std::vector<Box> next;
+    for (const Box& box : frontier) CertifyOrSplit(box, &next);
+    frontier = std::move(next);
+  }
+
+  if (fell_back) {
+    FinishBySweep();
+  } else {
+    for (const FillJob& job : fills_) Fill(job);
+    Relax();
+    if (ess_->config_.build_mode == EssBuildMode::kExact) {
+      // Junction repair (see the header): re-optimize recosted locations
+      // sitting where three or more plan regions meet, then re-flood.
+      // Terminates: each pass converts its suspects to exact locations,
+      // which are never suspects again.
+      while (true) {
+        const std::vector<int64_t> suspects = JunctionSuspects();
+        if (suspects.empty()) break;
+        EnsureExactBatch(suspects);
+        if (static_cast<double>(stats_.exact_points) > call_budget) {
+          FinishBySweep();
+          break;
+        }
+        Relax();
+      }
     }
   }
 

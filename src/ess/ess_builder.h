@@ -57,15 +57,30 @@
 //    step moves costs by ~25%. Exactness of kExact is instead validated
 //    bit-for-bit against the exhaustive sweep by golden and fuzz tests.
 
+//  * Level-parallel corner optimization: refinement proceeds
+//    breadth-first — all cells of one refinement level batch their
+//    not-yet-optimized corners, the batch is optimized in parallel on a
+//    thread pool (optimizer calls are pure), and results are interned
+//    sequentially in ascending grid order, so the surface, the plan pool,
+//    and every certification decision are identical at any thread count.
+//  * Exhaustive fallback: when the call count crosses
+//    Config::refine_fallback_fraction of the grid, the remaining
+//    locations are optimized by one parallel sweep (recorded in
+//    BuildStats::fell_back) — degenerate surfaces then cost no more than
+//    the plain exhaustive build.
+
 #ifndef ROBUSTQP_ESS_ESS_BUILDER_H_
 #define ROBUSTQP_ESS_ESS_BUILDER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ess/ess.h"
 
 namespace robustqp {
+
+class ThreadPool;
 
 /// One-shot builder that fills an Ess's cost_/plan_ surfaces by grid
 /// refinement. Used by Ess::Build for kExact / kRecost build modes.
@@ -95,12 +110,20 @@ class EssBuilder {
     double bottom_cost;
   };
 
-  /// Optimizes (once) at the grid location, interning the plan.
-  void EnsureExact(int64_t lin);
+  /// Optimizes every listed location (callers pass sorted, deduplicated,
+  /// not-yet-exact lins): optimizer calls run in parallel on pool_, then
+  /// plans are interned sequentially in list (= ascending grid) order so
+  /// the pool and surfaces are deterministic at any thread count.
+  void EnsureExactBatch(const std::vector<int64_t>& lins);
   /// Linear indices of the cell's corners (deduplicated).
   std::vector<int64_t> Corners(const Box& box) const;
-  /// Recursive refinement of one cell.
-  void Refine(const Box& box);
+  /// Certification step of one cell whose corners are already exact:
+  /// either accepts it (queueing a FillJob) or appends its children to
+  /// `next` for the following refinement level. No optimizer calls.
+  void CertifyOrSplit(const Box& box, std::vector<Box>* next);
+  /// Exhaustive-fallback finish: optimizes every location that is not yet
+  /// exact in one parallel batch and marks stats_.fell_back.
+  void FinishBySweep();
   /// Recosts the cell's not-yet-assigned locations.
   void Fill(const FillJob& job);
   /// Fixpoint sweep: recosted locations adopt any neighbouring plan (full
@@ -120,6 +143,9 @@ class EssBuilder {
 
   Ess* ess_;
   int dims_;
+  /// Pool for per-level corner batches and the fallback sweep (null when
+  /// single-threaded or the grid is tiny).
+  std::unique_ptr<ThreadPool> pool_;
   /// Maximum per-dimension width of a leaf cell: a disagreeing cell at
   /// most this wide is recost-filled instead of refined further.
   int leaf_span_ = 4;

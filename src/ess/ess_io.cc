@@ -21,7 +21,9 @@ namespace {
 constexpr const char kMagic[] = "RQPESS";
 // Version 2 adds the build-mode / recost-lambda pair and the BuildStats
 // line; version-1 streams (no stats) still load with default stats.
-constexpr int kVersion = 2;
+// Version 3 appends the exhaustive-fallback flag to the BuildStats line;
+// v1/v2 streams load with fell_back = false.
+constexpr int kVersion = 3;
 
 void WriteNode(std::ostream& os, const PlanNode& node) {
   switch (node.op) {
@@ -114,7 +116,8 @@ Status Ess::Save(std::ostream& os) const {
   os << build_stats_.optimizer_calls << " " << build_stats_.exact_points << " "
      << build_stats_.recosted_points << " " << build_stats_.cells_certified
      << " " << build_stats_.cells_refined << " "
-     << build_stats_.max_deviation_bound << "\n";
+     << build_stats_.max_deviation_bound << " "
+     << (build_stats_.fell_back ? 1 : 0) << "\n";
 
   const std::vector<const Plan*>& plans = pool_.plans();
   os << plans.size() << "\n";
@@ -199,6 +202,13 @@ Result<std::unique_ptr<Ess>> Ess::Load(std::istream& is,
         s.cells_certified < 0 || s.cells_refined < 0 ||
         s.max_deviation_bound < 1.0) {
       return Status::InvalidArgument("corrupt build stats");
+    }
+    if (version >= 3) {
+      int fell_back = 0;
+      if (!(is >> fell_back) || (fell_back != 0 && fell_back != 1)) {
+        return Status::Internal("truncated fallback flag");
+      }
+      s.fell_back = fell_back != 0;
     }
   }
 

@@ -1,0 +1,1670 @@
+// Vectorized batch execution engine.
+//
+// The plan tree is compiled into push-based *pipelines* in the exact
+// order the tuple engine's Open() recursion visits blocking phases:
+// a hash join emits its build subtree's pipelines and a build-drain
+// pipeline before the probe side compiles; a nested-loop join
+// materializes its inner first; a sort-merge join drains and sorts both
+// inputs and then becomes a merge *source*. Each pipeline is
+//
+//   pre-ops  →  source (table scan | SMJ merge)  →  streaming stages
+//            (hash probe / index-NL probe / NLJ pair loop)  →  sink
+//            (root counter / hash build / NLJ materialize / sort buffer)
+//
+// and is driven in fixed-width morsels of kBatchRows source rows.
+// Filters run as tight column loops producing selection vectors; batches
+// are column-major and carry only the columns later stages actually
+// consume (join keys and sink payloads — the root pipeline usually
+// carries zero columns and reduces to counting).
+//
+// Budget accounting (bit-identical to the tuple engine): both engines
+// count cost events into the shared CostLedger and reduce it through the
+// canonical fixed-order CostLedger::Total, which is independent of the
+// order events were counted in and monotone event-by-event. A budgeted
+// run therefore processes each morsel optimistically under a snapshot
+// (ledger + touched NodeStats + merge cursors), bulk-counting whole
+// batches; if the batch's end-of-morsel total exceeds the budget, the
+// snapshot is rolled back and the morsel is *replayed* tuple-at-a-time
+// in the tuple engine's exact event order to stop at the same tuple —
+// carry-in is the committed prefix, carry-out is the replayed tail.
+// Sink data effects (hash inserts, sort/materialize appends, output
+// rows) are deferred until the morsel's budget check passes, so rollback
+// never has to undo a data structure.
+//
+// Morsel parallelism: full runs (budget < 0, not spill) fan scan
+// pipelines out on a ThreadPool. Each worker counts into its own ledger
+// and NodeStats and buffers its sink rows; partials are merged in worker
+// order (blocks are contiguous and ascending), so the global row order —
+// and with it every count, every hash-chain order, and the final result —
+// is bit-identical at any thread count. Budgeted and spill executions
+// stay single-threaded: an abort must land on one well-defined tuple,
+// and the paper's learning primitive depends on that.
+
+#include "exec/batch_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/cost_ledger.h"
+#include "storage/hash_index.h"
+#include "storage/table.h"
+
+namespace robustqp {
+namespace {
+
+constexpr int64_t kBatchRows = 1024;
+/// Scan pipelines over at least this many rows go morsel-parallel.
+constexpr int64_t kMinParallelRows = 4 * kBatchRows;
+
+// ---------------------------------------------------------------------------
+// Column references and resolved predicates
+// ---------------------------------------------------------------------------
+
+/// A column of one query table: (table index within the query, column
+/// index within that table's schema).
+struct ColRef {
+  int table = -1;
+  int col = -1;
+  friend bool operator<(const ColRef& a, const ColRef& b) {
+    return a.table != b.table ? a.table < b.table : a.col < b.col;
+  }
+  friend bool operator==(const ColRef& a, const ColRef& b) {
+    return a.table == b.table && a.col == b.col;
+  }
+};
+
+struct Filter {
+  const ColumnData* col = nullptr;
+  CompareOp op = CompareOp::kEq;
+  double value = 0.0;
+};
+
+/// Same semantics as the tuple engine: compare GetNumeric(row) to the
+/// literal.
+bool EvalFilter(const Filter& f, int64_t row) {
+  const double v = f.col->GetNumeric(row);
+  switch (f.op) {
+    case CompareOp::kLt: return v < f.value;
+    case CompareOp::kLe: return v <= f.value;
+    case CompareOp::kGt: return v > f.value;
+    case CompareOp::kGe: return v >= f.value;
+    case CompareOp::kEq: return v == f.value;
+  }
+  return false;
+}
+
+/// Dispatches a filter to a typed predicate lambda so the per-row loop
+/// compares raw column values without per-row type branches.
+template <typename Fn>
+void WithFilterPred(const Filter& f, Fn&& fn) {
+  const double value = f.value;
+  if (f.col->type() == DataType::kInt64) {
+    const int64_t* v = f.col->ints().data();
+    switch (f.op) {
+      case CompareOp::kLt:
+        fn([=](int64_t r) { return static_cast<double>(v[r]) < value; });
+        return;
+      case CompareOp::kLe:
+        fn([=](int64_t r) { return static_cast<double>(v[r]) <= value; });
+        return;
+      case CompareOp::kGt:
+        fn([=](int64_t r) { return static_cast<double>(v[r]) > value; });
+        return;
+      case CompareOp::kGe:
+        fn([=](int64_t r) { return static_cast<double>(v[r]) >= value; });
+        return;
+      case CompareOp::kEq:
+        fn([=](int64_t r) { return static_cast<double>(v[r]) == value; });
+        return;
+    }
+  } else {
+    const double* v = f.col->doubles().data();
+    switch (f.op) {
+      case CompareOp::kLt:
+        fn([=](int64_t r) { return v[r] < value; });
+        return;
+      case CompareOp::kLe:
+        fn([=](int64_t r) { return v[r] <= value; });
+        return;
+      case CompareOp::kGt:
+        fn([=](int64_t r) { return v[r] > value; });
+        return;
+      case CompareOp::kGe:
+        fn([=](int64_t r) { return v[r] >= value; });
+        return;
+      case CompareOp::kEq:
+        fn([=](int64_t r) { return v[r] == value; });
+        return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batches
+// ---------------------------------------------------------------------------
+
+/// Column-major batch; `cols` holds only the live columns of the current
+/// pipeline point.
+struct Batch {
+  int64_t n = 0;
+  std::vector<std::vector<double>> cols;
+
+  void Reset(size_t width) {
+    n = 0;
+    cols.resize(width);
+    for (auto& c : cols) c.clear();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Join hash table: open addressing over mixed key bits, unique keys own
+// insertion-ordered entry chains (matching the tuple engine's
+// unordered_map<key, vector<Row>> emission order), payloads column-major.
+// ---------------------------------------------------------------------------
+
+class JoinHashTable {
+ public:
+  void Init(int key_width, int payload_width) {
+    kw_ = key_width;
+    pay_.assign(static_cast<size_t>(payload_width), {});
+    slots_.assign(64, -1);
+  }
+
+  int key_width() const { return kw_; }
+
+  void Insert(const double* key, const double* payload) {
+    const int64_t u = FindOrAddKey(key);
+    const int64_t e = static_cast<int64_t>(next_.size());
+    next_.push_back(-1);
+    if (tail_[static_cast<size_t>(u)] >= 0) {
+      next_[static_cast<size_t>(tail_[static_cast<size_t>(u)])] = e;
+    } else {
+      head_[static_cast<size_t>(u)] = e;
+    }
+    tail_[static_cast<size_t>(u)] = e;
+    ++chain_len_[static_cast<size_t>(u)];
+    for (size_t c = 0; c < pay_.size(); ++c) pay_[c].push_back(payload[c]);
+  }
+
+  /// Unique-key ordinal, or -1 when the key is absent. Double equality
+  /// matches the tuple engine's vector<double> key comparison: NaN never
+  /// matches (not even itself), ±0.0 are equal.
+  int64_t Find(const double* key) const {
+    if (num_keys_ == 0) return -1;
+    const uint64_t mask = slots_.size() - 1;
+    for (uint64_t s = Hash(key) & mask;; s = (s + 1) & mask) {
+      const int64_t u = slots_[s];
+      if (u < 0) return -1;
+      if (KeyEquals(u, key)) return u;
+    }
+  }
+
+  int64_t ChainHead(int64_t u) const { return head_[static_cast<size_t>(u)]; }
+  int64_t ChainNext(int64_t e) const { return next_[static_cast<size_t>(e)]; }
+  int64_t ChainLen(int64_t u) const {
+    return chain_len_[static_cast<size_t>(u)];
+  }
+  double Payload(size_t col, int64_t e) const {
+    return pay_[col][static_cast<size_t>(e)];
+  }
+
+ private:
+  uint64_t Hash(const double* key) const {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < kw_; ++i) {
+      const double v = key[i] == 0.0 ? 0.0 : key[i];  // normalize -0.0
+      uint64_t b;
+      std::memcpy(&b, &v, sizeof(b));
+      b *= 0xbf58476d1ce4e5b9ull;
+      b ^= b >> 31;
+      h = (h ^ b) * 0x94d049bb133111ebull;
+    }
+    h ^= h >> 29;
+    return h;
+  }
+
+  bool KeyEquals(int64_t u, const double* key) const {
+    const double* stored = &ukeys_[static_cast<size_t>(u) * kw_];
+    for (int i = 0; i < kw_; ++i) {
+      if (stored[i] != key[i]) return false;
+    }
+    return true;
+  }
+
+  int64_t FindOrAddKey(const double* key) {
+    if ((num_keys_ + 1) * 8 > static_cast<int64_t>(slots_.size()) * 7) Grow();
+    const uint64_t mask = slots_.size() - 1;
+    for (uint64_t s = Hash(key) & mask;; s = (s + 1) & mask) {
+      const int64_t u = slots_[s];
+      if (u < 0) {
+        const int64_t nu = num_keys_++;
+        slots_[s] = nu;
+        ukeys_.insert(ukeys_.end(), key, key + kw_);
+        head_.push_back(-1);
+        tail_.push_back(-1);
+        chain_len_.push_back(0);
+        return nu;
+      }
+      if (KeyEquals(u, key)) return u;
+    }
+  }
+
+  void Grow() {
+    std::vector<int64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, -1);
+    const uint64_t mask = slots_.size() - 1;
+    for (int64_t u = 0; u < num_keys_; ++u) {
+      uint64_t s = Hash(&ukeys_[static_cast<size_t>(u) * kw_]) & mask;
+      while (slots_[s] >= 0) s = (s + 1) & mask;
+      slots_[s] = u;
+    }
+  }
+
+  int kw_ = 1;
+  std::vector<double> ukeys_;                    // kw_ values per unique key
+  std::vector<int64_t> head_, tail_, chain_len_;  // per unique key
+  std::vector<int64_t> next_;                     // per entry
+  std::vector<std::vector<double>> pay_;          // per payload col, per entry
+  std::vector<int64_t> slots_;
+  int64_t num_keys_ = 0;
+};
+
+/// Materialized inner side of a block nested-loop join, in drain order.
+struct NljBuffer {
+  int64_t n = 0;
+  std::vector<std::vector<double>> keys;  // one col per join key
+  std::vector<std::vector<double>> pay;
+};
+
+/// Shared state of one sort-merge join: both sorted inputs plus the merge
+/// cursors (a transcription of the tuple engine's SortMergeJoinOp).
+struct SmjState {
+  int node_id = -1;
+  std::vector<std::vector<double>> lkeys, rkeys;  // key cols, sorted
+  std::vector<std::vector<double>> lpay, rpay;    // payload cols, sorted
+  size_t lsize = 0, rsize = 0;
+  // Merge cursors.
+  size_t li = 0, ri = 0;
+  size_t group_li = 0, group_le = 0, group_re = 0, emit_ri = 0;
+  bool in_group = false;
+  bool eof = false;
+
+  int Compare(size_t l, size_t r) const {
+    for (size_t k = 0; k < lkeys.size(); ++k) {
+      const double a = lkeys[k][l];
+      const double b = rkeys[k][r];
+      if (a < b) return -1;
+      if (a > b) return 1;
+    }
+    return 0;
+  }
+
+  struct Cursor {
+    size_t li, ri, group_li, group_le, group_re, emit_ri;
+    bool in_group;
+  };
+  Cursor SaveCursor() const {
+    return {li, ri, group_li, group_le, group_re, emit_ri, in_group};
+  }
+  void RestoreCursor(const Cursor& c) {
+    li = c.li;
+    ri = c.ri;
+    group_li = c.group_li;
+    group_le = c.group_le;
+    group_re = c.group_re;
+    emit_ri = c.emit_ri;
+    in_group = c.in_group;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Compiled pipeline pieces
+// ---------------------------------------------------------------------------
+
+/// One output column of a streaming stage: either replicated from the
+/// incoming batch or gathered from the stage's own (build/inner) side.
+struct OutCol {
+  bool from_input;
+  int idx;  // batch col position, payload col position, or table col idx
+};
+
+struct Stage {
+  enum class Kind { kHashProbe, kIndexProbe, kNlj };
+  Kind kind;
+  int node_id = -1;
+  std::vector<int> in_keys;  // key col positions in the incoming batch
+  std::vector<OutCol> out_cols;
+  JoinHashTable* ht = nullptr;           // kHashProbe
+  NljBuffer* nlj = nullptr;              // kNlj
+  const HashIndex* index = nullptr;      // kIndexProbe
+  const Table* inner_table = nullptr;    // kIndexProbe
+  std::vector<Filter> inner_filters;     // kIndexProbe (uncharged, unmonitored)
+};
+
+struct Sink {
+  enum class Kind { kRoot, kHashBuild, kNljMaterialize, kSort };
+  Kind kind = Kind::kRoot;
+  int node_id = -1;
+  std::vector<int> key_cols;      // positions in the incoming batch
+  std::vector<int> payload_cols;  // positions in the incoming batch
+  JoinHashTable* ht = nullptr;
+  NljBuffer* nlj = nullptr;
+  SmjState* smj = nullptr;
+  bool smj_left = false;
+};
+
+/// Uncharged work the tuple engine performs inside Open(), at the same
+/// position relative to the pipeline's charges.
+struct PreOp {
+  enum class Kind { kScanFilterStats, kIndexMeta };
+  Kind kind;
+  int stat_node = -1;  // scan node whose filter vectors get assigned
+  size_t num_filters = 0;
+  // kIndexMeta only: the metadata-only inner pass of an index-NL join.
+  int join_node = -1;
+  const Table* table = nullptr;
+  std::vector<Filter> filters;
+};
+
+struct ScanSource {
+  int node_id = -1;
+  const Table* table = nullptr;
+  std::vector<Filter> filters;
+  std::vector<const ColumnData*> out_cols;  // per live output column
+};
+
+/// Merge-source output column: (from left side, payload col position).
+struct MergeOut {
+  bool from_left;
+  int idx;
+};
+
+struct Pipeline {
+  std::vector<PreOp> pre_ops;
+  bool is_scan = true;
+  ScanSource scan;
+  SmjState* merge = nullptr;
+  std::vector<MergeOut> merge_out;
+  std::vector<Stage> stages;
+  Sink sink;
+  /// Node ids whose NodeStats this pipeline mutates per batch (snapshot
+  /// set for budgeted rollback).
+  std::vector<int> touched;
+};
+
+// ---------------------------------------------------------------------------
+// Plan compilation
+// ---------------------------------------------------------------------------
+
+class Compiler {
+ public:
+  Compiler(const Catalog& catalog, const Query& query, const PlanNode& root,
+           int num_nodes)
+      : catalog_(catalog), query_(query), root_(root) {
+    meta_.resize(static_cast<size_t>(num_nodes));
+    tables_.resize(query.tables().size());
+    for (size_t t = 0; t < query.tables().size(); ++t) {
+      tables_[t] = catalog.FindTable(query.tables()[t])->table.get();
+    }
+  }
+
+  void Compile() {
+    ComputeMask(root_);
+    ComputeRefs(root_, {});
+    Sink root_sink;
+    root_sink.kind = Sink::Kind::kRoot;
+    CompileInto(root_, root_sink);
+    for (Pipeline& p : pipelines) FinishPipeline(&p);
+  }
+
+  std::vector<Pipeline> pipelines;
+  // Deques: stable addresses for pointers held by stages/sinks.
+  std::deque<JoinHashTable> hash_tables;
+  std::deque<NljBuffer> nlj_buffers;
+  std::deque<SmjState> smj_states;
+
+ private:
+  struct NodeMeta {
+    uint64_t mask = 0;
+    std::vector<ColRef> out_refs;
+    std::vector<ColRef> left_keys, right_keys;  // join nodes only
+  };
+
+  NodeMeta& Meta(const PlanNode& n) {
+    return meta_[static_cast<size_t>(n.id)];
+  }
+
+  uint64_t ComputeMask(const PlanNode& n) {
+    NodeMeta& m = Meta(n);
+    if (n.op == PlanOp::kSeqScan) {
+      m.mask = 1ull << n.table_idx;
+    } else if (n.op == PlanOp::kIndexNLJoin) {
+      m.mask = ComputeMask(*n.left) | (1ull << n.right->table_idx);
+    } else {
+      m.mask = ComputeMask(*n.left) | ComputeMask(*n.right);
+    }
+    return m.mask;
+  }
+
+  ColRef Ref(const std::string& table, const std::string& column) const {
+    const int t = query_.TableIndex(table);
+    const int c = tables_[static_cast<size_t>(t)]->schema().FindColumn(column);
+    RQP_CHECK(t >= 0 && c >= 0);
+    return {t, c};
+  }
+
+  /// Resolves the ends of each join predicate to this node's child sides.
+  void ResolveJoinKeys(const PlanNode& n, uint64_t left_mask) {
+    NodeMeta& m = Meta(n);
+    for (int j : n.join_indices) {
+      const JoinPredicate& jp = query_.joins()[static_cast<size_t>(j)];
+      const ColRef l = Ref(jp.left_table, jp.left_column);
+      const ColRef r = Ref(jp.right_table, jp.right_column);
+      const bool left_has_left = (left_mask >> l.table) & 1;
+      m.left_keys.push_back(left_has_left ? l : r);
+      m.right_keys.push_back(left_has_left ? r : l);
+    }
+  }
+
+  void ComputeRefs(const PlanNode& n, std::vector<ColRef> needed) {
+    std::sort(needed.begin(), needed.end());
+    needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+    NodeMeta& m = Meta(n);
+    m.out_refs = needed;
+    if (n.op == PlanOp::kSeqScan) return;
+    if (n.op == PlanOp::kIndexNLJoin) {
+      const int t = n.right->table_idx;
+      ResolveJoinKeys(n, Meta(*n.left).mask);
+      std::vector<ColRef> left_needed;
+      for (const ColRef& r : m.out_refs) {
+        if (r.table != t) left_needed.push_back(r);
+      }
+      // The outer end of the single join predicate.
+      left_needed.push_back((Meta(*n.left).mask >> m.left_keys[0].table) & 1
+                                ? m.left_keys[0]
+                                : m.right_keys[0]);
+      ComputeRefs(*n.left, std::move(left_needed));
+      return;
+    }
+    const uint64_t lm = Meta(*n.left).mask;
+    ResolveJoinKeys(n, lm);
+    std::vector<ColRef> left_needed, right_needed;
+    for (const ColRef& r : m.out_refs) {
+      ((lm >> r.table) & 1 ? left_needed : right_needed).push_back(r);
+    }
+    for (const ColRef& r : m.left_keys) left_needed.push_back(r);
+    for (const ColRef& r : m.right_keys) right_needed.push_back(r);
+    ComputeRefs(*n.left, std::move(left_needed));
+    ComputeRefs(*n.right, std::move(right_needed));
+  }
+
+  int PosOf(const PlanNode& n, const ColRef& r) const {
+    const std::vector<ColRef>& refs =
+        meta_[static_cast<size_t>(n.id)].out_refs;
+    const auto it = std::lower_bound(refs.begin(), refs.end(), r);
+    RQP_CHECK(it != refs.end() && *it == r);
+    return static_cast<int>(it - refs.begin());
+  }
+
+  std::vector<Filter> ResolveFilters(const std::vector<int>& filter_indices,
+                                     const Table* table) const {
+    std::vector<Filter> out;
+    for (int f : filter_indices) {
+      const FilterPredicate& fp = query_.filters()[static_cast<size_t>(f)];
+      out.push_back({&table->column(table->schema().FindColumn(fp.column)),
+                     fp.op, fp.value});
+    }
+    return out;
+  }
+
+  /// Splits this node's out_refs into streaming-side vs other-side,
+  /// returning the other-side refs (payload list, in out_refs order) and
+  /// filling `out_cols` with the stage emission mapping.
+  std::vector<ColRef> SplitOutputs(const PlanNode& n,
+                                   const PlanNode& stream_child,
+                                   std::vector<OutCol>* out_cols) {
+    const NodeMeta& m = Meta(n);
+    const uint64_t sm = Meta(stream_child).mask;
+    std::vector<ColRef> payload_refs;
+    for (const ColRef& r : m.out_refs) {
+      if ((sm >> r.table) & 1) {
+        out_cols->push_back({true, PosOf(stream_child, r)});
+      } else {
+        out_cols->push_back({false, static_cast<int>(payload_refs.size())});
+        payload_refs.push_back(r);
+      }
+    }
+    return payload_refs;
+  }
+
+  void CompileInto(const PlanNode& n, Sink sink) {
+    Pipeline p;
+    p.sink = sink;
+    SourceInfo src = Descend(n, &p.stages, &p.pre_ops);
+    p.is_scan = src.is_scan;
+    p.scan = std::move(src.scan);
+    p.merge = src.merge;
+    p.merge_out = std::move(src.merge_out);
+    pipelines.push_back(std::move(p));
+  }
+
+  struct SourceInfo {
+    bool is_scan = true;
+    ScanSource scan;
+    SmjState* merge = nullptr;
+    std::vector<MergeOut> merge_out;
+  };
+
+  SourceInfo Descend(const PlanNode& n, std::vector<Stage>* stages,
+                     std::vector<PreOp>* pre) {
+    const NodeMeta& m = Meta(n);
+    switch (n.op) {
+      case PlanOp::kSeqScan: {
+        const Table* table = tables_[static_cast<size_t>(n.table_idx)];
+        PreOp po;
+        po.kind = PreOp::Kind::kScanFilterStats;
+        po.stat_node = n.id;
+        po.num_filters = n.filter_indices.size();
+        pre->push_back(std::move(po));
+        SourceInfo src;
+        src.is_scan = true;
+        src.scan.node_id = n.id;
+        src.scan.table = table;
+        src.scan.filters = ResolveFilters(n.filter_indices, table);
+        for (const ColRef& r : m.out_refs) {
+          RQP_CHECK(r.table == n.table_idx);
+          src.scan.out_cols.push_back(&table->column(r.col));
+        }
+        return src;
+      }
+      case PlanOp::kHashJoin: {
+        // Build side first (its blocking pipelines, then the drain).
+        Stage st;
+        st.kind = Stage::Kind::kHashProbe;
+        st.node_id = n.id;
+        const std::vector<ColRef> payload_refs =
+            SplitOutputs(n, *n.right, &st.out_cols);
+        hash_tables.emplace_back();
+        JoinHashTable* ht = &hash_tables.back();
+        ht->Init(static_cast<int>(m.left_keys.size()),
+                 static_cast<int>(payload_refs.size()));
+        st.ht = ht;
+        Sink bs;
+        bs.kind = Sink::Kind::kHashBuild;
+        bs.node_id = n.id;
+        bs.ht = ht;
+        for (const ColRef& r : m.left_keys) {
+          bs.key_cols.push_back(PosOf(*n.left, r));
+        }
+        for (const ColRef& r : payload_refs) {
+          bs.payload_cols.push_back(PosOf(*n.left, r));
+        }
+        CompileInto(*n.left, std::move(bs));
+        // Probe side streams through this pipeline.
+        SourceInfo src = Descend(*n.right, stages, pre);
+        for (const ColRef& r : m.right_keys) {
+          st.in_keys.push_back(PosOf(*n.right, r));
+        }
+        stages->push_back(std::move(st));
+        return src;
+      }
+      case PlanOp::kNLJoin: {
+        // Inner (right) side is materialized first.
+        Stage st;
+        st.kind = Stage::Kind::kNlj;
+        st.node_id = n.id;
+        const std::vector<ColRef> payload_refs =
+            SplitOutputs(n, *n.left, &st.out_cols);
+        nlj_buffers.emplace_back();
+        NljBuffer* buf = &nlj_buffers.back();
+        buf->keys.assign(m.right_keys.size(), {});
+        buf->pay.assign(payload_refs.size(), {});
+        st.nlj = buf;
+        Sink ms;
+        ms.kind = Sink::Kind::kNljMaterialize;
+        ms.node_id = n.id;
+        ms.nlj = buf;
+        for (const ColRef& r : m.right_keys) {
+          ms.key_cols.push_back(PosOf(*n.right, r));
+        }
+        for (const ColRef& r : payload_refs) {
+          ms.payload_cols.push_back(PosOf(*n.right, r));
+        }
+        CompileInto(*n.right, std::move(ms));
+        // Outer (left) side streams.
+        SourceInfo src = Descend(*n.left, stages, pre);
+        for (const ColRef& r : m.left_keys) {
+          st.in_keys.push_back(PosOf(*n.left, r));
+        }
+        stages->push_back(std::move(st));
+        return src;
+      }
+      case PlanOp::kSortMergeJoin: {
+        smj_states.emplace_back();
+        SmjState* smj = &smj_states.back();
+        smj->node_id = n.id;
+        smj->lkeys.assign(m.left_keys.size(), {});
+        smj->rkeys.assign(m.right_keys.size(), {});
+        // Payload split: out_refs on the left side vs the right side.
+        SourceInfo src;
+        src.is_scan = false;
+        src.merge = smj;
+        const uint64_t lm = Meta(*n.left).mask;
+        std::vector<ColRef> lrefs, rrefs;
+        for (const ColRef& r : m.out_refs) {
+          if ((lm >> r.table) & 1) {
+            src.merge_out.push_back({true, static_cast<int>(lrefs.size())});
+            lrefs.push_back(r);
+          } else {
+            src.merge_out.push_back({false, static_cast<int>(rrefs.size())});
+            rrefs.push_back(r);
+          }
+        }
+        smj->lpay.assign(lrefs.size(), {});
+        smj->rpay.assign(rrefs.size(), {});
+        Sink ls;
+        ls.kind = Sink::Kind::kSort;
+        ls.node_id = n.id;
+        ls.smj = smj;
+        ls.smj_left = true;
+        for (const ColRef& r : m.left_keys) {
+          ls.key_cols.push_back(PosOf(*n.left, r));
+        }
+        for (const ColRef& r : lrefs) {
+          ls.payload_cols.push_back(PosOf(*n.left, r));
+        }
+        CompileInto(*n.left, std::move(ls));
+        Sink rs;
+        rs.kind = Sink::Kind::kSort;
+        rs.node_id = n.id;
+        rs.smj = smj;
+        rs.smj_left = false;
+        for (const ColRef& r : m.right_keys) {
+          rs.key_cols.push_back(PosOf(*n.right, r));
+        }
+        for (const ColRef& r : rrefs) {
+          rs.payload_cols.push_back(PosOf(*n.right, r));
+        }
+        CompileInto(*n.right, std::move(rs));
+        return src;
+      }
+      case PlanOp::kIndexNLJoin: {
+        SourceInfo src = Descend(*n.left, stages, pre);
+        const int t = n.right->table_idx;
+        const Table* inner = tables_[static_cast<size_t>(t)];
+        // The tuple engine runs the metadata-only inner pass inside this
+        // node's Open(), i.e. after the outer child's Open() — hence
+        // after the outer's pre-ops, before any streaming.
+        PreOp po;
+        po.kind = PreOp::Kind::kIndexMeta;
+        po.stat_node = n.right->id;
+        po.join_node = n.id;
+        po.table = inner;
+        po.filters = ResolveFilters(n.right->filter_indices, inner);
+        pre->push_back(std::move(po));
+
+        Stage st;
+        st.kind = Stage::Kind::kIndexProbe;
+        st.node_id = n.id;
+        st.inner_table = inner;
+        st.inner_filters = ResolveFilters(n.right->filter_indices, inner);
+        const JoinPredicate& jp =
+            query_.joins()[static_cast<size_t>(n.join_indices[0])];
+        const bool inner_is_left = query_.TableIndex(jp.left_table) == t;
+        const std::string& inner_col =
+            inner_is_left ? jp.left_column : jp.right_column;
+        st.index = catalog_.FindIndex(
+            query_.tables()[static_cast<size_t>(t)], inner_col);
+        RQP_CHECK(st.index != nullptr);
+        const ColRef outer_key = (Meta(*n.left).mask >>
+                                  Meta(n).left_keys[0].table) &
+                                         1
+                                     ? Meta(n).left_keys[0]
+                                     : Meta(n).right_keys[0];
+        st.in_keys.push_back(PosOf(*n.left, outer_key));
+        for (const ColRef& r : Meta(n).out_refs) {
+          if (r.table == t) {
+            st.out_cols.push_back({false, r.col});  // gather from the table
+          } else {
+            st.out_cols.push_back({true, PosOf(*n.left, r)});
+          }
+        }
+        stages->push_back(std::move(st));
+        return src;
+      }
+    }
+    RQP_CHECK(false);
+    return {};
+  }
+
+  /// Collects the NodeStats ids a pipeline's batches mutate.
+  static void FinishPipeline(Pipeline* p) {
+    std::vector<int>& t = p->touched;
+    t.push_back(p->is_scan ? p->scan.node_id : p->merge->node_id);
+    for (const Stage& s : p->stages) t.push_back(s.node_id);
+    if (p->sink.node_id >= 0) t.push_back(p->sink.node_id);
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+  }
+
+  const Catalog& catalog_;
+  const Query& query_;
+  const PlanNode& root_;
+  std::vector<NodeMeta> meta_;
+  std::vector<const Table*> tables_;
+};
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+/// Counting context a bulk step writes into — the main execution state,
+/// or a morsel-parallel worker's private partial.
+struct WorkCtx {
+  CostLedger* ledger = nullptr;
+  std::vector<NodeStats>* stats = nullptr;
+  int64_t* output_rows = nullptr;
+  bool budgeted = false;
+  double budget = -1.0;
+  const CostParams* params = nullptr;
+
+  NodeStats& St(int node_id) {
+    return (*stats)[static_cast<size_t>(node_id)];
+  }
+  /// True once the ledger's canonical total exceeds the budget.
+  bool Hazard() const {
+    return budgeted && ledger->Total(*params) > budget;
+  }
+  /// Tuple-order charge used by the replay interpreter.
+  bool Charge(int64_t CostLedger::*counter) {
+    ++((*ledger).*counter);
+    return !budgeted || ledger->Total(*params) <= budget;
+  }
+};
+
+/// Per-pipeline-run scratch (one per worker in parallel mode).
+struct Scratch {
+  std::vector<int64_t> sel;
+  Batch a, b;
+  std::vector<double> key;
+  std::vector<double> pay;
+  /// Replay row values, one vector per pipeline level.
+  std::vector<std::vector<double>> rows;
+};
+
+/// Snapshot for budgeted rollback: everything a bulk morsel mutates
+/// besides deferred sink data.
+struct MorselSnapshot {
+  CostLedger ledger;
+  std::vector<NodeStats> stats;  // parallel to Pipeline::touched
+  SmjState::Cursor cursor{};
+  bool merge_eof = false;
+};
+
+MorselSnapshot TakeSnapshot(const Pipeline& p, const WorkCtx& ctx) {
+  MorselSnapshot s;
+  s.ledger = *ctx.ledger;
+  for (int id : p.touched) {
+    s.stats.push_back((*ctx.stats)[static_cast<size_t>(id)]);
+  }
+  if (!p.is_scan) {
+    s.cursor = p.merge->SaveCursor();
+    s.merge_eof = p.merge->eof;
+  }
+  return s;
+}
+
+void RestoreSnapshot(const Pipeline& p, const MorselSnapshot& s, WorkCtx* ctx) {
+  *ctx->ledger = s.ledger;
+  for (size_t i = 0; i < p.touched.size(); ++i) {
+    (*ctx->stats)[static_cast<size_t>(p.touched[i])] = s.stats[i];
+  }
+  if (!p.is_scan) {
+    p.merge->RestoreCursor(s.cursor);
+    p.merge->eof = s.merge_eof;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-ops (uncharged Open()-time work)
+// ---------------------------------------------------------------------------
+
+void RunPreOps(const Pipeline& p, WorkCtx* ctx) {
+  for (const PreOp& po : p.pre_ops) {
+    NodeStats& st = ctx->St(po.stat_node);
+    st.filter_in.assign(po.num_filters ? po.num_filters : po.filters.size(),
+                        0);
+    st.filter_pass.assign(st.filter_in.size(), 0);
+    if (po.kind == PreOp::Kind::kScanFilterStats) continue;
+    // kIndexMeta: count the filtered inner cardinality so a completed
+    // spill learns the same denominator a hash join would (uncharged).
+    NodeStats& jst = ctx->St(po.join_node);
+    jst.right_in = 0;
+    for (int64_t r = 0; r < po.table->num_rows(); ++r) {
+      bool pass = true;
+      for (size_t k = 0; k < po.filters.size(); ++k) {
+        ++st.filter_in[k];
+        if (!EvalFilter(po.filters[k], r)) {
+          pass = false;
+          break;
+        }
+        ++st.filter_pass[k];
+      }
+      if (pass) ++jst.right_in;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk source: scan morsel -> selection vector -> gathered batch
+// ---------------------------------------------------------------------------
+
+void GatherColumn(const ColumnData& col, const std::vector<int64_t>& sel,
+                  std::vector<double>* out) {
+  out->clear();
+  out->reserve(sel.size());
+  if (col.type() == DataType::kInt64) {
+    const int64_t* v = col.ints().data();
+    for (int64_t r : sel) out->push_back(static_cast<double>(v[r]));
+  } else {
+    const double* v = col.doubles().data();
+    for (int64_t r : sel) out->push_back(v[r]);
+  }
+}
+
+void GatherColumnRange(const ColumnData& col, int64_t r0, int64_t r1,
+                       std::vector<double>* out) {
+  out->clear();
+  out->reserve(static_cast<size_t>(r1 - r0));
+  if (col.type() == DataType::kInt64) {
+    const int64_t* v = col.ints().data();
+    for (int64_t r = r0; r < r1; ++r) out->push_back(static_cast<double>(v[r]));
+  } else {
+    out->insert(out->end(), col.doubles().begin() + r0,
+                col.doubles().begin() + r1);
+  }
+}
+
+/// Scans rows [r0, r1), applying filters as column loops; leaves the
+/// surviving batch in `out`. Counts scan events and filter stats.
+void ScanBulk(const ScanSource& s, int64_t r0, int64_t r1, WorkCtx* ctx,
+              Scratch* sc, Batch* out) {
+  const int64_t n = r1 - r0;
+  NodeStats& st = ctx->St(s.node_id);
+  st.left_in += n;
+  ctx->ledger->scan_tuple += n;
+  out->Reset(s.out_cols.size());
+  if (s.filters.empty()) {
+    st.out += n;
+    out->n = n;
+    for (size_t c = 0; c < s.out_cols.size(); ++c) {
+      GatherColumnRange(*s.out_cols[c], r0, r1, &out->cols[c]);
+    }
+    return;
+  }
+  std::vector<int64_t>& sel = sc->sel;
+  sel.clear();
+  for (size_t k = 0; k < s.filters.size(); ++k) {
+    if (k == 0) {
+      st.filter_in[0] += n;
+      WithFilterPred(s.filters[0], [&](auto pred) {
+        for (int64_t r = r0; r < r1; ++r) {
+          if (pred(r)) sel.push_back(r);
+        }
+      });
+      st.filter_pass[0] += static_cast<int64_t>(sel.size());
+    } else {
+      st.filter_in[k] += static_cast<int64_t>(sel.size());
+      WithFilterPred(s.filters[k], [&](auto pred) {
+        size_t w = 0;
+        for (size_t i = 0; i < sel.size(); ++i) {
+          if (pred(sel[i])) sel[w++] = sel[i];
+        }
+        sel.resize(w);
+      });
+      st.filter_pass[k] += static_cast<int64_t>(sel.size());
+    }
+  }
+  st.out += static_cast<int64_t>(sel.size());
+  out->n = static_cast<int64_t>(sel.size());
+  for (size_t c = 0; c < s.out_cols.size(); ++c) {
+    GatherColumn(*s.out_cols[c], sel, &out->cols[c]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk source: SMJ merge stepping
+// ---------------------------------------------------------------------------
+
+/// One step of the merge state machine — an exact transcription of the
+/// tuple engine's SortMergeJoinOp::Next. `charge` counts one event and
+/// returns false on budget exhaustion (always true in bulk mode).
+/// Returns 0 with an emitted (li, ri) pair, 1 on eof, 2 on budget abort.
+template <typename Charger>
+int StepMerge(SmjState* m, NodeStats* st, Charger&& charge, size_t* out_li,
+              size_t* out_ri) {
+  while (true) {
+    if (m->in_group) {
+      if (m->emit_ri < m->group_re) {
+        if (!charge(&CostLedger::join_output_tuple)) return 2;
+        *out_li = m->group_li;
+        *out_ri = m->emit_ri++;
+        ++st->out;
+        return 0;
+      }
+      ++m->group_li;
+      if (m->group_li < m->group_le) {
+        m->emit_ri = m->ri;
+        continue;
+      }
+      m->in_group = false;
+      m->li = m->group_le;
+      m->ri = m->group_re;
+    }
+    while (m->li < m->lsize && m->ri < m->rsize) {
+      const int cmp = m->Compare(m->li, m->ri);
+      if (cmp < 0) {
+        if (!charge(&CostLedger::merge_tuple)) return 2;
+        ++m->li;
+      } else if (cmp > 0) {
+        if (!charge(&CostLedger::merge_tuple)) return 2;
+        ++m->ri;
+      } else {
+        m->group_le = m->li;
+        while (m->group_le < m->lsize && m->Compare(m->group_le, m->ri) == 0) {
+          if (!charge(&CostLedger::merge_tuple)) return 2;
+          ++m->group_le;
+        }
+        m->group_re = m->ri;
+        while (m->group_re < m->rsize && m->Compare(m->li, m->group_re) == 0) {
+          if (!charge(&CostLedger::merge_tuple)) return 2;
+          ++m->group_re;
+        }
+        m->group_li = m->li;
+        m->emit_ri = m->ri;
+        m->in_group = true;
+        break;
+      }
+    }
+    if (!m->in_group) return 1;
+  }
+}
+
+/// Bulk-generates up to kBatchRows merge output rows. Returns false when
+/// a hazard check tripped (budgeted mode only; caller rolls back).
+bool MergeBulk(SmjState* m, const std::vector<MergeOut>& merge_out,
+               WorkCtx* ctx, Batch* out) {
+  NodeStats& st = ctx->St(m->node_id);
+  out->Reset(merge_out.size());
+  auto count = [&](int64_t CostLedger::*counter) {
+    ++((*ctx->ledger).*counter);
+    return true;
+  };
+  size_t li = 0, ri = 0;
+  while (out->n < kBatchRows) {
+    const int rc = StepMerge(m, &st, count, &li, &ri);
+    if (rc == 1) {
+      m->eof = true;
+      break;
+    }
+    for (size_t c = 0; c < merge_out.size(); ++c) {
+      out->cols[c].push_back(merge_out[c].from_left
+                                 ? m->lpay[static_cast<size_t>(
+                                       merge_out[c].idx)][li]
+                                 : m->rpay[static_cast<size_t>(
+                                       merge_out[c].idx)][ri]);
+    }
+    ++out->n;
+    if (ctx->budgeted && (out->n & 255) == 0 && ctx->Hazard()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk streaming stages
+// ---------------------------------------------------------------------------
+
+/// Runs one stage over a batch. Returns false when a periodic hazard
+/// check tripped (budgeted mode only).
+bool StageBulk(const Stage& s, const Batch& in, WorkCtx* ctx, Scratch* sc,
+               Batch* out) {
+  NodeStats& st = ctx->St(s.node_id);
+  out->Reset(s.out_cols.size());
+  const size_t w = s.out_cols.size();
+  int64_t matches = 0;
+  int64_t flushed = 0;
+  auto flush_outputs = [&]() {
+    ctx->ledger->join_output_tuple += matches - flushed;
+    flushed = matches;
+  };
+
+  switch (s.kind) {
+    case Stage::Kind::kHashProbe: {
+      st.right_in += in.n;
+      ctx->ledger->hash_probe_tuple += in.n;
+      const JoinHashTable* ht = s.ht;
+      const int kw = ht->key_width();
+      for (int64_t i = 0; i < in.n; ++i) {
+        int64_t u;
+        if (kw == 1) {
+          const double k = in.cols[static_cast<size_t>(s.in_keys[0])]
+                                  [static_cast<size_t>(i)];
+          u = ht->Find(&k);
+        } else {
+          sc->key.clear();
+          for (int kp : s.in_keys) {
+            sc->key.push_back(
+                in.cols[static_cast<size_t>(kp)][static_cast<size_t>(i)]);
+          }
+          u = ht->Find(sc->key.data());
+        }
+        if (u >= 0) {
+          if (w == 0) {
+            matches += ht->ChainLen(u);
+          } else {
+            for (int64_t e = ht->ChainHead(u); e >= 0; e = ht->ChainNext(e)) {
+              ++matches;
+              for (size_t c = 0; c < w; ++c) {
+                const OutCol& oc = s.out_cols[c];
+                out->cols[c].push_back(
+                    oc.from_input
+                        ? in.cols[static_cast<size_t>(oc.idx)]
+                                 [static_cast<size_t>(i)]
+                        : ht->Payload(static_cast<size_t>(oc.idx), e));
+              }
+            }
+          }
+        }
+        if (ctx->budgeted && (i & 255) == 255) {
+          flush_outputs();
+          if (ctx->Hazard()) return false;
+        }
+      }
+      break;
+    }
+    case Stage::Kind::kIndexProbe: {
+      st.left_in += in.n;
+      ctx->ledger->index_probe += in.n;
+      const double* keys =
+          in.cols[static_cast<size_t>(s.in_keys[0])].data();
+      const bool no_filters = s.inner_filters.empty();
+      for (int64_t i = 0; i < in.n; ++i) {
+        const std::vector<int64_t>* m =
+            s.index->Lookup(static_cast<int64_t>(keys[i]));
+        if (m != nullptr) {
+          ctx->ledger->index_fetch += static_cast<int64_t>(m->size());
+          if (no_filters && w == 0) {
+            matches += static_cast<int64_t>(m->size());
+          } else {
+            for (int64_t r : *m) {
+              bool pass = true;
+              for (const Filter& f : s.inner_filters) {
+                if (!EvalFilter(f, r)) {
+                  pass = false;
+                  break;
+                }
+              }
+              if (!pass) continue;
+              ++matches;
+              for (size_t c = 0; c < w; ++c) {
+                const OutCol& oc = s.out_cols[c];
+                out->cols[c].push_back(
+                    oc.from_input
+                        ? in.cols[static_cast<size_t>(oc.idx)]
+                                 [static_cast<size_t>(i)]
+                        : s.inner_table->column(oc.idx).GetNumeric(r));
+              }
+            }
+          }
+        }
+        if (ctx->budgeted && (i & 63) == 63) {
+          flush_outputs();
+          if (ctx->Hazard()) return false;
+        }
+      }
+      break;
+    }
+    case Stage::Kind::kNlj: {
+      st.left_in += in.n;  // uncharged, as in the tuple engine
+      const NljBuffer* buf = s.nlj;
+      const size_t kw = buf->keys.size();
+      for (int64_t i = 0; i < in.n; ++i) {
+        ctx->ledger->nlj_pair += buf->n;
+        for (int64_t r = 0; r < buf->n; ++r) {
+          bool match = true;
+          for (size_t k = 0; k < kw; ++k) {
+            if (in.cols[static_cast<size_t>(s.in_keys[k])]
+                       [static_cast<size_t>(i)] !=
+                buf->keys[k][static_cast<size_t>(r)]) {
+              match = false;
+              break;
+            }
+          }
+          if (!match) continue;
+          ++matches;
+          for (size_t c = 0; c < w; ++c) {
+            const OutCol& oc = s.out_cols[c];
+            out->cols[c].push_back(
+                oc.from_input ? in.cols[static_cast<size_t>(oc.idx)]
+                                       [static_cast<size_t>(i)]
+                              : buf->pay[static_cast<size_t>(oc.idx)]
+                                        [static_cast<size_t>(r)]);
+          }
+        }
+        if (ctx->budgeted && (i & 15) == 15) {
+          flush_outputs();
+          if (ctx->Hazard()) return false;
+        }
+      }
+      break;
+    }
+  }
+  flush_outputs();
+  st.out += matches;
+  out->n = matches;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Bulk event counts for `n` rows arriving at the sink.
+void SinkCounts(const Sink& s, int64_t n, WorkCtx* ctx) {
+  switch (s.kind) {
+    case Sink::Kind::kRoot:
+      break;  // uncharged; output_rows is a data effect
+    case Sink::Kind::kHashBuild:
+      ctx->St(s.node_id).left_in += n;
+      ctx->ledger->hash_build_tuple += n;
+      break;
+    case Sink::Kind::kNljMaterialize:
+      ctx->St(s.node_id).right_in += n;
+      ctx->ledger->nlj_materialize_tuple += n;
+      break;
+    case Sink::Kind::kSort: {
+      NodeStats& st = ctx->St(s.node_id);
+      (s.smj_left ? st.left_in : st.right_in) += n;
+      ctx->ledger->sort_tuple += n;
+      break;
+    }
+  }
+}
+
+/// Applies the sink's data effects for a committed batch.
+void SinkApply(const Sink& s, const Batch& b, WorkCtx* ctx, Scratch* sc) {
+  switch (s.kind) {
+    case Sink::Kind::kRoot:
+      *ctx->output_rows += b.n;
+      break;
+    case Sink::Kind::kHashBuild: {
+      sc->key.resize(s.key_cols.size());
+      std::vector<double>& pay = sc->pay;
+      pay.resize(s.payload_cols.size());
+      for (int64_t i = 0; i < b.n; ++i) {
+        for (size_t k = 0; k < s.key_cols.size(); ++k) {
+          sc->key[k] = b.cols[static_cast<size_t>(s.key_cols[k])]
+                             [static_cast<size_t>(i)];
+        }
+        for (size_t c = 0; c < s.payload_cols.size(); ++c) {
+          pay[c] = b.cols[static_cast<size_t>(s.payload_cols[c])]
+                         [static_cast<size_t>(i)];
+        }
+        s.ht->Insert(sc->key.data(), pay.data());
+      }
+      break;
+    }
+    case Sink::Kind::kNljMaterialize: {
+      for (size_t k = 0; k < s.key_cols.size(); ++k) {
+        const auto& src = b.cols[static_cast<size_t>(s.key_cols[k])];
+        s.nlj->keys[k].insert(s.nlj->keys[k].end(), src.begin(), src.end());
+      }
+      for (size_t c = 0; c < s.payload_cols.size(); ++c) {
+        const auto& src = b.cols[static_cast<size_t>(s.payload_cols[c])];
+        s.nlj->pay[c].insert(s.nlj->pay[c].end(), src.begin(), src.end());
+      }
+      s.nlj->n += b.n;
+      break;
+    }
+    case Sink::Kind::kSort: {
+      auto& keys = s.smj_left ? s.smj->lkeys : s.smj->rkeys;
+      auto& pay = s.smj_left ? s.smj->lpay : s.smj->rpay;
+      for (size_t k = 0; k < s.key_cols.size(); ++k) {
+        const auto& src = b.cols[static_cast<size_t>(s.key_cols[k])];
+        keys[k].insert(keys[k].end(), src.begin(), src.end());
+      }
+      for (size_t c = 0; c < s.payload_cols.size(); ++c) {
+        const auto& src = b.cols[static_cast<size_t>(s.payload_cols[c])];
+        pay[c].insert(pay[c].end(), src.begin(), src.end());
+      }
+      (s.smj_left ? s.smj->lsize : s.smj->rsize) +=
+          static_cast<size_t>(b.n);
+      break;
+    }
+  }
+}
+
+/// End-of-pipeline work: the sort sink charges its super-linear
+/// remainder (one `extra` event, exactly as the tuple engine's
+/// DrainAndSort) and stable-argsorts its buffer.
+Status FinishSink(const Sink& s, const CostModel& cm, WorkCtx* ctx) {
+  if (s.kind != Sink::Kind::kSort) return Status::OK();
+  auto& keys = s.smj_left ? s.smj->lkeys : s.smj->rkeys;
+  auto& pay = s.smj_left ? s.smj->lpay : s.smj->rpay;
+  const size_t n = s.smj_left ? s.smj->lsize : s.smj->rsize;
+  const double remainder =
+      CostModel::SortTerm(static_cast<double>(n)) - static_cast<double>(n);
+  if (remainder > 0.0) {
+    ctx->ledger->extra += cm.params().sort_tuple * remainder;
+    if (ctx->budgeted && ctx->ledger->Total(*ctx->params) > ctx->budget) {
+      return Status::BudgetExhausted("sort");
+    }
+  }
+  // Stable argsort on keys only — the same comparator and stability as
+  // the tuple engine's stable_sort, so equal-key permutations match.
+  std::vector<int64_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](int64_t a, int64_t b) {
+    for (const auto& kc : keys) {
+      if (kc[static_cast<size_t>(a)] != kc[static_cast<size_t>(b)]) {
+        return kc[static_cast<size_t>(a)] < kc[static_cast<size_t>(b)];
+      }
+    }
+    return false;
+  });
+  auto apply = [&](std::vector<double>* col) {
+    std::vector<double> tmp(n);
+    for (size_t i = 0; i < n; ++i) {
+      tmp[i] = (*col)[static_cast<size_t>(idx[i])];
+    }
+    *col = std::move(tmp);
+  };
+  for (auto& kc : keys) apply(&kc);
+  for (auto& pc : pay) apply(&pc);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Tuple-order replay: when a bulk morsel crosses the budget, the morsel
+// is rolled back and re-run row-by-row in the tuple engine's exact
+// depth-first event order (source event → stages per emitted row → sink
+// event, stat bump before charge), stopping at the first failing event.
+// Replay never applies sink data — execution is aborting.
+// ---------------------------------------------------------------------------
+
+/// Pushes one row into stage `si` (or the sink). Returns false on budget
+/// exhaustion.
+bool ReplayPush(const Pipeline& p, size_t si, WorkCtx* ctx, Scratch* sc) {
+  if (si == p.stages.size()) {
+    switch (p.sink.kind) {
+      case Sink::Kind::kRoot:
+        ++*ctx->output_rows;
+        return true;
+      case Sink::Kind::kHashBuild:
+        ++ctx->St(p.sink.node_id).left_in;
+        return ctx->Charge(&CostLedger::hash_build_tuple);
+      case Sink::Kind::kNljMaterialize:
+        ++ctx->St(p.sink.node_id).right_in;
+        return ctx->Charge(&CostLedger::nlj_materialize_tuple);
+      case Sink::Kind::kSort: {
+        NodeStats& st = ctx->St(p.sink.node_id);
+        ++(p.sink.smj_left ? st.left_in : st.right_in);
+        return ctx->Charge(&CostLedger::sort_tuple);
+      }
+    }
+    return true;
+  }
+  const Stage& s = p.stages[si];
+  const std::vector<double>& row = sc->rows[si];
+  std::vector<double>& out_row = sc->rows[si + 1];
+  out_row.resize(s.out_cols.size());
+  NodeStats& st = ctx->St(s.node_id);
+  switch (s.kind) {
+    case Stage::Kind::kHashProbe: {
+      ++st.right_in;
+      if (!ctx->Charge(&CostLedger::hash_probe_tuple)) return false;
+      sc->key.clear();
+      for (int kp : s.in_keys) sc->key.push_back(row[static_cast<size_t>(kp)]);
+      const int64_t u = s.ht->Find(sc->key.data());
+      if (u < 0) return true;
+      for (int64_t e = s.ht->ChainHead(u); e >= 0; e = s.ht->ChainNext(e)) {
+        if (!ctx->Charge(&CostLedger::join_output_tuple)) return false;
+        for (size_t c = 0; c < s.out_cols.size(); ++c) {
+          const OutCol& oc = s.out_cols[c];
+          out_row[c] = oc.from_input
+                           ? row[static_cast<size_t>(oc.idx)]
+                           : s.ht->Payload(static_cast<size_t>(oc.idx), e);
+        }
+        ++st.out;
+        if (!ReplayPush(p, si + 1, ctx, sc)) return false;
+      }
+      return true;
+    }
+    case Stage::Kind::kIndexProbe: {
+      ++st.left_in;
+      if (!ctx->Charge(&CostLedger::index_probe)) return false;
+      const double key = row[static_cast<size_t>(s.in_keys[0])];
+      const std::vector<int64_t>* m =
+          s.index->Lookup(static_cast<int64_t>(key));
+      if (m == nullptr) return true;
+      for (int64_t r : *m) {
+        if (!ctx->Charge(&CostLedger::index_fetch)) return false;
+        bool pass = true;
+        for (const Filter& f : s.inner_filters) {
+          if (!EvalFilter(f, r)) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        if (!ctx->Charge(&CostLedger::join_output_tuple)) return false;
+        for (size_t c = 0; c < s.out_cols.size(); ++c) {
+          const OutCol& oc = s.out_cols[c];
+          out_row[c] = oc.from_input
+                           ? row[static_cast<size_t>(oc.idx)]
+                           : s.inner_table->column(oc.idx).GetNumeric(r);
+        }
+        ++st.out;
+        if (!ReplayPush(p, si + 1, ctx, sc)) return false;
+      }
+      return true;
+    }
+    case Stage::Kind::kNlj: {
+      ++st.left_in;  // uncharged
+      const NljBuffer* buf = s.nlj;
+      for (int64_t r = 0; r < buf->n; ++r) {
+        if (!ctx->Charge(&CostLedger::nlj_pair)) return false;
+        bool match = true;
+        for (size_t k = 0; k < buf->keys.size(); ++k) {
+          if (row[static_cast<size_t>(s.in_keys[k])] !=
+              buf->keys[k][static_cast<size_t>(r)]) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        if (!ctx->Charge(&CostLedger::join_output_tuple)) return false;
+        for (size_t c = 0; c < s.out_cols.size(); ++c) {
+          const OutCol& oc = s.out_cols[c];
+          out_row[c] = oc.from_input
+                           ? row[static_cast<size_t>(oc.idx)]
+                           : buf->pay[static_cast<size_t>(oc.idx)]
+                                     [static_cast<size_t>(r)];
+        }
+        ++st.out;
+        if (!ReplayPush(p, si + 1, ctx, sc)) return false;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+void PrepareReplayRows(const Pipeline& p, Scratch* sc) {
+  sc->rows.assign(p.stages.size() + 1, {});
+  sc->rows[0].resize(p.is_scan ? p.scan.out_cols.size()
+                               : p.merge_out.size());
+}
+
+/// Replays scan rows [r0, r1); must abort (the bulk total exceeded the
+/// budget, and replay counts the identical event multiset).
+Status ReplayScanMorsel(const Pipeline& p, int64_t r0, int64_t r1,
+                        WorkCtx* ctx, Scratch* sc) {
+  PrepareReplayRows(p, sc);
+  const ScanSource& s = p.scan;
+  NodeStats& st = ctx->St(s.node_id);
+  for (int64_t r = r0; r < r1; ++r) {
+    ++st.left_in;
+    if (!ctx->Charge(&CostLedger::scan_tuple)) {
+      return Status::BudgetExhausted("scan");
+    }
+    bool pass = true;
+    for (size_t k = 0; k < s.filters.size(); ++k) {
+      ++st.filter_in[k];
+      if (!EvalFilter(s.filters[k], r)) {
+        pass = false;
+        break;
+      }
+      ++st.filter_pass[k];
+    }
+    if (!pass) continue;
+    ++st.out;
+    for (size_t c = 0; c < s.out_cols.size(); ++c) {
+      sc->rows[0][c] = s.out_cols[c]->GetNumeric(r);
+    }
+    if (!ReplayPush(p, 0, ctx, sc)) {
+      return Status::BudgetExhausted("batch replay");
+    }
+  }
+  RQP_CHECK(false);  // unreachable: the morsel's total exceeds the budget
+  return Status::OK();
+}
+
+/// Replays merge output rows from the restored cursor; must abort.
+Status ReplayMergeBatch(const Pipeline& p, WorkCtx* ctx, Scratch* sc) {
+  PrepareReplayRows(p, sc);
+  SmjState* m = p.merge;
+  NodeStats& st = ctx->St(m->node_id);
+  auto charge = [&](int64_t CostLedger::*counter) {
+    return ctx->Charge(counter);
+  };
+  while (true) {
+    size_t li = 0, ri = 0;
+    const int rc = StepMerge(m, &st, charge, &li, &ri);
+    if (rc == 2) return Status::BudgetExhausted("merge");
+    RQP_CHECK(rc == 0);  // eof unreachable: total exceeds budget
+    for (size_t c = 0; c < p.merge_out.size(); ++c) {
+      sc->rows[0][c] =
+          p.merge_out[c].from_left
+              ? m->lpay[static_cast<size_t>(p.merge_out[c].idx)][li]
+              : m->rpay[static_cast<size_t>(p.merge_out[c].idx)][ri];
+    }
+    if (!ReplayPush(p, 0, ctx, sc)) {
+      return Status::BudgetExhausted("batch replay");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline drivers
+// ---------------------------------------------------------------------------
+
+/// Runs one already-generated source batch through the stages and counts
+/// the sink arrivals. Returns false on a hazard bail (budgeted only).
+/// On success `**sink_batch` points at the sink-level batch.
+bool StagesBulk(const Pipeline& p, Batch* src, WorkCtx* ctx, Scratch* sc,
+                Batch** sink_batch) {
+  Batch* cur = src;
+  Batch* spare = (src == &sc->a) ? &sc->b : &sc->a;
+  for (const Stage& s : p.stages) {
+    if (!StageBulk(s, *cur, ctx, sc, spare)) return false;
+    std::swap(cur, spare);
+  }
+  SinkCounts(p.sink, cur->n, ctx);
+  *sink_batch = cur;
+  return true;
+}
+
+/// Sequential driver handling both budgeted (snapshot/rollback/replay)
+/// and unbudgeted modes.
+Status RunPipelineSequential(const Pipeline& p, const CostModel& cm,
+                             WorkCtx* ctx, Scratch* sc) {
+  RunPreOps(p, ctx);
+  if (p.is_scan) {
+    const int64_t n = p.scan.table->num_rows();
+    for (int64_t r0 = 0; r0 < n; r0 += kBatchRows) {
+      const int64_t r1 = std::min<int64_t>(n, r0 + kBatchRows);
+      if (!ctx->budgeted) {
+        ScanBulk(p.scan, r0, r1, ctx, sc, &sc->a);
+        Batch* out = nullptr;
+        StagesBulk(p, &sc->a, ctx, sc, &out);
+        SinkApply(p.sink, *out, ctx, sc);
+        continue;
+      }
+      const MorselSnapshot snap = TakeSnapshot(p, *ctx);
+      ScanBulk(p.scan, r0, r1, ctx, sc, &sc->a);
+      Batch* out = nullptr;
+      const bool ok = StagesBulk(p, &sc->a, ctx, sc, &out);
+      if (ok && !ctx->Hazard()) {
+        SinkApply(p.sink, *out, ctx, sc);
+        continue;
+      }
+      RestoreSnapshot(p, snap, ctx);
+      return ReplayScanMorsel(p, r0, r1, ctx, sc);
+    }
+  } else {
+    while (!p.merge->eof) {
+      if (!ctx->budgeted) {
+        MergeBulk(p.merge, p.merge_out, ctx, &sc->a);
+        if (sc->a.n == 0 && p.merge->eof) break;
+        Batch* out = nullptr;
+        StagesBulk(p, &sc->a, ctx, sc, &out);
+        SinkApply(p.sink, *out, ctx, sc);
+        continue;
+      }
+      const MorselSnapshot snap = TakeSnapshot(p, *ctx);
+      bool ok = MergeBulk(p.merge, p.merge_out, ctx, &sc->a);
+      Batch* out = nullptr;
+      if (ok) ok = StagesBulk(p, &sc->a, ctx, sc, &out);
+      if (ok && !ctx->Hazard()) {
+        if (out != nullptr) SinkApply(p.sink, *out, ctx, sc);
+        continue;
+      }
+      RestoreSnapshot(p, snap, ctx);
+      return ReplayMergeBatch(p, ctx, sc);
+    }
+  }
+  return FinishSink(p.sink, cm, ctx);
+}
+
+/// Morsel-parallel driver for full (unbudgeted) scan pipelines: workers
+/// count into private ledgers/stats and buffer sink rows; partials merge
+/// in worker order, preserving the global row order bit-for-bit.
+Status RunPipelineParallel(const Pipeline& p, const CostModel& cm,
+                           WorkCtx* ctx, Scratch* sc, ThreadPool* pool,
+                           int num_nodes) {
+  RunPreOps(p, ctx);
+  const int64_t n = p.scan.table->num_rows();
+
+  struct WorkerOut {
+    CostLedger ledger;
+    std::vector<NodeStats> stats;
+    int64_t output_rows = 0;
+    Batch sink;
+    bool used = false;
+  };
+  std::vector<WorkerOut> workers(static_cast<size_t>(pool->num_threads()));
+
+  ParallelFor(pool, n, [&](int w, int64_t begin, int64_t end) {
+    WorkerOut& wo = workers[static_cast<size_t>(w)];
+    wo.used = true;
+    wo.stats.assign(static_cast<size_t>(num_nodes), NodeStats{});
+    // Scan filter stat vectors must exist before bulk bumps.
+    NodeStats& sst = wo.stats[static_cast<size_t>(p.scan.node_id)];
+    sst.filter_in.assign(p.scan.filters.size(), 0);
+    sst.filter_pass.assign(p.scan.filters.size(), 0);
+    WorkCtx wctx;
+    wctx.ledger = &wo.ledger;
+    wctx.stats = &wo.stats;
+    wctx.output_rows = &wo.output_rows;
+    Scratch wsc;
+    size_t width = 0;
+    for (int64_t r0 = begin; r0 < end; r0 += kBatchRows) {
+      const int64_t r1 = std::min<int64_t>(end, r0 + kBatchRows);
+      ScanBulk(p.scan, r0, r1, &wctx, &wsc, &wsc.a);
+      Batch* out = nullptr;
+      StagesBulk(p, &wsc.a, &wctx, &wsc, &out);
+      if (p.sink.kind == Sink::Kind::kRoot) {
+        wo.output_rows += out->n;
+        continue;
+      }
+      width = out->cols.size();
+      if (wo.sink.cols.empty()) wo.sink.Reset(width);
+      for (size_t c = 0; c < width; ++c) {
+        wo.sink.cols[c].insert(wo.sink.cols[c].end(), out->cols[c].begin(),
+                               out->cols[c].end());
+      }
+      wo.sink.n += out->n;
+    }
+  });
+
+  // Merge in worker order: blocks are contiguous and ascending, so this
+  // reproduces the sequential row order exactly.
+  for (WorkerOut& wo : workers) {
+    if (!wo.used) continue;
+    ctx->ledger->Merge(wo.ledger);
+    *ctx->output_rows += wo.output_rows;
+    for (int id : p.touched) {
+      NodeStats& dst = ctx->St(id);
+      const NodeStats& src = wo.stats[static_cast<size_t>(id)];
+      dst.left_in += src.left_in;
+      dst.right_in += src.right_in;
+      dst.out += src.out;
+      for (size_t k = 0; k < src.filter_in.size(); ++k) {
+        dst.filter_in[k] += src.filter_in[k];
+        dst.filter_pass[k] += src.filter_pass[k];
+      }
+    }
+    if (p.sink.kind != Sink::Kind::kRoot && wo.sink.n > 0) {
+      SinkApply(p.sink, wo.sink, ctx, sc);
+    }
+  }
+  return FinishSink(p.sink, cm, ctx);
+}
+
+}  // namespace
+
+Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
+                                       const Plan& plan, const PlanNode& root,
+                                       const CostModel& cost_model,
+                                       double budget, ThreadPool* pool) {
+  ExecutionResult result;
+  result.node_stats.assign(static_cast<size_t>(plan.num_nodes()), NodeStats{});
+
+  Compiler compiler(catalog, plan.query(), root, plan.num_nodes());
+  compiler.Compile();
+
+  CostLedger ledger;
+  int64_t output_rows = 0;
+  WorkCtx ctx;
+  ctx.ledger = &ledger;
+  ctx.stats = &result.node_stats;
+  ctx.output_rows = &output_rows;
+  ctx.budgeted = budget >= 0.0;
+  ctx.budget = budget;
+  ctx.params = &cost_model.params();
+
+  Scratch sc;
+  Status st = Status::OK();
+  for (const Pipeline& p : compiler.pipelines) {
+    const bool parallel = !ctx.budgeted && pool != nullptr &&
+                          pool->num_threads() > 1 && p.is_scan &&
+                          p.scan.table->num_rows() >= kMinParallelRows;
+    st = parallel ? RunPipelineParallel(p, cost_model, &ctx, &sc, pool,
+                                        plan.num_nodes())
+                  : RunPipelineSequential(p, cost_model, &ctx, &sc);
+    if (!st.ok()) break;
+  }
+
+  const double cost_used = ledger.Total(cost_model.params());
+  result.cost_used =
+      std::min(cost_used, budget < 0.0 ? cost_used : budget);
+  result.output_rows = output_rows;
+  if (st.ok()) {
+    result.completed = true;
+  } else if (st.code() == StatusCode::kBudgetExhausted) {
+    result.completed = false;
+  } else {
+    return st;
+  }
+  return result;
+}
+
+}  // namespace robustqp
+

@@ -1,0 +1,27 @@
+// Internal entry point of the vectorized batch execution engine; see
+// executor.h for the engine contract and batch_engine.cc for the design.
+
+#ifndef ROBUSTQP_EXEC_BATCH_ENGINE_H_
+#define ROBUSTQP_EXEC_BATCH_ENGINE_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "optimizer/cost_model.h"
+#include "plan/plan.h"
+
+namespace robustqp {
+
+class ThreadPool;
+
+/// Executes the subtree rooted at `root` with the batch engine.
+/// `pool` (may be null) enables morsel-parallel scans; the caller only
+/// passes it for full runs (budget < 0, not spill).
+Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
+                                       const Plan& plan, const PlanNode& root,
+                                       const CostModel& cost_model,
+                                       double budget, ThreadPool* pool);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_EXEC_BATCH_ENGINE_H_

@@ -1,9 +1,13 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+#include "exec/batch_engine.h"
+#include "exec/cost_ledger.h"
 #include "storage/hash_index.h"
 #include "storage/table.h"
 
@@ -12,8 +16,13 @@ namespace robustqp {
 double ExecutionResult::ObservedJoinSelectivity(int node_id) const {
   const NodeStats& s = node_stats[static_cast<size_t>(node_id)];
   const double denom = static_cast<double>(s.left_in) * static_cast<double>(s.right_in);
-  if (denom <= 0.0) return 0.0;
-  return static_cast<double>(s.out) / denom;
+  // No evidence: an empty input side (denom == 0), or inputs so large the
+  // product is no longer finite. `!(denom > 0)` also rejects NaN.
+  if (!(denom > 0.0) || !std::isfinite(denom)) return 0.0;
+  const double sel = static_cast<double>(s.out) / denom;
+  // A selectivity is a fraction; guard against out > left_in * right_in
+  // ever producing a value callers would feed into log-space grids.
+  return std::clamp(sel, 0.0, 1.0);
 }
 
 double ExecutionResult::ObservedFilterSelectivity(int node_id, int k) const {
@@ -47,15 +56,26 @@ struct RowLayout {
 };
 
 /// Shared per-execution state: budget accounting and node counters.
+/// Cost is tracked as integer event counts in a CostLedger and reduced
+/// through the canonical CostLedger::Total so the batch engine (which
+/// counts whole morsels at once) lands on bit-identical cost_used.
 struct ExecContext {
   double budget = -1.0;  // < 0: unlimited
-  double cost_used = 0.0;
+  const CostParams* params = nullptr;
+  CostLedger ledger;
   std::vector<NodeStats>* stats = nullptr;
 
-  /// Charges `units`; returns false once the budget is exhausted.
-  bool Charge(double units) {
-    cost_used += units;
-    return budget < 0.0 || cost_used <= budget;
+  /// Counts one event of the given ledger kind; returns false once the
+  /// budget is exhausted.
+  bool Charge(int64_t CostLedger::*counter) {
+    ++(ledger.*counter);
+    return budget < 0.0 || ledger.Total(*params) <= budget;
+  }
+
+  /// Accumulates a non-unit charge (the sort remainder).
+  bool ChargeExtra(double units) {
+    ledger.extra += units;
+    return budget < 0.0 || ledger.Total(*params) <= budget;
   }
 };
 
@@ -100,7 +120,7 @@ class SeqScanOp : public OperatorBase {
     while (row_ < table_->num_rows()) {
       const int64_t r = row_++;
       ++st.left_in;
-      if (!ctx->Charge(cm_.params().scan_tuple)) {
+      if (!ctx->Charge(&CostLedger::scan_tuple)) {
         return Status::BudgetExhausted("scan");
       }
       bool pass = true;
@@ -232,7 +252,7 @@ class HashJoinOp : public OperatorBase {
       RQP_RETURN_NOT_OK(build_->Next(ctx, &row, &eof));
       if (eof) break;
       ++st.left_in;
-      if (!ctx->Charge(cm_.params().hash_build_tuple)) {
+      if (!ctx->Charge(&CostLedger::hash_build_tuple)) {
         return Status::BudgetExhausted("hash build");
       }
       std::vector<double> key;
@@ -250,7 +270,7 @@ class HashJoinOp : public OperatorBase {
     NodeStats& st = (*ctx->stats)[static_cast<size_t>(node_.id)];
     while (true) {
       if (matches_ != nullptr && match_idx_ < matches_->size()) {
-        if (!ctx->Charge(cm_.params().join_output_tuple)) {
+        if (!ctx->Charge(&CostLedger::join_output_tuple)) {
           return Status::BudgetExhausted("hash join output");
         }
         *out = ConcatRows((*matches_)[match_idx_++], probe_row_);
@@ -265,7 +285,7 @@ class HashJoinOp : public OperatorBase {
         return Status::OK();
       }
       ++st.right_in;
-      if (!ctx->Charge(cm_.params().hash_probe_tuple)) {
+      if (!ctx->Charge(&CostLedger::hash_probe_tuple)) {
         return Status::BudgetExhausted("hash probe");
       }
       std::vector<double> key;
@@ -316,7 +336,7 @@ class NLJoinOp : public OperatorBase {
       RQP_RETURN_NOT_OK(inner_->Next(ctx, &row, &eof));
       if (eof) break;
       ++st.right_in;
-      if (!ctx->Charge(cm_.params().nlj_materialize_tuple)) {
+      if (!ctx->Charge(&CostLedger::nlj_materialize_tuple)) {
         return Status::BudgetExhausted("nlj materialize");
       }
       inner_rows_.push_back(row);
@@ -343,7 +363,7 @@ class NLJoinOp : public OperatorBase {
       }
       while (inner_idx_ < inner_rows_.size()) {
         const Row& inner = inner_rows_[inner_idx_++];
-        if (!ctx->Charge(cm_.params().nlj_pair)) {
+        if (!ctx->Charge(&CostLedger::nlj_pair)) {
           return Status::BudgetExhausted("nlj pair");
         }
         bool match = true;
@@ -355,7 +375,7 @@ class NLJoinOp : public OperatorBase {
           }
         }
         if (match) {
-          if (!ctx->Charge(cm_.params().join_output_tuple)) {
+          if (!ctx->Charge(&CostLedger::join_output_tuple)) {
             return Status::BudgetExhausted("nlj output");
           }
           *out = ConcatRows(outer_row_, inner);
@@ -414,7 +434,7 @@ class SortMergeJoinOp : public OperatorBase {
       if (in_group_) {
         // Emit the cross product of the current equal-key groups.
         if (emit_ri_ < group_re_) {
-          if (!ctx->Charge(cm_.params().join_output_tuple)) {
+          if (!ctx->Charge(&CostLedger::join_output_tuple)) {
             return Status::BudgetExhausted("merge join output");
           }
           *out = ConcatRows(left_rows_[group_li_], right_rows_[emit_ri_++]);
@@ -435,12 +455,12 @@ class SortMergeJoinOp : public OperatorBase {
       while (li_ < left_rows_.size() && ri_ < right_rows_.size()) {
         const int cmp = CompareKeys(left_rows_[li_], right_rows_[ri_]);
         if (cmp < 0) {
-          if (!ctx->Charge(cm_.params().merge_tuple)) {
+          if (!ctx->Charge(&CostLedger::merge_tuple)) {
             return Status::BudgetExhausted("merge advance");
           }
           ++li_;
         } else if (cmp > 0) {
-          if (!ctx->Charge(cm_.params().merge_tuple)) {
+          if (!ctx->Charge(&CostLedger::merge_tuple)) {
             return Status::BudgetExhausted("merge advance");
           }
           ++ri_;
@@ -449,7 +469,7 @@ class SortMergeJoinOp : public OperatorBase {
           group_le_ = li_;
           while (group_le_ < left_rows_.size() &&
                  CompareKeys(left_rows_[group_le_], right_rows_[ri_]) == 0) {
-            if (!ctx->Charge(cm_.params().merge_tuple)) {
+            if (!ctx->Charge(&CostLedger::merge_tuple)) {
               return Status::BudgetExhausted("merge advance");
             }
             ++group_le_;
@@ -457,7 +477,7 @@ class SortMergeJoinOp : public OperatorBase {
           group_re_ = ri_;
           while (group_re_ < right_rows_.size() &&
                  CompareKeys(left_rows_[li_], right_rows_[group_re_]) == 0) {
-            if (!ctx->Charge(cm_.params().merge_tuple)) {
+            if (!ctx->Charge(&CostLedger::merge_tuple)) {
               return Status::BudgetExhausted("merge advance");
             }
             ++group_re_;
@@ -497,7 +517,7 @@ class SortMergeJoinOp : public OperatorBase {
       RQP_RETURN_NOT_OK(child->Next(ctx, &row, &eof));
       if (eof) break;
       ++*counter;
-      if (!ctx->Charge(cm_.params().sort_tuple)) {
+      if (!ctx->Charge(&CostLedger::sort_tuple)) {
         return Status::BudgetExhausted("sort materialize");
       }
       rows->push_back(row);
@@ -506,10 +526,14 @@ class SortMergeJoinOp : public OperatorBase {
     // model's n log2 n sort term.
     const double n = static_cast<double>(rows->size());
     const double remainder = CostModel::SortTerm(n) - n;
-    if (remainder > 0.0 && !ctx->Charge(cm_.params().sort_tuple * remainder)) {
+    if (remainder > 0.0 &&
+        !ctx->ChargeExtra(cm_.params().sort_tuple * remainder)) {
       return Status::BudgetExhausted("sort");
     }
-    std::sort(rows->begin(), rows->end(), [&](const Row& a, const Row& b) {
+    // Stable so equal-key run order is the scan order — the batch engine
+    // sorts the same way, keeping downstream event order (and therefore
+    // mid-run budget abort boundaries) identical between engines.
+    std::stable_sort(rows->begin(), rows->end(), [&](const Row& a, const Row& b) {
       for (int s : slots) {
         if (a[static_cast<size_t>(s)] != b[static_cast<size_t>(s)]) {
           return a[static_cast<size_t>(s)] < b[static_cast<size_t>(s)];
@@ -605,11 +629,11 @@ class IndexNLJoinOp : public OperatorBase {
       if (matches_ != nullptr) {
         while (match_idx_ < matches_->size()) {
           const int64_t r = (*matches_)[match_idx_++];
-          if (!ctx->Charge(cm_.params().index_fetch)) {
+          if (!ctx->Charge(&CostLedger::index_fetch)) {
             return Status::BudgetExhausted("index fetch");
           }
           if (!PassesFilters(r)) continue;
-          if (!ctx->Charge(cm_.params().join_output_tuple)) {
+          if (!ctx->Charge(&CostLedger::join_output_tuple)) {
             return Status::BudgetExhausted("index join output");
           }
           out->resize(outer_row_.size() +
@@ -632,7 +656,7 @@ class IndexNLJoinOp : public OperatorBase {
         return Status::OK();
       }
       ++st.left_in;
-      if (!ctx->Charge(cm_.params().index_probe)) {
+      if (!ctx->Charge(&CostLedger::index_probe)) {
         return Status::BudgetExhausted("index probe");
       }
       const double key = outer_row_[static_cast<size_t>(outer_key_slot_)];
@@ -709,13 +733,50 @@ std::unique_ptr<OperatorBase> BuildOperator(const Catalog& catalog,
 
 }  // namespace
 
+Executor::Executor(const Catalog* catalog, CostModel cost_model)
+    : Executor(catalog, cost_model, Options{}) {}
+
+Executor::Executor(const Catalog* catalog, CostModel cost_model,
+                   Options options)
+    : catalog_(catalog), cost_model_(cost_model), options_(options) {
+  if (options_.num_threads == 0) {
+    options_.num_threads = ThreadPool::DefaultThreads();
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+Executor::~Executor() = default;
+
+bool Executor::ParseEngine(const std::string& name, Engine* out) {
+  if (name == "tuple") {
+    *out = Engine::kTuple;
+    return true;
+  }
+  if (name == "batch") {
+    *out = Engine::kBatch;
+    return true;
+  }
+  return false;
+}
+
 Result<ExecutionResult> Executor::Run(const Plan& plan, const PlanNode& root,
-                                      double budget) const {
+                                      double budget, bool spill) const {
+  if (options_.engine == Engine::kBatch) {
+    // Morsel parallelism only for full runs: a budgeted abort must land on
+    // one well-defined tuple, and a spill's whole point is to time-limit
+    // learning, so both stay single-threaded.
+    ThreadPool* pool = (budget < 0.0 && !spill) ? pool_.get() : nullptr;
+    return RunBatchEngine(*catalog_, plan, root, cost_model_, budget, pool);
+  }
+
   ExecutionResult result;
   result.node_stats.assign(static_cast<size_t>(plan.num_nodes()), NodeStats{});
 
   ExecContext ctx;
   ctx.budget = budget;
+  ctx.params = &cost_model_.params();
   ctx.stats = &result.node_stats;
 
   auto op = BuildOperator(*catalog_, plan.query(), cost_model_, root);
@@ -729,7 +790,8 @@ Result<ExecutionResult> Executor::Run(const Plan& plan, const PlanNode& root,
       ++result.output_rows;
     }
   }
-  result.cost_used = std::min(ctx.cost_used, budget < 0.0 ? ctx.cost_used : budget);
+  const double cost_used = ctx.ledger.Total(*ctx.params);
+  result.cost_used = std::min(cost_used, budget < 0.0 ? cost_used : budget);
   if (st.ok()) {
     result.completed = true;
   } else if (st.code() == StatusCode::kBudgetExhausted) {
@@ -742,14 +804,14 @@ Result<ExecutionResult> Executor::Run(const Plan& plan, const PlanNode& root,
 
 Result<ExecutionResult> Executor::Execute(const Plan& plan,
                                           double budget) const {
-  return Run(plan, plan.root(), budget);
+  return Run(plan, plan.root(), budget, /*spill=*/false);
 }
 
 Result<ExecutionResult> Executor::ExecuteSpill(const Plan& plan,
                                                int spill_node_id,
                                                double budget) const {
   RQP_CHECK(spill_node_id >= 0 && spill_node_id < plan.num_nodes());
-  return Run(plan, plan.node(spill_node_id), budget);
+  return Run(plan, plan.node(spill_node_id), budget, /*spill=*/true);
 }
 
 }  // namespace robustqp

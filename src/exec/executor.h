@@ -1,5 +1,5 @@
-// Volcano-style (demand-driven iterator) execution engine with the two
-// engine extensions the paper adds to PostgreSQL (Section 6.1):
+// Execution engine with the two engine extensions the paper adds to
+// PostgreSQL (Section 6.1):
 //
 //  * cost-budgeted execution — the engine charges cost units per tuple
 //    using the same constants as the optimizer's cost model and aborts the
@@ -12,11 +12,30 @@
 // plus run-time selectivity monitoring: every join operator counts its
 // input and output tuples, so a completed (sub)tree yields the exact
 // observed selectivity of its predicates.
+//
+// Two engines implement these semantics:
+//
+//  * the tuple engine — a Volcano-style demand-driven iterator, one
+//    virtual Next() per row, one budget check per cost event; and
+//  * the batch engine (default) — push-based pipelines over fixed-width
+//    batches of ~1024 row ids, with filters as tight column loops,
+//    hash-join probe split from output emission, per-batch amortized
+//    budget accounting, and (for full, non-budgeted, non-spill runs)
+//    morsel-parallel table scans on a thread pool.
+//
+// Both engines count cost events into the same integer ledger
+// (exec/cost_ledger.h) and reduce it through one canonical fixed-order
+// sum, so `cost_used`, every NodeStats counter, and the exact tuple at
+// which a budget aborts are bit-identical between them — the batch
+// engine is pure speed, with no change to the paper's learning
+// semantics. Differential fuzz tests (tests/exec_batch_test.cc) enforce
+// this.
 
 #ifndef ROBUSTQP_EXEC_EXECUTOR_H_
 #define ROBUSTQP_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -25,6 +44,8 @@
 #include "plan/plan.h"
 
 namespace robustqp {
+
+class ThreadPool;
 
 /// Per-plan-node execution counters (indexed by PlanNode::id).
 struct NodeStats {
@@ -52,6 +73,11 @@ struct ExecutionResult {
 
   /// Observed selectivity of the join at `node_id`:
   /// out / (left_in * right_in). Only exact once the subtree completed.
+  ///
+  /// Convention: returns 0.0 when there is no evidence — either input
+  /// side empty (denominator <= 0) or the product overflowing to
+  /// non-finite — and clamps the ratio to [0, 1], since a selectivity
+  /// cannot exceed 1 and callers feed the value into log-space grids.
   double ObservedJoinSelectivity(int node_id) const;
 
   /// Observed selectivity of the `k`-th filter (position within the scan
@@ -62,8 +88,27 @@ struct ExecutionResult {
 /// Execution engine bound to a catalog and cost-model flavour.
 class Executor {
  public:
-  Executor(const Catalog* catalog, CostModel cost_model)
-      : catalog_(catalog), cost_model_(cost_model) {}
+  enum class Engine {
+    kTuple,  // Volcano iterator, per-tuple budget checks
+    kBatch,  // vectorized batches, per-batch amortized accounting
+  };
+
+  struct Options {
+    Engine engine = Engine::kBatch;
+    /// Worker threads for morsel-parallel scans. Only full executions
+    /// (budget < 0, not spilled) under the batch engine parallelize;
+    /// budgeted and spill executions always run single-threaded so the
+    /// learning primitive's abort semantics are untouched. 0 means
+    /// ThreadPool::DefaultThreads(); 1 disables parallelism.
+    int num_threads = 1;
+  };
+
+  Executor(const Catalog* catalog, CostModel cost_model);
+  Executor(const Catalog* catalog, CostModel cost_model, Options options);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
 
   /// Runs the full plan. `budget` < 0 means unlimited. Returns a result
   /// with completed=false when the budget ran out (not an error).
@@ -74,13 +119,20 @@ class Executor {
                                        double budget) const;
 
   const CostModel& cost_model() const { return cost_model_; }
+  const Options& options() const { return options_; }
+
+  /// Parses "tuple" / "batch"; returns false on anything else.
+  static bool ParseEngine(const std::string& name, Engine* out);
 
  private:
   Result<ExecutionResult> Run(const Plan& plan, const PlanNode& root,
-                              double budget) const;
+                              double budget, bool spill) const;
 
   const Catalog* catalog_;
   CostModel cost_model_;
+  Options options_;
+  /// Owned pool for morsel-parallel scans (null when num_threads <= 1).
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace robustqp

@@ -22,7 +22,8 @@ std::string ConfigKey(const std::string& id, const Ess::Config& c) {
      << c.cost_model.params().nlj_materialize_tuple << ","
      << c.cost_model.params().nlj_pair << ","
      << c.cost_model.params().join_output_tuple << "|"
-     << static_cast<int>(c.build_mode) << "|" << c.recost_lambda;
+     << static_cast<int>(c.build_mode) << "|" << c.recost_lambda << "|"
+     << c.refine_fallback_fraction;
   return os.str();
 }
 

@@ -25,6 +25,10 @@ Ess::Config BaseConfig(int points) {
   config.points_per_dim = points;
   config.min_sel = 1e-4;
   config.num_threads = 1;
+  // The goldens below measure pure refinement; disable the exhaustive
+  // fallback (some suite surfaces legitimately cross the default 0.5
+  // call fraction — the fallback has its own tests).
+  config.refine_fallback_fraction = 1.0;
   return config;
 }
 
@@ -61,6 +65,7 @@ void RunGolden(const Catalog& catalog, const Query& query, int points) {
             refined->num_locations());
   EXPECT_GE(refined->build_stats().optimizer_calls,
             refined->build_stats().exact_points);
+  EXPECT_FALSE(refined->build_stats().fell_back);
 }
 
 TEST(EssBuilderTest, ExactMatchesExhaustiveOnTinyStar2D) {
@@ -102,6 +107,51 @@ TEST(EssBuilderTest, ExactCutsOptimizerCallsAtLeast5xOn2D40) {
   config.build_mode = EssBuildMode::kExhaustive;
   auto exhaustive = Ess::Build(*catalog, query, config);
   ExpectIdenticalSurfaces(*exhaustive, *refined);
+}
+
+TEST(EssBuilderTest, LevelParallelRefinementIsDeterministic) {
+  // The corner batches of each refinement level are optimized in
+  // parallel; the merge (ascending linear order) must make the surface,
+  // the plan-pool interning order, and the build stats independent of
+  // the thread count.
+  const std::shared_ptr<Catalog> catalog = Workbench::TpcdsCatalog();
+  const Query query = MakeSuiteQuery("2D_Q91");
+  Ess::Config config = BaseConfig(20);
+  config.build_mode = EssBuildMode::kExact;
+  auto serial = Ess::Build(*catalog, query, config);
+  config.num_threads = 4;
+  auto parallel = Ess::Build(*catalog, query, config);
+
+  ExpectIdenticalSurfaces(*serial, *parallel);
+  EXPECT_EQ(serial->build_stats().optimizer_calls,
+            parallel->build_stats().optimizer_calls);
+  EXPECT_EQ(serial->build_stats().exact_points,
+            parallel->build_stats().exact_points);
+  EXPECT_EQ(serial->build_stats().recosted_points,
+            parallel->build_stats().recosted_points);
+  EXPECT_EQ(serial->build_stats().cells_certified,
+            parallel->build_stats().cells_certified);
+  EXPECT_EQ(serial->build_stats().cells_refined,
+            parallel->build_stats().cells_refined);
+  EXPECT_EQ(serial->build_stats().fell_back, parallel->build_stats().fell_back);
+}
+
+TEST(EssBuilderTest, FallbackToExhaustiveSweepOnLowFraction) {
+  // With a near-zero call budget the refinement abandons itself after
+  // the first corner batch and sweeps the rest of the grid; the result
+  // must still be the exact surface, now with every point optimized.
+  auto catalog = MakeTinyCatalog();
+  const Query query = MakeStarQuery(2);
+  Ess::Config config = BaseConfig(16);
+  auto exhaustive = Ess::Build(*catalog, query, config);
+
+  config.build_mode = EssBuildMode::kExact;
+  config.refine_fallback_fraction = 0.01;
+  auto fallen = Ess::Build(*catalog, query, config);
+
+  EXPECT_TRUE(fallen->build_stats().fell_back);
+  EXPECT_EQ(fallen->build_stats().exact_points, fallen->num_locations());
+  ExpectIdenticalSurfaces(*exhaustive, *fallen);
 }
 
 TEST(EssBuilderTest, RecostBoundCoversTrueDeviation) {

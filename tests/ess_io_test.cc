@@ -123,7 +123,7 @@ TEST_F(EssIoTest, RejectsUnsupportedVersion) {
   std::stringstream buffer;
   ASSERT_TRUE(ess_->Save(buffer).ok());
   std::string text = buffer.str();
-  text.replace(text.find(" 2\n"), 3, " 9\n");
+  text.replace(text.find(" 3\n"), 3, " 9\n");
   std::stringstream patched(text);
   Result<std::unique_ptr<Ess>> loaded = Ess::Load(patched, *catalog_, *query_);
   EXPECT_FALSE(loaded.ok());
@@ -148,6 +148,20 @@ TEST_F(EssIoTest, RoundTripPreservesBuildStats) {
   EXPECT_EQ(got.cells_certified, saved.cells_certified);
   EXPECT_EQ(got.cells_refined, saved.cells_refined);
   EXPECT_DOUBLE_EQ(got.max_deviation_bound, saved.max_deviation_bound);
+  EXPECT_EQ(got.fell_back, saved.fell_back);
+}
+
+TEST_F(EssIoTest, RoundTripPreservesFallbackFlag) {
+  Ess::Config config = ess_->config();
+  config.build_mode = EssBuildMode::kExact;
+  config.refine_fallback_fraction = 0.01;
+  auto fallen = Ess::Build(*catalog_, *query_, config);
+  ASSERT_TRUE(fallen->build_stats().fell_back);
+  std::stringstream buffer;
+  ASSERT_TRUE(fallen->Save(buffer).ok());
+  Result<std::unique_ptr<Ess>> loaded = Ess::Load(buffer, *catalog_, *query_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->build_stats().fell_back);
 }
 
 TEST_F(EssIoTest, LoadsVersion1StreamWithDefaultStats) {
@@ -157,7 +171,7 @@ TEST_F(EssIoTest, LoadsVersion1StreamWithDefaultStats) {
   std::stringstream buffer;
   ASSERT_TRUE(ess_->Save(buffer).ok());
   std::string text = buffer.str();
-  text.replace(text.find(" 2\n"), 3, " 1\n");
+  text.replace(text.find(" 3\n"), 3, " 1\n");
   size_t pos = 0;
   for (int line = 0; line < 4; ++line) pos = text.find('\n', pos) + 1;
   const size_t stats_end = text.find('\n', text.find('\n', pos) + 1) + 1;

@@ -41,6 +41,7 @@ struct CliOptions {
   std::string algo = "sb";  // sb | ab | pb | native | all
   std::vector<double> qa;   // empty => data truth / ESS midpoint
   bool engine = false;
+  Executor::Engine exec_engine = Executor::Engine::kBatch;
   bool trace = false;
   bool list = false;
   bool identify_epps = false;
@@ -62,12 +63,16 @@ void PrintUsage() {
       "  --algo <a>             sb | ab | pb | native | all (default sb)\n"
       "  --qa s1,s2,...         true epp selectivities (simulated oracle);\n"
       "                         omitted: the data's measured truth\n"
-      "  --engine               run on the Volcano executor over stored data\n"
+      "  --engine               run on the execution engine over stored data\n"
+      "  --exec-engine <e>      tuple | batch (default batch): tuple is the\n"
+      "                         Volcano iterator, batch the vectorized engine\n"
+      "                         with morsel-parallel scans (see --threads)\n"
       "  --trace                print the full execution trace\n"
       "  --evaluate             exhaustive sweep: every grid location is the\n"
       "                         true location once; prints MSO/ASO per algo\n"
-      "  --threads <n>          worker threads for the ESS build and the\n"
-      "                         --evaluate sweep (default: all cores)\n"
+      "  --threads <n>          worker threads for the ESS build, the\n"
+      "                         --evaluate sweep, and batch-engine morsel\n"
+      "                         scans (default: all cores)\n"
       "  --points <n>           ESS grid points per dimension (default auto)\n"
       "  --ratio <r>            inter-contour cost ratio (default 2.0)\n"
       "  --ess-build-mode <m>   exhaustive | exact | recost:<lambda>\n"
@@ -107,6 +112,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->algo = v;
+    } else if (arg == "--exec-engine") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (!Executor::ParseEngine(v, &out->exec_engine)) {
+        std::cerr << "unknown --exec-engine " << v << " (want tuple | batch)\n";
+        return false;
+      }
     } else if (arg == "--points") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -288,6 +300,7 @@ int Run(const CliOptions& opts) {
       }
       std::cout << ")";
     }
+    if (bs.fell_back) std::cout << " [fell back to exhaustive sweep]";
     std::cout << "\n";
   }
   std::cout << "true location (snapped to grid): (";
@@ -321,7 +334,10 @@ int Run(const CliOptions& opts) {
     return 0;
   }
 
-  Executor executor(catalog.get(), ess.config().cost_model);
+  Executor::Options exec_opts;
+  exec_opts.engine = opts.exec_engine;
+  exec_opts.num_threads = opts.threads;  // 0 = all cores (full runs only)
+  Executor executor(catalog.get(), ess.config().cost_model, exec_opts);
   auto make_oracle = [&]() -> std::unique_ptr<ExecutionOracle> {
     if (opts.engine) return std::make_unique<EngineOracle>(&executor);
     return std::make_unique<SimulatedOracle>(&ess, qa);
