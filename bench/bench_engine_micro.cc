@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "common/fault.h"
 #include "core/oracle.h"
 #include "core/spillbound.h"
 #include "exec/executor.h"
@@ -178,6 +179,52 @@ BENCHMARK_CAPTURE(BM_EssBuild, Exhaustive5D_Q91, std::string("5D_Q91"),
 BENCHMARK_CAPTURE(BM_EssBuild, Exact5D_Q91, std::string("5D_Q91"),
                   EssBuildMode::kExact)
     ->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Guard on the fault layer's disabled-path overhead: FaultInjector::Armed()
+// is the only code injection adds to hot paths when no --faults spec is
+// active, and it must stay a single relaxed load. The scan/join benchmarks
+// above already run through the faulted dispatcher, so their medians
+// against bench/BENCH_engine.json bound the end-to-end overhead (<2%);
+// this one isolates the check itself.
+void BM_FaultCheck(benchmark::State& state) {
+  RQP_CHECK(!FaultInjector::Armed());
+  for (auto _ : state) {
+    int armed = 0;
+    for (int i = 0; i < 1024; ++i) {
+      armed += FaultInjector::Armed() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(armed);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FaultCheck)->Unit(benchmark::kNanosecond);
+
+// The same full execution the SeqScan benchmark times, but with the
+// injector armed on a site that never fires (huge `after`): the faulted
+// dispatcher's per-attempt bookkeeping without any fault. Compare against
+// BM_SeqScan/Batch to see the armed-but-quiet overhead.
+void BM_SeqScanArmedQuiet(benchmark::State& state) {
+  const Catalog& catalog = SharedCatalog();
+  Query q("scan_only", {"store_sales", "date_dim"},
+          {{"store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", ""}},
+          {{"store_sales", "ss_quantity", CompareOp::kLe, 5}}, std::vector<int>{0});
+  Optimizer opt(&catalog, &q);
+  Executor exec(&catalog, CostModel::PostgresFlavour(),
+                EngineOpts(Executor::Engine::kBatch));
+  const std::unique_ptr<Plan> plan = opt.Optimize({1e-4});
+  RQP_CHECK(FaultInjector::Global()
+                .Configure("exec.scan.read:after=1000000000", 42)
+                .ok());
+  for (auto _ : state) {
+    FaultStreamScope scope(0);
+    const auto res = exec.Execute(*plan, -1.0);
+    RQP_CHECK(res.ok() && res->completed);
+    benchmark::DoNotOptimize(res->output_rows);
+  }
+  FaultInjector::Disarm();
+  state.SetItemsProcessed(state.iterations() * catalog.RowCount("store_sales"));
+}
+BENCHMARK(BM_SeqScanArmedQuiet)->Unit(benchmark::kMillisecond);
 
 void BM_SpillBoundDiscovery(benchmark::State& state) {
   const Workbench::Entry& wb = Workbench::Get("4D_Q91");

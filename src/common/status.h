@@ -24,6 +24,9 @@ enum class StatusCode {
   /// A budgeted execution was terminated because it exhausted its budget.
   /// This is an expected outcome for the discovery algorithms, not a bug.
   kBudgetExhausted,
+  /// A transient failure: the operation did not complete but retrying it
+  /// may succeed (injected transient faults use this code).
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -57,6 +60,12 @@ class Status {
   static Status BudgetExhausted(std::string msg) {
     return Status(StatusCode::kBudgetExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  /// True for failures worth retrying (kUnavailable).
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -2,9 +2,17 @@
 
 #include <algorithm>
 
-#include "common/status.h"
-
 namespace robustqp {
+
+Status StatusFromException(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return Status::Internal(std::string("task failed: ") + ex.what());
+  } catch (...) {
+    return Status::Internal("task failed with a non-std exception");
+  }
+}
 
 int ThreadPool::DefaultThreads() {
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
@@ -38,9 +46,13 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
-void ThreadPool::Wait() {
+Status ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_.wait(lock, [this] { return outstanding_ == 0; });
+  if (first_error_ == nullptr) return Status::OK();
+  std::exception_ptr e;
+  std::swap(e, first_error_);
+  return StatusFromException(e);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -53,18 +65,26 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // An exception escaping a raw task must not terminate the process:
+    // capture the first one for the next Wait() to surface.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (error != nullptr && first_error_ == nullptr) first_error_ = error;
       if (--outstanding_ == 0) idle_.notify_all();
     }
   }
 }
 
-void ParallelFor(ThreadPool* pool, int64_t total,
-                 const std::function<void(int worker, int64_t begin,
-                                          int64_t end)>& body) {
-  if (total <= 0) return;
+Status ParallelFor(ThreadPool* pool, int64_t total,
+                   const std::function<void(int worker, int64_t begin,
+                                            int64_t end)>& body) {
+  if (total <= 0) return Status::OK();
   const int workers = pool->num_threads();
   const int64_t block = (total + workers - 1) / workers;
   std::vector<std::exception_ptr> errors(static_cast<size_t>(workers));
@@ -80,10 +100,11 @@ void ParallelFor(ThreadPool* pool, int64_t total,
       }
     });
   }
-  pool->Wait();
+  (void)pool->Wait();  // per-block capture above supersedes loop-level errors
   for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (e) return StatusFromException(e);
   }
+  return Status::OK();
 }
 
 }  // namespace robustqp

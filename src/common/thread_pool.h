@@ -10,9 +10,12 @@
 // results at any thread count, including floating-point accumulations
 // (the association order is fixed by the chunk grid, not the schedule).
 //
-// Exceptions thrown inside a block/chunk are captured and rethrown to the
-// caller once all work has drained; when several blocks throw, the one
-// with the lowest index wins, again independent of the schedule.
+// Failure contract. Exceptions thrown inside a block/chunk are captured
+// and converted to a non-OK Status returned to the caller once all work
+// has drained; when several blocks throw, the one with the lowest index
+// wins, again independent of the schedule. An exception escaping a raw
+// Submit() task is caught by the worker loop (instead of terminating the
+// process) and surfaced by the next Wait().
 
 #ifndef ROBUSTQP_COMMON_THREAD_POOL_H_
 #define ROBUSTQP_COMMON_THREAD_POOL_H_
@@ -26,7 +29,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace robustqp {
+
+/// Converts a captured exception to a descriptive Status.
+Status StatusFromException(const std::exception_ptr& e);
 
 /// A fixed-size pool of worker threads consuming a FIFO task queue.
 /// Tasks may be submitted from any thread; Wait() blocks until the queue
@@ -46,8 +54,10 @@ class ThreadPool {
   /// Enqueues one task for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished running.
-  void Wait();
+  /// Blocks until every submitted task has finished running. Returns the
+  /// first failure among tasks whose exception escaped into the worker
+  /// loop since the previous Wait (OK otherwise), clearing it.
+  Status Wait();
 
   /// Hardware concurrency clamped to [1, 16] — the same policy the ESS
   /// builder has always used for its optimizer sweep.
@@ -63,6 +73,8 @@ class ThreadPool {
   std::condition_variable idle_;
   int64_t outstanding_ = 0;  // queued + currently running
   bool stop_ = false;
+  /// First exception to escape a task since the last Wait().
+  std::exception_ptr first_error_;
 };
 
 /// Splits [0, total) into one contiguous block per pool worker and runs
@@ -70,20 +82,23 @@ class ThreadPool {
 /// block index in [0, pool->num_threads()) — stable across runs, so
 /// callers can give each block its own scratch state (algorithm clone,
 /// RNG, oracle). Blocks are disjoint, so `body` may write to shared
-/// per-index storage without synchronization. Rethrows the lowest-index
-/// block's exception after all blocks finish.
-void ParallelFor(ThreadPool* pool, int64_t total,
-                 const std::function<void(int worker, int64_t begin,
-                                          int64_t end)>& body);
+/// per-index storage without synchronization. Returns the lowest-index
+/// block's exception as a Status after all blocks finish (OK when none
+/// threw).
+Status ParallelFor(ThreadPool* pool, int64_t total,
+                   const std::function<void(int worker, int64_t begin,
+                                            int64_t end)>& body);
 
 /// Maps fixed-size chunks of [0, total) on the pool and reduces the
 /// partials in chunk order: acc = reduce(acc, map(chunk_i)) for i = 0, 1,
 /// ... — the deterministic reduction described in the header comment.
-/// Returns `init` unchanged when `total` <= 0.
+/// Returns `init` unchanged when `total` <= 0, and the lowest-index
+/// chunk's exception as a non-OK Result when any chunk threw.
 template <typename T>
-T ParallelMapReduce(ThreadPool* pool, int64_t total, int64_t chunk_size, T init,
-                    const std::function<T(int64_t begin, int64_t end)>& map,
-                    const std::function<T(T acc, T partial)>& reduce) {
+Result<T> ParallelMapReduce(
+    ThreadPool* pool, int64_t total, int64_t chunk_size, T init,
+    const std::function<T(int64_t begin, int64_t end)>& map,
+    const std::function<T(T acc, T partial)>& reduce) {
   if (total <= 0) return init;
   if (chunk_size <= 0) chunk_size = 1;
   const int64_t num_chunks = (total + chunk_size - 1) / chunk_size;
@@ -100,9 +115,9 @@ T ParallelMapReduce(ThreadPool* pool, int64_t total, int64_t chunk_size, T init,
       }
     });
   }
-  pool->Wait();
+  (void)pool->Wait();  // per-chunk capture above supersedes loop-level errors
   for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (e) return StatusFromException(e);
   }
   T acc = std::move(init);
   for (int64_t c = 0; c < num_chunks; ++c) {

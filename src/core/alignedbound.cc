@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/status.h"
+#include "core/recovery.h"
 
 namespace robustqp {
 
@@ -176,7 +177,7 @@ const AlignedBound::ContourChoice& AlignedBound::GetChoice(
   return choice_cache_.emplace(key, std::move(choice)).first->second;
 }
 
-DiscoveryResult AlignedBound::Run(ExecutionOracle* oracle) const {
+DiscoveryResult AlignedBound::RunImpl(ExecutionOracle* oracle) const {
   const int dims = ess_->dims();
   DiscoveryResult result;
 
@@ -184,6 +185,10 @@ DiscoveryResult AlignedBound::Run(ExecutionOracle* oracle) const {
   std::vector<double> learned(static_cast<size_t>(dims), -1.0);
   std::vector<int> floor(static_cast<size_t>(dims), -1);
 
+  // Part budgets come from the alignment machinery; the monitored (and
+  // thus escalation-base) quantity is the underlying contour cost.
+  ContourBudgetMonitor monitor;
+  double contour_cost = 0.0;
   int i = 0;
   while (i < ess_->num_contours()) {
     std::vector<int> udims;
@@ -200,6 +205,7 @@ DiscoveryResult AlignedBound::Run(ExecutionOracle* oracle) const {
       return result;
     }
 
+    contour_cost = monitor.Clamp(ess_->ContourCost(i), &result.robustness);
     const ContourChoice& choice = GetChoice(i, fixed);
     bool exec_complete = false;
     for (const PartExec& part : choice.parts) {
@@ -238,6 +244,10 @@ DiscoveryResult AlignedBound::Run(ExecutionOracle* oracle) const {
   }
   result.completed = false;
   result.final_contour = ess_->num_contours() - 1;
+  if (FaultInjector::Armed()) {
+    EscalateToCompletion(oracle, *ess_,
+                         contour_cost * options_.budget_inflation, &result);
+  }
   return result;
 }
 

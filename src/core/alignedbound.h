@@ -44,7 +44,7 @@ class AlignedBound : public DiscoveryAlgorithm {
   /// Runs discovery against `oracle` until the query completes. The
   /// result's max_replacement_penalty carries the paper's Table 4
   /// statistic for the partitions this run executed.
-  DiscoveryResult Run(ExecutionOracle* oracle) const override;
+  DiscoveryResult RunImpl(ExecutionOracle* oracle) const override;
 
   std::string name() const override { return "AlignedBound"; }
 

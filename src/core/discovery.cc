@@ -1,0 +1,14 @@
+#include "core/discovery.h"
+
+#include "core/oracle.h"
+
+namespace robustqp {
+
+DiscoveryResult DiscoveryAlgorithm::Run(ExecutionOracle* oracle) const {
+  oracle->ResetReport();
+  DiscoveryResult result = RunImpl(oracle);
+  result.robustness.Merge(oracle->report());
+  return result;
+}
+
+}  // namespace robustqp

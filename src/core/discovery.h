@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace robustqp {
 
 class ExecutionOracle;
@@ -46,6 +48,9 @@ struct DiscoveryResult {
   /// algorithms without induced alignment).
   double max_replacement_penalty = 1.0;
   std::vector<ExecutionStep> steps;
+  /// Fault accounting aggregated over the run's executions (all zeros
+  /// unless the process-wide FaultInjector is armed).
+  RobustnessReport robustness;
 
   int num_executions() const { return static_cast<int>(steps.size()); }
 };
@@ -64,8 +69,10 @@ class DiscoveryAlgorithm {
  public:
   virtual ~DiscoveryAlgorithm() = default;
 
-  /// Runs discovery against `oracle` until the query completes.
-  virtual DiscoveryResult Run(ExecutionOracle* oracle) const = 0;
+  /// Runs discovery against `oracle` until the query completes. Resets
+  /// the oracle's robustness report first and folds it into the result's,
+  /// so each run's fault accounting is self-contained.
+  DiscoveryResult Run(ExecutionOracle* oracle) const;
 
   /// Display name ("SpillBound").
   virtual std::string name() const = 0;
@@ -78,6 +85,10 @@ class DiscoveryAlgorithm {
   /// Fresh instance over the same Ess with the same options and cold
   /// memo caches; used once per worker by parallel evaluation.
   virtual std::unique_ptr<DiscoveryAlgorithm> Clone() const = 0;
+
+ protected:
+  /// The algorithm body Run() wraps.
+  virtual DiscoveryResult RunImpl(ExecutionOracle* oracle) const = 0;
 };
 
 }  // namespace robustqp

@@ -19,6 +19,7 @@ SimulatedOracle::SimulatedOracle(const Ess* ess, GridLoc qa)
 }
 
 ExecOutcome SimulatedOracle::ExecuteFull(const Plan& plan, double budget) {
+  if (FaultInjector::Armed()) return ExecuteFullFaulted(plan, budget);
   ExecOutcome out;
   const double cost = ess_->optimizer().PlanCost(plan, qa_sel_);
   if (cost <= budget * (1.0 + kBudgetEps)) {
@@ -34,6 +35,9 @@ ExecOutcome SimulatedOracle::ExecuteFull(const Plan& plan, double budget) {
 ExecOutcome SimulatedOracle::ExecuteSpill(const Plan& plan, int dim,
                                           double budget,
                                           const std::vector<double>& learned) {
+  if (FaultInjector::Armed()) {
+    return ExecuteSpillFaulted(plan, dim, budget, learned);
+  }
   ExecOutcome out;
   const int node_id = plan.EppNodeId(dim);
   RQP_CHECK(node_id >= 0);
@@ -85,12 +89,144 @@ ExecOutcome SimulatedOracle::ExecuteSpill(const Plan& plan, int dim,
   return out;
 }
 
+ExecOutcome SimulatedOracle::ExecuteFullFaulted(const Plan& plan,
+                                                double budget) {
+  FaultInjector& inj = FaultInjector::Global();
+  std::vector<int> sites;
+  CollectFaultSites(plan.root(), &sites);
+
+  const FaultedRunOutcome outcome = RunWithFaultRetries(
+      inj, sites, budget,
+      [&](double eff, const FaultRunState&) -> FaultAttempt {
+        FaultAttempt a;
+        double cost = ess_->optimizer().PlanCost(plan, qa_sel_);
+        const FaultAction act = inj.Evaluate(fault_site::kOracleCostModel);
+        if (act.kind == FaultKind::kCorrupt) {
+          cost *= act.magnitude;
+          ++report_.corruptions;
+        }
+        if (eff < 0.0 || cost <= eff * (1.0 + kBudgetEps)) {
+          a.completed = true;
+          a.cost = cost;
+        } else {
+          a.completed = false;
+          a.cost = eff;
+        }
+        return a;
+      });
+
+  ExecOutcome out;
+  out.completed = outcome.status.ok() && outcome.completed;
+  // A permanent fault (or retry exhaustion) consumes the whole budget: the
+  // same accounting a failed contour execution has, so MSO stays valid.
+  out.cost_charged =
+      outcome.status.ok() ? outcome.cost_used : (budget >= 0.0 ? budget : 0.0);
+  report_.Merge(outcome.report);
+  return out;
+}
+
+ExecOutcome SimulatedOracle::ExecuteSpillFaulted(
+    const Plan& plan, int dim, double budget,
+    const std::vector<double>& learned) {
+  FaultInjector& inj = FaultInjector::Global();
+  const int node_id = plan.EppNodeId(dim);
+  RQP_CHECK(node_id >= 0);
+
+  EssPoint base = qa_sel_;
+  for (int d = 0; d < ess_->dims(); ++d) {
+    if (learned[static_cast<size_t>(d)] >= 0.0) {
+      base[static_cast<size_t>(d)] = learned[static_cast<size_t>(d)];
+    }
+  }
+  // Each evaluation draws its own corruption, so a corrupted cost model is
+  // genuinely non-monotone across the scan below — which is exactly what
+  // the PCM monitor exists to catch.
+  auto spill_cost = [&](double sel) {
+    EssPoint q = base;
+    q[static_cast<size_t>(dim)] = sel;
+    double c =
+        ess_->optimizer().CostPlan(plan, q).cost[static_cast<size_t>(node_id)];
+    const FaultAction act = inj.Evaluate(fault_site::kOracleCostModel);
+    if (act.kind == FaultKind::kCorrupt) {
+      c *= act.magnitude;
+      ++report_.corruptions;
+    }
+    return c;
+  };
+
+  std::vector<int> sites;
+  CollectFaultSites(plan.node(node_id), &sites);
+  sites.push_back(fault_site::kExecSpillRun);
+
+  const double true_sel = qa_sel_[static_cast<size_t>(dim)];
+  const LogAxis& axis = ess_->axis();
+  int floor = -1;
+  double floor_sel = 0.0;
+
+  const FaultedRunOutcome outcome = RunWithFaultRetries(
+      inj, sites, budget,
+      [&](double eff, const FaultRunState&) -> FaultAttempt {
+        FaultAttempt a;
+        const double cost_at_truth = spill_cost(true_sel);
+        if (eff < 0.0 || cost_at_truth <= eff * (1.0 + kBudgetEps)) {
+          a.completed = true;
+          a.cost = cost_at_truth;
+          floor = qa_[static_cast<size_t>(dim)];
+          floor_sel = true_sel;
+          return a;
+        }
+        a.completed = false;
+        a.cost = eff;
+        // Unlike the disarmed path's binary search, scan the axis in order
+        // (a fixed, schedule-independent evaluation sequence) and force the
+        // costs isotone: a dip below the running max is a PCM violation —
+        // counted and clamped so the learned floor stays sound.
+        floor = -1;
+        double running_max = 0.0;
+        for (int i = 0; i < axis.points(); ++i) {
+          double c = spill_cost(axis.value(i));
+          if (c < running_max) {
+            ++report_.pcm_violations;
+            c = running_max;
+          }
+          running_max = c;
+          if (c <= eff * (1.0 + kBudgetEps)) {
+            floor = i;
+          } else {
+            break;
+          }
+        }
+        floor_sel = floor >= 0 ? axis.value(floor) : 0.0;
+        return a;
+      });
+
+  ExecOutcome out;
+  out.completed = outcome.status.ok() && outcome.completed;
+  out.cost_charged =
+      outcome.status.ok() ? outcome.cost_used : (budget >= 0.0 ? budget : 0.0);
+  if (outcome.final_attempt_valid && outcome.status.ok()) {
+    out.learned_floor = floor;
+    out.learned_sel = floor_sel;
+  }
+  report_.Merge(outcome.report);
+  return out;
+}
+
 ExecOutcome EngineOracle::ExecuteFull(const Plan& plan, double budget) {
   ExecOutcome out;
   Result<ExecutionResult> res = executor_->Execute(plan, budget);
+  if (!res.ok() && FaultInjector::Armed()) {
+    // Injected permanent fault: the run is lost and the whole budget is
+    // charged, preserving the failed-execution accounting of the bounds.
+    ++report_.permanent_faults;
+    out.completed = false;
+    out.cost_charged = budget >= 0.0 ? budget : 0.0;
+    return out;
+  }
   RQP_CHECK(res.ok());
   out.completed = res->completed;
   out.cost_charged = res->completed ? res->cost_used : budget;
+  report_.Merge(res->robustness);
   return out;
 }
 
@@ -101,9 +237,17 @@ ExecOutcome EngineOracle::ExecuteSpill(const Plan& plan, int dim,
   const int node_id = plan.EppNodeId(dim);
   RQP_CHECK(node_id >= 0);
   Result<ExecutionResult> res = executor_->ExecuteSpill(plan, node_id, budget);
+  if (!res.ok() && FaultInjector::Armed()) {
+    ++report_.permanent_faults;
+    out.completed = false;
+    out.cost_charged = budget >= 0.0 ? budget : 0.0;
+    out.learned_floor = -1;
+    return out;
+  }
   RQP_CHECK(res.ok());
   out.completed = res->completed;
   out.cost_charged = res->completed ? res->cost_used : budget;
+  report_.Merge(res->robustness);
   if (res->completed) {
     const int filter_idx = plan.query().FilterOfEppDimension(dim);
     if (filter_idx >= 0) {

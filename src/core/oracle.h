@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "common/fault.h"
 #include "ess/ess.h"
 #include "exec/executor.h"
 
@@ -55,6 +56,14 @@ class ExecutionOracle {
   /// upstream of the spill node have exactly-known selectivities.
   virtual ExecOutcome ExecuteSpill(const Plan& plan, int dim, double budget,
                                    const std::vector<double>& learned) = 0;
+
+  /// Robustness accounting accumulated across Execute* calls since the
+  /// last ResetReport. All zeros unless fault injection is armed.
+  const RobustnessReport& report() const { return report_; }
+  void ResetReport() { report_ = RobustnessReport{}; }
+
+ protected:
+  RobustnessReport report_;
 };
 
 /// Cost-model-backed oracle for a hypothetical true location (a grid point
@@ -70,6 +79,10 @@ class SimulatedOracle : public ExecutionOracle {
   const GridLoc& qa() const { return qa_; }
 
  private:
+  ExecOutcome ExecuteFullFaulted(const Plan& plan, double budget);
+  ExecOutcome ExecuteSpillFaulted(const Plan& plan, int dim, double budget,
+                                  const std::vector<double>& learned);
+
   const Ess* ess_;
   GridLoc qa_;
   EssPoint qa_sel_;

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/plan_diagram.h"
+#include "core/recovery.h"
 
 namespace robustqp {
 
@@ -121,12 +122,15 @@ int PlanBouquet::BouquetSize() const {
   return static_cast<int>(distinct.size());
 }
 
-DiscoveryResult PlanBouquet::Run(ExecutionOracle* oracle) const {
+DiscoveryResult PlanBouquet::RunImpl(ExecutionOracle* oracle) const {
   DiscoveryResult result;
   const double lambda = effective_lambda();
+  ContourBudgetMonitor monitor;
+  double budget = 0.0;
   for (int i = 0; i < ess_->num_contours(); ++i) {
-    const double budget =
-        ess_->ContourCost(i) * (1.0 + lambda) * options_.budget_inflation;
+    budget = monitor.Clamp(
+        ess_->ContourCost(i) * (1.0 + lambda) * options_.budget_inflation,
+        &result.robustness);
     for (const Plan* plan : contour_sets_[static_cast<size_t>(i)]) {
       const ExecOutcome outcome = oracle->ExecuteFull(*plan, budget);
       result.total_cost += outcome.cost_charged;
@@ -147,6 +151,11 @@ DiscoveryResult PlanBouquet::Run(ExecutionOracle* oracle) const {
   }
   result.completed = false;
   result.final_contour = ess_->num_contours() - 1;
+  // Without faults the last contour always completes; under injection,
+  // retries can burn every contour budget — escalate past cmax.
+  if (FaultInjector::Armed()) {
+    EscalateToCompletion(oracle, *ess_, budget, &result);
+  }
   return result;
 }
 

@@ -44,7 +44,7 @@ class PlanBouquet : public DiscoveryAlgorithm {
   PlanBouquet(const Ess* ess, const PlanDiagram& diagram, Options options);
 
   /// Runs discovery against `oracle` until the query completes.
-  DiscoveryResult Run(ExecutionOracle* oracle) const override;
+  DiscoveryResult RunImpl(ExecutionOracle* oracle) const override;
 
   std::string name() const override { return "PlanBouquet"; }
 

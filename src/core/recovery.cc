@@ -1,0 +1,35 @@
+#include "core/recovery.h"
+
+#include <algorithm>
+
+namespace robustqp {
+
+void EscalateToCompletion(ExecutionOracle* oracle, const Ess& ess,
+                          double last_budget, DiscoveryResult* result) {
+  // The terminus (all-selectivities-maximal) location's optimal plan: by
+  // PCM its cost at any location is at most its cost at the terminus,
+  // i.e. at most cmax.
+  const Plan* terminus = ess.OptimalPlan(ess.num_locations() - 1);
+  double budget = std::max(last_budget, ess.cmax());
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    budget *= 2.0;
+    const ExecOutcome outcome = oracle->ExecuteFull(*terminus, budget);
+    result->total_cost += outcome.cost_charged;
+    ++result->robustness.escalations;
+    ExecutionStep step;
+    step.contour = ess.num_contours() - 1;
+    step.plan_name = terminus->display_name();
+    step.spill_dim = -1;
+    step.budget = budget;
+    step.cost_charged = outcome.cost_charged;
+    step.completed = outcome.completed;
+    result->steps.push_back(std::move(step));
+    if (outcome.completed) {
+      result->completed = true;
+      result->final_contour = ess.num_contours() - 1;
+      return;
+    }
+  }
+}
+
+}  // namespace robustqp

@@ -1,0 +1,53 @@
+// Recovery paths for discovery runs under fault injection.
+//
+// The discovery algorithms assume that the last contour's budget (cmax,
+// possibly inflated) always suffices: without faults that is a theorem
+// (PCM plus the contour construction). With an armed FaultInjector,
+// retried work charged against contour budgets can exhaust every contour
+// without completing — EscalateToCompletion then keeps doubling the
+// budget past cmax on the terminus plan, which by PCM costs at most cmax
+// anywhere in the ESS, until the query completes. Each doubling charges
+// its full budget, so the run's cost accounting stays MSO-compatible
+// (same shape as a failed contour execution).
+//
+// ContourBudgetMonitor is the matching runtime invariant check: the
+// budgets a run hands to the oracle must be non-decreasing; a decrease
+// (only possible under stat corruption) is clamped and counted.
+
+#ifndef ROBUSTQP_CORE_RECOVERY_H_
+#define ROBUSTQP_CORE_RECOVERY_H_
+
+#include "common/fault.h"
+#include "core/discovery.h"
+#include "core/oracle.h"
+
+namespace robustqp {
+
+/// Runs the terminus plan with doubling budgets starting from
+/// max(last_budget, cmax) until completion, appending the executions to
+/// `result` and counting each doubling in robustness.escalations. Gives
+/// up (leaving result->completed false) only after 64 doublings — which
+/// under any finite fault rate is unreachable in practice.
+void EscalateToCompletion(ExecutionOracle* oracle, const Ess& ess,
+                          double last_budget, DiscoveryResult* result);
+
+/// Clamps a discovery run's contour budget sequence to be non-decreasing,
+/// counting every violation in report->contour_clamps.
+class ContourBudgetMonitor {
+ public:
+  double Clamp(double budget, RobustnessReport* report) {
+    if (budget < prev_) {
+      ++report->contour_clamps;
+      budget = prev_;
+    }
+    prev_ = budget;
+    return budget;
+  }
+
+ private:
+  double prev_ = 0.0;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_CORE_RECOVERY_H_

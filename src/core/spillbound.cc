@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "core/recovery.h"
 
 namespace robustqp {
 
@@ -85,10 +86,13 @@ void SpillBound::RunPlanBouquet1D(ExecutionOracle* oracle, int contour,
   // In the terminal 1D phase, each contour of the residual (line) ESS
   // carries a single plan which is executed in regular (non-spill) mode —
   // spilling in 1D would only weaken the bound (Section 4.1).
+  ContourBudgetMonitor monitor;
+  double budget = 0.0;
   for (int i = contour; i < ess_->num_contours(); ++i) {
     const SpillChoice& choice = Get1DChoice(i, fixed);
     if (!choice.valid) continue;
-    const double budget = ess_->ContourCost(i) * options_.budget_inflation;
+    budget = monitor.Clamp(ess_->ContourCost(i) * options_.budget_inflation,
+                           &result->robustness);
     const ExecOutcome outcome = oracle->ExecuteFull(*choice.plan, budget);
     result->total_cost += outcome.cost_charged;
     ExecutionStep step;
@@ -109,9 +113,12 @@ void SpillBound::RunPlanBouquet1D(ExecutionOracle* oracle, int contour,
   }
   result->completed = false;
   result->final_contour = ess_->num_contours() - 1;
+  if (FaultInjector::Armed()) {
+    EscalateToCompletion(oracle, *ess_, budget, result);
+  }
 }
 
-DiscoveryResult SpillBound::Run(ExecutionOracle* oracle) const {
+DiscoveryResult SpillBound::RunImpl(ExecutionOracle* oracle) const {
   const int dims = ess_->dims();
   DiscoveryResult result;
 
@@ -119,6 +126,8 @@ DiscoveryResult SpillBound::Run(ExecutionOracle* oracle) const {
   std::vector<double> learned(static_cast<size_t>(dims), -1.0);
   std::vector<int> floor(static_cast<size_t>(dims), -1);
 
+  ContourBudgetMonitor monitor;
+  double budget = 0.0;
   int i = 0;
   while (i < ess_->num_contours()) {
     std::vector<int> unlearned_dims;
@@ -139,7 +148,8 @@ DiscoveryResult SpillBound::Run(ExecutionOracle* oracle) const {
     }
 
     const std::vector<SpillChoice>& choices = GetSpillChoices(i, fixed);
-    const double budget = ess_->ContourCost(i) * options_.budget_inflation;
+    budget = monitor.Clamp(ess_->ContourCost(i) * options_.budget_inflation,
+                           &result.robustness);
     bool exec_complete = false;
     for (int d : unlearned_dims) {
       const SpillChoice& c = choices[static_cast<size_t>(d)];
@@ -177,6 +187,9 @@ DiscoveryResult SpillBound::Run(ExecutionOracle* oracle) const {
   }
   result.completed = false;
   result.final_contour = ess_->num_contours() - 1;
+  if (FaultInjector::Armed()) {
+    EscalateToCompletion(oracle, *ess_, budget, &result);
+  }
   return result;
 }
 

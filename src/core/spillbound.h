@@ -38,7 +38,7 @@ class SpillBound : public DiscoveryAlgorithm {
   explicit SpillBound(const Ess* ess) : SpillBound(ess, Options{}) {}
 
   /// Runs discovery against `oracle` until the query completes.
-  DiscoveryResult Run(ExecutionOracle* oracle) const override;
+  DiscoveryResult RunImpl(ExecutionOracle* oracle) const override;
 
   std::string name() const override { return "SpillBound"; }
 

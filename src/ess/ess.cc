@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 #include <unordered_set>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "ess/ess_builder.h"
@@ -205,6 +207,14 @@ void Ess::ComputeContoursAndFrontiers() {
 
 std::unique_ptr<Ess> Ess::Build(const Catalog& catalog, const Query& query,
                                 const Config& config) {
+  Result<std::unique_ptr<Ess>> r = TryBuild(catalog, query, config);
+  RQP_CHECK(r.ok());
+  return r.MoveValue();
+}
+
+Result<std::unique_ptr<Ess>> Ess::TryBuild(const Catalog& catalog,
+                                           const Query& query,
+                                           const Config& config) {
   auto ess = std::unique_ptr<Ess>(new Ess());
   ess->query_ = &query;
   ess->config_ = config;
@@ -223,7 +233,7 @@ std::unique_ptr<Ess> Ess::Build(const Catalog& catalog, const Query& query,
 
   if (config.build_mode != EssBuildMode::kExhaustive) {
     // Grid refinement: optimizer calls only where corner plans disagree.
-    EssBuilder(ess.get()).Run();
+    RQP_RETURN_NOT_OK(EssBuilder(ess.get()).Run());
     ess->ComputeContoursAndFrontiers();
     return ess;
   }
@@ -236,21 +246,46 @@ std::unique_ptr<Ess> Ess::Build(const Catalog& catalog, const Query& query,
                           : ThreadPool::DefaultThreads();
 
   std::vector<std::unique_ptr<Plan>> raw_plans(static_cast<size_t>(total));
+  const bool armed = FaultInjector::Armed();
   auto worker = [&](int64_t begin, int64_t end) {
     for (int64_t lin = begin; lin < end; ++lin) {
       const GridLoc loc = ess->FromLinear(lin);
       const EssPoint q = ess->SelAt(loc);
-      raw_plans[static_cast<size_t>(lin)] = ess->optimizer_->Optimize(q);
+      if (!armed) {
+        raw_plans[static_cast<size_t>(lin)] = ess->optimizer_->Optimize(q);
+        continue;
+      }
+      // Under injection: scope the draws to this location (deterministic
+      // at any thread count) and retry transient optimizer faults.
+      FaultStreamScope scope(static_cast<uint64_t>(lin));
+      Status st;
+      for (int attempt = 0; attempt < kMaxFaultAttempts; ++attempt) {
+        Result<std::unique_ptr<Plan>> r = ess->optimizer_->TryOptimize(q);
+        if (r.ok()) {
+          raw_plans[static_cast<size_t>(lin)] = r.MoveValue();
+          break;
+        }
+        st = r.status();
+        if (!st.IsTransient()) break;
+      }
+      if (raw_plans[static_cast<size_t>(lin)] == nullptr) {
+        // ParallelFor converts this to the Status returned to the caller.
+        throw std::runtime_error(st.ok() ? "optimizer retries exhausted"
+                                         : st.ToString());
+      }
     }
   };
   if (threads == 1 || total < 256) {
-    worker(0, total);
+    try {
+      worker(0, total);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("task failed: ") + e.what());
+    }
   } else {
     ThreadPool sweep_pool(threads);
-    ParallelFor(&sweep_pool, total,
-                [&](int /*worker*/, int64_t begin, int64_t end) {
-                  worker(begin, end);
-                });
+    RQP_RETURN_NOT_OK(ParallelFor(&sweep_pool, total,
+                                  [&](int /*worker*/, int64_t begin,
+                                      int64_t end) { worker(begin, end); }));
   }
 
   for (int64_t lin = 0; lin < total; ++lin) {

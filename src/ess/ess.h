@@ -112,9 +112,16 @@ class Ess {
   };
 
   /// Builds the surface per `config.build_mode` (exhaustive sweep by
-  /// default, grid refinement via EssBuilder otherwise).
+  /// default, grid refinement via EssBuilder otherwise). Aborts on build
+  /// failure — with a disarmed FaultInjector the build cannot fail.
   static std::unique_ptr<Ess> Build(const Catalog& catalog, const Query& query,
                                     const Config& config);
+
+  /// Build variant that surfaces failures (injected permanent optimizer
+  /// faults, exhausted transient retries) as a Status instead of aborting.
+  static Result<std::unique_ptr<Ess>> TryBuild(const Catalog& catalog,
+                                               const Query& query,
+                                               const Config& config);
 
   const Query& query() const { return *query_; }
   const Optimizer& optimizer() const { return *optimizer_; }

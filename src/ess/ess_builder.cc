@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
@@ -16,32 +18,74 @@ EssBuilder::EssBuilder(Ess* ess) : ess_(ess), dims_(ess->dims()) {
             ess_->config_.recost_lambda > 1.0);
 }
 
-void EssBuilder::EnsureExactBatch(const std::vector<int64_t>& lins) {
+Status EssBuilder::EnsureExactBatch(const std::vector<int64_t>& lins) {
   const int64_t n = static_cast<int64_t>(lins.size());
-  if (n == 0) return;
+  if (n == 0) return Status::OK();
   // Same parallel shape as the exhaustive sweep in Ess::Build: optimizer
   // calls are pure and fan out; interning stays sequential and in
   // ascending-lin order so the plan pool is deterministic.
+  const bool armed = FaultInjector::Armed();
   std::vector<std::unique_ptr<Plan>> raw(lins.size());
   std::vector<double> costs(lins.size());
   auto work = [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
-      const GridLoc loc = ess_->FromLinear(lins[static_cast<size_t>(i)]);
+      const int64_t lin = lins[static_cast<size_t>(i)];
+      const GridLoc loc = ess_->FromLinear(lin);
       const EssPoint q = ess_->SelAt(loc);
-      raw[static_cast<size_t>(i)] = ess_->optimizer_->Optimize(q);
+      if (!armed) {
+        raw[static_cast<size_t>(i)] = ess_->optimizer_->Optimize(q);
+        costs[static_cast<size_t>(i)] =
+            ess_->optimizer_->PlanCost(*raw[static_cast<size_t>(i)], q);
+        continue;
+      }
+      // Fault draws are keyed to the grid location, not the thread, so
+      // the sequence is deterministic at any thread count.
+      FaultStreamScope scope(static_cast<uint64_t>(lin));
+      if (!in_sweep_ &&
+          FaultInjector::Global().Evaluate(fault_site::kEssCornerOpt)) {
+        // Refinement corner faulted: abandon refinement for the
+        // exhaustive sweep instead of failing the build. The corner stays
+        // unassigned; FinishBySweep will cover it.
+        degrade_to_sweep_.store(true, std::memory_order_relaxed);
+        continue;
+      }
+      Status st;
+      for (int attempt = 0; attempt < kMaxFaultAttempts; ++attempt) {
+        Result<std::unique_ptr<Plan>> r = ess_->optimizer_->TryOptimize(q);
+        if (r.ok()) {
+          raw[static_cast<size_t>(i)] = r.MoveValue();
+          break;
+        }
+        st = r.status();
+        if (!st.IsTransient()) break;
+      }
+      if (raw[static_cast<size_t>(i)] == nullptr) {
+        // ParallelFor converts this to the Status returned to the caller.
+        throw std::runtime_error(st.ok() ? "optimizer retries exhausted"
+                                         : st.ToString());
+      }
       // Same convention as the exhaustive sweep: the stored cost is the
       // plan's recosted total, computed before interning.
       costs[static_cast<size_t>(i)] =
           ess_->optimizer_->PlanCost(*raw[static_cast<size_t>(i)], q);
     }
   };
+  Status run_status;
   if (pool_ == nullptr || n < 32) {
-    work(0, n);
+    try {
+      work(0, n);
+    } catch (const std::exception& e) {
+      run_status = Status::Internal(std::string("task failed: ") + e.what());
+    }
   } else {
-    ParallelFor(pool_.get(), n, [&](int /*worker*/, int64_t begin,
-                                    int64_t end) { work(begin, end); });
+    run_status = ParallelFor(pool_.get(), n,
+                             [&](int /*worker*/, int64_t begin, int64_t end) {
+                               work(begin, end);
+                             });
   }
+  RQP_RETURN_NOT_OK(run_status);
   for (size_t i = 0; i < lins.size(); ++i) {
+    if (raw[i] == nullptr) continue;  // corner skipped by degradation
     const size_t lin = static_cast<size_t>(lins[i]);
     if (state_[lin] == 2) --stats_.recosted_points;
     ess_->plan_[lin] = ess_->pool_.Intern(std::move(raw[i]));
@@ -49,6 +93,7 @@ void EssBuilder::EnsureExactBatch(const std::vector<int64_t>& lins) {
     state_[lin] = 1;
     ++stats_.exact_points;
   }
+  return Status::OK();
 }
 
 std::vector<int64_t> EssBuilder::Corners(const Box& box) const {
@@ -328,8 +373,11 @@ std::vector<int64_t> EssBuilder::JunctionSuspects() const {
   return suspects;
 }
 
-void EssBuilder::FinishBySweep() {
+Status EssBuilder::FinishBySweep() {
   stats_.fell_back = true;
+  // Suppress corner-opt fault draws during the sweep: the degradation
+  // already happened and must not re-trigger inside its own fallback.
+  in_sweep_ = true;
   std::vector<int64_t> rest;
   const int64_t total = ess_->num_locations();
   for (int64_t lin = 0; lin < total; ++lin) {
@@ -337,10 +385,10 @@ void EssBuilder::FinishBySweep() {
   }
   // Overwrites recosted fills too: after a fallback the surface is the
   // exhaustive sweep's, bit for bit, in every build mode.
-  EnsureExactBatch(rest);
+  return EnsureExactBatch(rest);
 }
 
-void EssBuilder::Run() {
+Status EssBuilder::Run() {
   const int64_t total = ess_->num_locations();
   state_.assign(static_cast<size_t>(total), 0);
 
@@ -374,8 +422,9 @@ void EssBuilder::Run() {
     }
     std::sort(need.begin(), need.end());
     need.erase(std::unique(need.begin(), need.end()), need.end());
-    EnsureExactBatch(need);
-    if (static_cast<double>(stats_.exact_points) > call_budget) {
+    RQP_RETURN_NOT_OK(EnsureExactBatch(need));
+    if (degrade_to_sweep_.load(std::memory_order_relaxed) ||
+        static_cast<double>(stats_.exact_points) > call_budget) {
       fell_back = true;
       break;
     }
@@ -385,7 +434,7 @@ void EssBuilder::Run() {
   }
 
   if (fell_back) {
-    FinishBySweep();
+    RQP_RETURN_NOT_OK(FinishBySweep());
   } else {
     for (const FillJob& job : fills_) Fill(job);
     Relax();
@@ -397,9 +446,10 @@ void EssBuilder::Run() {
       while (true) {
         const std::vector<int64_t> suspects = JunctionSuspects();
         if (suspects.empty()) break;
-        EnsureExactBatch(suspects);
-        if (static_cast<double>(stats_.exact_points) > call_budget) {
-          FinishBySweep();
+        RQP_RETURN_NOT_OK(EnsureExactBatch(suspects));
+        if (degrade_to_sweep_.load(std::memory_order_relaxed) ||
+            static_cast<double>(stats_.exact_points) > call_budget) {
+          RQP_RETURN_NOT_OK(FinishBySweep());
           break;
         }
         Relax();
@@ -412,6 +462,7 @@ void EssBuilder::Run() {
   }
   stats_.optimizer_calls = ess_->optimizer_->num_optimize_calls();
   ess_->build_stats_ = stats_;
+  return Status::OK();
 }
 
 }  // namespace robustqp

@@ -72,6 +72,7 @@
 #ifndef ROBUSTQP_ESS_ESS_BUILDER_H_
 #define ROBUSTQP_ESS_ESS_BUILDER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -90,9 +91,12 @@ class EssBuilder {
   /// cost_/plan_ arrays allocated (zero / nullptr filled).
   explicit EssBuilder(Ess* ess);
 
-  /// Runs refinement; on return every grid location has a cost and plan
-  /// and ess->build_stats_ is populated.
-  void Run();
+  /// Runs refinement; on OK return every grid location has a cost and
+  /// plan and ess->build_stats_ is populated. With an armed FaultInjector
+  /// a fault drawn at the ess.corner_opt site degrades refinement to the
+  /// exhaustive sweep (reusing the fell_back path), and an unrecoverable
+  /// optimizer fault surfaces as a non-OK Status.
+  Status Run();
 
  private:
   /// A refinement cell: inclusive per-dimension index bounds.
@@ -114,7 +118,7 @@ class EssBuilder {
   /// not-yet-exact lins): optimizer calls run in parallel on pool_, then
   /// plans are interned sequentially in list (= ascending grid) order so
   /// the pool and surfaces are deterministic at any thread count.
-  void EnsureExactBatch(const std::vector<int64_t>& lins);
+  Status EnsureExactBatch(const std::vector<int64_t>& lins);
   /// Linear indices of the cell's corners (deduplicated).
   std::vector<int64_t> Corners(const Box& box) const;
   /// Certification step of one cell whose corners are already exact:
@@ -123,7 +127,7 @@ class EssBuilder {
   void CertifyOrSplit(const Box& box, std::vector<Box>* next);
   /// Exhaustive-fallback finish: optimizes every location that is not yet
   /// exact in one parallel batch and marks stats_.fell_back.
-  void FinishBySweep();
+  Status FinishBySweep();
   /// Recosts the cell's not-yet-assigned locations.
   void Fill(const FillJob& job);
   /// Fixpoint sweep: recosted locations adopt any neighbouring plan (full
@@ -154,6 +158,12 @@ class EssBuilder {
   /// Certified cells, recosted only after refinement finishes so exact
   /// results always win on shared faces.
   std::vector<FillJob> fills_;
+  /// True while the fallback sweep runs: corner-opt fault draws are
+  /// suppressed there so a degradation cannot re-trigger itself.
+  bool in_sweep_ = false;
+  /// Set by any worker that draws an ess.corner_opt fault; checked after
+  /// each corner batch to abandon refinement for the exhaustive sweep.
+  std::atomic<bool> degrade_to_sweep_{false};
   Ess::BuildStats stats_;
 };
 

@@ -5,12 +5,15 @@
 // Section 7 deployment mode of offline contour construction for canned
 // queries.
 
+#include <cmath>
+#include <cstdint>
 #include <functional>
 #include <istream>
 #include <map>
 #include <ostream>
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "ess/ess.h"
 
@@ -23,7 +26,28 @@ constexpr const char kMagic[] = "RQPESS";
 // line; version-1 streams (no stats) still load with default stats.
 // Version 3 appends the exhaustive-fallback flag to the BuildStats line;
 // v1/v2 streams load with fell_back = false.
-constexpr int kVersion = 3;
+// Version 4 appends an FNV-1a checksum trailer line ("CKSUM <hex>")
+// covering every preceding byte, so truncation and bit corruption are
+// detected before any parsed value is trusted; v1-v3 streams load
+// without a trailer.
+constexpr int kVersion = 4;
+
+constexpr const char kChecksumTag[] = "CKSUM ";
+
+// Hard plausibility caps on counts read from the stream, so a corrupted
+// legacy (pre-checksum) stream cannot drive huge allocations.
+constexpr size_t kMaxPlanChildren = 4096;
+constexpr size_t kMaxPlans = 1000000;
+constexpr int kMaxPointsPerDim = 4096;
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 void WriteNode(std::ostream& os, const PlanNode& node) {
   switch (node.op) {
@@ -62,6 +86,9 @@ Result<std::unique_ptr<PlanNode>> ReadNode(std::istream& is) {
     if (!(is >> node->table_idx >> nf)) {
       return Status::Internal("malformed scan node");
     }
+    if (nf > kMaxPlanChildren) {
+      return Status::InvalidArgument("implausible scan filter count");
+    }
     node->filter_indices.resize(nf);
     for (size_t i = 0; i < nf; ++i) {
       if (!(is >> node->filter_indices[i])) {
@@ -83,6 +110,9 @@ Result<std::unique_ptr<PlanNode>> ReadNode(std::istream& is) {
   }
   size_t nj = 0;
   if (!(is >> nj)) return Status::Internal("malformed join node");
+  if (nj > kMaxPlanChildren) {
+    return Status::InvalidArgument("implausible join predicate count");
+  }
   node->join_indices.resize(nj);
   for (size_t i = 0; i < nj; ++i) {
     if (!(is >> node->join_indices[i])) {
@@ -100,7 +130,10 @@ Result<std::unique_ptr<PlanNode>> ReadNode(std::istream& is) {
 
 }  // namespace
 
-Status Ess::Save(std::ostream& os) const {
+Status Ess::Save(std::ostream& out) const {
+  // Build the payload in memory so the checksum trailer can cover the
+  // exact bytes written.
+  std::ostringstream os;
   os.precision(17);
   os << kMagic << " " << kVersion << "\n";
   os << query_->name() << "\n";
@@ -136,13 +169,60 @@ Status Ess::Save(std::ostream& os) const {
     os << ordinal[plan_[static_cast<size_t>(lin)]] << " "
        << cost_[static_cast<size_t>(lin)] << "\n";
   }
-  if (!os.good()) return Status::Internal("write failure while saving ESS");
+  const std::string payload = os.str();
+  out << payload << kChecksumTag << std::hex << Fnv1a(payload) << std::dec
+      << "\n";
+  if (!out.good()) return Status::Internal("write failure while saving ESS");
   return Status::OK();
 }
 
-Result<std::unique_ptr<Ess>> Ess::Load(std::istream& is,
+Result<std::unique_ptr<Ess>> Ess::Load(std::istream& raw_is,
                                        const Catalog& catalog,
                                        const Query& query) {
+  if (FaultInjector::Armed()) {
+    const FaultAction act =
+        FaultInjector::Global().Evaluate(fault_site::kIoEssLoad);
+    if (act.kind == FaultKind::kTransient) {
+      return Status::Unavailable("injected transient fault at io.ess_load");
+    }
+    if (act.kind != FaultKind::kNone) {
+      return Status::Internal("injected fault at io.ess_load");
+    }
+  }
+
+  // Slurp the stream so the v4 checksum trailer can be verified over the
+  // exact payload bytes before any parsed value is trusted.
+  std::ostringstream slurp;
+  slurp << raw_is.rdbuf();
+  std::string text = slurp.str();
+  {
+    std::istringstream header(text);
+    std::string hmagic;
+    int hversion = 0;
+    if (!(header >> hmagic >> hversion) || hmagic != kMagic) {
+      return Status::InvalidArgument("not an ESS stream");
+    }
+    if (hversion >= 4 && hversion <= kVersion) {
+      const size_t pos = text.rfind(kChecksumTag);
+      if (pos == std::string::npos || (pos != 0 && text[pos - 1] != '\n')) {
+        return Status::InvalidArgument(
+            "truncated ESS stream: checksum trailer missing");
+      }
+      std::istringstream trailer(
+          text.substr(pos + sizeof(kChecksumTag) - 1));
+      uint64_t want = 0;
+      if (!(trailer >> std::hex >> want)) {
+        return Status::InvalidArgument("malformed ESS checksum trailer");
+      }
+      text.resize(pos);
+      if (Fnv1a(text) != want) {
+        return Status::InvalidArgument(
+            "ESS checksum mismatch: stream is corrupted or truncated");
+      }
+    }
+  }
+  std::istringstream is(text);
+
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != kMagic) {
@@ -169,8 +249,11 @@ Result<std::unique_ptr<Ess>> Ess::Load(std::istream& is,
   if (ess->dims_ != query.num_epps()) {
     return Status::InvalidArgument("dimensionality mismatch");
   }
-  if (points < 2 || ess->config_.min_sel <= 0.0 ||
-      ess->config_.min_sel >= 1.0 || ess->config_.contour_cost_ratio <= 1.0) {
+  if (points < 2 || points > kMaxPointsPerDim ||
+      !std::isfinite(ess->config_.min_sel) || ess->config_.min_sel <= 0.0 ||
+      ess->config_.min_sel >= 1.0 ||
+      !std::isfinite(ess->config_.contour_cost_ratio) ||
+      ess->config_.contour_cost_ratio <= 1.0) {
     return Status::InvalidArgument("corrupt grid header");
   }
   ess->config_.points_per_dim = points;
@@ -180,6 +263,14 @@ Result<std::unique_ptr<Ess>> Ess::Load(std::istream& is,
         p.nlj_materialize_tuple >> p.nlj_pair >> p.join_output_tuple >>
         p.index_probe >> p.index_fetch >> p.sort_tuple >> p.merge_tuple)) {
     return Status::Internal("truncated cost-model params");
+  }
+  for (const double v : {p.scan_tuple, p.hash_build_tuple, p.hash_probe_tuple,
+                         p.nlj_materialize_tuple, p.nlj_pair,
+                         p.join_output_tuple, p.index_probe, p.index_fetch,
+                         p.sort_tuple, p.merge_tuple}) {
+    if (!std::isfinite(v) || v < 0.0) {
+      return Status::InvalidArgument("corrupt cost-model params");
+    }
   }
   ess->config_.cost_model = CostModel(p);
 
@@ -200,6 +291,7 @@ Result<std::unique_ptr<Ess>> Ess::Load(std::istream& is,
     }
     if (s.optimizer_calls < 0 || s.exact_points < 0 || s.recosted_points < 0 ||
         s.cells_certified < 0 || s.cells_refined < 0 ||
+        !std::isfinite(s.max_deviation_bound) ||
         s.max_deviation_bound < 1.0) {
       return Status::InvalidArgument("corrupt build stats");
     }
@@ -219,6 +311,9 @@ Result<std::unique_ptr<Ess>> Ess::Load(std::istream& is,
 
   size_t num_plans = 0;
   if (!(is >> num_plans)) return Status::Internal("truncated plan count");
+  if (num_plans > kMaxPlans) {
+    return Status::InvalidArgument("implausible plan count");
+  }
   std::vector<const Plan*> by_ordinal;
   by_ordinal.reserve(num_plans);
   for (size_t i = 0; i < num_plans; ++i) {
@@ -266,7 +361,7 @@ Result<std::unique_ptr<Ess>> Ess::Load(std::istream& is,
     double cost = 0.0;
     if (!(is >> ord >> cost)) return Status::Internal("truncated grid data");
     if (ord < 0 || ord >= static_cast<int64_t>(by_ordinal.size()) ||
-        cost <= 0.0) {
+        !std::isfinite(cost) || cost <= 0.0) {
       return Status::InvalidArgument("corrupt grid entry");
     }
     ess->plan_[static_cast<size_t>(lin)] = by_ordinal[static_cast<size_t>(ord)];

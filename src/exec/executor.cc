@@ -763,11 +763,21 @@ bool Executor::ParseEngine(const std::string& name, Engine* out) {
 
 Result<ExecutionResult> Executor::Run(const Plan& plan, const PlanNode& root,
                                       double budget, bool spill) const {
-  if (options_.engine == Engine::kBatch) {
+  if (FaultInjector::Armed()) return RunFaulted(plan, root, budget, spill);
+  return RunOnce(plan, root, budget, spill, options_.engine,
+                 /*allow_parallel=*/true);
+}
+
+Result<ExecutionResult> Executor::RunOnce(const Plan& plan,
+                                          const PlanNode& root, double budget,
+                                          bool spill, Engine engine,
+                                          bool allow_parallel) const {
+  if (engine == Engine::kBatch) {
     // Morsel parallelism only for full runs: a budgeted abort must land on
     // one well-defined tuple, and a spill's whole point is to time-limit
     // learning, so both stay single-threaded.
-    ThreadPool* pool = (budget < 0.0 && !spill) ? pool_.get() : nullptr;
+    ThreadPool* pool =
+        (budget < 0.0 && !spill && allow_parallel) ? pool_.get() : nullptr;
     return RunBatchEngine(*catalog_, plan, root, cost_model_, budget, pool);
   }
 
@@ -799,6 +809,61 @@ Result<ExecutionResult> Executor::Run(const Plan& plan, const PlanNode& root,
   } else {
     return st;
   }
+  return result;
+}
+
+Result<ExecutionResult> Executor::RunFaulted(const Plan& plan,
+                                             const PlanNode& root,
+                                             double budget, bool spill) const {
+  // All fault draws happen here, once per operator per attempt, *before*
+  // the attempt runs — never inside engine internals or morsel workers —
+  // so the sequence is identical for both engines at any thread count.
+  std::vector<int> sites;
+  CollectFaultSites(root, &sites);
+  if (spill) sites.push_back(fault_site::kExecSpillRun);
+  const bool batch = options_.engine == Engine::kBatch;
+  if (batch) {
+    sites.push_back(fault_site::kExecBatchPipeline);
+    if (pool_ != nullptr && budget < 0.0 && !spill) {
+      sites.push_back(fault_site::kExecMorselScan);
+    }
+  }
+
+  ExecutionResult last;
+  bool have_last = false;
+  FaultedRunOutcome outcome = RunWithFaultRetries(
+      FaultInjector::Global(), sites, budget,
+      [&](double eff_budget, const FaultRunState& state) -> FaultAttempt {
+        const Engine engine =
+            state.degrade_engine ? Engine::kTuple : options_.engine;
+        Result<ExecutionResult> r = RunOnce(plan, root, eff_budget, spill,
+                                            engine, !state.degrade_serial);
+        FaultAttempt a;
+        if (!r.ok()) {
+          a.status = r.status();
+          return a;
+        }
+        last = r.MoveValue();
+        have_last = true;
+        a.completed = last.completed;
+        a.cost = last.cost_used;
+        return a;
+      });
+  if (!outcome.status.ok()) return outcome.status;
+
+  ExecutionResult result;
+  if (outcome.final_attempt_valid && have_last) {
+    result = std::move(last);
+  } else {
+    // Retries exhausted the budget before any attempt survived: the run
+    // charges the budget with nothing learned — exactly the shape of a
+    // clean budget-exhausted execution.
+    result.node_stats.assign(static_cast<size_t>(plan.num_nodes()),
+                             NodeStats{});
+  }
+  result.completed = outcome.completed;
+  result.cost_used = outcome.cost_used;
+  result.robustness = outcome.report;
   return result;
 }
 

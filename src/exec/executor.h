@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/fault.h"
 #include "common/status.h"
 #include "optimizer/cost_model.h"
 #include "plan/plan.h"
@@ -70,6 +71,9 @@ struct ExecutionResult {
   int64_t output_rows = 0;
   /// Counters per plan-node id (zeros for nodes outside a spilled subtree).
   std::vector<NodeStats> node_stats;
+  /// Fault accounting for this run: all zeros unless the process-wide
+  /// FaultInjector is armed and a fault actually fired.
+  RobustnessReport robustness;
 
   /// Observed selectivity of the join at `node_id`:
   /// out / (left_in * right_in). Only exact once the subtree completed.
@@ -127,6 +131,15 @@ class Executor {
  private:
   Result<ExecutionResult> Run(const Plan& plan, const PlanNode& root,
                               double budget, bool spill) const;
+  /// One clean attempt with an explicit engine / parallelism choice (the
+  /// fault path degrades these across retries).
+  Result<ExecutionResult> RunOnce(const Plan& plan, const PlanNode& root,
+                                  double budget, bool spill, Engine engine,
+                                  bool allow_parallel) const;
+  /// Armed-injector path: per-operator fault draws, transient retries with
+  /// lost work charged, batch->tuple and parallel->serial degradations.
+  Result<ExecutionResult> RunFaulted(const Plan& plan, const PlanNode& root,
+                                     double budget, bool spill) const;
 
   const Catalog* catalog_;
   CostModel cost_model_;

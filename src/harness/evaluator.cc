@@ -62,29 +62,76 @@ SuboptimalityStats Evaluate(const DiscoveryAlgorithm& algo, const Ess& ess,
   const int64_t total = ess.num_locations();
   stats.subopt.resize(static_cast<size_t>(total));
 
+  if (!opts.fault_spec.empty()) {
+    const Status st =
+        FaultInjector::Global().Configure(opts.fault_spec, opts.fault_seed);
+    RQP_CHECK(st.ok());
+  }
+  const bool armed = FaultInjector::Armed();
+
   const int threads = ResolveThreads(opts);
   ThreadPool pool(threads);
   std::vector<double> worker_penalty(static_cast<size_t>(threads), 1.0);
+  std::vector<RobustnessReport> worker_report(static_cast<size_t>(threads));
+  std::vector<double> worker_clean(static_cast<size_t>(threads), 1.0);
   // One contiguous block of locations per worker; each worker clones the
   // algorithm once (cold memo caches that warm over its block) and builds
   // its own oracle per q_a. Per-location results are independent of the
-  // partitioning, so any thread count produces the same subopt vector.
-  ParallelFor(&pool, total, [&](int worker, int64_t begin, int64_t end) {
-    const std::unique_ptr<DiscoveryAlgorithm> local = algo.Clone();
-    double max_penalty = 1.0;
-    for (int64_t lin = begin; lin < end; ++lin) {
-      SimulatedOracle oracle(&ess, ess.FromLinear(lin));
-      const DiscoveryResult result = local->Run(&oracle);
-      RQP_CHECK(result.completed);
-      stats.subopt[static_cast<size_t>(lin)] =
-          result.total_cost / ess.OptimalCost(lin);
-      max_penalty = std::max(max_penalty, result.max_replacement_penalty);
-    }
-    worker_penalty[static_cast<size_t>(worker)] = max_penalty;
-  });
-  // max() over doubles is exact, so the merge order cannot matter.
+  // partitioning — fault draws included, being keyed to the location —
+  // so any thread count produces the same subopt vector.
+  const Status run_status =
+      ParallelFor(&pool, total, [&](int worker, int64_t begin, int64_t end) {
+        const std::unique_ptr<DiscoveryAlgorithm> local = algo.Clone();
+        double max_penalty = 1.0;
+        RobustnessReport report;
+        double max_clean = 1.0;
+        for (int64_t lin = begin; lin < end; ++lin) {
+          SimulatedOracle oracle(&ess, ess.FromLinear(lin));
+          DiscoveryResult result;
+          if (armed) {
+            FaultStreamScope scope(static_cast<uint64_t>(lin));
+            result = local->Run(&oracle);
+          } else {
+            result = local->Run(&oracle);
+          }
+          RQP_CHECK(result.completed);
+          double subopt = result.total_cost / ess.OptimalCost(lin);
+          if (armed) {
+            // Runtime invariant: sub-optimality below 1 means some cost
+            // account went non-monotone (an injected corruption slipped
+            // through) — clamp and report rather than poison the MSO.
+            if (subopt < 1.0) {
+              subopt = 1.0;
+              ++report.pcm_violations;
+            }
+            const double clean =
+                std::max(1.0, (result.total_cost -
+                               result.robustness.retried_cost) /
+                                  ess.OptimalCost(lin));
+            max_clean = std::max(max_clean, clean);
+            report.Merge(result.robustness);
+          }
+          stats.subopt[static_cast<size_t>(lin)] = subopt;
+          max_penalty = std::max(max_penalty, result.max_replacement_penalty);
+        }
+        worker_penalty[static_cast<size_t>(worker)] = max_penalty;
+        worker_report[static_cast<size_t>(worker)] = report;
+        worker_clean[static_cast<size_t>(worker)] = max_clean;
+      });
+  RQP_CHECK(run_status.ok());
+  // max() over doubles is exact, so the merge order cannot matter; the
+  // report counters are integral, so their merge order cannot either.
   for (double p : worker_penalty) stats.max_penalty = std::max(stats.max_penalty, p);
   ReduceStats(&stats);
+  if (armed) {
+    double max_clean = 1.0;
+    for (size_t w = 0; w < worker_report.size(); ++w) {
+      stats.robustness.Merge(worker_report[w]);
+      max_clean = std::max(max_clean, worker_clean[w]);
+    }
+    stats.robustness.mso_delta = std::max(0.0, stats.mso - max_clean);
+    if (!opts.fault_spec.empty()) FaultInjector::Global().Disarm();
+  }
   return stats;
 }
 

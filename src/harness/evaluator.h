@@ -14,8 +14,10 @@
 #define ROBUSTQP_HARNESS_EVALUATOR_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "core/discovery.h"
 #include "ess/ess.h"
 
@@ -26,6 +28,15 @@ struct EvalOptions {
   /// Worker threads for the per-q_a fan-out; 0 = hardware concurrency,
   /// 1 = serial. Any value yields bit-identical SuboptimalityStats.
   int num_threads = 0;
+  /// Chaos-sweep mode: when non-empty, the global FaultInjector is
+  /// configured with this spec (see FaultInjector::Configure for the
+  /// grammar, e.g. "exec.*:p=0.01;optimizer.dp:after=100") for the
+  /// duration of the sweep and disarmed afterwards. Fault draws are keyed
+  /// to the grid location, so the sweep stays bit-identical at any thread
+  /// count.
+  std::string fault_spec;
+  /// Seed for the deterministic fault draws of a chaos sweep.
+  uint64_t fault_seed = 42;
 };
 
 /// Sub-optimality profile of one algorithm over the whole ESS.
@@ -36,6 +47,12 @@ struct SuboptimalityStats {
   /// Largest replacement penalty any run reported (AlignedBound's
   /// Table 4 statistic; 1.0 for penalty-free algorithms).
   double max_penalty = 1.0;
+  /// Aggregated fault/retry/degradation counters over every run of the
+  /// sweep (all-zero outside chaos mode). mso_delta is the sweep-level
+  /// MSO inflation attributable to injected faults: mso minus the maximum
+  /// fault-free ("clean") sub-optimality, where each run's clean cost
+  /// excludes the work lost to retries.
+  RobustnessReport robustness;
   /// SubOpt per linear grid location.
   std::vector<double> subopt;
 

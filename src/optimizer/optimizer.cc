@@ -4,6 +4,7 @@
 #include <bit>
 #include <limits>
 
+#include "common/fault.h"
 #include "common/status.h"
 
 namespace robustqp {
@@ -362,6 +363,22 @@ std::unique_ptr<Plan> Optimizer::Optimize(const EssPoint& q) const {
   const uint64_t full = (uint64_t{1} << num_tables_) - 1;
   // With no unlearned epps, every subtree has state 0.
   return std::make_unique<Plan>(query_, Reconstruct(arena.dp, full, 0));
+}
+
+Result<std::unique_ptr<Plan>> Optimizer::TryOptimize(const EssPoint& q) const {
+  if (FaultInjector::Armed()) {
+    const FaultAction act =
+        FaultInjector::Global().Evaluate(fault_site::kOptimizerDp);
+    switch (act.kind) {
+      case FaultKind::kTransient:
+        return Status::Unavailable("injected transient fault at optimizer.dp");
+      case FaultKind::kPermanent:
+        return Status::Internal("injected permanent fault at optimizer.dp");
+      default:
+        break;  // spikes/corruption are not meaningful for plan search
+    }
+  }
+  return Optimize(q);
 }
 
 std::unique_ptr<PlanNode> Optimizer::ReconstructTopK(const DpArena& arena,

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/estimator.h"
 #include "plan/plan.h"
@@ -51,6 +52,12 @@ class Optimizer {
 
   /// The optimal plan at ESS location `q` (one selectivity per epp).
   std::unique_ptr<Plan> Optimize(const EssPoint& q) const;
+
+  /// Optimize behind the optimizer.dp fault site: with an armed
+  /// FaultInjector a drawn transient fault returns Unavailable (the ESS
+  /// builders retry), a permanent one Internal. Identical to Optimize when
+  /// injection is disarmed.
+  Result<std::unique_ptr<Plan>> TryOptimize(const EssPoint& q) const;
 
   /// The least-cost plan at `q` whose spill dimension — the first epp of
   /// its Section 3.1.3 execution order that is flagged true in

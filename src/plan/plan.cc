@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/status.h"
 
 namespace robustqp {
@@ -193,6 +194,30 @@ std::string Plan::ToString() const {
   if (!display_name_.empty()) os << display_name_ << ":\n";
   RenderNode(*root_, *query_, 0, &os);
   return os.str();
+}
+
+void CollectFaultSites(const PlanNode& root, std::vector<int>* sites) {
+  switch (root.op) {
+    case PlanOp::kSeqScan:
+      sites->push_back(fault_site::kExecScanRead);
+      break;
+    case PlanOp::kHashJoin:
+      sites->push_back(fault_site::kExecHashJoinBuild);
+      break;
+    case PlanOp::kNLJoin:
+      sites->push_back(fault_site::kExecNlJoinPair);
+      break;
+    case PlanOp::kSortMergeJoin:
+      sites->push_back(fault_site::kExecSortMerge);
+      break;
+    case PlanOp::kIndexNLJoin:
+      sites->push_back(fault_site::kStorageIndexProbe);
+      // The right child is a probe-target descriptor, never executed.
+      if (root.left != nullptr) CollectFaultSites(*root.left, sites);
+      return;
+  }
+  if (root.left != nullptr) CollectFaultSites(*root.left, sites);
+  if (root.right != nullptr) CollectFaultSites(*root.right, sites);
 }
 
 }  // namespace robustqp

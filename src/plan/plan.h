@@ -123,6 +123,13 @@ class Plan {
 /// optimizer-internal dedup before a Plan object exists).
 std::string PlanSignature(const PlanNode& node, const Query& query);
 
+/// Appends the fault-injection site of every operator in `root` (pre-order)
+/// to `sites` — one entry per node that does real work at run time, so the
+/// executor can draw one fault decision per operator per attempt. The right
+/// child of an IndexNLJoin is a probe-target descriptor that never
+/// executes and contributes no site.
+void CollectFaultSites(const PlanNode& root, std::vector<int>* sites);
+
 }  // namespace robustqp
 
 #endif  // ROBUSTQP_PLAN_PLAN_H_

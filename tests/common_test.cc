@@ -223,33 +223,51 @@ TEST(ThreadPoolTest, ParallelForEmptyRangeIsANoop) {
   EXPECT_EQ(covered.load(), 2);
 }
 
-TEST(ThreadPoolTest, ParallelForPropagatesException) {
+TEST(ThreadPoolTest, ParallelForConvertsExceptionToStatus) {
   ThreadPool pool(4);
-  EXPECT_THROW(
-      ParallelFor(&pool, 100,
-                  [&](int, int64_t begin, int64_t) {
-                    if (begin == 0) throw std::runtime_error("boom");
-                  }),
-      std::runtime_error);
+  const Status st = ParallelFor(&pool, 100, [&](int, int64_t begin, int64_t) {
+    if (begin == 0) throw std::runtime_error("boom");
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("boom"), std::string::npos);
   // The pool survives a throwing batch.
   std::atomic<int> count{0};
-  ParallelFor(&pool, 8, [&](int, int64_t begin, int64_t end) {
+  const Status ok = ParallelFor(&pool, 8, [&](int, int64_t begin, int64_t end) {
     count += static_cast<int>(end - begin);
   });
+  EXPECT_TRUE(ok.ok());
   EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, WaitSurfacesExceptionEscapingARawTask) {
+  // Regression: an exception escaping a Submit()ed task used to escape the
+  // worker loop and terminate the process via std::terminate.
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("worker blew up"); });
+  const Status st = pool.Wait();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("worker blew up"), std::string::npos);
+  // The error is cleared by Wait and the pool stays usable.
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(count.load(), 1);
 }
 
 TEST(ThreadPoolTest, MapReduceHandlesMoreChunksThanThreads) {
   ThreadPool pool(2);
   // 1000 indices in chunks of 7 -> 143 chunks over 2 workers.
   const int64_t sum = ParallelMapReduce<int64_t>(
-      &pool, 1000, 7, 0,
-      [](int64_t begin, int64_t end) {
-        int64_t s = 0;
-        for (int64_t i = begin; i < end; ++i) s += i;
-        return s;
-      },
-      [](int64_t acc, int64_t part) { return acc + part; });
+                          &pool, 1000, 7, 0,
+                          [](int64_t begin, int64_t end) {
+                            int64_t s = 0;
+                            for (int64_t i = begin; i < end; ++i) s += i;
+                            return s;
+                          },
+                          [](int64_t acc, int64_t part) { return acc + part; })
+                          .value();
   EXPECT_EQ(sum, 999 * 1000 / 2);
 }
 
@@ -257,13 +275,15 @@ TEST(ThreadPoolTest, MapReduceReducesInChunkOrder) {
   // The reduction must follow chunk order regardless of completion order:
   // concatenating chunk-begin indices yields the sorted sequence.
   ThreadPool pool(4);
-  const std::vector<int64_t> order = ParallelMapReduce<std::vector<int64_t>>(
-      &pool, 64, 4, {},
-      [](int64_t begin, int64_t) { return std::vector<int64_t>{begin}; },
-      [](std::vector<int64_t> acc, std::vector<int64_t> part) {
-        acc.insert(acc.end(), part.begin(), part.end());
-        return acc;
-      });
+  const std::vector<int64_t> order =
+      ParallelMapReduce<std::vector<int64_t>>(
+          &pool, 64, 4, {},
+          [](int64_t begin, int64_t) { return std::vector<int64_t>{begin}; },
+          [](std::vector<int64_t> acc, std::vector<int64_t> part) {
+            acc.insert(acc.end(), part.begin(), part.end());
+            return acc;
+          })
+          .value();
   ASSERT_EQ(order.size(), 16u);
   for (size_t i = 0; i < order.size(); ++i) {
     EXPECT_EQ(order[i], static_cast<int64_t>(i) * 4);
@@ -273,27 +293,25 @@ TEST(ThreadPoolTest, MapReduceReducesInChunkOrder) {
 TEST(ThreadPoolTest, MapReduceEmptyRangeReturnsInit) {
   ThreadPool pool(2);
   const int v = ParallelMapReduce<int>(
-      &pool, 0, 16, 42, [](int64_t, int64_t) { return 7; },
-      [](int acc, int part) { return acc + part; });
+                    &pool, 0, 16, 42, [](int64_t, int64_t) { return 7; },
+                    [](int acc, int part) { return acc + part; })
+                    .value();
   EXPECT_EQ(v, 42);
 }
 
 TEST(ThreadPoolTest, MapReducePropagatesFirstChunkException) {
   ThreadPool pool(4);
-  try {
-    ParallelMapReduce<int>(
-        &pool, 100, 10, 0,
-        [](int64_t begin, int64_t) -> int {
-          if (begin == 30) throw std::runtime_error("chunk-3");
-          if (begin == 70) throw std::runtime_error("chunk-7");
-          return 0;
-        },
-        [](int acc, int) { return acc; });
-    FAIL() << "expected an exception";
-  } catch (const std::runtime_error& e) {
-    // Lowest chunk index wins, independent of completion order.
-    EXPECT_STREQ(e.what(), "chunk-3");
-  }
+  const Result<int> r = ParallelMapReduce<int>(
+      &pool, 100, 10, 0,
+      [](int64_t begin, int64_t) -> int {
+        if (begin == 30) throw std::runtime_error("chunk-3");
+        if (begin == 70) throw std::runtime_error("chunk-7");
+        return 0;
+      },
+      [](int acc, int) { return acc; });
+  ASSERT_FALSE(r.ok());
+  // Lowest chunk index wins, independent of completion order.
+  EXPECT_NE(r.status().message().find("chunk-3"), std::string::npos);
 }
 
 }  // namespace

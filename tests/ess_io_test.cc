@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/oracle.h"
@@ -123,7 +124,7 @@ TEST_F(EssIoTest, RejectsUnsupportedVersion) {
   std::stringstream buffer;
   ASSERT_TRUE(ess_->Save(buffer).ok());
   std::string text = buffer.str();
-  text.replace(text.find(" 3\n"), 3, " 9\n");
+  text.replace(text.find(" 4\n"), 3, " 9\n");
   std::stringstream patched(text);
   Result<std::unique_ptr<Ess>> loaded = Ess::Load(patched, *catalog_, *query_);
   EXPECT_FALSE(loaded.ok());
@@ -171,7 +172,7 @@ TEST_F(EssIoTest, LoadsVersion1StreamWithDefaultStats) {
   std::stringstream buffer;
   ASSERT_TRUE(ess_->Save(buffer).ok());
   std::string text = buffer.str();
-  text.replace(text.find(" 3\n"), 3, " 1\n");
+  text.replace(text.find(" 4\n"), 3, " 1\n");
   size_t pos = 0;
   for (int line = 0; line < 4; ++line) pos = text.find('\n', pos) + 1;
   const size_t stats_end = text.find('\n', text.find('\n', pos) + 1) + 1;
@@ -184,6 +185,67 @@ TEST_F(EssIoTest, LoadsVersion1StreamWithDefaultStats) {
   EXPECT_EQ((*loaded)->num_locations(), ess_->num_locations());
   for (int64_t lin = 0; lin < ess_->num_locations(); lin += 7) {
     EXPECT_DOUBLE_EQ((*loaded)->OptimalCost(lin), ess_->OptimalCost(lin));
+  }
+}
+
+TEST_F(EssIoTest, FuzzTruncationAlwaysRejected) {
+  // The v4 checksum trailer covers every payload byte, so any prefix of
+  // a saved stream (short of the full file) must be rejected cleanly.
+  std::stringstream buffer;
+  ASSERT_TRUE(ess_->Save(buffer).ok());
+  const std::string full = buffer.str();
+  for (size_t len = 0; len + 2 < full.size(); len += 37) {
+    std::stringstream truncated(full.substr(0, len));
+    Result<std::unique_ptr<Ess>> loaded =
+        Ess::Load(truncated, *catalog_, *query_);
+    EXPECT_FALSE(loaded.ok()) << "prefix length " << len;
+  }
+}
+
+TEST_F(EssIoTest, FuzzBitFlipsAlwaysRejected) {
+  // Single-bit corruption anywhere in a v4 stream — header, plan bodies,
+  // grid data, or the trailer itself — must be rejected cleanly.
+  std::stringstream buffer;
+  ASSERT_TRUE(ess_->Save(buffer).ok());
+  const std::string full = buffer.str();
+  const size_t stride = std::max<size_t>(1, full.size() / 128);
+  for (size_t pos = 0; pos < full.size(); pos += stride) {
+    for (const int bit : {0, 3, 6}) {
+      std::string flipped = full;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ (1 << bit));
+      std::stringstream corrupted(flipped);
+      Result<std::unique_ptr<Ess>> loaded =
+          Ess::Load(corrupted, *catalog_, *query_);
+      EXPECT_FALSE(loaded.ok()) << "pos " << pos << " bit " << bit;
+    }
+  }
+}
+
+TEST_F(EssIoTest, FuzzLegacyStreamDamageNeverCrashes) {
+  // Pre-checksum (v3) streams cannot detect every corruption — a flipped
+  // or truncated cost digit still parses — but damage must never crash
+  // the loader or produce a partially-populated surface.
+  std::stringstream buffer;
+  ASSERT_TRUE(ess_->Save(buffer).ok());
+  std::string text = buffer.str();
+  text.replace(text.find(" 4\n"), 3, " 3\n");
+  text.resize(text.rfind("CKSUM "));  // v3 streams carry no trailer
+  const auto check = [&](const std::string& damaged) {
+    std::stringstream t(damaged);
+    Result<std::unique_ptr<Ess>> loaded = Ess::Load(t, *catalog_, *query_);
+    if (loaded.ok()) {
+      EXPECT_EQ((*loaded)->num_locations(), ess_->num_locations());
+      EXPECT_GT((*loaded)->num_contours(), 0);
+    }
+  };
+  for (size_t len = 0; len < text.size(); len += 53) {
+    check(text.substr(0, len));
+  }
+  const size_t stride = std::max<size_t>(1, text.size() / 96);
+  for (size_t pos = 0; pos < text.size(); pos += stride) {
+    std::string flipped = text;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ (1 << 2));
+    check(flipped);
   }
 }
 

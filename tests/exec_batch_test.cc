@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
@@ -314,6 +315,167 @@ TEST(ExecBatchGoldenTest, MidBatchAbortLandsOnSameTuple) {
   }
   EXPECT_TRUE(saw_mid_batch_abort)
       << "sweep never aborted mid-batch; weaken the test's assumptions";
+}
+
+// Budget edge cases around the exact completion cost: the abort predicate
+// is strictly `total > budget`, so a budget equal to the full run's cost
+// completes on both engines, while one representable double below it
+// aborts — on the same tuple in both engines.
+TEST(ExecBatchGoldenTest, BudgetExactlyMetAndJustMissed) {
+  const std::unique_ptr<Catalog> catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(3);
+  Optimizer opt(catalog.get(), &q);
+  const std::unique_ptr<Plan> plan = opt.Optimize({0.01, 0.0025, 0.02});
+  Executor tuple_exec = MakeEngine(catalog.get(), Executor::Engine::kTuple);
+  Executor batch_exec = MakeEngine(catalog.get(), Executor::Engine::kBatch);
+
+  const Result<ExecutionResult> full = tuple_exec.Execute(*plan, -1.0);
+  ASSERT_TRUE(full.ok() && full->completed);
+  const double exact = full->cost_used;
+
+  // Budget exactly met: completes, charges exactly the budget.
+  const Result<ExecutionResult> et = tuple_exec.Execute(*plan, exact);
+  const Result<ExecutionResult> eb = batch_exec.Execute(*plan, exact);
+  ASSERT_TRUE(et.ok() && eb.ok());
+  EXPECT_TRUE(et->completed);
+  EXPECT_EQ(et->cost_used, exact);
+  ExpectSameResult(*et, *eb, "budget == exact cost");
+
+  // One ulp below: the final cost event exceeds the budget, so the run
+  // aborts on the very last charge of the plan.
+  const double just_under = std::nextafter(exact, 0.0);
+  const Result<ExecutionResult> ut = tuple_exec.Execute(*plan, just_under);
+  const Result<ExecutionResult> ub = batch_exec.Execute(*plan, just_under);
+  ASSERT_TRUE(ut.ok() && ub.ok());
+  EXPECT_FALSE(ut->completed);
+  EXPECT_LE(ut->cost_used, just_under);
+  ExpectSameResult(*ut, *ub, "budget one ulp under exact cost");
+}
+
+// A transient fault mid-spill: the spill attempt's lost work is charged
+// (cost_used = clean cost + retried work) while the retried attempt's
+// learned counters stand — identically on both engines, because fault
+// draws happen before the attempt, outside engine internals.
+TEST(ExecBatchGoldenTest, MidSpillTransientChargesLostWorkOnBothEngines) {
+  const std::unique_ptr<Catalog> catalog = MakeTinyCatalog();
+  const Query q = MakeStarQuery(3);
+  Optimizer opt(catalog.get(), &q);
+  const std::unique_ptr<Plan> plan = opt.Optimize({0.01, 0.0025, 0.02});
+  const int node_id = plan->EppNodeId(0);
+  ASSERT_GE(node_id, 0);
+  Executor tuple_exec = MakeEngine(catalog.get(), Executor::Engine::kTuple);
+  Executor batch_exec = MakeEngine(catalog.get(), Executor::Engine::kBatch);
+
+  const Result<ExecutionResult> clean =
+      tuple_exec.ExecuteSpill(*plan, node_id, -1.0);
+  ASSERT_TRUE(clean.ok() && clean->completed);
+
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("exec.spill.run:after=0", 42)
+                  .ok());
+  ExecutionResult rt, rb;
+  {
+    FaultStreamScope scope(0);
+    Result<ExecutionResult> r = tuple_exec.ExecuteSpill(*plan, node_id, -1.0);
+    ASSERT_TRUE(r.ok());
+    rt = r.MoveValue();
+  }
+  {
+    FaultStreamScope scope(0);
+    Result<ExecutionResult> r = batch_exec.ExecuteSpill(*plan, node_id, -1.0);
+    ASSERT_TRUE(r.ok());
+    rb = r.MoveValue();
+  }
+  FaultInjector::Disarm();
+
+  EXPECT_EQ(rt.robustness.transient_retries, 1);
+  EXPECT_TRUE(rt.completed);
+  // Lost work is charged on top of the clean attempt's cost.
+  EXPECT_DOUBLE_EQ(rt.cost_used,
+                   clean->cost_used + rt.robustness.retried_cost);
+  // The counters of the surviving attempt are the clean run's.
+  ASSERT_EQ(rt.node_stats.size(), clean->node_stats.size());
+  for (size_t i = 0; i < rt.node_stats.size(); ++i) {
+    EXPECT_EQ(rt.node_stats[i].out, clean->node_stats[i].out);
+  }
+  // Same stream => same severity draw => bit-identical charge on the
+  // batch engine too.
+  EXPECT_EQ(rb.robustness.transient_retries, 1);
+  EXPECT_EQ(rb.cost_used, rt.cost_used);
+  ExpectSameResult(rt, rb, "faulted spill, tuple vs batch");
+}
+
+// Differential fuzz under an armed injector: with per-attempt pre-drawn
+// faults the engines must still agree exactly — completion, abort tuple,
+// cost_used including retry charges — stream-scoped so both engines see
+// the identical fault sequence.
+TEST_P(ExecBatchDifferentialTest, TupleAndBatchAgreeUnderFaults) {
+  const uint64_t seed = GetParam() + 9000;
+  ExecInstance inst = MakeExecInstance(seed);
+  Rng rng(seed * 6151 + 5);
+  Executor tuple_exec =
+      MakeEngine(inst.catalog.get(), Executor::Engine::kTuple);
+  Executor batch_exec =
+      MakeEngine(inst.catalog.get(), Executor::Engine::kBatch);
+
+  Optimizer opt(inst.catalog.get(), inst.query.get());
+  const int dims = inst.query->num_epps();
+  // Transients and spikes on the shared operator sites. The batch engine
+  // additionally draws exec.batch.pipeline, but per-site counters are
+  // independent, so the shared sites' sequences stay identical.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("exec.scan.read:p=0.3;exec.hashjoin.build:p=0.3;"
+                             "exec.nljoin.pair:p=0.2,kind=spike,mult=2",
+                             seed)
+                  .ok());
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::unique_ptr<Plan> plan = opt.Optimize(RandomPoint(&rng, dims));
+    const std::string tag =
+        "seed " + std::to_string(seed) + " plan " + plan->signature();
+    for (const double frac : {-1.0, 0.9, 0.45}) {
+      FaultInjector::Disarm();
+      const Result<ExecutionResult> clean = tuple_exec.Execute(*plan, -1.0);
+      ASSERT_TRUE(clean.ok()) << tag;
+      const double budget = frac < 0.0 ? -1.0 : clean->cost_used * frac;
+      ASSERT_TRUE(FaultInjector::Global()
+                      .Configure("exec.scan.read:p=0.3;"
+                                 "exec.hashjoin.build:p=0.3;"
+                                 "exec.nljoin.pair:p=0.2,kind=spike,mult=2",
+                                 seed)
+                      .ok());
+      ExecutionResult rt, rb;
+      bool rt_ok, rb_ok;
+      {
+        FaultStreamScope scope(static_cast<uint64_t>(trial));
+        Result<ExecutionResult> r = tuple_exec.Execute(*plan, budget);
+        rt_ok = r.ok();
+        if (rt_ok) rt = r.MoveValue();
+        // Unbudgeted retry exhaustion is a legal transient outcome; any
+        // other error is a real failure.
+        if (!rt_ok) ASSERT_TRUE(r.status().IsTransient()) << tag;
+      }
+      {
+        FaultStreamScope scope(static_cast<uint64_t>(trial));
+        Result<ExecutionResult> r = batch_exec.Execute(*plan, budget);
+        rb_ok = r.ok();
+        if (rb_ok) rb = r.MoveValue();
+        if (!rb_ok) ASSERT_TRUE(r.status().IsTransient()) << tag;
+      }
+      // Same stream, same draws: the engines must agree on the outcome
+      // shape, not just on successful results.
+      ASSERT_EQ(rt_ok, rb_ok) << tag;
+      if (!rt_ok) continue;
+      ExpectSameResult(rt, rb, tag + " [faulted, budget " +
+                                   std::to_string(budget) + "]");
+      EXPECT_EQ(rt.robustness.transient_retries,
+                rb.robustness.transient_retries)
+          << tag;
+      EXPECT_EQ(rt.robustness.cost_spikes, rb.robustness.cost_spikes) << tag;
+      EXPECT_EQ(rt.robustness.retried_cost, rb.robustness.retried_cost)
+          << tag;
+    }
+  }
+  FaultInjector::Disarm();
 }
 
 TEST(ExecBatchGoldenTest, ParseEngine) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "core/alignedbound.h"
 #include "core/oracle.h"
 #include "core/planbouquet.h"
@@ -53,6 +54,8 @@ struct CliOptions {
   double recost_lambda = 2.0;
   std::string save_ess;
   std::string load_ess;
+  std::string faults;
+  uint64_t fault_seed = 42;
 };
 
 void PrintUsage() {
@@ -78,6 +81,11 @@ void PrintUsage() {
       "  --ess-build-mode <m>   exhaustive | exact | recost:<lambda>\n"
       "                         (grid-refinement surface construction;\n"
       "                         default exhaustive)\n"
+      "  --faults <spec>        chaos testing: arm the deterministic fault\n"
+      "                         injector, e.g. \"exec.*:p=0.01\" or\n"
+      "                         \"optimizer.dp:after=100;exec.scan.read:p=0.05,"
+      "kind=spike\"\n"
+      "  --fault-seed <n>       seed for the fault draws (default 42)\n"
       "  --identify-epps        run the Section 7 epp identifier and exit\n"
       "  --save-ess <path>      persist the built ESS (offline contours)\n"
       "  --load-ess <path>      load a previously saved ESS instead of\n"
@@ -153,6 +161,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
                   << " (want exhaustive | exact | recost:<lambda>)\n";
         return false;
       }
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->faults = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->fault_seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--save-ess") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -187,6 +203,9 @@ void ReportRun(const Ess& ess, const std::string& name,
             << "  subopt=" << r.total_cost / opt_cost
             << "  executions=" << r.num_executions()
             << "  final contour=IC" << r.final_contour + 1 << "\n";
+  if (r.robustness.Any()) {
+    std::cout << "  robustness: " << r.robustness.Summary() << "\n";
+  }
   if (trace) PrintExecutionTrace(ess, r, std::cout);
 }
 
@@ -323,15 +342,48 @@ int Run(const CliOptions& opts) {
       std::cerr << "--evaluate needs --algo pb | sb | ab | all\n";
       return 1;
     }
-    const EvalOptions eval_opts{opts.threads};
+    EvalOptions eval_opts;
+    eval_opts.num_threads = opts.threads;
+    eval_opts.fault_spec = opts.faults;
+    eval_opts.fault_seed = opts.fault_seed;
+    if (!opts.faults.empty()) {
+      // Validate the spec up front (Evaluate re-configures per sweep).
+      const Status st =
+          FaultInjector::Global().Configure(opts.faults, opts.fault_seed);
+      if (!st.ok()) {
+        std::cerr << "bad --faults spec: " << st.ToString() << "\n";
+        return 1;
+      }
+      FaultInjector::Global().Disarm();
+      std::cout << "chaos sweep: faults \"" << opts.faults << "\" seed "
+                << opts.fault_seed << "\n";
+    }
     for (const auto& algo : algos) {
       const SuboptimalityStats stats = Evaluate(*algo, ess, eval_opts);
       std::cout << algo->name() << ": MSOe=" << stats.mso
                 << "  ASO=" << stats.aso << "  p95=" << stats.Percentile(95.0)
                 << "  worst q_a=IC-loc " << stats.worst_location
                 << "  (guarantee " << algo->MsoGuarantee() << ")\n";
+      if (stats.robustness.Any()) {
+        std::cout << "  robustness: " << stats.robustness.Summary() << "\n";
+        std::cout << "  fault sites: " << FaultInjector::Global().StatsSummary()
+                  << "\n";
+      }
     }
     return 0;
+  }
+
+  if (!opts.faults.empty()) {
+    // Single-run chaos mode: arm the injector for the discovery runs
+    // below (the per-run RobustnessReport is printed by ReportRun).
+    const Status st =
+        FaultInjector::Global().Configure(opts.faults, opts.fault_seed);
+    if (!st.ok()) {
+      std::cerr << "bad --faults spec: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "fault injection armed: \"" << opts.faults << "\" seed "
+              << opts.fault_seed << "\n";
   }
 
   Executor::Options exec_opts;
