@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against the committed baseline.
+
+Usage: compare_baseline.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Both files are google-benchmark JSON outputs recorded with repetitions and
+aggregate reporting (bench/record_baseline.sh produces this shape). Only
+`median` aggregates are compared — single-shot timings are too noisy for a
+CI gate. CPU time is normalized to nanoseconds via each entry's time_unit.
+
+Exit status is 1 if any benchmark's median cpu_time regressed by more than
+the tolerance (default +25%); benchmarks present in only one file are
+reported but never fail the gate, so adding or renaming benchmarks does not
+require a lockstep baseline refresh.
+"""
+
+import argparse
+import json
+import sys
+
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_medians(path):
+    """Return {benchmark name: median cpu_time in ns}."""
+    with open(path) as f:
+        doc = json.load(f)
+    medians = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("aggregate_name") != "median":
+            continue
+        name = entry["name"]
+        if name.endswith("_median"):
+            name = name[: -len("_median")]
+        scale = _NS_PER_UNIT[entry.get("time_unit", "ns")]
+        medians[name] = entry["cpu_time"] * scale
+    return medians
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional cpu_time regression")
+    args = parser.parse_args()
+
+    base = load_medians(args.baseline)
+    cur = load_medians(args.current)
+    if not base or not cur:
+        print("error: no median aggregates found; record with repetitions",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in sorted(base):
+        if name not in cur:
+            print(f"note: {name}: in baseline only, skipped")
+            continue
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSED"
+            failures.append(name)
+        print(f"{verdict:>9}  {name}: {base[name]:.0f}ns -> {cur[name]:.0f}ns "
+              f"({ratio:+.1%} of baseline)")
+    for name in sorted(set(cur) - set(base)):
+        print(f"note: {name}: not in baseline, skipped")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nperf smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 "$BIN" \
-  --benchmark_filter='BM_SeqScan|BM_JoinOperators' \
+  --benchmark_filter='BM_SeqScan|BM_JoinOperators|BM_FilterInt64|BM_ZoneMapScan|BM_FlatHashProbe' \
   --benchmark_repetitions="$REPS" \
   --benchmark_report_aggregates_only=true \
   --benchmark_out_format=json \

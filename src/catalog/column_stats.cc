@@ -1,11 +1,13 @@
 #include "catalog/column_stats.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace robustqp {
 
 double EquiDepthHistogram::EstimateLessEq(double v) const {
   if (total_rows == 0 || bounds.empty()) return 0.0;
+  if (std::isnan(v)) return 0.0;  // NaN compares false with everything
   if (v >= bounds.back()) return 1.0;
   // Find the first bucket whose upper edge is >= v.
   auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
@@ -15,6 +17,10 @@ double EquiDepthHistogram::EstimateLessEq(double v) const {
   double frac_in_bucket = 0.0;
   if (upper > lower) {
     frac_in_bucket = (v - lower) / (upper - lower);
+    // ±inf bucket edges (columns holding ±inf values) make the ratio
+    // inf/inf = NaN; fall back to a half-full bucket so downstream cost
+    // arithmetic stays finite.
+    if (std::isnan(frac_in_bucket)) frac_in_bucket = 0.5;
     frac_in_bucket = std::clamp(frac_in_bucket, 0.0, 1.0);
   } else {
     frac_in_bucket = 1.0;

@@ -52,6 +52,7 @@
 
 #include "common/thread_pool.h"
 #include "exec/cost_ledger.h"
+#include "exec/kernels.h"
 #include "storage/hash_index.h"
 #include "storage/table.h"
 
@@ -99,52 +100,6 @@ bool EvalFilter(const Filter& f, int64_t row) {
   return false;
 }
 
-/// Dispatches a filter to a typed predicate lambda so the per-row loop
-/// compares raw column values without per-row type branches.
-template <typename Fn>
-void WithFilterPred(const Filter& f, Fn&& fn) {
-  const double value = f.value;
-  if (f.col->type() == DataType::kInt64) {
-    const int64_t* v = f.col->ints().data();
-    switch (f.op) {
-      case CompareOp::kLt:
-        fn([=](int64_t r) { return static_cast<double>(v[r]) < value; });
-        return;
-      case CompareOp::kLe:
-        fn([=](int64_t r) { return static_cast<double>(v[r]) <= value; });
-        return;
-      case CompareOp::kGt:
-        fn([=](int64_t r) { return static_cast<double>(v[r]) > value; });
-        return;
-      case CompareOp::kGe:
-        fn([=](int64_t r) { return static_cast<double>(v[r]) >= value; });
-        return;
-      case CompareOp::kEq:
-        fn([=](int64_t r) { return static_cast<double>(v[r]) == value; });
-        return;
-    }
-  } else {
-    const double* v = f.col->doubles().data();
-    switch (f.op) {
-      case CompareOp::kLt:
-        fn([=](int64_t r) { return v[r] < value; });
-        return;
-      case CompareOp::kLe:
-        fn([=](int64_t r) { return v[r] <= value; });
-        return;
-      case CompareOp::kGt:
-        fn([=](int64_t r) { return v[r] > value; });
-        return;
-      case CompareOp::kGe:
-        fn([=](int64_t r) { return v[r] >= value; });
-        return;
-      case CompareOp::kEq:
-        fn([=](int64_t r) { return v[r] == value; });
-        return;
-    }
-  }
-}
-
 // ---------------------------------------------------------------------------
 // Batches
 // ---------------------------------------------------------------------------
@@ -163,117 +118,12 @@ struct Batch {
 };
 
 // ---------------------------------------------------------------------------
-// Join hash table: open addressing over mixed key bits, unique keys own
-// insertion-ordered entry chains (matching the tuple engine's
-// unordered_map<key, vector<Row>> emission order), payloads column-major.
+// Join hash table: the kernels-layer flat open-addressing table (unique
+// keys own insertion-ordered entry chains, matching the tuple engine's
+// unordered_map<key, vector<Row>> emission order; payloads column-major).
 // ---------------------------------------------------------------------------
 
-class JoinHashTable {
- public:
-  void Init(int key_width, int payload_width) {
-    kw_ = key_width;
-    pay_.assign(static_cast<size_t>(payload_width), {});
-    slots_.assign(64, -1);
-  }
-
-  int key_width() const { return kw_; }
-
-  void Insert(const double* key, const double* payload) {
-    const int64_t u = FindOrAddKey(key);
-    const int64_t e = static_cast<int64_t>(next_.size());
-    next_.push_back(-1);
-    if (tail_[static_cast<size_t>(u)] >= 0) {
-      next_[static_cast<size_t>(tail_[static_cast<size_t>(u)])] = e;
-    } else {
-      head_[static_cast<size_t>(u)] = e;
-    }
-    tail_[static_cast<size_t>(u)] = e;
-    ++chain_len_[static_cast<size_t>(u)];
-    for (size_t c = 0; c < pay_.size(); ++c) pay_[c].push_back(payload[c]);
-  }
-
-  /// Unique-key ordinal, or -1 when the key is absent. Double equality
-  /// matches the tuple engine's vector<double> key comparison: NaN never
-  /// matches (not even itself), ±0.0 are equal.
-  int64_t Find(const double* key) const {
-    if (num_keys_ == 0) return -1;
-    const uint64_t mask = slots_.size() - 1;
-    for (uint64_t s = Hash(key) & mask;; s = (s + 1) & mask) {
-      const int64_t u = slots_[s];
-      if (u < 0) return -1;
-      if (KeyEquals(u, key)) return u;
-    }
-  }
-
-  int64_t ChainHead(int64_t u) const { return head_[static_cast<size_t>(u)]; }
-  int64_t ChainNext(int64_t e) const { return next_[static_cast<size_t>(e)]; }
-  int64_t ChainLen(int64_t u) const {
-    return chain_len_[static_cast<size_t>(u)];
-  }
-  double Payload(size_t col, int64_t e) const {
-    return pay_[col][static_cast<size_t>(e)];
-  }
-
- private:
-  uint64_t Hash(const double* key) const {
-    uint64_t h = 0x9e3779b97f4a7c15ull;
-    for (int i = 0; i < kw_; ++i) {
-      const double v = key[i] == 0.0 ? 0.0 : key[i];  // normalize -0.0
-      uint64_t b;
-      std::memcpy(&b, &v, sizeof(b));
-      b *= 0xbf58476d1ce4e5b9ull;
-      b ^= b >> 31;
-      h = (h ^ b) * 0x94d049bb133111ebull;
-    }
-    h ^= h >> 29;
-    return h;
-  }
-
-  bool KeyEquals(int64_t u, const double* key) const {
-    const double* stored = &ukeys_[static_cast<size_t>(u) * kw_];
-    for (int i = 0; i < kw_; ++i) {
-      if (stored[i] != key[i]) return false;
-    }
-    return true;
-  }
-
-  int64_t FindOrAddKey(const double* key) {
-    if ((num_keys_ + 1) * 8 > static_cast<int64_t>(slots_.size()) * 7) Grow();
-    const uint64_t mask = slots_.size() - 1;
-    for (uint64_t s = Hash(key) & mask;; s = (s + 1) & mask) {
-      const int64_t u = slots_[s];
-      if (u < 0) {
-        const int64_t nu = num_keys_++;
-        slots_[s] = nu;
-        ukeys_.insert(ukeys_.end(), key, key + kw_);
-        head_.push_back(-1);
-        tail_.push_back(-1);
-        chain_len_.push_back(0);
-        return nu;
-      }
-      if (KeyEquals(u, key)) return u;
-    }
-  }
-
-  void Grow() {
-    std::vector<int64_t> old = std::move(slots_);
-    slots_.assign(old.size() * 2, -1);
-    const uint64_t mask = slots_.size() - 1;
-    for (int64_t u = 0; u < num_keys_; ++u) {
-      uint64_t s = Hash(&ukeys_[static_cast<size_t>(u) * kw_]) & mask;
-      while (slots_[s] >= 0) s = (s + 1) & mask;
-      slots_[s] = u;
-    }
-  }
-
-  int kw_ = 1;
-  std::vector<double> ukeys_;                    // kw_ values per unique key
-  std::vector<int64_t> head_, tail_, chain_len_;  // per unique key
-  std::vector<int64_t> next_;                     // per entry
-  std::vector<std::vector<double>> pay_;          // per payload col, per entry
-  std::vector<int64_t> slots_;
-  int64_t num_keys_ = 0;
-};
+using JoinHashTable = kernels::FlatJoinTable;
 
 /// Materialized inner side of a block nested-loop join, in drain order.
 struct NljBuffer {
@@ -773,6 +623,9 @@ struct WorkCtx {
   bool budgeted = false;
   double budget = -1.0;
   const CostParams* params = nullptr;
+  /// Physical-only scan pruning switch (Executor::Options::use_zone_maps);
+  /// never affects results or counts, only which rows get *evaluated*.
+  bool use_zone_maps = true;
 
   NodeStats& St(int node_id) {
     return (*stats)[static_cast<size_t>(node_id)];
@@ -782,7 +635,7 @@ struct WorkCtx {
     return budgeted && ledger->Total(*params) > budget;
   }
   /// Tuple-order charge used by the replay interpreter.
-  bool Charge(int64_t CostLedger::*counter) {
+  bool Charge(EventCount CostLedger::*counter) {
     ++((*ledger).*counter);
     return !budgeted || ledger->Total(*params) <= budget;
   }
@@ -794,6 +647,11 @@ struct Scratch {
   Batch a, b;
   std::vector<double> key;
   std::vector<double> pay;
+  kernels::FilterScratch fsc;
+  std::vector<int64_t> probe_u;   // vectorized probe: resolved ordinals
+  std::vector<uint64_t> hashes;   // vectorized probe: hash pass output
+  std::vector<int64_t> match_i;   // vectorized probe: matched probe rows
+  std::vector<int64_t> match_e;   // vectorized probe: matched entries
   /// Replay row values, one vector per pipeline level.
   std::vector<std::vector<double>> rows;
 };
@@ -835,6 +693,11 @@ void RestoreSnapshot(const Pipeline& p, const MorselSnapshot& s, WorkCtx* ctx) {
 // Pre-ops (uncharged Open()-time work)
 // ---------------------------------------------------------------------------
 
+int64_t FilterCascade(const std::vector<Filter>& filters, int64_t r0,
+                      int64_t r1, bool use_zones, NodeStats* st,
+                      std::vector<int64_t>* sel,
+                      kernels::FilterScratch* fsc, bool* dense);
+
 void RunPreOps(const Pipeline& p, WorkCtx* ctx) {
   for (const PreOp& po : p.pre_ops) {
     NodeStats& st = ctx->St(po.stat_node);
@@ -844,54 +707,77 @@ void RunPreOps(const Pipeline& p, WorkCtx* ctx) {
     if (po.kind == PreOp::Kind::kScanFilterStats) continue;
     // kIndexMeta: count the filtered inner cardinality so a completed
     // spill learns the same denominator a hash join would (uncharged).
+    // Runs the shared kernel cascade per zone block so clustered inner
+    // filters prune without touching the counts.
     NodeStats& jst = ctx->St(po.join_node);
     jst.right_in = 0;
-    for (int64_t r = 0; r < po.table->num_rows(); ++r) {
-      bool pass = true;
-      for (size_t k = 0; k < po.filters.size(); ++k) {
-        ++st.filter_in[k];
-        if (!EvalFilter(po.filters[k], r)) {
-          pass = false;
-          break;
-        }
-        ++st.filter_pass[k];
-      }
-      if (pass) ++jst.right_in;
+    const int64_t n = po.table->num_rows();
+    std::vector<int64_t> sel;
+    kernels::FilterScratch fsc;
+    for (int64_t r0 = 0; r0 < n; r0 += kZoneBlockRows) {
+      const int64_t r1 = std::min<int64_t>(n, r0 + kZoneBlockRows);
+      bool dense = false;
+      jst.right_in += FilterCascade(po.filters, r0, r1, ctx->use_zone_maps,
+                                    &st, &sel, &fsc, &dense);
     }
   }
 }
 
 // ---------------------------------------------------------------------------
-// Bulk source: scan morsel -> selection vector -> gathered batch
+// Bulk source: scan morsel -> filter cascade -> gathered batch
 // ---------------------------------------------------------------------------
 
-void GatherColumn(const ColumnData& col, const std::vector<int64_t>& sel,
-                  std::vector<double>* out) {
-  out->clear();
-  out->reserve(sel.size());
-  if (col.type() == DataType::kInt64) {
-    const int64_t* v = col.ints().data();
-    for (int64_t r : sel) out->push_back(static_cast<double>(v[r]));
-  } else {
-    const double* v = col.doubles().data();
-    for (int64_t r : sel) out->push_back(v[r]);
+/// Runs the filter cascade over rows [r0, r1) with zone-map block
+/// classification and branch-free kernels, accumulating filter_in /
+/// filter_pass into `st` exactly as the per-row early-exit loop would
+/// (filter k sees the survivors of filters 0..k-1). On return `*dense`
+/// means the whole range survived (no selection vector was materialized);
+/// otherwise survivors are in `*sel`. Returns the survivor count.
+///
+/// Pruning never changes the accumulated counts: a kNone block bumps
+/// filter_in by the incoming count and filter_pass by zero, a kAll block
+/// bumps both by the incoming count — the same totals row-at-a-time
+/// evaluation produces, just without touching the rows.
+int64_t FilterCascade(const std::vector<Filter>& filters, int64_t r0,
+                      int64_t r1, bool use_zones, NodeStats* st,
+                      std::vector<int64_t>* sel,
+                      kernels::FilterScratch* fsc, bool* dense) {
+  *dense = true;
+  int64_t cur = r1 - r0;
+  sel->clear();
+  for (size_t k = 0; k < filters.size(); ++k) {
+    const Filter& f = filters[k];
+    // Observed pass rate so far picks the dense vs sparse kernel; it only
+    // affects speed, never which rows survive.
+    const double est =
+        st->filter_in[k] > 0
+            ? static_cast<double>(st->filter_pass[k]) /
+                  static_cast<double>(st->filter_in[k])
+            : 0.5;
+    st->filter_in[k] += cur;
+    kernels::ZoneMatch zm = kernels::ZoneMatch::kSome;
+    if (use_zones && cur > 0) {
+      zm = kernels::ClassifyZones(*f.col, f.op, f.value, r0, r1);
+    }
+    if (zm == kernels::ZoneMatch::kNone) {
+      cur = 0;
+      *dense = false;
+      sel->clear();
+    } else if (zm == kernels::ZoneMatch::kAll) {
+      // Every row in [r0, r1) passes; the current selection is a subset.
+    } else if (*dense) {
+      cur = kernels::FilterRange(*f.col, f.op, f.value, r0, r1, est, sel, fsc);
+      *dense = false;
+    } else {
+      cur = kernels::FilterRefine(*f.col, f.op, f.value, sel);
+    }
+    st->filter_pass[k] += cur;
+    if (cur == 0 && !*dense) break;  // later filters see zero inputs
   }
+  return *dense ? (r1 - r0) : cur;
 }
 
-void GatherColumnRange(const ColumnData& col, int64_t r0, int64_t r1,
-                       std::vector<double>* out) {
-  out->clear();
-  out->reserve(static_cast<size_t>(r1 - r0));
-  if (col.type() == DataType::kInt64) {
-    const int64_t* v = col.ints().data();
-    for (int64_t r = r0; r < r1; ++r) out->push_back(static_cast<double>(v[r]));
-  } else {
-    out->insert(out->end(), col.doubles().begin() + r0,
-                col.doubles().begin() + r1);
-  }
-}
-
-/// Scans rows [r0, r1), applying filters as column loops; leaves the
+/// Scans rows [r0, r1), applying filters as kernel cascades; leaves the
 /// surviving batch in `out`. Counts scan events and filter stats.
 void ScanBulk(const ScanSource& s, int64_t r0, int64_t r1, WorkCtx* ctx,
               Scratch* sc, Batch* out) {
@@ -900,41 +786,20 @@ void ScanBulk(const ScanSource& s, int64_t r0, int64_t r1, WorkCtx* ctx,
   st.left_in += n;
   ctx->ledger->scan_tuple += n;
   out->Reset(s.out_cols.size());
-  if (s.filters.empty()) {
-    st.out += n;
-    out->n = n;
-    for (size_t c = 0; c < s.out_cols.size(); ++c) {
-      GatherColumnRange(*s.out_cols[c], r0, r1, &out->cols[c]);
-    }
-    return;
+  bool dense = true;
+  int64_t cur = n;
+  if (!s.filters.empty()) {
+    cur = FilterCascade(s.filters, r0, r1, ctx->use_zone_maps, &st, &sc->sel,
+                        &sc->fsc, &dense);
   }
-  std::vector<int64_t>& sel = sc->sel;
-  sel.clear();
-  for (size_t k = 0; k < s.filters.size(); ++k) {
-    if (k == 0) {
-      st.filter_in[0] += n;
-      WithFilterPred(s.filters[0], [&](auto pred) {
-        for (int64_t r = r0; r < r1; ++r) {
-          if (pred(r)) sel.push_back(r);
-        }
-      });
-      st.filter_pass[0] += static_cast<int64_t>(sel.size());
-    } else {
-      st.filter_in[k] += static_cast<int64_t>(sel.size());
-      WithFilterPred(s.filters[k], [&](auto pred) {
-        size_t w = 0;
-        for (size_t i = 0; i < sel.size(); ++i) {
-          if (pred(sel[i])) sel[w++] = sel[i];
-        }
-        sel.resize(w);
-      });
-      st.filter_pass[k] += static_cast<int64_t>(sel.size());
-    }
-  }
-  st.out += static_cast<int64_t>(sel.size());
-  out->n = static_cast<int64_t>(sel.size());
+  st.out += cur;
+  out->n = cur;
   for (size_t c = 0; c < s.out_cols.size(); ++c) {
-    GatherColumn(*s.out_cols[c], sel, &out->cols[c]);
+    if (dense) {
+      kernels::GatherRange(*s.out_cols[c], r0, r1, &out->cols[c]);
+    } else {
+      kernels::Gather(*s.out_cols[c], sc->sel.data(), cur, &out->cols[c]);
+    }
   }
 }
 
@@ -1002,7 +867,7 @@ bool MergeBulk(SmjState* m, const std::vector<MergeOut>& merge_out,
                WorkCtx* ctx, Batch* out) {
   NodeStats& st = ctx->St(m->node_id);
   out->Reset(merge_out.size());
-  auto count = [&](int64_t CostLedger::*counter) {
+  auto count = [&](EventCount CostLedger::*counter) {
     ++((*ctx->ledger).*counter);
     return true;
   };
@@ -1050,6 +915,52 @@ bool StageBulk(const Stage& s, const Batch& in, WorkCtx* ctx, Scratch* sc,
       ctx->ledger->hash_probe_tuple += in.n;
       const JoinHashTable* ht = s.ht;
       const int kw = ht->key_width();
+      const bool vectorized = !ctx->budgeted && kw == 1 && in.n > 0;
+      if (vectorized) {
+        // Two-pass probe: hash + slot resolution for the whole batch up
+        // front, then a column-major emit — match pairs first, then each
+        // output column filled in its own tight gather loop.
+        sc->probe_u.resize(static_cast<size_t>(in.n));
+        ht->FindBatch(in.cols[static_cast<size_t>(s.in_keys[0])].data(), in.n,
+                      sc->probe_u.data(), &sc->hashes);
+        sc->match_i.clear();
+        sc->match_e.clear();
+        for (int64_t i = 0; i < in.n; ++i) {
+          const int64_t u = sc->probe_u[static_cast<size_t>(i)];
+          if (u < 0) continue;
+          if (w == 0) {
+            matches += ht->ChainLen(u);
+            continue;
+          }
+          for (int64_t e = ht->ChainHead(u); e >= 0; e = ht->ChainNext(e)) {
+            sc->match_i.push_back(i);
+            sc->match_e.push_back(e);
+          }
+        }
+        if (w > 0) {
+          matches = static_cast<int64_t>(sc->match_i.size());
+          for (size_t c = 0; c < w; ++c) {
+            const OutCol& oc = s.out_cols[c];
+            std::vector<double>& dst = out->cols[c];
+            dst.resize(static_cast<size_t>(matches));
+            if (oc.from_input) {
+              const double* src =
+                  in.cols[static_cast<size_t>(oc.idx)].data();
+              for (int64_t j = 0; j < matches; ++j) {
+                dst[static_cast<size_t>(j)] =
+                    src[sc->match_i[static_cast<size_t>(j)]];
+              }
+            } else {
+              for (int64_t j = 0; j < matches; ++j) {
+                dst[static_cast<size_t>(j)] =
+                    ht->Payload(static_cast<size_t>(oc.idx),
+                                sc->match_e[static_cast<size_t>(j)]);
+              }
+            }
+          }
+        }
+        break;
+      }
       for (int64_t i = 0; i < in.n; ++i) {
         int64_t u;
         if (kw == 1) {
@@ -1095,14 +1006,13 @@ bool StageBulk(const Stage& s, const Batch& in, WorkCtx* ctx, Scratch* sc,
           in.cols[static_cast<size_t>(s.in_keys[0])].data();
       const bool no_filters = s.inner_filters.empty();
       for (int64_t i = 0; i < in.n; ++i) {
-        const std::vector<int64_t>* m =
-            s.index->Lookup(static_cast<int64_t>(keys[i]));
-        if (m != nullptr) {
-          ctx->ledger->index_fetch += static_cast<int64_t>(m->size());
+        const RowIdSpan m = s.index->Lookup(static_cast<int64_t>(keys[i]));
+        if (!m.empty()) {
+          ctx->ledger->index_fetch += m.size();
           if (no_filters && w == 0) {
-            matches += static_cast<int64_t>(m->size());
+            matches += m.size();
           } else {
-            for (int64_t r : *m) {
+            for (int64_t r : m) {
               bool pass = true;
               for (const Filter& f : s.inner_filters) {
                 if (!EvalFilter(f, r)) {
@@ -1350,10 +1260,9 @@ bool ReplayPush(const Pipeline& p, size_t si, WorkCtx* ctx, Scratch* sc) {
       ++st.left_in;
       if (!ctx->Charge(&CostLedger::index_probe)) return false;
       const double key = row[static_cast<size_t>(s.in_keys[0])];
-      const std::vector<int64_t>* m =
-          s.index->Lookup(static_cast<int64_t>(key));
-      if (m == nullptr) return true;
-      for (int64_t r : *m) {
+      const RowIdSpan m = s.index->Lookup(static_cast<int64_t>(key));
+      if (m.empty()) return true;
+      for (int64_t r : m) {
         if (!ctx->Charge(&CostLedger::index_fetch)) return false;
         bool pass = true;
         for (const Filter& f : s.inner_filters) {
@@ -1451,7 +1360,7 @@ Status ReplayMergeBatch(const Pipeline& p, WorkCtx* ctx, Scratch* sc) {
   PrepareReplayRows(p, sc);
   SmjState* m = p.merge;
   NodeStats& st = ctx->St(m->node_id);
-  auto charge = [&](int64_t CostLedger::*counter) {
+  auto charge = [&](EventCount CostLedger::*counter) {
     return ctx->Charge(counter);
   };
   while (true) {
@@ -1573,6 +1482,7 @@ Status RunPipelineParallel(const Pipeline& p, const CostModel& cm,
     wctx.ledger = &wo.ledger;
     wctx.stats = &wo.stats;
     wctx.output_rows = &wo.output_rows;
+    wctx.use_zone_maps = ctx->use_zone_maps;
     Scratch wsc;
     size_t width = 0;
     for (int64_t r0 = begin; r0 < end; r0 += kBatchRows) {
@@ -1623,7 +1533,8 @@ Status RunPipelineParallel(const Pipeline& p, const CostModel& cm,
 Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
                                        const Plan& plan, const PlanNode& root,
                                        const CostModel& cost_model,
-                                       double budget, ThreadPool* pool) {
+                                       double budget, ThreadPool* pool,
+                                       bool use_zone_maps) {
   ExecutionResult result;
   result.node_stats.assign(static_cast<size_t>(plan.num_nodes()), NodeStats{});
 
@@ -1639,6 +1550,7 @@ Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
   ctx.budgeted = budget >= 0.0;
   ctx.budget = budget;
   ctx.params = &cost_model.params();
+  ctx.use_zone_maps = use_zone_maps;
 
   Scratch sc;
   Status st = Status::OK();

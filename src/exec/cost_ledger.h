@@ -20,29 +20,64 @@
 // exhausted" is therefore well-defined as the first event (in tuple
 // order) whose inclusion makes `Total` exceed the budget, and both
 // engines agree on that boundary bit-for-bit.
+//
+// Counts are `EventCount`s: int64 counters that saturate at INT64_MAX
+// instead of wrapping (with a debug assert), so a runaway chaos sweep can
+// never silently overflow into a negative count and make `Total` — and
+// with it every budget decision — go backwards.
 
 #ifndef ROBUSTQP_EXEC_COST_LEDGER_H_
 #define ROBUSTQP_EXEC_COST_LEDGER_H_
 
+#include <cassert>
 #include <cstdint>
+#include <limits>
 
 #include "optimizer/cost_model.h"
 
 namespace robustqp {
 
+/// A non-negative saturating event counter. Behaves like an int64_t for
+/// reading and bulk adds, but clamps at INT64_MAX instead of wrapping
+/// (asserting in debug builds, where an overflow is always a bug).
+class EventCount {
+ public:
+  constexpr EventCount() = default;
+  constexpr EventCount(int64_t v) : v_(v) {}  // NOLINT(runtime/explicit)
+
+  constexpr operator int64_t() const { return v_; }  // NOLINT
+
+  EventCount& operator+=(int64_t delta) {
+    assert(delta >= 0 && "event counts only grow");
+    assert(v_ <= std::numeric_limits<int64_t>::max() - delta &&
+           "event count overflow");
+    if (delta > std::numeric_limits<int64_t>::max() - v_) {
+      v_ = std::numeric_limits<int64_t>::max();
+    } else {
+      v_ += delta;
+    }
+    return *this;
+  }
+
+  EventCount& operator++() { return *this += 1; }
+
+ private:
+  int64_t v_ = 0;
+};
+
 /// One counter per per-tuple cost constant, in `CostParams` declaration
 /// order (the order `Total` reduces them in).
 struct CostLedger {
-  int64_t scan_tuple = 0;
-  int64_t hash_build_tuple = 0;
-  int64_t hash_probe_tuple = 0;
-  int64_t nlj_materialize_tuple = 0;
-  int64_t nlj_pair = 0;
-  int64_t join_output_tuple = 0;
-  int64_t index_probe = 0;
-  int64_t index_fetch = 0;
-  int64_t sort_tuple = 0;
-  int64_t merge_tuple = 0;
+  EventCount scan_tuple;
+  EventCount hash_build_tuple;
+  EventCount hash_probe_tuple;
+  EventCount nlj_materialize_tuple;
+  EventCount nlj_pair;
+  EventCount join_output_tuple;
+  EventCount index_probe;
+  EventCount index_fetch;
+  EventCount sort_tuple;
+  EventCount merge_tuple;
   /// Non-unit charges: the sort remainder `sort_tuple * (SortTerm(n) - n)`
   /// charged once per sorted input, accumulated in pipeline order.
   double extra = 0.0;

@@ -67,7 +67,7 @@ struct ExecContext {
 
   /// Counts one event of the given ledger kind; returns false once the
   /// budget is exhausted.
-  bool Charge(int64_t CostLedger::*counter) {
+  bool Charge(EventCount CostLedger::*counter) {
     ++(ledger.*counter);
     return budget < 0.0 || ledger.Total(*params) <= budget;
   }
@@ -618,7 +618,7 @@ class IndexNLJoinOp : public OperatorBase {
       }
       if (pass) ++st.right_in;
     }
-    matches_ = nullptr;
+    matches_ = {};
     match_idx_ = 0;
     return Status::OK();
   }
@@ -626,9 +626,9 @@ class IndexNLJoinOp : public OperatorBase {
   Status Next(ExecContext* ctx, Row* out, bool* eof) override {
     NodeStats& st = (*ctx->stats)[static_cast<size_t>(node_.id)];
     while (true) {
-      if (matches_ != nullptr) {
-        while (match_idx_ < matches_->size()) {
-          const int64_t r = (*matches_)[match_idx_++];
+      if (!matches_.empty()) {
+        while (match_idx_ < matches_.size()) {
+          const int64_t r = matches_[match_idx_++];
           if (!ctx->Charge(&CostLedger::index_fetch)) {
             return Status::BudgetExhausted("index fetch");
           }
@@ -647,7 +647,7 @@ class IndexNLJoinOp : public OperatorBase {
           *eof = false;
           return Status::OK();
         }
-        matches_ = nullptr;
+        matches_ = {};
       }
       bool outer_eof = false;
       RQP_RETURN_NOT_OK(outer_->Next(ctx, &outer_row_, &outer_eof));
@@ -701,8 +701,8 @@ class IndexNLJoinOp : public OperatorBase {
   int outer_key_slot_ = -1;
   std::vector<Filter> filters_;
   Row outer_row_;
-  const std::vector<int64_t>* matches_ = nullptr;
-  size_t match_idx_ = 0;
+  RowIdSpan matches_;
+  int64_t match_idx_ = 0;
 };
 
 std::unique_ptr<OperatorBase> BuildOperator(const Catalog& catalog,
@@ -778,7 +778,8 @@ Result<ExecutionResult> Executor::RunOnce(const Plan& plan,
     // learning, so both stay single-threaded.
     ThreadPool* pool =
         (budget < 0.0 && !spill && allow_parallel) ? pool_.get() : nullptr;
-    return RunBatchEngine(*catalog_, plan, root, cost_model_, budget, pool);
+    return RunBatchEngine(*catalog_, plan, root, cost_model_, budget, pool,
+                          options_.use_zone_maps);
   }
 
   ExecutionResult result;

@@ -105,6 +105,10 @@ class Executor {
     /// learning primitive's abort semantics are untouched. 0 means
     /// ThreadPool::DefaultThreads(); 1 disables parallelism.
     int num_threads = 1;
+    /// Batch engine only: let scans skip zone-map-pruned blocks. Purely
+    /// physical — results, cost_used, and every NodeStats counter are
+    /// bit-identical either way (differential tests run both settings).
+    bool use_zone_maps = true;
   };
 
   Executor(const Catalog* catalog, CostModel cost_model);

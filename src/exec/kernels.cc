@@ -1,0 +1,320 @@
+#include "exec/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace robustqp {
+namespace kernels {
+namespace {
+
+/// Per-block decision for one predicate against one zone summary.
+/// `lo > hi` means the block holds no comparable value (empty tail or
+/// all-NaN), which satisfies nothing.
+ZoneMatch ClassifyBlock(double lo, double hi, bool nan, CompareOp op,
+                        double value) {
+  if (lo > hi) return ZoneMatch::kNone;
+  switch (op) {
+    case CompareOp::kLt:
+      if (lo >= value) return ZoneMatch::kNone;
+      if (hi < value && !nan) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+    case CompareOp::kLe:
+      if (lo > value) return ZoneMatch::kNone;
+      if (hi <= value && !nan) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+    case CompareOp::kGt:
+      if (hi <= value) return ZoneMatch::kNone;
+      if (lo > value && !nan) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+    case CompareOp::kGe:
+      if (hi < value) return ZoneMatch::kNone;
+      if (lo >= value && !nan) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+    case CompareOp::kEq:
+      if (value < lo || value > hi) return ZoneMatch::kNone;
+      if (lo == value && hi == value && !nan) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+  }
+  return ZoneMatch::kSome;
+}
+
+/// Branch-free predicate application over a contiguous range, dispatched
+/// on type+op once so the inner loops compare raw values. `emit` is
+/// called as emit(pred) with a row-indexed bool lambda.
+template <typename Fn>
+void WithRawPred(const ColumnData& col, CompareOp op, double value, Fn&& emit) {
+  if (col.type() == DataType::kInt64) {
+    const int64_t* v = col.ints().data();
+    switch (op) {
+      case CompareOp::kLt:
+        emit([=](int64_t r) { return static_cast<double>(v[r]) < value; });
+        return;
+      case CompareOp::kLe:
+        emit([=](int64_t r) { return static_cast<double>(v[r]) <= value; });
+        return;
+      case CompareOp::kGt:
+        emit([=](int64_t r) { return static_cast<double>(v[r]) > value; });
+        return;
+      case CompareOp::kGe:
+        emit([=](int64_t r) { return static_cast<double>(v[r]) >= value; });
+        return;
+      case CompareOp::kEq:
+        emit([=](int64_t r) { return static_cast<double>(v[r]) == value; });
+        return;
+    }
+  } else {
+    const double* v = col.doubles().data();
+    switch (op) {
+      case CompareOp::kLt:
+        emit([=](int64_t r) { return v[r] < value; });
+        return;
+      case CompareOp::kLe:
+        emit([=](int64_t r) { return v[r] <= value; });
+        return;
+      case CompareOp::kGt:
+        emit([=](int64_t r) { return v[r] > value; });
+        return;
+      case CompareOp::kGe:
+        emit([=](int64_t r) { return v[r] >= value; });
+        return;
+      case CompareOp::kEq:
+        emit([=](int64_t r) { return v[r] == value; });
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+ZoneMatch ClassifyZones(const ColumnData& col, CompareOp op, double value,
+                        int64_t r0, int64_t r1) {
+  if (r0 >= r1) return ZoneMatch::kNone;
+  if (std::isnan(value)) return ZoneMatch::kNone;
+  const ZoneMap& z = col.zones();
+  const int64_t b0 = r0 / kZoneBlockRows;
+  const int64_t b1 = (r1 - 1) / kZoneBlockRows;
+  if (b1 >= z.num_blocks()) return ZoneMatch::kSome;  // no/partial zone map
+  bool any_some = false, any_none = false, any_all = false;
+  for (int64_t b = b0; b <= b1; ++b) {
+    const size_t i = static_cast<size_t>(b);
+    const bool nan = !z.has_nan.empty() && z.has_nan[i] != 0;
+    switch (ClassifyBlock(z.min[i], z.max[i], nan, op, value)) {
+      case ZoneMatch::kNone: any_none = true; break;
+      case ZoneMatch::kAll: any_all = true; break;
+      case ZoneMatch::kSome: any_some = true; break;
+    }
+    if (any_some || (any_none && any_all)) return ZoneMatch::kSome;
+  }
+  return any_none ? ZoneMatch::kNone : ZoneMatch::kAll;
+}
+
+int64_t FilterRange(const ColumnData& col, CompareOp op, double value,
+                    int64_t r0, int64_t r1, double est_selectivity,
+                    std::vector<int64_t>* sel, FilterScratch* scratch) {
+  const int64_t n = r1 - r0;
+  sel->resize(static_cast<size_t>(n > 0 ? n : 0));
+  if (n <= 0) return 0;
+  int64_t* out = sel->data();
+  int64_t w = 0;
+  if (scratch != nullptr && est_selectivity >= kDensePathSelectivity) {
+    // Dense path: predicate into a byte mask (no loop-carried dependency,
+    // auto-vectorizes), then branch-free compaction of the mask.
+    scratch->mask.resize(static_cast<size_t>(n));
+    uint8_t* m = scratch->mask.data();
+    WithRawPred(col, op, value, [&](auto pred) {
+      for (int64_t i = 0; i < n; ++i) {
+        m[i] = pred(r0 + i) ? 1 : 0;
+      }
+    });
+    for (int64_t i = 0; i < n; ++i) {
+      out[w] = r0 + i;
+      w += m[i];
+    }
+  } else {
+    // Sparse path: direct branch-free survivor store.
+    WithRawPred(col, op, value, [&](auto pred) {
+      for (int64_t r = r0; r < r1; ++r) {
+        out[w] = r;
+        w += pred(r) ? 1 : 0;
+      }
+    });
+  }
+  sel->resize(static_cast<size_t>(w));
+  return w;
+}
+
+int64_t FilterRefine(const ColumnData& col, CompareOp op, double value,
+                     std::vector<int64_t>* sel) {
+  const int64_t n = static_cast<int64_t>(sel->size());
+  int64_t* s = sel->data();
+  int64_t w = 0;
+  WithRawPred(col, op, value, [&](auto pred) {
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t r = s[i];
+      s[w] = r;
+      w += pred(r) ? 1 : 0;
+    }
+  });
+  sel->resize(static_cast<size_t>(w));
+  return w;
+}
+
+void Gather(const ColumnData& col, const int64_t* sel, int64_t n,
+            std::vector<double>* out) {
+  out->resize(static_cast<size_t>(n > 0 ? n : 0));
+  if (n <= 0) return;
+  double* o = out->data();
+  if (col.type() == DataType::kInt64) {
+    const int64_t* v = col.ints().data();
+    for (int64_t i = 0; i < n; ++i) o[i] = static_cast<double>(v[sel[i]]);
+  } else {
+    const double* v = col.doubles().data();
+    for (int64_t i = 0; i < n; ++i) o[i] = v[sel[i]];
+  }
+}
+
+void GatherRange(const ColumnData& col, int64_t r0, int64_t r1,
+                 std::vector<double>* out) {
+  const int64_t n = r1 - r0;
+  out->resize(static_cast<size_t>(n > 0 ? n : 0));
+  if (n <= 0) return;
+  double* o = out->data();
+  if (col.type() == DataType::kInt64) {
+    const int64_t* v = col.ints().data();
+    for (int64_t i = 0; i < n; ++i) o[i] = static_cast<double>(v[r0 + i]);
+  } else {
+    std::memcpy(o, col.doubles().data() + r0,
+                static_cast<size_t>(n) * sizeof(double));
+  }
+}
+
+uint64_t HashKeyValue(double v) {
+  const double x = v == 0.0 ? 0.0 : v;  // normalize -0.0
+  uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  b *= 0xbf58476d1ce4e5b9ull;
+  b ^= b >> 31;
+  uint64_t h = (0x9e3779b97f4a7c15ull ^ b) * 0x94d049bb133111ebull;
+  h ^= h >> 29;
+  return h;
+}
+
+void FlatJoinTable::Init(int key_width, int payload_width) {
+  kw_ = key_width;
+  pay_.assign(static_cast<size_t>(payload_width), {});
+  slots_.assign(64, -1);
+}
+
+void FlatJoinTable::Insert(const double* key, const double* payload) {
+  const int64_t u = FindOrAddKey(key);
+  const int64_t e = static_cast<int64_t>(next_.size());
+  next_.push_back(-1);
+  if (tail_[static_cast<size_t>(u)] >= 0) {
+    next_[static_cast<size_t>(tail_[static_cast<size_t>(u)])] = e;
+  } else {
+    head_[static_cast<size_t>(u)] = e;
+  }
+  tail_[static_cast<size_t>(u)] = e;
+  ++chain_len_[static_cast<size_t>(u)];
+  for (size_t c = 0; c < pay_.size(); ++c) pay_[c].push_back(payload[c]);
+}
+
+int64_t FlatJoinTable::Find(const double* key) const {
+  if (num_keys_ == 0) return -1;
+  const uint64_t mask = slots_.size() - 1;
+  for (uint64_t s = Hash(key) & mask;; s = (s + 1) & mask) {
+    const int64_t u = slots_[s];
+    if (u < 0) return -1;
+    if (KeyEquals(u, key)) return u;
+  }
+}
+
+void FlatJoinTable::FindBatch(const double* keys, int64_t n, int64_t* out,
+                              std::vector<uint64_t>* hash_scratch) const {
+  if (num_keys_ == 0) {
+    std::fill(out, out + n, int64_t{-1});
+    return;
+  }
+  // Pass 1: hash every key (straight-line, auto-vectorizable).
+  hash_scratch->resize(static_cast<size_t>(n));
+  uint64_t* h = hash_scratch->data();
+  for (int64_t i = 0; i < n; ++i) h[i] = HashKeyValue(keys[i]);
+  // Pass 2: resolve slots. Linear probing with the precomputed hashes;
+  // NaN keys miss naturally (stored != key for every comparison).
+  const uint64_t mask = slots_.size() - 1;
+  const int64_t* slots = slots_.data();
+  const double* ukeys = ukeys_.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const double k = keys[i];
+    int64_t found = -1;
+    for (uint64_t s = h[i] & mask;; s = (s + 1) & mask) {
+      const int64_t u = slots[s];
+      if (u < 0) break;
+      if (ukeys[u] == k) {
+        found = u;
+        break;
+      }
+    }
+    out[i] = found;
+  }
+}
+
+uint64_t FlatJoinTable::Hash(const double* key) const {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < kw_; ++i) {
+    const double v = key[i] == 0.0 ? 0.0 : key[i];  // normalize -0.0
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    b *= 0xbf58476d1ce4e5b9ull;
+    b ^= b >> 31;
+    h = (h ^ b) * 0x94d049bb133111ebull;
+  }
+  h ^= h >> 29;
+  return h;
+}
+
+bool FlatJoinTable::KeyEquals(int64_t u, const double* key) const {
+  const double* stored = &ukeys_[static_cast<size_t>(u) * kw_];
+  for (int i = 0; i < kw_; ++i) {
+    if (stored[i] != key[i]) return false;
+  }
+  return true;
+}
+
+int64_t FlatJoinTable::FindOrAddKey(const double* key) {
+  // Grow at 1/8 load. Sparse slots keep linear-probe walks at ~1 step, which
+  // makes the probe-loop exit branch predictable; measured on the bench
+  // machine, probing a dimension-sized table at 1/8 load is ~3.4x faster
+  // than at the textbook 7/8, and the 8 extra bytes per slot are cheap for
+  // build sides that are dimension-sized by plan construction.
+  if ((num_keys_ + 1) * 8 > static_cast<int64_t>(slots_.size())) Grow();
+  const uint64_t mask = slots_.size() - 1;
+  for (uint64_t s = Hash(key) & mask;; s = (s + 1) & mask) {
+    const int64_t u = slots_[s];
+    if (u < 0) {
+      const int64_t nu = num_keys_++;
+      slots_[s] = nu;
+      ukeys_.insert(ukeys_.end(), key, key + kw_);
+      head_.push_back(-1);
+      tail_.push_back(-1);
+      chain_len_.push_back(0);
+      return nu;
+    }
+    if (KeyEquals(u, key)) return u;
+  }
+}
+
+void FlatJoinTable::Grow() {
+  std::vector<int64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, -1);
+  const uint64_t mask = slots_.size() - 1;
+  for (int64_t u = 0; u < num_keys_; ++u) {
+    uint64_t s = Hash(&ukeys_[static_cast<size_t>(u) * kw_]) & mask;
+    while (slots_[s] >= 0) s = (s + 1) & mask;
+    slots_[s] = u;
+  }
+}
+
+}  // namespace kernels
+}  // namespace robustqp

@@ -1,0 +1,155 @@
+// Data-parallel scan/join kernels shared by the execution engines.
+//
+// Everything here is physical-layer machinery: branch-free filter kernels
+// producing selection vectors, zone-map block classification, bulk
+// gathers, and a cache-friendly flat open-addressing join hash table.
+// None of it changes what gets counted — callers charge the cost ledger
+// and NodeStats exactly as if every row had been touched, so `cost_used`
+// and all MSO accounting stay bit-identical to the tuple engine (the
+// paper's PCM argument constrains logical cost, not physical speed).
+//
+// Filter kernels come in two shapes, chosen by estimated selectivity:
+//
+//  * the *sparse* path writes surviving row ids with the classic
+//    branch-free `sel[w] = r; w += pred(r)` store, which wins when few
+//    rows pass (the store traffic is proportional to survivors);
+//  * the *dense* path evaluates the predicate into a byte mask with a
+//    tight auto-vectorizable loop and compacts the mask afterwards,
+//    which wins when most rows pass (the predicate loop has no
+//    loop-carried dependency, so the compiler can SIMD it).
+//
+// The flat join table stores unique keys in open-addressed slots (linear
+// probing, power-of-two capacity, build-once so no tombstones) with
+// insertion-ordered entry chains per key, matching the tuple engine's
+// unordered_map<key, vector<Row>> emission order. The probe is split into
+// a vectorized hash+bucket-lookup pass over a whole batch and a scalar
+// verify/emit pass.
+
+#ifndef ROBUSTQP_EXEC_KERNELS_H_
+#define ROBUSTQP_EXEC_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace robustqp {
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Zone-map classification
+// ---------------------------------------------------------------------------
+
+/// What a zone map can prove about `col OP value` over a row range.
+enum class ZoneMatch {
+  kNone,  // no row in the range can satisfy the predicate
+  kAll,   // every row in the range satisfies the predicate
+  kSome,  // undecided: evaluate the rows
+};
+
+/// Classifies rows [r0, r1) of `col` against the predicate using the
+/// column's zone map. Conservative: only returns kNone/kAll when the
+/// block summaries prove it (NaN data rows veto kAll; a NaN literal
+/// satisfies nothing and classifies kNone). Returns kSome when the
+/// column has no zone map (table not finalized).
+ZoneMatch ClassifyZones(const ColumnData& col, CompareOp op, double value,
+                        int64_t r0, int64_t r1);
+
+// ---------------------------------------------------------------------------
+// Filter kernels
+// ---------------------------------------------------------------------------
+
+/// Scratch buffers reused across kernel calls (one per execution thread).
+struct FilterScratch {
+  std::vector<uint8_t> mask;
+};
+
+/// Selectivity above which FilterRange takes the dense (byte-mask) path.
+/// Below it, the sparse branch-free store does proportionally less work.
+inline constexpr double kDensePathSelectivity = 0.20;
+
+/// Writes the ids of rows in [r0, r1) satisfying `col OP value` into
+/// `*sel` (overwritten, resized to the survivor count). `est_selectivity`
+/// picks the dense vs sparse variant; pass a running observed pass rate,
+/// or 0.5 when unknown. Returns the survivor count.
+int64_t FilterRange(const ColumnData& col, CompareOp op, double value,
+                    int64_t r0, int64_t r1, double est_selectivity,
+                    std::vector<int64_t>* sel, FilterScratch* scratch);
+
+/// Compacts `*sel` in place to the ids satisfying `col OP value`
+/// (branch-free). Returns the new count.
+int64_t FilterRefine(const ColumnData& col, CompareOp op, double value,
+                     std::vector<int64_t>* sel);
+
+// ---------------------------------------------------------------------------
+// Gather kernels
+// ---------------------------------------------------------------------------
+
+/// Appends nothing; overwrites `*out` with col[sel[0..n)] as doubles.
+void Gather(const ColumnData& col, const int64_t* sel, int64_t n,
+            std::vector<double>* out);
+
+/// Overwrites `*out` with col[r0..r1) as doubles.
+void GatherRange(const ColumnData& col, int64_t r0, int64_t r1,
+                 std::vector<double>* out);
+
+// ---------------------------------------------------------------------------
+// Flat open-addressing join hash table
+// ---------------------------------------------------------------------------
+
+/// Mixes the bit pattern of one key value (SplitMix64 finalizer). -0.0 is
+/// normalized to +0.0 so it hashes with 0.0, matching double equality.
+uint64_t HashKeyValue(double v);
+
+/// Build-once hash table for join build sides: open-addressed unique-key
+/// slots, per-key insertion-ordered entry chains, column-major payloads.
+/// Double equality matches the tuple engine's vector<double> comparison:
+/// NaN never matches (not even itself), ±0.0 are equal.
+class FlatJoinTable {
+ public:
+  void Init(int key_width, int payload_width);
+
+  int key_width() const { return kw_; }
+  int64_t num_keys() const { return num_keys_; }
+
+  void Insert(const double* key, const double* payload);
+
+  /// Unique-key ordinal, or -1 when the key is absent.
+  int64_t Find(const double* key) const;
+
+  /// Vectorized single-key probe: for each of `keys[0..n)` writes the
+  /// unique-key ordinal (or -1) into `out[0..n)`. Split into a hash pass
+  /// and a bucket-resolve pass so the hash loop auto-vectorizes and the
+  /// probe loop runs without re-deriving hashes. Requires key_width == 1.
+  void FindBatch(const double* keys, int64_t n, int64_t* out,
+                 std::vector<uint64_t>* hash_scratch) const;
+
+  int64_t ChainHead(int64_t u) const { return head_[static_cast<size_t>(u)]; }
+  int64_t ChainNext(int64_t e) const { return next_[static_cast<size_t>(e)]; }
+  int64_t ChainLen(int64_t u) const {
+    return chain_len_[static_cast<size_t>(u)];
+  }
+  double Payload(size_t col, int64_t e) const {
+    return pay_[col][static_cast<size_t>(e)];
+  }
+
+ private:
+  uint64_t Hash(const double* key) const;
+  bool KeyEquals(int64_t u, const double* key) const;
+  int64_t FindOrAddKey(const double* key);
+  void Grow();
+
+  int kw_ = 1;
+  std::vector<double> ukeys_;                     // kw_ values per unique key
+  std::vector<int64_t> head_, tail_, chain_len_;  // per unique key
+  std::vector<int64_t> next_;                     // per entry
+  std::vector<std::vector<double>> pay_;          // per payload col, per entry
+  std::vector<int64_t> slots_;
+  int64_t num_keys_ = 0;
+};
+
+}  // namespace kernels
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_EXEC_KERNELS_H_

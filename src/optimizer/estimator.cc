@@ -1,6 +1,7 @@
 #include "optimizer/estimator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/status.h"
 #include "storage/table.h"
@@ -21,6 +22,12 @@ CardinalityEstimator::CardinalityEstimator(const Catalog* catalog,
   for (const auto& f : query->filters()) {
     const ColumnStats* stats = catalog->FindColumnStats(f.table, f.column);
     RQP_CHECK(stats != nullptr);
+    if (std::isnan(f.value)) {
+      // A NaN literal satisfies no comparison; keep the floor so plan
+      // costs stay finite.
+      filter_sel_.push_back(1e-9);
+      continue;
+    }
     double sel = 1.0;
     const double le = stats->histogram.EstimateLessEq(f.value);
     switch (f.op) {

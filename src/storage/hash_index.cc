@@ -4,20 +4,88 @@
 #include "storage/table.h"
 
 namespace robustqp {
+namespace {
+
+/// SplitMix64 finalizer over the raw key bits.
+uint64_t HashKey(int64_t key) {
+  uint64_t h = static_cast<uint64_t>(key);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
 
 HashIndex::HashIndex(const Table& table, int column_idx)
     : column_idx_(column_idx) {
   const ColumnData& col = table.column(column_idx);
   RQP_CHECK(col.type() == DataType::kInt64);
-  map_.reserve(static_cast<size_t>(table.num_rows()));
-  for (int64_t r = 0; r < table.num_rows(); ++r) {
-    map_[col.GetInt(r)].push_back(r);
+  const int64_t n = table.num_rows();
+  // Size once for the worst case (all keys distinct) at <= 7/8 load;
+  // build-once means no growth and no tombstones.
+  int64_t cap = 64;
+  while (cap * 7 < (n + 1) * 8) cap <<= 1;
+  slots_.assign(static_cast<size_t>(cap), -1);
+  const uint64_t mask = static_cast<uint64_t>(cap) - 1;
+
+  // Pass 1: intern keys (first-touch order), count rows per key, and
+  // remember each row's key ordinal.
+  std::vector<int64_t> row_key(static_cast<size_t>(n));
+  std::vector<int64_t> counts;
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t key = col.GetInt(r);
+    uint64_t s = HashKey(key) & mask;
+    while (true) {
+      const int64_t u = slots_[s];
+      if (u < 0) {
+        slots_[s] = num_keys_;
+        keys_.push_back(key);
+        counts.push_back(1);
+        row_key[static_cast<size_t>(r)] = num_keys_++;
+        break;
+      }
+      if (keys_[static_cast<size_t>(u)] == key) {
+        ++counts[static_cast<size_t>(u)];
+        row_key[static_cast<size_t>(r)] = u;
+        break;
+      }
+      s = (s + 1) & mask;
+    }
+  }
+
+  // Pass 2: prefix sums -> per-key ranges, then place rows in scan order
+  // so each key's ids stay ascending.
+  offsets_.assign(static_cast<size_t>(num_keys_) + 1, 0);
+  for (int64_t u = 0; u < num_keys_; ++u) {
+    offsets_[static_cast<size_t>(u) + 1] =
+        offsets_[static_cast<size_t>(u)] + counts[static_cast<size_t>(u)];
+  }
+  row_ids_.resize(static_cast<size_t>(n));
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t u = row_key[static_cast<size_t>(r)];
+    row_ids_[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = r;
   }
 }
 
-const std::vector<int64_t>* HashIndex::Lookup(int64_t key) const {
-  auto it = map_.find(key);
-  return it == map_.end() ? nullptr : &it->second;
+int64_t HashIndex::FindSlot(int64_t key) const {
+  const uint64_t mask = slots_.size() - 1;
+  for (uint64_t s = HashKey(key) & mask;; s = (s + 1) & mask) {
+    const int64_t u = slots_[s];
+    if (u < 0) return -1;
+    if (keys_[static_cast<size_t>(u)] == key) return static_cast<int64_t>(u);
+  }
+}
+
+RowIdSpan HashIndex::Lookup(int64_t key) const {
+  if (num_keys_ == 0) return {};
+  const int64_t u = FindSlot(key);
+  if (u < 0) return {};
+  const int64_t off = offsets_[static_cast<size_t>(u)];
+  return {row_ids_.data() + off, offsets_[static_cast<size_t>(u) + 1] - off};
 }
 
 }  // namespace robustqp

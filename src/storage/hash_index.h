@@ -4,17 +4,35 @@
 // dominates at tiny selectivities and collapses at large ones — a major
 // source of POSP diversity across the ESS (the paper's PostgreSQL
 // substrate relies on index paths the same way).
+//
+// Layout: flat open addressing (linear probing, power-of-two capacity,
+// build-once so no tombstones) over unique keys, with each key's row ids
+// stored as one contiguous [offset, offset+count) range of a single flat
+// array — a probe is one hash, a short probe walk, and a pointer+length,
+// with no per-key heap node or per-value indirection.
 
 #ifndef ROBUSTQP_STORAGE_HASH_INDEX_H_
 #define ROBUSTQP_STORAGE_HASH_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace robustqp {
 
 class Table;
+
+/// Non-owning view of one key's row ids (ascending). Iterable; empty when
+/// the key is absent.
+struct RowIdSpan {
+  const int64_t* ids = nullptr;
+  int64_t count = 0;
+
+  bool empty() const { return count == 0; }
+  int64_t size() const { return count; }
+  const int64_t* begin() const { return ids; }
+  const int64_t* end() const { return ids + count; }
+  int64_t operator[](int64_t i) const { return ids[i]; }
+};
 
 /// Equality index: value -> row ids. Immutable after construction.
 class HashIndex {
@@ -24,14 +42,20 @@ class HashIndex {
 
   int column_idx() const { return column_idx_; }
 
-  /// Row ids whose column value equals `key`; nullptr when none.
-  const std::vector<int64_t>* Lookup(int64_t key) const;
+  /// Row ids whose column value equals `key`, ascending; empty when none.
+  RowIdSpan Lookup(int64_t key) const;
 
-  int64_t distinct_keys() const { return static_cast<int64_t>(map_.size()); }
+  int64_t distinct_keys() const { return num_keys_; }
 
  private:
+  int64_t FindSlot(int64_t key) const;  // slot holding key, or -1
+
   int column_idx_;
-  std::unordered_map<int64_t, std::vector<int64_t>> map_;
+  int64_t num_keys_ = 0;
+  std::vector<int64_t> slots_;    // unique-key ordinal per slot, -1 empty
+  std::vector<int64_t> keys_;     // per unique key
+  std::vector<int64_t> offsets_;  // per unique key, num_keys_+1 entries
+  std::vector<int64_t> row_ids_;  // all rows, grouped by key, ascending
 };
 
 }  // namespace robustqp

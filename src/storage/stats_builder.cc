@@ -12,13 +12,33 @@ ColumnStats ComputeColumnStats(const ColumnData& col) {
   stats.row_count = n;
   if (n == 0) return stats;
 
+  // NaN rows are excluded before sorting (NaN breaks the comparator's
+  // strict weak ordering) and carry no ordering information anyway.
   std::vector<double> sorted;
   sorted.reserve(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) sorted.push_back(col.GetNumeric(i));
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = col.GetNumeric(i);
+    if (!std::isnan(v)) sorted.push_back(v);
+  }
   std::sort(sorted.begin(), sorted.end());
+  if (sorted.empty()) return stats;  // all-NaN column: no ordering stats
 
-  stats.min = sorted.front();
-  stats.max = sorted.back();
+  // Min/max fold over the zone map when the table has been finalized:
+  // same values as the sort endpoints, and well-defined even with NaN
+  // rows (which the per-block summaries exclude).
+  const ZoneMap& z = col.zones();
+  if (z.num_blocks() > 0) {
+    double lo = z.min[0], hi = z.max[0];
+    for (int64_t b = 1; b < z.num_blocks(); ++b) {
+      lo = std::min(lo, z.min[static_cast<size_t>(b)]);
+      hi = std::max(hi, z.max[static_cast<size_t>(b)]);
+    }
+    stats.min = lo;
+    stats.max = hi;
+  } else {
+    stats.min = sorted.front();
+    stats.max = sorted.back();
+  }
 
   int64_t distinct = 1;
   for (size_t i = 1; i < sorted.size(); ++i) {
@@ -28,11 +48,12 @@ ColumnStats ComputeColumnStats(const ColumnData& col) {
 
   const int buckets = static_cast<int>(
       std::min<int64_t>(kHistogramBuckets, std::max<int64_t>(1, distinct)));
+  const int64_t m = static_cast<int64_t>(sorted.size());
   EquiDepthHistogram& h = stats.histogram;
   h.total_rows = n;
   h.rows_per_bucket = (n + buckets - 1) / buckets;
   for (int b = 1; b <= buckets; ++b) {
-    int64_t edge_row = std::min<int64_t>(n - 1, static_cast<int64_t>(b) * n / buckets - 1);
+    int64_t edge_row = std::min<int64_t>(m - 1, static_cast<int64_t>(b) * m / buckets - 1);
     if (edge_row < 0) edge_row = 0;
     h.bounds.push_back(sorted[static_cast<size_t>(edge_row)]);
   }

@@ -1,6 +1,47 @@
 #include "storage/table.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 namespace robustqp {
+
+void ColumnData::BuildZoneMap() {
+  const int64_t n = size();
+  const int64_t blocks = (n + kZoneBlockRows - 1) / kZoneBlockRows;
+  zones_.min.assign(static_cast<size_t>(blocks),
+                    std::numeric_limits<double>::infinity());
+  zones_.max.assign(static_cast<size_t>(blocks),
+                    -std::numeric_limits<double>::infinity());
+  zones_.has_nan.assign(static_cast<size_t>(blocks), 0);
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t r0 = b * kZoneBlockRows;
+    const int64_t r1 = std::min<int64_t>(n, r0 + kZoneBlockRows);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    if (type_ == DataType::kInt64) {
+      const int64_t* v = ints_.data();
+      for (int64_t r = r0; r < r1; ++r) {
+        const double x = static_cast<double>(v[r]);
+        lo = x < lo ? x : lo;
+        hi = x > hi ? x : hi;
+      }
+    } else {
+      const double* v = doubles_.data();
+      bool nan = false;
+      for (int64_t r = r0; r < r1; ++r) {
+        const double x = v[r];
+        nan |= std::isnan(x);
+        // NaN fails both comparisons, so min/max skip it implicitly.
+        lo = x < lo ? x : lo;
+        hi = x > hi ? x : hi;
+      }
+      zones_.has_nan[static_cast<size_t>(b)] = nan ? 1 : 0;
+    }
+    zones_.min[static_cast<size_t>(b)] = lo;
+    zones_.max[static_cast<size_t>(b)] = hi;
+  }
+}
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   columns_.reserve(static_cast<size_t>(schema_.num_columns()));
@@ -22,6 +63,7 @@ Status Table::Finalize() {
     }
   }
   num_rows_ = n;
+  for (const auto& col : columns_) col->BuildZoneMap();
   return Status::OK();
 }
 

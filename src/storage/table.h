@@ -3,6 +3,13 @@
 // of the heap/buffer-pool layer of the paper's PostgreSQL substrate — the
 // discovery algorithms only need a scannable relation with countable
 // cardinalities, which this provides at laptop scale.
+//
+// Finalize() additionally builds per-block *zone maps* (min/max over
+// kZoneBlockRows-row blocks, in GetNumeric double semantics) for every
+// column. The batch engine's scan kernels use them to skip blocks that
+// cannot satisfy (or that trivially satisfy) a filter predicate; the
+// logical cost accounting still charges pruned blocks as scanned, so zone
+// maps are a pure physical-layer speedup.
 
 #ifndef ROBUSTQP_STORAGE_TABLE_H_
 #define ROBUSTQP_STORAGE_TABLE_H_
@@ -16,6 +23,26 @@
 #include "common/status.h"
 
 namespace robustqp {
+
+/// Rows per zone-map block. A multiple of the batch engine's morsel width
+/// so aligned morsels fall inside a single block.
+inline constexpr int64_t kZoneBlockRows = 4096;
+
+/// Per-block min/max summary of one column, over GetNumeric() values
+/// (i.e. int64 columns are summarized after the double cast the filter
+/// kernels compare with). NaN values are excluded from min/max and
+/// tracked in `has_nan` instead: a NaN row satisfies no comparison, so it
+/// can never turn a no-row-matches block into a match, but it does veto
+/// every-row-matches claims. A block containing only NaNs (or an empty
+/// tail block) keeps min=+inf > max=-inf, which classifies as
+/// unsatisfiable for every operator — exactly right.
+struct ZoneMap {
+  std::vector<double> min;       // per block
+  std::vector<double> max;       // per block
+  std::vector<uint8_t> has_nan;  // per block (double columns only)
+
+  int64_t num_blocks() const { return static_cast<int64_t>(min.size()); }
+};
 
 /// A single column of values. Exactly one of the two vectors is populated,
 /// per the declared type.
@@ -56,10 +83,18 @@ class ColumnData {
     }
   }
 
+  /// The zone map, valid after Table::Finalize() (empty before).
+  const ZoneMap& zones() const { return zones_; }
+
+  /// (Re)builds the zone map over the current values. Called by
+  /// Table::Finalize(); exposed for tests.
+  void BuildZoneMap();
+
  private:
   DataType type_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
+  ZoneMap zones_;
 };
 
 /// An immutable (once built) columnar table.
@@ -75,8 +110,9 @@ class Table {
     return *columns_[static_cast<size_t>(idx)];
   }
 
-  /// Validates that all columns have equal length and records the row
-  /// count. Must be called after bulk-appending values.
+  /// Validates that all columns have equal length, records the row count,
+  /// and builds every column's zone map. Must be called after
+  /// bulk-appending values.
   Status Finalize();
 
  private:

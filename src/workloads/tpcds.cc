@@ -8,7 +8,12 @@
 namespace robustqp {
 namespace {
 
-/// Serial surrogate key 1..N.
+/// Serial surrogate key 1..N. Being monotone in row order, these columns
+/// are perfectly clustered: every 4096-row zone-map block covers a
+/// disjoint key range, so range predicates on them (e.g. store_sales'
+/// ss_ticket_number) are the workload's block-prunable access paths.
+/// Generators are deterministic per seed and must not change — golden
+/// tests and the committed bench baselines depend on the exact data.
 ColumnSpec SerialKey(const std::string& name) {
   return {name, DataType::kInt64,
           [](Rng&, int64_t row) { return static_cast<double>(row + 1); }};

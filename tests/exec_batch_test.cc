@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <set>
 #include <string>
@@ -29,10 +30,11 @@ using testing_util::MakeStarQuery;
 using testing_util::MakeTinyCatalog;
 
 Executor MakeEngine(const Catalog* catalog, Executor::Engine engine,
-                    int threads = 1) {
+                    int threads = 1, bool zone_maps = true) {
   Executor::Options options;
   options.engine = engine;
   options.num_threads = threads;
+  options.use_zone_maps = zone_maps;
   return Executor(catalog, CostModel::PostgresFlavour(), options);
 }
 
@@ -477,6 +479,250 @@ TEST_P(ExecBatchDifferentialTest, TupleAndBatchAgreeUnderFaults) {
   }
   FaultInjector::Disarm();
 }
+
+// ---------------------------------------------------------------------------
+// Zone-map / kernel differential fuzz: predicates engineered to stress
+// block classification (block-boundary constants, clustered columns,
+// NaN/±inf doubles, empty ranges) must yield identical tuples, NodeStats,
+// and cost_used across (a) the tuple engine — whose per-row loops and
+// node-based join structures are the legacy reference — (b) the batch
+// engine with zone-map pruning, and (c) the batch engine with pruning
+// disabled. Any block a pruned scan skips but still has to account for
+// shows up as a counter diff here.
+// ---------------------------------------------------------------------------
+
+/// Star instance tuned for zone maps: a multi-block fact table with a
+/// clustered int column (monotone in row order, so blocks have disjoint
+/// ranges) and a double column salted with NaN/±inf/-0.0; filter
+/// constants drawn from block edges and out-of-domain values.
+ExecInstance MakeZoneInstance(uint64_t seed) {
+  Rng rng(seed);
+  ExecInstance inst;
+  inst.catalog = std::make_unique<Catalog>();
+
+  const int64_t fact_rows = rng.UniformInt(3 * 4096 - 100, 4 * 4096 + 100);
+  const int64_t dim_rows[2] = {rng.UniformInt(40, 250),
+                               rng.UniformInt(40, 250)};
+
+  // Fact table t0: serial key, two FKs, clustered c0, salted double d0.
+  {
+    TableSchema schema("t0", {{"k0", DataType::kInt64},
+                              {"fk1", DataType::kInt64},
+                              {"fk2", DataType::kInt64},
+                              {"c0", DataType::kInt64},
+                              {"d0", DataType::kDouble}});
+    auto table = std::make_shared<Table>(schema);
+    const double inf = std::numeric_limits<double>::infinity();
+    for (int64_t r = 0; r < fact_rows; ++r) {
+      table->column(0).AppendInt(r + 1);
+      table->column(1).AppendInt(rng.UniformInt(1, dim_rows[0]));
+      table->column(2).AppendInt(rng.UniformInt(1, dim_rows[1]));
+      table->column(3).AppendInt(r / 97);  // clustered: ascending in r
+      double d = static_cast<double>(r) * 0.5;
+      if (rng.Bernoulli(0.01)) d = std::nan("");
+      if (rng.Bernoulli(0.005)) d = inf;
+      if (rng.Bernoulli(0.005)) d = -inf;
+      if (rng.Bernoulli(0.005)) d = -0.0;
+      table->column(4).AppendDouble(d);
+    }
+    RQP_CHECK(table->Finalize().ok());
+    auto stats = ComputeTableStats(*table);
+    RQP_CHECK(inst.catalog->AddTable(std::move(table), std::move(stats)).ok());
+  }
+  for (int t = 0; t < 2; ++t) {
+    const std::string name = "t" + std::to_string(t + 1);
+    TableSchema schema(name, {{"k" + std::to_string(t + 1), DataType::kInt64},
+                              {"a" + std::to_string(t + 1), DataType::kInt64}});
+    auto table = std::make_shared<Table>(schema);
+    for (int64_t r = 0; r < dim_rows[t]; ++r) {
+      table->column(0).AppendInt(r + 1);
+      table->column(1).AppendInt(rng.UniformInt(1, 20));
+    }
+    RQP_CHECK(table->Finalize().ok());
+    auto stats = ComputeTableStats(*table);
+    RQP_CHECK(inst.catalog->AddTable(std::move(table), std::move(stats)).ok());
+    RQP_CHECK(
+        inst.catalog->BuildIndex(name, "k" + std::to_string(t + 1)).ok());
+  }
+
+  const std::vector<JoinPredicate> joins = {{"t0", "fk1", "t1", "k1", ""},
+                                            {"t0", "fk2", "t2", "k2", ""}};
+
+  // Filter constants that land on or next to zone-block and morsel
+  // boundaries, plus out-of-domain (empty-range) and special values.
+  const CompareOp ops[] = {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                           CompareOp::kGe, CompareOp::kEq};
+  auto pick_op = [&]() {
+    return ops[rng.UniformInt(0, 4)];
+  };
+  const double c0_max = static_cast<double>((fact_rows - 1) / 97);
+  const double c0_candidates[] = {
+      0.0,
+      static_cast<double>(1024 / 97),
+      static_cast<double>(4095 / 97),
+      static_cast<double>(4096 / 97),
+      static_cast<double>(4097 / 97),
+      c0_max / 2.0,
+      c0_max,
+      c0_max + 5.0,  // empty range for kGt/kGe/kEq
+      -3.0,          // empty range for kLt/kLe/kEq
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  const double d0_candidates[] = {
+      0.0, -0.0, 512.0, 2048.0, static_cast<double>(fact_rows) * 0.25,
+      inf, -inf, std::nan(""),  // NaN literal: satisfies nothing
+  };
+  std::vector<FilterPredicate> filters;
+  filters.push_back({"t0", "c0", pick_op(),
+                     c0_candidates[rng.UniformInt(0, 8)]});
+  if (rng.Bernoulli(0.8)) {
+    filters.push_back({"t0", "d0", pick_op(),
+                       d0_candidates[rng.UniformInt(0, 7)]});
+  }
+  if (rng.Bernoulli(0.5)) {
+    filters.push_back({"t1", "a1", CompareOp::kLe,
+                       static_cast<double>(rng.UniformInt(2, 18))});
+  }
+
+  const std::vector<EppRef> epps = {EppRef::Join(0), EppRef::Join(1)};
+  inst.query = std::make_unique<Query>(
+      "zonefuzz" + std::to_string(seed), std::vector<std::string>{"t0", "t1", "t2"},
+      joins, filters, epps);
+  RQP_CHECK(inst.query->Validate(*inst.catalog).ok());
+  return inst;
+}
+
+class ZoneMapDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZoneMapDifferentialTest, PrunedUnprunedAndTupleAgreeExactly) {
+  const uint64_t seed = GetParam();
+  ExecInstance inst = MakeZoneInstance(seed);
+  Rng rng(seed * 2713 + 9);
+  Executor tuple_exec =
+      MakeEngine(inst.catalog.get(), Executor::Engine::kTuple);
+  Executor pruned =
+      MakeEngine(inst.catalog.get(), Executor::Engine::kBatch, 1, true);
+  Executor unpruned =
+      MakeEngine(inst.catalog.get(), Executor::Engine::kBatch, 1, false);
+
+  Optimizer opt(inst.catalog.get(), inst.query.get());
+  const int dims = inst.query->num_epps();
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::unique_ptr<Plan> plan = opt.Optimize(RandomPoint(&rng, dims));
+    const std::string tag =
+        "seed " + std::to_string(seed) + " plan " + plan->signature();
+
+    const Result<ExecutionResult> ft = tuple_exec.Execute(*plan, -1.0);
+    const Result<ExecutionResult> fp = pruned.Execute(*plan, -1.0);
+    const Result<ExecutionResult> fu = unpruned.Execute(*plan, -1.0);
+    ASSERT_TRUE(ft.ok() && fp.ok() && fu.ok()) << tag;
+    ExpectSameResult(*ft, *fp, tag + " [full tuple vs pruned]");
+    ExpectSameResult(*fp, *fu, tag + " [full pruned vs unpruned]");
+
+    // Budgeted: pruned scans must charge skipped blocks as scanned, so
+    // the abort lands on the same tuple whether or not blocks were read.
+    for (const double frac : {0.18, 0.62, 0.94}) {
+      const double budget = ft->cost_used * frac;
+      const Result<ExecutionResult> bt = tuple_exec.Execute(*plan, budget);
+      const Result<ExecutionResult> bp = pruned.Execute(*plan, budget);
+      const Result<ExecutionResult> bu = unpruned.Execute(*plan, budget);
+      ASSERT_TRUE(bt.ok() && bp.ok() && bu.ok()) << tag;
+      ExpectSameResult(*bt, *bp,
+                       tag + " [budget " + std::to_string(budget) + " pruned]");
+      ExpectSameResult(*bp, *bu, tag + " [budget " + std::to_string(budget) +
+                                     " pruned vs unpruned]");
+    }
+
+    // Spill executions on the epp subtrees.
+    for (int d = 0; d < dims; ++d) {
+      const int node_id = plan->EppNodeId(d);
+      if (node_id < 0) continue;
+      const Result<ExecutionResult> st =
+          tuple_exec.ExecuteSpill(*plan, node_id, -1.0);
+      const Result<ExecutionResult> sp =
+          pruned.ExecuteSpill(*plan, node_id, -1.0);
+      const Result<ExecutionResult> su =
+          unpruned.ExecuteSpill(*plan, node_id, -1.0);
+      ASSERT_TRUE(st.ok() && sp.ok() && su.ok()) << tag;
+      ExpectSameResult(*st, *sp,
+                       tag + " [spill " + std::to_string(node_id) + "]");
+      ExpectSameResult(*sp, *su, tag + " [spill " + std::to_string(node_id) +
+                                     " pruned vs unpruned]");
+    }
+  }
+}
+
+// The same agreement must hold with the fault injector armed: fault draws
+// happen per attempt outside engine internals, so pruning cannot shift
+// the fault sequence or the retry accounting.
+TEST_P(ZoneMapDifferentialTest, PrunedUnprunedAgreeUnderFaults) {
+  const uint64_t seed = GetParam() + 400;
+  ExecInstance inst = MakeZoneInstance(seed);
+  Rng rng(seed * 911 + 4);
+  Executor tuple_exec =
+      MakeEngine(inst.catalog.get(), Executor::Engine::kTuple);
+  Executor pruned =
+      MakeEngine(inst.catalog.get(), Executor::Engine::kBatch, 1, true);
+  Executor unpruned =
+      MakeEngine(inst.catalog.get(), Executor::Engine::kBatch, 1, false);
+
+  Optimizer opt(inst.catalog.get(), inst.query.get());
+  const int dims = inst.query->num_epps();
+  const char* spec =
+      "exec.scan.read:p=0.3;exec.hashjoin.build:p=0.3;"
+      "exec.nljoin.pair:p=0.2,kind=spike,mult=2";
+  for (int trial = 0; trial < 2; ++trial) {
+    const std::unique_ptr<Plan> plan = opt.Optimize(RandomPoint(&rng, dims));
+    const std::string tag =
+        "seed " + std::to_string(seed) + " plan " + plan->signature();
+    FaultInjector::Disarm();
+    const Result<ExecutionResult> clean = tuple_exec.Execute(*plan, -1.0);
+    ASSERT_TRUE(clean.ok()) << tag;
+    for (const double frac : {-1.0, 0.55}) {
+      const double budget = frac < 0.0 ? -1.0 : clean->cost_used * frac;
+      ExecutionResult rt, rp, ru;
+      bool rt_ok, rp_ok, ru_ok;
+      ASSERT_TRUE(FaultInjector::Global().Configure(spec, seed).ok());
+      {
+        FaultStreamScope scope(static_cast<uint64_t>(trial));
+        Result<ExecutionResult> r = tuple_exec.Execute(*plan, budget);
+        rt_ok = r.ok();
+        if (rt_ok) rt = r.MoveValue();
+        if (!rt_ok) ASSERT_TRUE(r.status().IsTransient()) << tag;
+      }
+      {
+        FaultStreamScope scope(static_cast<uint64_t>(trial));
+        Result<ExecutionResult> r = pruned.Execute(*plan, budget);
+        rp_ok = r.ok();
+        if (rp_ok) rp = r.MoveValue();
+        if (!rp_ok) ASSERT_TRUE(r.status().IsTransient()) << tag;
+      }
+      {
+        FaultStreamScope scope(static_cast<uint64_t>(trial));
+        Result<ExecutionResult> r = unpruned.Execute(*plan, budget);
+        ru_ok = r.ok();
+        if (ru_ok) ru = r.MoveValue();
+        if (!ru_ok) ASSERT_TRUE(r.status().IsTransient()) << tag;
+      }
+      FaultInjector::Disarm();
+      ASSERT_EQ(rt_ok, rp_ok) << tag;
+      ASSERT_EQ(rp_ok, ru_ok) << tag;
+      if (!rt_ok) continue;
+      ExpectSameResult(rt, rp, tag + " [faulted tuple vs pruned]");
+      ExpectSameResult(rp, ru, tag + " [faulted pruned vs unpruned]");
+      EXPECT_EQ(rp.robustness.transient_retries, ru.robustness.transient_retries)
+          << tag;
+      EXPECT_EQ(rp.robustness.retried_cost, ru.robustness.retried_cost) << tag;
+    }
+  }
+  FaultInjector::Disarm();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZoneMapDifferentialTest,
+                         ::testing::Values(3, 17, 29, 53, 71),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
 
 TEST(ExecBatchGoldenTest, ParseEngine) {
   Executor::Engine e;

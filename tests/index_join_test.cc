@@ -37,11 +37,11 @@ TEST_F(IndexJoinTest, HashIndexLookup) {
   ASSERT_NE(idx, nullptr);
   // d1_k is a serial key 1..100: every key has exactly one row.
   EXPECT_EQ(idx->distinct_keys(), 100);
-  const std::vector<int64_t>* rows = idx->Lookup(42);
-  ASSERT_NE(rows, nullptr);
-  ASSERT_EQ(rows->size(), 1u);
-  EXPECT_EQ((*rows)[0], 41);  // row ids are 0-based
-  EXPECT_EQ(idx->Lookup(101), nullptr);
+  const RowIdSpan rows = idx->Lookup(42);
+  ASSERT_FALSE(rows.empty());
+  ASSERT_EQ(rows.size(), 1);
+  EXPECT_EQ(rows[0], 41);  // row ids are 0-based
+  EXPECT_TRUE(idx->Lookup(101).empty());
 }
 
 TEST_F(IndexJoinTest, IndexOnlyOnBuiltColumns) {

@@ -1,10 +1,17 @@
 // Unit tests for storage (Table/ColumnData), stats building, the catalog
-// registry, and the schema layer.
+// registry, the schema layer, zone maps, the kernel layer, and the flat
+// hash index.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "catalog/catalog.h"
 #include "catalog/schema.h"
+#include "exec/cost_ledger.h"
+#include "exec/kernels.h"
+#include "storage/hash_index.h"
 #include "storage/stats_builder.h"
 #include "storage/table.h"
 
@@ -114,6 +121,197 @@ TEST(CatalogTest, TableNamesSorted) {
   auto names = catalog.TableNames();
   ASSERT_EQ(names.size(), 1u);
   EXPECT_EQ(names[0], "t");
+}
+
+TEST(ZoneMapTest, BlocksCoverIntColumn) {
+  TableSchema schema("t", {{"x", DataType::kInt64}});
+  Table table(schema);
+  // Two full blocks plus a 10-row tail; values ascend so block summaries
+  // are disjoint ranges.
+  const int64_t n = 2 * kZoneBlockRows + 10;
+  for (int64_t i = 0; i < n; ++i) table.column(0).AppendInt(i);
+  ASSERT_TRUE(table.Finalize().ok());
+  const ZoneMap& z = table.column(0).zones();
+  ASSERT_EQ(z.num_blocks(), 3);
+  EXPECT_DOUBLE_EQ(z.min[0], 0.0);
+  EXPECT_DOUBLE_EQ(z.max[0], static_cast<double>(kZoneBlockRows - 1));
+  EXPECT_DOUBLE_EQ(z.min[2], static_cast<double>(2 * kZoneBlockRows));
+  EXPECT_DOUBLE_EQ(z.max[2], static_cast<double>(n - 1));
+}
+
+TEST(ZoneMapTest, NanRowsTrackedNotSummarized) {
+  TableSchema schema("t", {{"x", DataType::kDouble}});
+  Table table(schema);
+  table.column(0).AppendDouble(1.0);
+  table.column(0).AppendDouble(std::nan(""));
+  table.column(0).AppendDouble(3.0);
+  ASSERT_TRUE(table.Finalize().ok());
+  const ZoneMap& z = table.column(0).zones();
+  ASSERT_EQ(z.num_blocks(), 1);
+  EXPECT_DOUBLE_EQ(z.min[0], 1.0);
+  EXPECT_DOUBLE_EQ(z.max[0], 3.0);
+  EXPECT_EQ(z.has_nan[0], 1);
+}
+
+TEST(ZoneMapTest, AllNanBlockIsUnsatisfiable) {
+  TableSchema schema("t", {{"x", DataType::kDouble}});
+  Table table(schema);
+  table.column(0).AppendDouble(std::nan(""));
+  table.column(0).AppendDouble(std::nan(""));
+  ASSERT_TRUE(table.Finalize().ok());
+  const ColumnData& col = table.column(0);
+  EXPECT_GT(col.zones().min[0], col.zones().max[0]);
+  EXPECT_EQ(kernels::ClassifyZones(col, CompareOp::kLt, 1e30, 0, 2),
+            kernels::ZoneMatch::kNone);
+}
+
+TEST(ClassifyZonesTest, ProvesNoneAllSome) {
+  using kernels::ClassifyZones;
+  using kernels::ZoneMatch;
+  TableSchema schema("t", {{"x", DataType::kInt64}});
+  Table table(schema);
+  const int64_t n = 2 * kZoneBlockRows;
+  for (int64_t i = 0; i < n; ++i) table.column(0).AppendInt(i);
+  ASSERT_TRUE(table.Finalize().ok());
+  const ColumnData& col = table.column(0);
+  // Block 0 holds [0, 4095], block 1 holds [4096, 8191].
+  EXPECT_EQ(ClassifyZones(col, CompareOp::kLt, 100.0, kZoneBlockRows, n),
+            ZoneMatch::kNone);
+  EXPECT_EQ(ClassifyZones(col, CompareOp::kLt, 1e9, 0, n), ZoneMatch::kAll);
+  EXPECT_EQ(ClassifyZones(col, CompareOp::kLt, 100.0, 0, kZoneBlockRows),
+            ZoneMatch::kSome);
+  // A range spanning a kNone block and a kAll block is kSome.
+  EXPECT_EQ(ClassifyZones(col, CompareOp::kGe,
+                          static_cast<double>(kZoneBlockRows), 0, n),
+            ZoneMatch::kSome);
+  // Boundary inclusivity per operator.
+  EXPECT_EQ(ClassifyZones(col, CompareOp::kLe, -1.0, 0, kZoneBlockRows),
+            ZoneMatch::kNone);
+  EXPECT_EQ(ClassifyZones(col, CompareOp::kLe,
+                          static_cast<double>(kZoneBlockRows - 1), 0,
+                          kZoneBlockRows),
+            ZoneMatch::kAll);
+  EXPECT_EQ(ClassifyZones(col, CompareOp::kEq, 0.5, 0, kZoneBlockRows),
+            ZoneMatch::kSome);  // inside [min,max] but between values
+  EXPECT_EQ(ClassifyZones(col, CompareOp::kEq, -3.0, 0, kZoneBlockRows),
+            ZoneMatch::kNone);
+  // NaN literal satisfies nothing.
+  EXPECT_EQ(ClassifyZones(col, CompareOp::kEq, std::nan(""), 0, n),
+            ZoneMatch::kNone);
+  // Rows past the zone map (unfinalized view) stay kSome.
+  Table raw(schema);
+  raw.column(0).AppendInt(7);
+  EXPECT_EQ(ClassifyZones(raw.column(0), CompareOp::kEq, 7.0, 0, 1),
+            ZoneMatch::kSome);
+}
+
+TEST(FilterKernelTest, DenseAndSparseAgree) {
+  TableSchema schema("t", {{"x", DataType::kInt64}});
+  Table table(schema);
+  for (int64_t i = 0; i < 5000; ++i) table.column(0).AppendInt(i % 97);
+  ASSERT_TRUE(table.Finalize().ok());
+  const ColumnData& col = table.column(0);
+  kernels::FilterScratch fsc;
+  std::vector<int64_t> dense, sparse;
+  const int64_t nd = kernels::FilterRange(col, CompareOp::kLt, 40.0, 100,
+                                          4900, 0.9, &dense, &fsc);
+  const int64_t ns = kernels::FilterRange(col, CompareOp::kLt, 40.0, 100,
+                                          4900, 0.01, &sparse, &fsc);
+  EXPECT_EQ(nd, ns);
+  EXPECT_EQ(dense, sparse);
+  ASSERT_GT(nd, 0);
+  for (int64_t r : dense) EXPECT_LT(col.GetInt(r), 40);
+}
+
+TEST(FilterKernelTest, RefineCompactsInPlace) {
+  TableSchema schema("t", {{"x", DataType::kDouble}});
+  Table table(schema);
+  const double inf = std::numeric_limits<double>::infinity();
+  const double vals[] = {1.0, std::nan(""), -inf, 5.0, inf, 2.0};
+  for (double v : vals) table.column(0).AppendDouble(v);
+  ASSERT_TRUE(table.Finalize().ok());
+  std::vector<int64_t> sel = {0, 1, 2, 3, 4, 5};
+  // NaN fails every comparison; -inf passes, +inf fails.
+  EXPECT_EQ(kernels::FilterRefine(table.column(0), CompareOp::kLe, 5.0, &sel),
+            4);
+  EXPECT_EQ(sel, (std::vector<int64_t>{0, 2, 3, 5}));
+}
+
+TEST(FlatJoinTableTest, FindAndFindBatchAgree) {
+  kernels::FlatJoinTable ht;
+  ht.Init(1, 1);
+  for (int i = 0; i < 500; ++i) {
+    const double k = static_cast<double>(i * 3);
+    const double p = static_cast<double>(i);
+    ht.Insert(&k, &p);
+    ht.Insert(&k, &p);  // two entries per key: chains of length 2
+  }
+  EXPECT_EQ(ht.num_keys(), 500);
+  std::vector<double> probes;
+  for (int i = -5; i < 1505; ++i) probes.push_back(static_cast<double>(i));
+  probes.push_back(std::nan(""));
+  probes.push_back(-0.0);  // must hash/compare equal to key 0.0
+  std::vector<int64_t> batch(probes.size());
+  std::vector<uint64_t> hashes;
+  ht.FindBatch(probes.data(), static_cast<int64_t>(probes.size()),
+               batch.data(), &hashes);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(batch[i], ht.Find(&probes[i])) << "probe " << probes[i];
+  }
+  const double miss = std::nan("");
+  EXPECT_EQ(ht.Find(&miss), -1);
+  const double neg_zero = -0.0;
+  const int64_t u = ht.Find(&neg_zero);
+  ASSERT_GE(u, 0);
+  EXPECT_EQ(ht.ChainLen(u), 2);
+}
+
+TEST(HashIndexTest, FlatLookupSpansAscending) {
+  TableSchema schema("t", {{"k", DataType::kInt64}});
+  auto table = std::make_shared<Table>(schema);
+  // Keys 0..9 repeated 100 times: each key owns 100 ascending row ids.
+  for (int64_t r = 0; r < 1000; ++r) table->column(0).AppendInt(r % 10);
+  ASSERT_TRUE(table->Finalize().ok());
+  HashIndex idx(*table, 0);
+  EXPECT_EQ(idx.distinct_keys(), 10);
+  const RowIdSpan rows = idx.Lookup(7);
+  ASSERT_EQ(rows.size(), 100);
+  for (int64_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i], 7 + i * 10);
+  }
+  EXPECT_TRUE(idx.Lookup(10).empty());
+  EXPECT_TRUE(idx.Lookup(-1).empty());
+}
+
+TEST(HashIndexTest, NegativeAndSparseKeys) {
+  TableSchema schema("t", {{"k", DataType::kInt64}});
+  auto table = std::make_shared<Table>(schema);
+  const int64_t keys[] = {-1000000007, 0, 42, -1, 1ll << 40, 42};
+  for (int64_t k : keys) table->column(0).AppendInt(k);
+  ASSERT_TRUE(table->Finalize().ok());
+  HashIndex idx(*table, 0);
+  EXPECT_EQ(idx.distinct_keys(), 5);
+  EXPECT_EQ(idx.Lookup(42).size(), 2);
+  EXPECT_EQ(idx.Lookup(42)[0], 2);
+  EXPECT_EQ(idx.Lookup(42)[1], 5);
+  EXPECT_EQ(idx.Lookup(-1000000007).size(), 1);
+  EXPECT_EQ(idx.Lookup(1ll << 40)[0], 4);
+  EXPECT_TRUE(idx.Lookup(43).empty());
+}
+
+TEST(EventCountTest, SaturatesInsteadOfWrapping) {
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  EventCount c;
+  c += max - 1;
+  EXPECT_EQ(static_cast<int64_t>(c), max - 1);
+  ++c;
+  EXPECT_EQ(static_cast<int64_t>(c), max);
+#ifdef NDEBUG
+  // Release builds clamp; debug builds assert (covered by the sanitizer
+  // jobs compiling with assertions on, where this would abort).
+  c += 1000;
+  EXPECT_EQ(static_cast<int64_t>(c), max);
+#endif
 }
 
 }  // namespace
