@@ -8,10 +8,15 @@ aggregate reporting (bench/record_baseline.sh produces this shape). Only
 `median` aggregates are compared — single-shot timings are too noisy for a
 CI gate. CPU time is normalized to nanoseconds via each entry's time_unit.
 
-Exit status is 1 if any benchmark's median cpu_time regressed by more than
-the tolerance (default +25%); benchmarks present in only one file are
+Exit status is 1 if any benchmark's median regressed by more than the
+tolerance (default +25%); benchmarks present in only one file are
 reported but never fail the gate, so adding or renaming benchmarks does not
 require a lockstep baseline refresh.
+
+The gated metric defaults to cpu_time (right for single-threaded
+micro-benchmarks). Pass --metric real_time for wall-clock throughput
+benchmarks (e.g. BM_Service, where client threads do the work and the
+bench thread's cpu_time is mostly idle waiting).
 """
 
 import argparse
@@ -21,8 +26,8 @@ import sys
 _NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_medians(path):
-    """Return {benchmark name: median cpu_time in ns}."""
+def load_medians(path, metric):
+    """Return {benchmark name: median `metric` in ns}."""
     with open(path) as f:
         doc = json.load(f)
     medians = {}
@@ -33,7 +38,7 @@ def load_medians(path):
         if name.endswith("_median"):
             name = name[: -len("_median")]
         scale = _NS_PER_UNIT[entry.get("time_unit", "ns")]
-        medians[name] = entry["cpu_time"] * scale
+        medians[name] = entry[metric] * scale
     return medians
 
 
@@ -42,11 +47,14 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional cpu_time regression")
+                        help="allowed fractional regression")
+    parser.add_argument("--metric", choices=("cpu_time", "real_time"),
+                        default="cpu_time",
+                        help="which median time series to gate on")
     args = parser.parse_args()
 
-    base = load_medians(args.baseline)
-    cur = load_medians(args.current)
+    base = load_medians(args.baseline, args.metric)
+    cur = load_medians(args.current, args.metric)
     if not base or not cur:
         print("error: no median aggregates found; record with repetitions",
               file=sys.stderr)

@@ -29,3 +29,22 @@ fi
   --benchmark_out="$OUT"
 
 echo "wrote $OUT"
+
+# Service throughput baseline: queries/sec and client-observed p50/p99 at
+# 1/4/16 concurrent clients through the in-process session API. Gated by
+# the same perf-smoke comparison as the engine baseline.
+SERVICE_BIN="$BUILD_DIR/bench/bench_service"
+SERVICE_OUT="$(dirname "$0")/BENCH_service.json"
+
+if [[ ! -x "$SERVICE_BIN" ]]; then
+  echo "error: $SERVICE_BIN not found or not executable (build first)" >&2
+  exit 1
+fi
+
+"$SERVICE_BIN" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out="$SERVICE_OUT"
+
+echo "wrote $SERVICE_OUT"

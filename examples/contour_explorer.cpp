@@ -10,7 +10,7 @@
 #include "core/alignment.h"
 #include "core/oracle.h"
 #include "core/spillbound.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 
 using namespace robustqp;
 
@@ -25,14 +25,14 @@ char PlanGlyph(int plan_ordinal) {
 }  // namespace
 
 int main() {
-  const Workbench::Entry& wb = Workbench::Get("2D_Q91");
-  const Ess& ess = *wb.ess;
+  const auto wb = *ContextCache::Default().Get("2D_Q91", Ess::Config{});
+  const Ess& ess = *wb->ess;
   const int n = ess.points();
 
   std::cout << "=== ESS explorer: 2D_Q91 ===\n";
-  std::cout << "X axis: " << wb.query->EppLabel(0)
+  std::cout << "X axis: " << wb->query->EppLabel(0)
             << " selectivity (log-spaced " << ess.config().min_sel
-            << " .. 1)\nY axis: " << wb.query->EppLabel(1) << "\n";
+            << " .. 1)\nY axis: " << wb->query->EppLabel(1) << "\n";
   std::cout << "POSP: " << ess.pool().size() << " plans; contours: "
             << ess.num_contours() << " (cost " << ess.cmin() << " .. "
             << ess.cmax() << ")\n\n";

@@ -13,24 +13,24 @@
 #include "exec/executor.h"
 #include "harness/trace_printer.h"
 #include "harness/true_selectivity.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 
 using namespace robustqp;
 
 int main() {
   std::cout << "=== JOB Q1a on the execution engine ===\n\n";
-  const Workbench::Entry& wb = Workbench::Get("4D_JOB_Q1a");
-  const Ess& ess = *wb.ess;
-  Executor executor(wb.catalog.get(), ess.config().cost_model);
+  const auto wb = *ContextCache::Default().Get("4D_JOB_Q1a", Ess::Config{});
+  const Ess& ess = *wb->ess;
+  Executor executor(wb->catalog.get(), ess.config().cost_model);
 
   // What the statistics claim vs what the data holds.
   const EssPoint qe = ess.optimizer().estimator().NativeEstimatePoint();
-  const EssPoint truth = ComputeTrueSelectivities(*wb.catalog, *wb.query);
+  const EssPoint truth = ComputeTrueSelectivities(*wb->catalog, *wb->query);
   std::cout << "epp        estimate      truth         error factor\n";
   for (int d = 0; d < ess.dims(); ++d) {
     const double est = qe[static_cast<size_t>(d)];
     const double tru = truth[static_cast<size_t>(d)];
-    std::cout << wb.query->EppLabel(d) << "      " << est << "      " << tru
+    std::cout << wb->query->EppLabel(d) << "      " << est << "      " << tru
               << "      " << (tru > est ? tru / est : est / tru) << "x\n";
   }
 

@@ -11,7 +11,7 @@
 
 #include "core/oracle.h"
 #include "core/spillbound.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "workloads/queries.h"
 
 using namespace robustqp;
@@ -25,7 +25,7 @@ int main() {
   std::cout << "=== Offline contour construction (Section 7) ===\n\n";
 
   // One-time preprocessing: full optimizer sweep.
-  std::shared_ptr<Catalog> catalog = Workbench::TpcdsCatalog();
+  std::shared_ptr<Catalog> catalog = ContextCache::TpcdsCatalog();
   Query query = MakeSuiteQuery("3D_Q15");
   const auto t0 = Clock::now();
   Ess::Config config;

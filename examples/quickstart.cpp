@@ -9,7 +9,7 @@
 #include "core/planbouquet.h"
 #include "core/spillbound.h"
 #include "harness/trace_printer.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 
 using namespace robustqp;
 
@@ -17,8 +17,8 @@ int main() {
   std::cout << "=== Robust query processing quickstart (2D TPC-DS Q91) ===\n\n";
 
   // 1. Catalog + query + ESS (optimal plan & cost at every grid location).
-  const Workbench::Entry& wb = Workbench::Get("2D_Q91");
-  const Ess& ess = *wb.ess;
+  const auto wb = *ContextCache::Default().Get("2D_Q91", Ess::Config{});
+  const Ess& ess = *wb->ess;
   std::cout << "ESS grid: " << ess.dims() << " dims x " << ess.points()
             << " points, " << ess.num_locations() << " locations\n";
   std::cout << "POSP size: " << ess.pool().size() << " distinct optimal plans\n";

@@ -18,21 +18,21 @@
 #include "core/planbouquet.h"
 #include "core/spillbound.h"
 #include "harness/trace_printer.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 
 using namespace robustqp;
 
 int main() {
   std::cout << "=== TPC-DS 4D_Q91: robustness to selectivity misestimation ===\n\n";
-  const Workbench::Entry& wb = Workbench::Get("4D_Q91");
-  const Ess& ess = *wb.ess;
+  const auto wb = *ContextCache::Default().Get("4D_Q91", Ess::Config{});
+  const Ess& ess = *wb->ess;
 
-  std::cout << "query: " << wb.query->name() << " over "
-            << wb.query->num_tables() << " tables, "
-            << wb.query->num_joins() << " joins, D=" << ess.dims()
+  std::cout << "query: " << wb->query->name() << " over "
+            << wb->query->num_tables() << " tables, "
+            << wb->query->num_joins() << " joins, D=" << ess.dims()
             << " error-prone predicates:\n";
   for (int d = 0; d < ess.dims(); ++d) {
-    std::cout << "  e" << d + 1 << ": " << wb.query->EppLabel(d) << "\n";
+    std::cout << "  e" << d + 1 << ": " << wb->query->EppLabel(d) << "\n";
   }
 
   // Where the optimizer THINKS the query lives.

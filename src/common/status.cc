@@ -23,8 +23,38 @@ const char* StatusCodeToString(StatusCode code) {
       return "BudgetExhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kNotFound:
+      return 3;
+    case StatusCode::kOutOfRange:
+      return 4;
+    case StatusCode::kUnsupported:
+      return 5;
+    case StatusCode::kInternal:
+      return 6;
+    case StatusCode::kBudgetExhausted:
+      return 7;
+    case StatusCode::kUnavailable:
+      return 8;
+    case StatusCode::kResourceExhausted:
+      return 9;
+    case StatusCode::kDeadlineExceeded:
+      return 10;
+  }
+  return 6;  // unknown codes surface as Internal
 }
 
 std::string Status::ToString() const {

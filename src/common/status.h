@@ -27,10 +27,22 @@ enum class StatusCode {
   /// A transient failure: the operation did not complete but retrying it
   /// may succeed (injected transient faults use this code).
   kUnavailable,
+  /// The service's admission queue is full: the request was rejected
+  /// before any work was done. Resubmitting once load drains may succeed.
+  kResourceExhausted,
+  /// The request's deadline elapsed (in the queue or mid-run) before a
+  /// result was produced.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a StatusCode.
 const char* StatusCodeToString(StatusCode code);
+
+/// Stable client-visible error number for a StatusCode, shared by every
+/// front-end: process exit codes (CLI, server binary) and the numeric field
+/// of the TCP protocol's ERR lines. The mapping is part of the service API —
+/// codes never change meaning, new codes only append. kOk maps to 0.
+int ExitCodeFor(StatusCode code);
 
 /// Outcome of a fallible operation that produces no value.
 ///
@@ -62,6 +74,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True for failures worth retrying (kUnavailable).

@@ -227,6 +227,10 @@ ExecOutcome EngineOracle::ExecuteFull(const Plan& plan, double budget) {
   out.completed = res->completed;
   out.cost_charged = res->completed ? res->cost_used : budget;
   report_.Merge(res->robustness);
+  if (res->completed) {
+    last_full_ = res.MoveValue();
+    has_last_full_ = true;
+  }
   return out;
 }
 

@@ -99,8 +99,18 @@ class EngineOracle : public ExecutionOracle {
   ExecOutcome ExecuteSpill(const Plan& plan, int dim, double budget,
                            const std::vector<double>& learned) override;
 
+  /// The ExecutionResult (cost ledger, per-node tuple counters) of the most
+  /// recent full-plan execution that ran to completion — the execution
+  /// whose NodeStats describe the finished query. The service layer
+  /// surfaces it per request. Null until some full execution completes.
+  const ExecutionResult* last_completed_full() const {
+    return has_last_full_ ? &last_full_ : nullptr;
+  }
+
  private:
   const Executor* executor_;
+  ExecutionResult last_full_;
+  bool has_last_full_ = false;
 };
 
 }  // namespace robustqp

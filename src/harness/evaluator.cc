@@ -33,6 +33,14 @@ void ReduceStats(SuboptimalityStats* stats) {
 
 }  // namespace
 
+EvalOptions MakeEvalOptions(const RequestOptions& request) {
+  EvalOptions opts;
+  opts.num_threads = request.ess_threads;
+  opts.fault_spec = request.fault_spec;
+  opts.fault_seed = request.fault_seed;
+  return opts;
+}
+
 double SuboptimalityStats::FractionWithin(double bound) const {
   if (subopt.empty()) return 0.0;
   int64_t n = 0;

@@ -20,6 +20,7 @@
 #include "common/fault.h"
 #include "core/discovery.h"
 #include "ess/ess.h"
+#include "server/request_options.h"
 
 namespace robustqp {
 
@@ -38,6 +39,11 @@ struct EvalOptions {
   /// Seed for the deterministic fault draws of a chaos sweep.
   uint64_t fault_seed = 42;
 };
+
+/// The sweep view of the unified per-request knob struct: threads come
+/// from ess_threads (the sweep is surface-shaped work, not per-query
+/// morsel work), chaos fields map through unchanged.
+EvalOptions MakeEvalOptions(const RequestOptions& request);
 
 /// Sub-optimality profile of one algorithm over the whole ESS.
 struct SuboptimalityStats {

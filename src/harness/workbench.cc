@@ -1,64 +1,27 @@
 #include "harness/workbench.h"
 
-#include <map>
-#include <mutex>
-#include <sstream>
-
 #include "common/status.h"
-#include "workloads/job.h"
-#include "workloads/queries.h"
-#include "workloads/tpcds.h"
 
 namespace robustqp {
 
-namespace {
-
-std::string ConfigKey(const std::string& id, const Ess::Config& c) {
-  std::ostringstream os;
-  os << id << "|" << c.min_sel << "|" << c.points_per_dim << "|"
-     << c.contour_cost_ratio << "|" << c.cost_model.params().scan_tuple << ","
-     << c.cost_model.params().hash_build_tuple << ","
-     << c.cost_model.params().hash_probe_tuple << ","
-     << c.cost_model.params().nlj_materialize_tuple << ","
-     << c.cost_model.params().nlj_pair << ","
-     << c.cost_model.params().join_output_tuple << "|"
-     << static_cast<int>(c.build_mode) << "|" << c.recost_lambda << "|"
-     << c.refine_fallback_fraction;
-  return os.str();
-}
-
-std::mutex& RegistryMutex() {
-  static std::mutex mu;
-  return mu;
-}
-
-}  // namespace
-
 std::shared_ptr<Catalog> Workbench::TpcdsCatalog() {
-  static std::shared_ptr<Catalog> catalog = BuildTpcdsCatalog();
-  return catalog;
+  return ContextCache::TpcdsCatalog();
 }
 
 std::shared_ptr<Catalog> Workbench::JobCatalog() {
-  static std::shared_ptr<Catalog> catalog = BuildJobCatalog();
-  return catalog;
+  return ContextCache::JobCatalog();
 }
 
 const Workbench::Entry& Workbench::Get(const std::string& id,
                                        const Ess::Config& config) {
-  static std::map<std::string, std::unique_ptr<Entry>>* registry =
-      new std::map<std::string, std::unique_ptr<Entry>>();
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  const std::string key = ConfigKey(id, config);
-  auto it = registry->find(key);
-  if (it != registry->end()) return *it->second;
-
-  auto entry = std::make_unique<Entry>();
-  entry->catalog = IsJobQuery(id) ? JobCatalog() : TpcdsCatalog();
-  entry->query = std::make_unique<Query>(MakeSuiteQuery(id));
-  RQP_CHECK(entry->query->Validate(*entry->catalog).ok());
-  entry->ess = Ess::Build(*entry->catalog, *entry->query, config);
-  return *registry->emplace(key, std::move(entry)).first->second;
+  Result<std::shared_ptr<const Entry>> entry =
+      ContextCache::Default().Get(id, config);
+  // The old contract aborted on any failure (unknown id, failed build);
+  // keep it — fallible callers use ContextCache directly.
+  RQP_CHECK(entry.ok());
+  // Default() never evicts, so the shared_ptr it retains keeps *entry
+  // alive for the process: handing out a reference is sound.
+  return **entry;
 }
 
 }  // namespace robustqp

@@ -1,6 +1,18 @@
-// One-stop experiment setup: catalog + query + built ESS for a suite
-// query id, cached process-wide so tests, benches and examples share the
-// (optimizer-call-heavy) ESS construction.
+// DEPRECATED shim over the instance-scoped ContextCache.
+//
+// Workbench used to be the process-global registry of built experiment
+// contexts. The service layer replaced it with server/context_cache.h —
+// an instance-scoped LRU cache with capacity and hit/miss accounting that
+// a QueryService (or a test) owns rather than shares process-wide. This
+// header remains only so out-of-tree callers keep compiling: Get()
+// delegates to ContextCache::Default(), an unbounded instance whose
+// entries live for the process, preserving the old reference-lifetime
+// contract.
+//
+// New code should hold a ContextCache (or a QueryService) instead:
+//
+//   ContextCache cache(ContextCache::Options{/*capacity=*/8});
+//   auto ctx = cache.Get("2D_Q91", config);   // Result<shared_ptr<Entry>>
 
 #ifndef ROBUSTQP_HARNESS_WORKBENCH_H_
 #define ROBUSTQP_HARNESS_WORKBENCH_H_
@@ -8,26 +20,22 @@
 #include <memory>
 #include <string>
 
-#include "ess/ess.h"
-#include "query/query.h"
+#include "server/context_cache.h"
 
 namespace robustqp {
 
-/// Process-wide registry of built experiment contexts.
+/// Deprecated: use ContextCache. See the header comment.
 class Workbench {
  public:
-  struct Entry {
-    std::shared_ptr<Catalog> catalog;
-    std::unique_ptr<Query> query;
-    std::unique_ptr<Ess> ess;
-  };
+  using Entry = ContextCache::Entry;
 
-  /// Returns the cached context for `id` under `config`, building it on
-  /// first use. The returned reference stays valid for process lifetime.
+  /// Deprecated: ContextCache::Default().Get(id, config). The returned
+  /// reference stays valid for process lifetime (the default cache never
+  /// evicts).
   static const Entry& Get(const std::string& id,
                           const Ess::Config& config = Ess::Config{});
 
-  /// The shared synthetic catalogs (built once).
+  /// Deprecated: ContextCache::TpcdsCatalog() / JobCatalog().
   static std::shared_ptr<Catalog> TpcdsCatalog();
   static std::shared_ptr<Catalog> JobCatalog();
 };

@@ -1,0 +1,130 @@
+#include "server/context_cache.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/status.h"
+#include "workloads/job.h"
+#include "workloads/queries.h"
+#include "workloads/tpcds.h"
+
+namespace robustqp {
+
+ContextCache::ContextCache(Options options) : options_(options) {}
+
+std::string ContextCache::Key(const std::string& id,
+                              const Ess::Config& c) {
+  std::ostringstream os;
+  os << id << "|" << c.min_sel << "|" << c.points_per_dim << "|"
+     << c.contour_cost_ratio << "|" << c.cost_model.params().scan_tuple << ","
+     << c.cost_model.params().hash_build_tuple << ","
+     << c.cost_model.params().hash_probe_tuple << ","
+     << c.cost_model.params().nlj_materialize_tuple << ","
+     << c.cost_model.params().nlj_pair << ","
+     << c.cost_model.params().join_output_tuple << "|"
+     << static_cast<int>(c.build_mode) << "|" << c.recost_lambda << "|"
+     << c.refine_fallback_fraction;
+  return os.str();
+}
+
+std::shared_ptr<Catalog> ContextCache::TpcdsCatalog() {
+  static std::shared_ptr<Catalog> catalog = BuildTpcdsCatalog();
+  return catalog;
+}
+
+std::shared_ptr<Catalog> ContextCache::JobCatalog() {
+  static std::shared_ptr<Catalog> catalog = BuildJobCatalog();
+  return catalog;
+}
+
+ContextCache& ContextCache::Default() {
+  static ContextCache* cache = new ContextCache(Options{/*capacity=*/0});
+  return *cache;
+}
+
+void ContextCache::EvictLocked() {
+  if (options_.capacity == 0) return;
+  while (slots_.size() > options_.capacity) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    slots_.erase(victim);
+    ++stats_.evictions;
+  }
+  stats_.size = slots_.size();
+}
+
+Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
+    const std::string& id, const Ess::Config& config, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  {
+    const std::vector<std::string> ids = SuiteQueryIds();
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+      return Status::NotFound("unknown suite query: " + id);
+    }
+  }
+  const std::string key = Key(id, config);
+
+  std::shared_ptr<Node> node;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      ++stats_.hits;
+      if (cache_hit != nullptr) *cache_hit = true;
+      // Touch: move to the front of the LRU list.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      node = it->second.node;
+    } else {
+      ++stats_.misses;
+      node = std::make_shared<Node>();
+      lru_.push_front(key);
+      slots_[key] = Slot{node, lru_.begin()};
+      EvictLocked();
+      stats_.size = slots_.size();
+    }
+  }
+
+  // Build outside the cache lock so distinct keys construct in parallel;
+  // the per-node mutex makes same-key racers wait for one build.
+  std::lock_guard<std::mutex> build_lock(node->build_mu);
+  if (!node->built) {
+    auto entry = std::make_shared<Entry>();
+    entry->catalog = IsJobQuery(id) ? JobCatalog() : TpcdsCatalog();
+    entry->query = std::make_unique<Query>(MakeSuiteQuery(id));
+    entry->key = key;
+    RQP_CHECK(entry->query->Validate(*entry->catalog).ok());
+    Result<std::unique_ptr<Ess>> ess =
+        Ess::TryBuild(*entry->catalog, *entry->query, config);
+    if (ess.ok()) {
+      entry->ess = ess.MoveValue();
+      node->entry = std::move(entry);
+      node->build_status = Status::OK();
+    } else {
+      node->build_status = ess.status();
+    }
+    node->built = true;
+    if (!node->build_status.ok()) {
+      // Do not cache failures: drop the slot so a later Get retries.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failures;
+      auto it = slots_.find(key);
+      if (it != slots_.end() && it->second.node == node) {
+        lru_.erase(it->second.lru_it);
+        slots_.erase(it);
+        stats_.size = slots_.size();
+      }
+    }
+  }
+  if (!node->build_status.ok()) {
+    if (cache_hit != nullptr) *cache_hit = false;
+    return node->build_status;
+  }
+  return node->entry;
+}
+
+ContextCache::Stats ContextCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,123 @@
+// Instance-scoped cache of built experiment contexts — the service-layer
+// replacement for the process-global Workbench singleton.
+//
+// A context is everything one suite query needs to serve requests: the
+// shared catalog, the query, and the (optimizer-call-heavy) built ESS. The
+// cache keys contexts by (query id, ESS config) — the same key the old
+// Workbench used — holds at most `capacity` of them in LRU order, and
+// counts hits / misses / evictions so a serving deployment can size it.
+//
+// Concurrency. Get() is safe from any thread. Distinct keys build
+// concurrently; concurrent misses on the same key build once (the second
+// caller blocks on the first's build). Entries are handed out as
+// shared_ptr, so an entry evicted while a request is still using it stays
+// alive until the last holder drops it — eviction never invalidates
+// in-flight work.
+//
+// Builds always run with the FaultInjector disarmed from the service
+// layer's perspective (QueryService resolves contexts before arming a
+// request's chaos spec), so a cached surface is bit-identical no matter
+// which request triggered the build. Failed builds (possible when an
+// embedding program arms injection around Get()) are not cached.
+
+#ifndef ROBUSTQP_SERVER_CONTEXT_CACHE_H_
+#define ROBUSTQP_SERVER_CONTEXT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ess/ess.h"
+#include "query/query.h"
+
+namespace robustqp {
+
+class ContextCache {
+ public:
+  struct Options {
+    /// Maximum cached contexts; least-recently-used beyond this are
+    /// evicted. 0 means unbounded (the Workbench-compatible default
+    /// instance uses this so its references live for the process).
+    size_t capacity = 16;
+  };
+
+  /// One built context. Immutable once constructed.
+  struct Entry {
+    std::shared_ptr<Catalog> catalog;
+    std::unique_ptr<Query> query;
+    std::unique_ptr<Ess> ess;
+    /// The cache key this entry was built under.
+    std::string key;
+  };
+
+  /// Cumulative counters since construction.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    /// Builds that returned a non-OK Status (not cached).
+    int64_t failures = 0;
+    /// Contexts currently resident.
+    size_t size = 0;
+  };
+
+  // (Two constructors rather than one defaulted argument: in-class default
+  // arguments may not use Options{} before the enclosing class is complete.)
+  ContextCache() : ContextCache(Options{}) {}
+  explicit ContextCache(Options options);
+
+  ContextCache(const ContextCache&) = delete;
+  ContextCache& operator=(const ContextCache&) = delete;
+
+  /// Returns the context for suite query `id` under `config`, building it
+  /// on first use. Fails with the build's Status when construction fails
+  /// (e.g. an armed permanent optimizer fault), or NotFound for an unknown
+  /// suite id. When `cache_hit` is non-null it is set to whether the
+  /// context was already resident (false for misses and failed builds).
+  Result<std::shared_ptr<const Entry>> Get(const std::string& id,
+                                           const Ess::Config& config,
+                                           bool* cache_hit = nullptr);
+
+  Stats stats() const;
+
+  /// The cache key for (id, config) — exposed for goldens and logging.
+  static std::string Key(const std::string& id, const Ess::Config& config);
+
+  /// Process-default instance (unbounded), shared by the deprecated
+  /// Workbench shim and anything that wants Workbench's old semantics.
+  static ContextCache& Default();
+
+  /// The shared synthetic catalogs (built once per process; every cache
+  /// instance reuses them — only the per-query ESS differs per entry).
+  static std::shared_ptr<Catalog> TpcdsCatalog();
+  static std::shared_ptr<Catalog> JobCatalog();
+
+ private:
+  struct Node {
+    std::mutex build_mu;          // serializes the one-time build
+    bool built = false;           // set under build_mu
+    Status build_status;          // the build's outcome
+    std::shared_ptr<const Entry> entry;
+  };
+
+  /// Drops LRU nodes beyond capacity. Caller holds mu_.
+  void EvictLocked();
+
+  const Options options_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<std::string> lru_;
+  struct Slot {
+    std::shared_ptr<Node> node;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::map<std::string, Slot> slots_;
+  Stats stats_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_SERVER_CONTEXT_CACHE_H_

@@ -1,0 +1,338 @@
+#include "server/query_service.h"
+
+#include <algorithm>
+
+#include "common/fault.h"
+#include "common/thread_pool.h"
+#include "core/alignedbound.h"
+#include "core/oracle.h"
+#include "core/planbouquet.h"
+#include "core/spillbound.h"
+
+namespace robustqp {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+std::unique_ptr<DiscoveryAlgorithm> MakeAlgorithm(RobustnessMode mode,
+                                                  const Ess* ess) {
+  switch (mode) {
+    case RobustnessMode::kPlanBouquet:
+      return std::make_unique<PlanBouquet>(ess);
+    case RobustnessMode::kSpillBound:
+      return std::make_unique<SpillBound>(ess);
+    case RobustnessMode::kAlignedBound:
+      return std::make_unique<AlignedBound>(ess);
+    case RobustnessMode::kNative:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+QueryService::QueryService(Options options)
+    : options_(options),
+      cache_(ContextCache::Options{options.cache_capacity}),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {}
+
+QueryService::~QueryService() {
+  // Drain: every admitted task must reach its terminal state before the
+  // request map (which tasks write into) is destroyed.
+  (void)pool_->Wait();
+  pool_.reset();
+}
+
+Result<int64_t> QueryService::OpenSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t id = next_session_id_++;
+  sessions_[id] = {};
+  return id;
+}
+
+Status QueryService::CloseSession(int64_t session_id) {
+  std::vector<std::shared_ptr<RequestState>> in_flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("unknown session " +
+                              std::to_string(session_id));
+    }
+    for (int64_t rid : it->second) {
+      auto rit = requests_.find(rid);
+      if (rit != requests_.end()) in_flight.push_back(rit->second);
+    }
+  }
+  // Wait for the session's requests outside the service lock, then drop
+  // them and the session in one sweep.
+  for (const auto& state : in_flight) {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done; });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session closed concurrently");
+  }
+  for (int64_t rid : it->second) requests_.erase(rid);
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+Result<int64_t> QueryService::Submit(int64_t session_id,
+                                     ServiceRequest request) {
+  std::shared_ptr<RequestState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("unknown session " +
+                              std::to_string(session_id));
+    }
+    if (admitted_ >= options_.queue_limit) {
+      ++stats_.rejected;
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(options_.queue_limit) +
+          " in flight); resubmit after load drains");
+    }
+    ++admitted_;
+    ++stats_.submitted;
+    state = std::make_shared<RequestState>();
+    state->id = next_request_id_++;
+    state->session = session_id;
+    state->request = std::move(request);
+    state->submit_time = std::chrono::steady_clock::now();
+    it->second.insert(state->id);
+    requests_[state->id] = state;
+  }
+  pool_->Submit([this, state] { RunRequest(state); });
+  return state->id;
+}
+
+void QueryService::RunRequest(const std::shared_ptr<RequestState>& state) {
+  if (options_.pre_run_hook) options_.pre_run_hook();
+  const auto start = std::chrono::steady_clock::now();
+
+  ServiceResponse resp;
+  resp.request_id = state->id;
+  resp.query_id = state->request.query_id;
+  resp.queue_ms = MsSince(state->submit_time, start);
+
+  const double deadline = state->request.deadline_ms;
+  if (deadline >= 0.0 && resp.queue_ms > deadline) {
+    resp.status = Status::DeadlineExceeded(
+        "deadline (" + std::to_string(deadline) + " ms) elapsed after " +
+        std::to_string(resp.queue_ms) + " ms in the queue");
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deadline_expired;
+  } else {
+    Execute(state->request, &cache_, &fault_mu_, &resp);
+    resp.request_id = state->id;
+  }
+  resp.run_ms = MsSince(start, std::chrono::steady_clock::now());
+
+  // Service counters first, then publish: a client that has seen Wait()
+  // return must also see the counters reflect its request.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --admitted_;
+    ++stats_.completed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->response = std::move(resp);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+Result<std::optional<ServiceResponse>> QueryService::Poll(
+    int64_t session_id, int64_t request_id) {
+  std::shared_ptr<RequestState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = requests_.find(request_id);
+    if (it == requests_.end() || it->second->session != session_id) {
+      return Status::NotFound("unknown request " +
+                              std::to_string(request_id) + " in session " +
+                              std::to_string(session_id));
+    }
+    state = it->second;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (!state->done) return std::optional<ServiceResponse>{};
+  return std::optional<ServiceResponse>{state->response};
+}
+
+Result<ServiceResponse> QueryService::Wait(int64_t session_id,
+                                           int64_t request_id) {
+  std::shared_ptr<RequestState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = requests_.find(request_id);
+    if (it == requests_.end() || it->second->session != session_id) {
+      return Status::NotFound("unknown request " +
+                              std::to_string(request_id) + " in session " +
+                              std::to_string(session_id));
+    }
+    state = it->second;
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done; });
+  return state->response;
+}
+
+QueryService::ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+ServiceResponse QueryService::RunOneShot(const ServiceRequest& request,
+                                         ContextCache* cache) {
+  // One-shots share the concurrent path's body; the lock they pass is a
+  // private one, merely satisfying the same discipline.
+  static std::shared_mutex* one_shot_mu = new std::shared_mutex();
+  ServiceResponse resp;
+  resp.query_id = request.query_id;
+  Execute(request, cache != nullptr ? cache : &ContextCache::Default(),
+          one_shot_mu, &resp);
+  return resp;
+}
+
+void QueryService::Execute(const ServiceRequest& request, ContextCache* cache,
+                           std::shared_mutex* fault_mu,
+                           ServiceResponse* resp) {
+  // Phase 1 — resolve the context under the shared lock: no chaos request
+  // holds the injector armed, so cache builds are always clean and the
+  // cached surface is independent of request interleaving.
+  std::shared_ptr<const ContextCache::Entry> ctx;
+  {
+    std::shared_lock<std::shared_mutex> lock(*fault_mu);
+    Result<std::shared_ptr<const ContextCache::Entry>> ctx_or =
+        cache->Get(request.query_id, request.options.ToEssConfig(),
+                   &resp->cache_hit);
+    if (!ctx_or.ok()) {
+      resp->status = ctx_or.status();
+      return;
+    }
+    ctx = ctx_or.MoveValue();
+  }
+
+  // Phase 2 — run. Clean requests share the lock; chaos requests own it
+  // exclusively, arm the injector, and disarm before releasing.
+  if (request.options.fault_spec.empty()) {
+    std::shared_lock<std::shared_mutex> lock(*fault_mu);
+    resp->status = RunResolved(request, *ctx, resp);
+  } else {
+    std::unique_lock<std::shared_mutex> lock(*fault_mu);
+    const Status st = FaultInjector::Global().Configure(
+        request.options.fault_spec, request.options.fault_seed);
+    if (!st.ok()) {
+      resp->status = st;
+      return;
+    }
+    {
+      // Stream keyed by the request's seed: the draw sequence depends only
+      // on (spec, seed), never on scheduling or request order.
+      FaultStreamScope scope(request.options.fault_seed);
+      resp->status = RunResolved(request, *ctx, resp);
+    }
+    FaultInjector::Global().Disarm();
+  }
+}
+
+Status QueryService::RunResolved(const ServiceRequest& request,
+                                 const ContextCache::Entry& ctx,
+                                 ServiceResponse* resp) {
+  const Ess& ess = *ctx.ess;
+  const int dims = ess.dims();
+
+  // Resolve the (snapped) true location. Engine runs take their truth
+  // from the data; the simulated midpoint default keeps parameterless
+  // requests deterministic.
+  GridLoc qa(static_cast<size_t>(dims), ess.points() / 2);
+  if (!request.qa.empty()) {
+    if (static_cast<int>(request.qa.size()) != dims) {
+      return Status::InvalidArgument(
+          "qa needs exactly " + std::to_string(dims) + " selectivities, got " +
+          std::to_string(request.qa.size()));
+    }
+    for (int d = 0; d < dims; ++d) {
+      const double s = request.qa[static_cast<size_t>(d)];
+      if (!(s > 0.0) || s > 1.0) {
+        return Status::OutOfRange("qa selectivity out of (0, 1]: " +
+                                  std::to_string(s));
+      }
+      qa[static_cast<size_t>(d)] = ess.axis().NearestIndex(s);
+    }
+  }
+  const EssPoint qa_sel = ess.SelAt(qa);
+  resp->opt_cost = ess.OptimalCost(qa);
+
+  std::unique_ptr<Executor> executor;
+  if (request.use_engine) {
+    executor = std::make_unique<Executor>(ctx.catalog.get(),
+                                          ess.config().cost_model,
+                                          request.options.ToExecutorOptions());
+  }
+
+  if (request.mode == RobustnessMode::kNative) {
+    resp->algorithm = "native";
+    const EssPoint qe = ess.optimizer().estimator().NativeEstimatePoint();
+    const std::unique_ptr<Plan> plan = ess.optimizer().Optimize(qe);
+    if (request.use_engine) {
+      Result<ExecutionResult> res = executor->Execute(*plan, request.budget);
+      if (!res.ok()) return res.status();
+      resp->execution = res.MoveValue();
+      resp->completed = resp->execution.completed;
+      resp->cost_used = resp->execution.cost_used;
+      resp->robustness = resp->execution.robustness;
+    } else {
+      resp->completed = true;
+      resp->cost_used = ess.optimizer().PlanCost(*plan, qa_sel);
+    }
+  } else {
+    const std::unique_ptr<DiscoveryAlgorithm> algo =
+        MakeAlgorithm(request.mode, &ess);
+    resp->algorithm = algo->name();
+    resp->guarantee = algo->MsoGuarantee();
+    std::unique_ptr<ExecutionOracle> oracle;
+    EngineOracle* engine_oracle = nullptr;
+    if (request.use_engine) {
+      auto eo = std::make_unique<EngineOracle>(executor.get());
+      engine_oracle = eo.get();
+      oracle = std::move(eo);
+    } else {
+      oracle = std::make_unique<SimulatedOracle>(&ess, qa);
+    }
+    resp->discovery = algo->Run(oracle.get());
+    resp->completed = resp->discovery.completed;
+    resp->cost_used = resp->discovery.total_cost;
+    resp->robustness = resp->discovery.robustness;
+    if (engine_oracle != nullptr &&
+        engine_oracle->last_completed_full() != nullptr) {
+      resp->execution = *engine_oracle->last_completed_full();
+    }
+  }
+
+  resp->suboptimality =
+      resp->opt_cost > 0.0 ? resp->cost_used / resp->opt_cost : 0.0;
+  if (!resp->completed) {
+    return Status::BudgetExhausted("execution did not complete within " +
+                                   std::to_string(request.budget) +
+                                   " cost units");
+  }
+  if (request.budget >= 0.0 && resp->cost_used > request.budget) {
+    return Status::BudgetExhausted(
+        "cost_used " + std::to_string(resp->cost_used) +
+        " exceeded the request budget " + std::to_string(request.budget));
+  }
+  return Status::OK();
+}
+
+}  // namespace robustqp

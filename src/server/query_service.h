@@ -1,0 +1,246 @@
+// QueryService — robust query processing as a long-lived, concurrently
+// shared service.
+//
+// The one-shot CLI/bench drivers rebuild their whole context per
+// invocation; QueryService instead keeps a ContextCache of built ESS
+// surfaces and serves a *stream* of requests from many concurrent clients
+// through a session API:
+//
+//   QueryService service;
+//   int64_t session = service.OpenSession().value();
+//   ServiceRequest req;
+//   req.query_id = "2D_Q91";
+//   req.mode = RobustnessMode::kSpillBound;
+//   int64_t id = service.Submit(session, req).value();
+//   ServiceResponse resp = service.Wait(session, id).value();
+//   service.CloseSession(session);
+//
+// Execution model. Submitted requests run on a shared ThreadPool.
+// Admission control is a bounded queue: at most Options::queue_limit
+// requests may be admitted (queued + running) at once; Submit rejects
+// beyond that with kResourceExhausted, immediately and without side
+// effects — the client decides whether to back off and resubmit. A
+// request whose deadline elapses while queued is answered with
+// kDeadlineExceeded instead of being run.
+//
+// Determinism contract. Each request's payload (cost_used, discovery
+// steps, NodeStats, RobustnessReport) is bit-identical to running the
+// same ServiceRequest serially via RunOneShot on a fresh process — no
+// matter how many clients run concurrently or in which order the pool
+// schedules them. Three mechanisms make this hold:
+//  * contexts are immutable after build and built only while the fault
+//    injector is disarmed (resolution happens before a request's chaos
+//    spec is armed), so cache state cannot leak into results;
+//  * discovery algorithms are instantiated per request (their memo caches
+//    never cross requests);
+//  * chaos requests (non-empty fault_spec) take an exclusive lock on the
+//    process-wide FaultInjector, configure it, and run inside a
+//    FaultStreamScope keyed by the request's fault_seed — clean requests
+//    hold the lock shared, so they always observe a disarmed injector.
+//    A chaos request's draw sequence therefore depends only on
+//    (spec, seed), exactly as in a serial run.
+// Timing fields (queue_ms, run_ms) are measurements and obviously not
+// part of the contract.
+//
+// The service assumes it owns the process-wide FaultInjector: embedding
+// programs must not arm it around service calls.
+
+#ifndef ROBUSTQP_SERVER_QUERY_SERVICE_H_
+#define ROBUSTQP_SERVER_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "exec/executor.h"
+#include "server/context_cache.h"
+#include "server/request_options.h"
+
+namespace robustqp {
+
+class ThreadPool;
+
+/// One unit of client work: which suite query to answer, with which
+/// robustness machinery, under which knobs.
+struct ServiceRequest {
+  std::string query_id = "2D_Q91";
+  RobustnessMode mode = RobustnessMode::kSpillBound;
+  /// Hypothetical true epp selectivities (simulated-oracle runs). Empty
+  /// means the ESS grid midpoint. Ignored when use_engine is set — the
+  /// stored data decides the truth there.
+  std::vector<double> qa;
+  /// Run against the real execution engine (EngineOracle / Executor) over
+  /// the stored catalog data instead of the cost-model-backed simulation.
+  bool use_engine = false;
+  /// Service-level cost cap: when >= 0 and the request's cost_used ends
+  /// above it, the response's terminal status is kBudgetExhausted (the
+  /// payload is still attached). < 0 means uncapped.
+  double budget = -1.0;
+  /// Wall-clock deadline in milliseconds from Submit. A request still
+  /// queued past its deadline is answered kDeadlineExceeded without
+  /// running. < 0 means none.
+  double deadline_ms = -1.0;
+  /// Everything else: engine choice, threads, ESS build knobs, chaos spec.
+  RequestOptions options;
+};
+
+/// Terminal answer for one request.
+struct ServiceResponse {
+  /// Terminal status; ExitCodeFor(status.code()) is the stable
+  /// client-visible error number. OK covers completed discovery runs;
+  /// budget/deadline/admission outcomes carry their dedicated codes.
+  Status status;
+  int64_t request_id = -1;
+  std::string query_id;
+  /// Display name of the algorithm that ran ("SpillBound"; "native" for
+  /// the baseline mode).
+  std::string algorithm;
+  bool completed = false;
+  /// Total cost units charged (discovery total_cost, or the engine run's
+  /// cost_used in native mode).
+  double cost_used = 0.0;
+  /// Optimal cost at the (snapped) true location; 0 when unknown.
+  double opt_cost = 0.0;
+  /// cost_used / opt_cost (the paper's SubOpt); 0 when opt_cost is 0.
+  double suboptimality = 0.0;
+  /// The algorithm's MSO guarantee for this instance (0 for native).
+  double guarantee = 0.0;
+  /// Full discovery trace (empty in native mode).
+  DiscoveryResult discovery;
+  /// Engine-mode runs: the completing full execution's ledger — NodeStats
+  /// per plan node, output rows, per-run robustness. Empty otherwise.
+  ExecutionResult execution;
+  /// Per-request fault/degradation accounting (all zeros without chaos).
+  RobustnessReport robustness;
+  /// True iff the context came out of the cache warm.
+  bool cache_hit = false;
+  /// Wall-clock measurements; NOT part of the determinism contract.
+  double queue_ms = 0.0;
+  double run_ms = 0.0;
+};
+
+/// A long-lived, thread-safe query-serving object. All public methods may
+/// be called from any thread.
+class QueryService {
+ public:
+  struct Options {
+    /// Width of the shared worker pool; 0 = ThreadPool::DefaultThreads().
+    int num_threads = 0;
+    /// Admission bound: maximum requests admitted (queued + running) at
+    /// once. Submit beyond this returns kResourceExhausted.
+    size_t queue_limit = 64;
+    /// ContextCache capacity (entries); 0 = unbounded.
+    size_t cache_capacity = 16;
+    /// Test hook: runs on the worker at the start of every request, before
+    /// any processing. Lets tests hold workers busy deterministically.
+    std::function<void()> pre_run_hook;
+  };
+
+  struct ServiceStats {
+    int64_t submitted = 0;  // admitted requests
+    int64_t completed = 0;  // terminal responses produced (any status)
+    int64_t rejected = 0;   // kResourceExhausted admissions
+    int64_t deadline_expired = 0;
+  };
+
+  // (Two constructors rather than one defaulted argument: in-class default
+  // arguments may not use Options{} before the enclosing class is complete.)
+  QueryService() : QueryService(Options{}) {}
+  explicit QueryService(Options options);
+  /// Drains all in-flight requests, then shuts the pool down.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Opens a client session; the returned id scopes Submit/Wait/Close.
+  Result<int64_t> OpenSession();
+
+  /// Closes `session_id`: waits for its in-flight requests to reach a
+  /// terminal state, then drops the session and its stored responses.
+  /// Fails with kNotFound for unknown ids.
+  Status CloseSession(int64_t session_id);
+
+  /// Admits `request` into the bounded queue. Returns the request id to
+  /// Poll/Wait on, kResourceExhausted when the queue is full, or
+  /// kNotFound for an unknown session.
+  Result<int64_t> Submit(int64_t session_id, ServiceRequest request);
+
+  /// Non-blocking probe: empty optional while the request is still
+  /// running, the response once terminal. kNotFound for unknown ids or a
+  /// session mismatch.
+  Result<std::optional<ServiceResponse>> Poll(int64_t session_id,
+                                              int64_t request_id);
+
+  /// Blocks until the request is terminal and returns its response.
+  /// kNotFound for unknown ids or a session mismatch.
+  Result<ServiceResponse> Wait(int64_t session_id, int64_t request_id);
+
+  ContextCache::Stats cache_stats() const { return cache_.stats(); }
+  ServiceStats stats() const;
+
+  /// The serial one-shot reference: runs `request` to completion on the
+  /// calling thread against `cache` (Default() when null) with exactly the
+  /// semantics of the concurrent path — the payload a Submit/Wait of the
+  /// same request must match bit-for-bit. Admission, deadline, and timing
+  /// fields do not apply.
+  static ServiceResponse RunOneShot(const ServiceRequest& request,
+                                    ContextCache* cache = nullptr);
+
+ private:
+  struct RequestState {
+    int64_t id = -1;
+    int64_t session = -1;
+    ServiceRequest request;
+    std::chrono::steady_clock::time_point submit_time;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ServiceResponse response;
+  };
+
+  /// Worker-side: runs one admitted request to a terminal response.
+  void RunRequest(const std::shared_ptr<RequestState>& state);
+
+  /// The request body shared by the concurrent path and RunOneShot:
+  /// resolves the context, applies the fault-exclusion discipline, runs,
+  /// and fills `resp` (everything except ids and timing).
+  static void Execute(const ServiceRequest& request, ContextCache* cache,
+                      std::shared_mutex* fault_mu, ServiceResponse* resp);
+
+  /// Runs against a resolved context (no locking, injector state already
+  /// arranged by Execute).
+  static Status RunResolved(const ServiceRequest& request,
+                            const ContextCache::Entry& ctx,
+                            ServiceResponse* resp);
+
+  const Options options_;
+  ContextCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  int64_t next_session_id_ = 1;
+  int64_t next_request_id_ = 1;
+  size_t admitted_ = 0;  // queued + running
+  std::map<int64_t, std::set<int64_t>> sessions_;  // session -> request ids
+  std::map<int64_t, std::shared_ptr<RequestState>> requests_;
+  ServiceStats stats_;
+
+  /// Shared = injector guaranteed disarmed (clean requests, context
+  /// builds); exclusive = this request owns the armed injector.
+  std::shared_mutex fault_mu_;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_SERVER_QUERY_SERVICE_H_

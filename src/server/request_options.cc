@@ -1,0 +1,53 @@
+#include "server/request_options.h"
+
+namespace robustqp {
+
+bool ParseRobustnessMode(const std::string& name, RobustnessMode* out) {
+  if (name == "native") {
+    *out = RobustnessMode::kNative;
+  } else if (name == "pb") {
+    *out = RobustnessMode::kPlanBouquet;
+  } else if (name == "sb") {
+    *out = RobustnessMode::kSpillBound;
+  } else if (name == "ab") {
+    *out = RobustnessMode::kAlignedBound;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* RobustnessModeName(RobustnessMode mode) {
+  switch (mode) {
+    case RobustnessMode::kNative:
+      return "native";
+    case RobustnessMode::kPlanBouquet:
+      return "pb";
+    case RobustnessMode::kSpillBound:
+      return "sb";
+    case RobustnessMode::kAlignedBound:
+      return "ab";
+  }
+  return "?";
+}
+
+Executor::Options RequestOptions::ToExecutorOptions() const {
+  Executor::Options opts;
+  opts.engine = engine;
+  opts.num_threads = num_threads;
+  opts.use_zone_maps = use_zone_maps;
+  return opts;
+}
+
+Ess::Config RequestOptions::ToEssConfig() const {
+  Ess::Config config;
+  config.points_per_dim = points_per_dim;
+  config.contour_cost_ratio = contour_cost_ratio;
+  config.cost_model = cost_model;
+  config.num_threads = ess_threads;
+  config.build_mode = ess_build_mode;
+  config.recost_lambda = recost_lambda;
+  return config;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,72 @@
+// The one per-request knob struct threaded end-to-end through the stack.
+//
+// Before the service layer every entry point grew its own option bundle:
+// Executor::Options{engine, num_threads, use_zone_maps} for the engines,
+// EvalOptions{num_threads, fault_spec, fault_seed} for the evaluation
+// harness, the threading/build fields of Ess::Config for surface
+// construction, and ad-hoc --faults/--fault-seed plumbing in the CLI.
+// RequestOptions subsumes all of them: front-ends (CLI flags, the TCP
+// line protocol, in-process ServiceRequests) parse into it exactly once,
+// and the conversion accessors below derive the legacy structs wherever a
+// subsystem still takes its own type.
+
+#ifndef ROBUSTQP_SERVER_REQUEST_OPTIONS_H_
+#define ROBUSTQP_SERVER_REQUEST_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ess/ess.h"
+#include "exec/executor.h"
+
+namespace robustqp {
+
+/// Which robustness machinery answers the request — the three discovery
+/// algorithms of the paper, or the traditional optimizer baseline.
+enum class RobustnessMode {
+  kNative,       // plan frozen at the statistics estimate, no discovery
+  kPlanBouquet,  // Section 3: cost-budgeted bouquet execution
+  kSpillBound,   // Section 4: spill-mode selectivity discovery
+  kAlignedBound, // Section 5: aligned partition replacement
+};
+
+/// Parses "native" | "pb" | "sb" | "ab"; returns false on anything else.
+bool ParseRobustnessMode(const std::string& name, RobustnessMode* out);
+
+/// Display name ("sb") of a mode — the inverse of ParseRobustnessMode.
+const char* RobustnessModeName(RobustnessMode mode);
+
+/// Unified per-request options. Field defaults reproduce the historical
+/// defaults of the structs they subsume.
+struct RequestOptions {
+  // --- execution engine (subsumes Executor::Options) ---
+  Executor::Engine engine = Executor::Engine::kBatch;
+  /// Worker threads for morsel-parallel scans inside one request's
+  /// executions (not the service pool's width); 1 disables, 0 = all cores.
+  int num_threads = 1;
+  bool use_zone_maps = true;
+
+  // --- ESS construction (the Ess::Config fields front-ends expose) ---
+  int points_per_dim = 0;  // 0 = DefaultPointsPerDim(D)
+  double contour_cost_ratio = 2.0;
+  EssBuildMode ess_build_mode = EssBuildMode::kExhaustive;
+  double recost_lambda = 2.0;
+  /// Threads for the ESS build / evaluation sweeps; 0 = all cores.
+  int ess_threads = 0;
+  CostModel cost_model = CostModel::PostgresFlavour();
+
+  // --- chaos (subsumes the EvalOptions fault fields) ---
+  /// When non-empty, the deterministic FaultInjector is armed with this
+  /// spec for the request's run (see FaultInjector::Configure).
+  std::string fault_spec;
+  uint64_t fault_seed = 42;
+
+  /// The engine-option view of this request.
+  Executor::Options ToExecutorOptions() const;
+  /// The ESS-construction view of this request.
+  Ess::Config ToEssConfig() const;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_SERVER_REQUEST_OPTIONS_H_

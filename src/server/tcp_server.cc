@@ -1,0 +1,292 @@
+#include "server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace robustqp {
+
+namespace {
+
+/// Splits "a,b,c" into doubles; returns false on any non-numeric token.
+bool ParseDoubles(const std::string& csv, std::vector<double>* out) {
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') return false;
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+Status ParseSubmitLine(const std::string& line, ServiceRequest* out) {
+  std::stringstream ss(line);
+  std::string verb;
+  ss >> verb;
+  if (verb != "SUBMIT") {
+    return Status::InvalidArgument("expected SUBMIT, got \"" + verb + "\"");
+  }
+  ServiceRequest req;
+  std::string token;
+  while (ss >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed key=value token: " + token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (value.empty()) {
+      return Status::InvalidArgument("empty value for key " + key);
+    }
+    if (key == "query") {
+      req.query_id = value;
+    } else if (key == "mode") {
+      if (!ParseRobustnessMode(value, &req.mode)) {
+        return Status::InvalidArgument(
+            "unknown mode " + value + " (want native|pb|sb|ab)");
+      }
+    } else if (key == "qa") {
+      req.qa.clear();
+      if (!ParseDoubles(value, &req.qa)) {
+        return Status::InvalidArgument("malformed qa list: " + value);
+      }
+    } else if (key == "budget") {
+      req.budget = std::atof(value.c_str());
+    } else if (key == "deadline_ms") {
+      req.deadline_ms = std::atof(value.c_str());
+    } else if (key == "use_engine") {
+      req.use_engine = value != "0";
+    } else if (key == "engine") {
+      if (!Executor::ParseEngine(value, &req.options.engine)) {
+        return Status::InvalidArgument(
+            "unknown engine " + value + " (want tuple|batch)");
+      }
+    } else if (key == "threads") {
+      req.options.num_threads = std::atoi(value.c_str());
+    } else if (key == "points") {
+      req.options.points_per_dim = std::atoi(value.c_str());
+    } else if (key == "ratio") {
+      req.options.contour_cost_ratio = std::atof(value.c_str());
+    } else if (key == "build") {
+      if (value == "exhaustive") {
+        req.options.ess_build_mode = EssBuildMode::kExhaustive;
+      } else if (value == "exact") {
+        req.options.ess_build_mode = EssBuildMode::kExact;
+      } else if (value.rfind("recost:", 0) == 0) {
+        req.options.ess_build_mode = EssBuildMode::kRecost;
+        req.options.recost_lambda = std::atof(value.c_str() + 7);
+        if (req.options.recost_lambda <= 1.0) {
+          return Status::InvalidArgument("recost lambda must be > 1");
+        }
+      } else {
+        return Status::InvalidArgument(
+            "unknown build mode " + value +
+            " (want exhaustive|exact|recost:<lambda>)");
+      }
+    } else if (key == "faults") {
+      req.options.fault_spec = value;
+    } else if (key == "seed") {
+      req.options.fault_seed =
+          static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else {
+      return Status::InvalidArgument("unknown SUBMIT key: " + key);
+    }
+  }
+  *out = std::move(req);
+  return Status::OK();
+}
+
+std::string FormatResponseLine(const ServiceResponse& resp) {
+  std::ostringstream os;
+  if (!resp.status.ok()) {
+    os << "ERR code=" << ExitCodeFor(resp.status.code())
+       << " status=" << StatusCodeToString(resp.status.code())
+       << " msg=" << resp.status.message();
+    return os.str();
+  }
+  os << "OK id=" << resp.request_id << " algo=" << resp.algorithm
+     << " completed=" << (resp.completed ? 1 : 0)
+     << " cost=" << resp.cost_used << " opt=" << resp.opt_cost
+     << " subopt=" << resp.suboptimality
+     << " execs=" << resp.discovery.num_executions()
+     << " contour=" << resp.discovery.final_contour
+     << " cache_hit=" << (resp.cache_hit ? 1 : 0)
+     << " retries=" << resp.robustness.transient_retries
+     << " queue_ms=" << resp.queue_ms << " run_ms=" << resp.run_ms;
+  return os.str();
+}
+
+TcpServer::TcpServer(QueryService* service, int port)
+    : service_(service), port_(port) {}
+
+TcpServer::~TcpServer() {
+  Stop();
+  std::thread helper;
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    helper = std::move(shutdown_thread_);
+  }
+  if (helper.joinable()) helper.join();
+}
+
+Status TcpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("bind() failed for port " +
+                               std::to_string(port_));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  Result<int64_t> session = service_->OpenSession();
+  std::string buffer;
+  char chunk[4096];
+  bool open = session.ok();
+  while (open && !stopping_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while (open && (nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      std::string reply;
+      if (line == "PING") {
+        reply = "PONG";
+      } else if (line == "QUIT") {
+        open = false;
+        break;
+      } else if (line == "SHUTDOWN") {
+        const std::string bye = "BYE\n";
+        (void)!::send(fd, bye.data(), bye.size(), MSG_NOSIGNAL);
+        open = false;
+        // Stop() joins this thread; hand the work to a helper thread the
+        // destructor joins (never detached — it must not outlive *this).
+        {
+          std::lock_guard<std::mutex> lock(shutdown_mu_);
+          if (!shutdown_thread_.joinable()) {
+            shutdown_thread_ = std::thread([this] { Stop(); });
+          }
+        }
+        break;
+      } else if (line == "STATS") {
+        const ContextCache::Stats cs = service_->cache_stats();
+        const QueryService::ServiceStats ss = service_->stats();
+        std::ostringstream os;
+        os << "STATS hits=" << cs.hits << " misses=" << cs.misses
+           << " evictions=" << cs.evictions << " cache_size=" << cs.size
+           << " submitted=" << ss.submitted << " completed=" << ss.completed
+           << " rejected=" << ss.rejected;
+        reply = os.str();
+      } else {
+        ServiceRequest req;
+        const Status parse = ParseSubmitLine(line, &req);
+        ServiceResponse resp;
+        if (!parse.ok()) {
+          resp.status = parse;
+        } else {
+          Result<int64_t> id = service_->Submit(*session, std::move(req));
+          if (!id.ok()) {
+            resp.status = id.status();
+          } else {
+            Result<ServiceResponse> done = service_->Wait(*session, *id);
+            resp = done.ok() ? done.MoveValue() : ServiceResponse{};
+            if (!done.ok()) resp.status = done.status();
+          }
+        }
+        reply = FormatResponseLine(resp);
+      }
+      reply.push_back('\n');
+      if (::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL) < 0) {
+        open = false;
+      }
+    }
+  }
+  if (session.ok()) (void)service_->CloseSession(*session);
+  ::close(fd);
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // Already stopping/stopped; still wait for completion so callers can
+    // rely on Stop() being a barrier.
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    shutdown_cv_.wait(lock, [&] { return shut_down_; });
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shut_down_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void TcpServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [&] { return shut_down_; });
+}
+
+}  // namespace robustqp

@@ -9,7 +9,7 @@
 #include <string>
 
 #include "ess/ess.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "test_util.h"
 #include "workloads/queries.h"
 
@@ -87,7 +87,7 @@ TEST(EssBuilderTest, ExactMatchesExhaustiveOnMixedEpps) {
 }
 
 TEST(EssBuilderTest, ExactMatchesExhaustiveOnSuiteQueries) {
-  const std::shared_ptr<Catalog> catalog = Workbench::TpcdsCatalog();
+  const std::shared_ptr<Catalog> catalog = ContextCache::TpcdsCatalog();
   for (const char* id : {"2D_Q91", "3D_Q96", "3D_Q15"}) {
     SCOPED_TRACE(id);
     const Query query = MakeSuiteQuery(id);
@@ -96,7 +96,7 @@ TEST(EssBuilderTest, ExactMatchesExhaustiveOnSuiteQueries) {
 }
 
 TEST(EssBuilderTest, ExactCutsOptimizerCallsAtLeast5xOn2D40) {
-  const std::shared_ptr<Catalog> catalog = Workbench::TpcdsCatalog();
+  const std::shared_ptr<Catalog> catalog = ContextCache::TpcdsCatalog();
   const Query query = MakeSuiteQuery("2D_Q91");
   Ess::Config config = BaseConfig(40);
   config.build_mode = EssBuildMode::kExact;
@@ -114,7 +114,7 @@ TEST(EssBuilderTest, LevelParallelRefinementIsDeterministic) {
   // parallel; the merge (ascending linear order) must make the surface,
   // the plan-pool interning order, and the build stats independent of
   // the thread count.
-  const std::shared_ptr<Catalog> catalog = Workbench::TpcdsCatalog();
+  const std::shared_ptr<Catalog> catalog = ContextCache::TpcdsCatalog();
   const Query query = MakeSuiteQuery("2D_Q91");
   Ess::Config config = BaseConfig(20);
   config.build_mode = EssBuildMode::kExact;
@@ -155,7 +155,7 @@ TEST(EssBuilderTest, FallbackToExhaustiveSweepOnLowFraction) {
 }
 
 TEST(EssBuilderTest, RecostBoundCoversTrueDeviation) {
-  const std::shared_ptr<Catalog> catalog = Workbench::TpcdsCatalog();
+  const std::shared_ptr<Catalog> catalog = ContextCache::TpcdsCatalog();
   const Query query = MakeSuiteQuery("2D_Q91");
   Ess::Config config = BaseConfig(20);
   auto exhaustive = Ess::Build(*catalog, query, config);
@@ -182,7 +182,7 @@ TEST(EssBuilderTest, RecostBoundCoversTrueDeviation) {
 }
 
 TEST(EssBuilderTest, RecostLambdaTradesCallsForDeviation) {
-  const std::shared_ptr<Catalog> catalog = Workbench::TpcdsCatalog();
+  const std::shared_ptr<Catalog> catalog = ContextCache::TpcdsCatalog();
   const Query query = MakeSuiteQuery("2D_Q91");
   Ess::Config config = BaseConfig(20);
   config.build_mode = EssBuildMode::kRecost;

@@ -12,6 +12,7 @@
 #include "harness/trace_printer.h"
 #include "harness/true_selectivity.h"
 #include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "test_util.h"
 
 namespace robustqp {
@@ -20,28 +21,42 @@ namespace {
 using testing_util::MakeStarQuery;
 using testing_util::MakeTinyCatalog;
 
-TEST(WorkbenchTest, CachesByQueryAndConfig) {
-  const Workbench::Entry& a = Workbench::Get("2D_Q91");
-  const Workbench::Entry& b = Workbench::Get("2D_Q91");
-  EXPECT_EQ(&a, &b);
+TEST(ContextCacheTest, CachesByQueryAndConfig) {
+  ContextCache& cache = ContextCache::Default();
+  const auto a = *cache.Get("2D_Q91", Ess::Config{});
+  const auto b = *cache.Get("2D_Q91", Ess::Config{});
+  EXPECT_EQ(a.get(), b.get());
 
   Ess::Config other;
   other.points_per_dim = 12;
-  const Workbench::Entry& c = Workbench::Get("2D_Q91", other);
-  EXPECT_NE(&a, &c);
-  EXPECT_EQ(c.ess->points(), 12);
+  const auto c = *cache.Get("2D_Q91", other);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(c->ess->points(), 12);
 
   Ess::Config commercial;
   commercial.cost_model = CostModel::CommercialFlavour();
-  const Workbench::Entry& d = Workbench::Get("2D_Q91", commercial);
-  EXPECT_NE(&a, &d);
+  const auto d = *cache.Get("2D_Q91", commercial);
+  EXPECT_NE(a.get(), d.get());
 }
 
-TEST(WorkbenchTest, SharedCatalogs) {
-  EXPECT_EQ(Workbench::TpcdsCatalog().get(), Workbench::TpcdsCatalog().get());
-  EXPECT_NE(Workbench::TpcdsCatalog().get(), Workbench::JobCatalog().get());
-  const Workbench::Entry& job = Workbench::Get("4D_JOB_Q1a");
-  EXPECT_EQ(job.catalog.get(), Workbench::JobCatalog().get());
+TEST(ContextCacheTest, SharedCatalogs) {
+  EXPECT_EQ(ContextCache::TpcdsCatalog().get(),
+            ContextCache::TpcdsCatalog().get());
+  EXPECT_NE(ContextCache::TpcdsCatalog().get(),
+            ContextCache::JobCatalog().get());
+  const auto job = *ContextCache::Default().Get("4D_JOB_Q1a", Ess::Config{});
+  EXPECT_EQ(job->catalog.get(), ContextCache::JobCatalog().get());
+}
+
+// The deprecated Workbench shim must keep its old contract: a stable
+// reference into the process-default (unbounded) cache, identical to the
+// entry ContextCache::Default() serves for the same key.
+TEST(WorkbenchShimTest, DelegatesToDefaultCache) {
+  const Workbench::Entry& shim = Workbench::Get("2D_Q91");
+  const auto direct = *ContextCache::Default().Get("2D_Q91", Ess::Config{});
+  EXPECT_EQ(&shim, direct.get());
+  EXPECT_EQ(Workbench::TpcdsCatalog().get(), ContextCache::TpcdsCatalog().get());
+  EXPECT_EQ(Workbench::JobCatalog().get(), ContextCache::JobCatalog().get());
 }
 
 TEST(TrueSelectivityTest, MatchesHandCount) {
@@ -165,15 +180,15 @@ TEST(EvaluatorPlumbingTest, PercentileSemantics) {
 // no tolerance) for any thread count.
 class EvaluateDeterminismTest : public ::testing::TestWithParam<std::string> {
  protected:
-  const Workbench::Entry& entry() {
+  std::shared_ptr<const ContextCache::Entry> entry() {
     Ess::Config config;
     config.points_per_dim = GetParam() == "2D_Q91" ? 12 : 8;
-    return Workbench::Get(GetParam(), config);
+    return *ContextCache::Default().Get(GetParam(), config);
   }
 };
 
 TEST_P(EvaluateDeterminismTest, StatsIdenticalAcrossThreadCounts) {
-  const Ess& ess = *entry().ess;
+  const Ess& ess = *entry()->ess;
   const SpillBound sb(&ess);
   const SuboptimalityStats serial = Evaluate(sb, ess, EvalOptions{1});
   for (int threads : {2, 8}) {

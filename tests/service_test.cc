@@ -1,0 +1,519 @@
+// Tests for the service layer: the session API's concurrency-determinism
+// contract, ContextCache LRU/stats behaviour, admission control and
+// deadlines, the stable error-code mapping, and the TCP line protocol.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/status.h"
+#include "server/context_cache.h"
+#include "server/query_service.h"
+#include "server/tcp_server.h"
+
+namespace robustqp {
+namespace {
+
+/// Small grid so context builds stay cheap.
+RequestOptions SmallOptions() {
+  RequestOptions opts;
+  opts.points_per_dim = 8;
+  opts.ess_threads = 1;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Stable error codes (the client-visible contract shared by CLI exit codes
+// and the TCP protocol's ERR code= field). One expectation per StatusCode:
+// these numbers must never change meaning.
+// ---------------------------------------------------------------------------
+
+TEST(ExitCodeTest, EveryStatusCodeHasItsStableNumber) {
+  EXPECT_EQ(ExitCodeFor(StatusCode::kOk), 0);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kInvalidArgument), 2);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kNotFound), 3);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kOutOfRange), 4);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kUnsupported), 5);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kInternal), 6);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kBudgetExhausted), 7);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kUnavailable), 8);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kResourceExhausted), 9);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kDeadlineExceeded), 10);
+}
+
+// ---------------------------------------------------------------------------
+// ContextCache: LRU eviction and hit/miss goldens.
+// ---------------------------------------------------------------------------
+
+TEST(ContextCacheLruTest, EvictionAndStatsGoldens) {
+  ContextCache cache(ContextCache::Options{/*capacity=*/2});
+  Ess::Config a = SmallOptions().ToEssConfig();
+  Ess::Config b = a;
+  b.points_per_dim = 6;
+  Ess::Config c = a;
+  c.points_per_dim = 10;
+
+  bool hit = true;
+  ASSERT_TRUE(cache.Get("2D_Q91", a, &hit).ok());
+  EXPECT_FALSE(hit);  // cold miss
+  ASSERT_TRUE(cache.Get("2D_Q91", a, &hit).ok());
+  EXPECT_TRUE(hit);  // warm hit
+  ASSERT_TRUE(cache.Get("2D_Q91", b, &hit).ok());
+  EXPECT_FALSE(hit);
+  // Third distinct key: capacity 2 evicts the least recently used (a).
+  ASSERT_TRUE(cache.Get("2D_Q91", c, &hit).ok());
+  EXPECT_FALSE(hit);
+  {
+    const ContextCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1);
+    EXPECT_EQ(s.misses, 3);
+    EXPECT_EQ(s.evictions, 1);
+    EXPECT_EQ(s.failures, 0);
+    EXPECT_EQ(s.size, 2u);
+  }
+  // b was touched more recently than the evicted a: still resident.
+  ASSERT_TRUE(cache.Get("2D_Q91", b, &hit).ok());
+  EXPECT_TRUE(hit);
+  // a misses again (rebuild) and evicts c, the LRU of {c, b-touched}.
+  ASSERT_TRUE(cache.Get("2D_Q91", a, &hit).ok());
+  EXPECT_FALSE(hit);
+  const ContextCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 2);
+  EXPECT_EQ(s.misses, 4);
+  EXPECT_EQ(s.evictions, 2);
+  EXPECT_EQ(s.size, 2u);
+}
+
+TEST(ContextCacheLruTest, EvictionDoesNotInvalidateHolders) {
+  ContextCache cache(ContextCache::Options{/*capacity=*/1});
+  Ess::Config a = SmallOptions().ToEssConfig();
+  Ess::Config b = a;
+  b.points_per_dim = 6;
+  const auto held = *cache.Get("2D_Q91", a);
+  ASSERT_TRUE(cache.Get("2D_Q91", b).ok());  // evicts a's slot
+  EXPECT_EQ(cache.stats().evictions, 1);
+  // The shared_ptr keeps the evicted entry alive and usable.
+  EXPECT_EQ(held->ess->points(), 8);
+  EXPECT_GT(held->ess->num_contours(), 0);
+}
+
+TEST(ContextCacheLruTest, UnknownQueryIsNotFoundAndNotCached) {
+  ContextCache cache(ContextCache::Options{/*capacity=*/2});
+  const auto r = cache.Get("9D_NOPE", SmallOptions().ToEssConfig());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  const ContextCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 0);
+  EXPECT_EQ(s.size, 0u);
+}
+
+TEST(ContextCacheLruTest, DistinctKeysBuildConcurrently) {
+  ContextCache cache(ContextCache::Options{/*capacity=*/8});
+  std::vector<std::thread> threads;
+  std::vector<Status> results(4, Status::OK());
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&cache, &results, i] {
+      Ess::Config config = SmallOptions().ToEssConfig();
+      config.points_per_dim = 6 + 2 * (i % 2);  // two distinct keys, raced
+      results[static_cast<size_t>(i)] =
+          cache.Get("2D_Q91", config).ok() ? Status::OK()
+                                           : Status::Internal("get failed");
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& s : results) EXPECT_TRUE(s.ok());
+  const ContextCache::Stats s = cache.stats();
+  // Two keys were requested twice each: every request is a hit or a miss,
+  // and same-key racers that arrived before the build finished count as
+  // misses served by the one build.
+  EXPECT_EQ(s.hits + s.misses, 4);
+  EXPECT_EQ(s.size, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService: admission control, deadlines, error mapping.
+// ---------------------------------------------------------------------------
+
+/// A gate the pre_run_hook blocks on, holding every worker busy until
+/// released — makes queue-full and deadline states deterministic.
+class Gate {
+ public:
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void WaitOpen() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(QueryServiceTest, AdmissionControlRejectsBeyondQueueLimit) {
+  Gate gate;
+  QueryService::Options opts;
+  opts.num_threads = 2;
+  opts.queue_limit = 2;
+  opts.pre_run_hook = [&gate] { gate.WaitOpen(); };
+  QueryService service(opts);
+  const int64_t session = *service.OpenSession();
+
+  ServiceRequest req;
+  req.query_id = "2D_Q91";
+  req.options = SmallOptions();
+  const Result<int64_t> first = service.Submit(session, req);
+  const Result<int64_t> second = service.Submit(session, req);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  // The queue is full (2 admitted, nothing can finish while gated):
+  // rejection is immediate and side-effect free.
+  const Result<int64_t> third = service.Submit(session, req);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ExitCodeFor(third.status().code()), 9);
+
+  gate.Release();
+  EXPECT_TRUE(service.Wait(session, *first)->status.ok());
+  EXPECT_TRUE(service.Wait(session, *second)->status.ok());
+
+  // Load drained: the same request is admitted now.
+  const Result<int64_t> retry = service.Submit(session, req);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(service.Wait(session, *retry)->status.ok());
+
+  const QueryService::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_TRUE(service.CloseSession(session).ok());
+}
+
+TEST(QueryServiceTest, DeadlineExpiredInQueueIsNotRun) {
+  Gate gate;
+  QueryService::Options opts;
+  opts.num_threads = 1;
+  opts.pre_run_hook = [&gate] { gate.WaitOpen(); };
+  QueryService service(opts);
+  const int64_t session = *service.OpenSession();
+
+  ServiceRequest blocker;
+  blocker.query_id = "2D_Q91";
+  blocker.options = SmallOptions();
+  ServiceRequest victim = blocker;
+  victim.deadline_ms = 0.0;  // any queueing at all exceeds it
+
+  const int64_t blocker_id = *service.Submit(session, blocker);
+  const int64_t victim_id = *service.Submit(session, victim);
+  gate.Release();
+
+  EXPECT_TRUE(service.Wait(session, blocker_id)->status.ok());
+  const ServiceResponse victim_resp = *service.Wait(session, victim_id);
+  EXPECT_EQ(victim_resp.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ExitCodeFor(victim_resp.status.code()), 10);
+  // Expired before running: no payload was produced.
+  EXPECT_FALSE(victim_resp.completed);
+  EXPECT_EQ(victim_resp.cost_used, 0.0);
+  EXPECT_EQ(service.stats().deadline_expired, 1);
+  EXPECT_TRUE(service.CloseSession(session).ok());
+}
+
+TEST(QueryServiceTest, EveryRequestFailureMapsToItsCode) {
+  QueryService service;
+  const int64_t session = *service.OpenSession();
+
+  // Unknown session.
+  EXPECT_EQ(service.Submit(session + 99, ServiceRequest{}).status().code(),
+            StatusCode::kNotFound);
+  // Unknown request id / session mismatch.
+  EXPECT_EQ(service.Wait(session, 12345).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.Poll(session, 12345).status().code(),
+            StatusCode::kNotFound);
+  // Unknown session on close.
+  EXPECT_EQ(service.CloseSession(session + 99).code(), StatusCode::kNotFound);
+
+  auto run = [&](const ServiceRequest& req) {
+    return service.Wait(session, *service.Submit(session, req))->status;
+  };
+
+  ServiceRequest base;
+  base.query_id = "2D_Q91";
+  base.options = SmallOptions();
+
+  // Unknown suite query.
+  ServiceRequest unknown = base;
+  unknown.query_id = "2D_NOPE";
+  EXPECT_EQ(run(unknown).code(), StatusCode::kNotFound);
+
+  // Wrong qa arity.
+  ServiceRequest bad_arity = base;
+  bad_arity.qa = {0.1};
+  EXPECT_EQ(run(bad_arity).code(), StatusCode::kInvalidArgument);
+
+  // qa outside (0, 1].
+  ServiceRequest bad_range = base;
+  bad_range.qa = {0.1, 2.5};
+  EXPECT_EQ(run(bad_range).code(), StatusCode::kOutOfRange);
+
+  // Malformed chaos spec.
+  ServiceRequest bad_spec = base;
+  bad_spec.options.fault_spec = "::not-a-spec::";
+  EXPECT_EQ(run(bad_spec).code(), StatusCode::kInvalidArgument);
+
+  // Service-level budget cap.
+  ServiceRequest tiny_budget = base;
+  tiny_budget.budget = 1e-6;
+  EXPECT_EQ(run(tiny_budget).code(), StatusCode::kBudgetExhausted);
+
+  // And the happy path is OK with a cache hit by now.
+  const ServiceResponse ok_resp =
+      *service.Wait(session, *service.Submit(session, base));
+  EXPECT_TRUE(ok_resp.status.ok());
+  EXPECT_TRUE(ok_resp.cache_hit);
+  EXPECT_TRUE(service.CloseSession(session).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract: N concurrent sessions, mixed requests (chaos
+// included), every payload bit-identical to a serial RunOneShot of the
+// same request on a fresh cache.
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, SixteenConcurrentClientsBitIdenticalToSerial) {
+  // A mixed workload covering both catalogs' cost models is unnecessary —
+  // what matters is mode coverage, parameter coverage, and a chaos spec.
+  std::vector<ServiceRequest> mix;
+  {
+    ServiceRequest r;
+    r.query_id = "2D_Q91";
+    r.options = SmallOptions();
+    r.mode = RobustnessMode::kSpillBound;
+    mix.push_back(r);
+    r.mode = RobustnessMode::kPlanBouquet;
+    mix.push_back(r);
+    r.mode = RobustnessMode::kAlignedBound;
+    r.qa = {0.04, 0.1};
+    mix.push_back(r);
+    r.mode = RobustnessMode::kNative;
+    mix.push_back(r);
+    // A chaos request: deterministic injected faults keyed by (spec, seed).
+    r.mode = RobustnessMode::kSpillBound;
+    r.qa = {0.2, 0.3};
+    r.options.fault_spec = "*:p=0.05";
+    r.options.fault_seed = 7;
+    mix.push_back(r);
+    // Different grid = different context cache key.
+    ServiceRequest q15;
+    q15.query_id = "3D_Q15";
+    q15.options = SmallOptions();
+    q15.options.points_per_dim = 6;
+    q15.mode = RobustnessMode::kSpillBound;
+    mix.push_back(q15);
+  }
+
+  // Serial references, each on a fresh private cache: the ground truth a
+  // fresh one-shot process would produce.
+  std::vector<ServiceResponse> expected;
+  for (const ServiceRequest& req : mix) {
+    ContextCache fresh;
+    expected.push_back(QueryService::RunOneShot(req, &fresh));
+    ASSERT_TRUE(expected.back().status.ok()) << expected.back().status.ToString();
+  }
+
+  constexpr int kClients = 16;
+  QueryService::Options opts;
+  opts.num_threads = 8;
+  opts.queue_limit = 2 * kClients;
+  QueryService service(opts);
+
+  std::vector<ServiceResponse> got(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const ServiceRequest& req = mix[static_cast<size_t>(c) % mix.size()];
+      const int64_t session = *service.OpenSession();
+      const int64_t id = *service.Submit(session, req);
+      got[static_cast<size_t>(c)] = *service.Wait(session, id);
+      ASSERT_TRUE(service.CloseSession(session).ok());
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    const ServiceResponse& want = expected[static_cast<size_t>(c) % mix.size()];
+    const ServiceResponse& resp = got[static_cast<size_t>(c)];
+    SCOPED_TRACE("client " + std::to_string(c) + " (" + want.query_id + " " +
+                 want.algorithm + ")");
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    EXPECT_EQ(resp.algorithm, want.algorithm);
+    EXPECT_EQ(resp.completed, want.completed);
+    // Bit-exact payload comparisons: no tolerance anywhere.
+    EXPECT_EQ(resp.cost_used, want.cost_used);
+    EXPECT_EQ(resp.opt_cost, want.opt_cost);
+    EXPECT_EQ(resp.suboptimality, want.suboptimality);
+    EXPECT_EQ(resp.guarantee, want.guarantee);
+    EXPECT_EQ(resp.discovery.total_cost, want.discovery.total_cost);
+    EXPECT_EQ(resp.discovery.num_executions(), want.discovery.num_executions());
+    EXPECT_EQ(resp.discovery.final_contour, want.discovery.final_contour);
+    EXPECT_EQ(resp.robustness.transient_retries,
+              want.robustness.transient_retries);
+    EXPECT_EQ(resp.robustness.cost_spikes, want.robustness.cost_spikes);
+    EXPECT_EQ(resp.robustness.corruptions, want.robustness.corruptions);
+    EXPECT_EQ(resp.robustness.retried_cost, want.robustness.retried_cost);
+  }
+
+  // The chaos variant actually injected faults (the test would otherwise
+  // not exercise the exclusive-lock path).
+  EXPECT_TRUE(expected[4].robustness.Any());
+  // The injector is disarmed once the storm has passed.
+  EXPECT_FALSE(FaultInjector::Armed());
+}
+
+// ---------------------------------------------------------------------------
+// TCP line protocol: parsing and formatting units, then a socket round-trip.
+// ---------------------------------------------------------------------------
+
+TEST(TcpProtocolTest, ParseSubmitLineRoundTrip) {
+  ServiceRequest req;
+  ASSERT_TRUE(ParseSubmitLine(
+                  "SUBMIT query=3D_Q15 mode=ab qa=0.1,0.2,0.3 budget=500 "
+                  "deadline_ms=2000 engine=tuple threads=2 points=6 "
+                  "ratio=1.5 build=recost:2.5 faults=exec.*:p=0.01 seed=9",
+                  &req)
+                  .ok());
+  EXPECT_EQ(req.query_id, "3D_Q15");
+  EXPECT_EQ(req.mode, RobustnessMode::kAlignedBound);
+  EXPECT_EQ(req.qa, (std::vector<double>{0.1, 0.2, 0.3}));
+  EXPECT_EQ(req.budget, 500.0);
+  EXPECT_EQ(req.deadline_ms, 2000.0);
+  EXPECT_EQ(req.options.engine, Executor::Engine::kTuple);
+  EXPECT_EQ(req.options.num_threads, 2);
+  EXPECT_EQ(req.options.points_per_dim, 6);
+  EXPECT_EQ(req.options.contour_cost_ratio, 1.5);
+  EXPECT_EQ(req.options.ess_build_mode, EssBuildMode::kRecost);
+  EXPECT_EQ(req.options.recost_lambda, 2.5);
+  EXPECT_EQ(req.options.fault_spec, "exec.*:p=0.01");
+  EXPECT_EQ(req.options.fault_seed, 9u);
+}
+
+TEST(TcpProtocolTest, ParseSubmitLineRejectsMalformedInput) {
+  ServiceRequest req;
+  EXPECT_EQ(ParseSubmitLine("FROBNICATE", &req).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSubmitLine("SUBMIT nonsense", &req).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSubmitLine("SUBMIT color=blue", &req).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSubmitLine("SUBMIT mode=warp", &req).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSubmitLine("SUBMIT qa=1,two,3", &req).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSubmitLine("SUBMIT build=sideways", &req).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSubmitLine("SUBMIT query=", &req).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TcpProtocolTest, FormatResponseLineShapes) {
+  ServiceResponse ok;
+  ok.status = Status::OK();
+  ok.request_id = 3;
+  ok.algorithm = "SpillBound";
+  ok.completed = true;
+  ok.cost_used = 10.0;
+  ok.opt_cost = 5.0;
+  ok.suboptimality = 2.0;
+  const std::string ok_line = FormatResponseLine(ok);
+  EXPECT_EQ(ok_line.rfind("OK id=3 algo=SpillBound completed=1", 0), 0u)
+      << ok_line;
+
+  ServiceResponse err;
+  err.status = Status::ResourceExhausted("queue full");
+  const std::string err_line = FormatResponseLine(err);
+  EXPECT_EQ(err_line.rfind("ERR code=9 status=ResourceExhausted", 0), 0u)
+      << err_line;
+}
+
+namespace {
+
+/// Minimal blocking line client for the round-trip test.
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+  std::string RoundTrip(const std::string& line) {
+    const std::string out = line + "\n";
+    if (::send(fd_, out.data(), out.size(), 0) < 0) return "";
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t nl = buffer_.find('\n');
+    std::string reply = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return reply;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+}  // namespace
+
+TEST(TcpServerTest, ServesSubmitsOverALiveSocket) {
+  QueryService service;
+  TcpServer server(&service, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  LineClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.RoundTrip("PING"), "PONG");
+
+  const std::string ok =
+      client.RoundTrip("SUBMIT query=2D_Q91 mode=sb points=8 threads=1");
+  EXPECT_EQ(ok.rfind("OK ", 0), 0u) << ok;
+
+  const std::string err = client.RoundTrip("SUBMIT query=2D_NOPE mode=sb");
+  EXPECT_EQ(err.rfind("ERR code=3 status=NotFound", 0), 0u) << err;
+
+  const std::string stats = client.RoundTrip("STATS");
+  EXPECT_EQ(stats.rfind("STATS hits=", 0), 0u) << stats;
+
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace robustqp

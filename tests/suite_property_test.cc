@@ -14,7 +14,7 @@
 #include "core/oracle.h"
 #include "core/planbouquet.h"
 #include "core/spillbound.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "workloads/queries.h"
 
 namespace robustqp {
@@ -43,14 +43,15 @@ Ess::Config SmallConfig(int dims) {
 
 class SuitePropertyTest : public ::testing::TestWithParam<std::string> {
  protected:
-  const Workbench::Entry& entry() {
+  std::shared_ptr<const ContextCache::Entry> entry() {
     const Query probe = MakeSuiteQuery(GetParam());
-    return Workbench::Get(GetParam(), SmallConfig(probe.num_epps()));
+    return *ContextCache::Default().Get(GetParam(),
+                                        SmallConfig(probe.num_epps()));
   }
 };
 
 TEST_P(SuitePropertyTest, OptimalCostSurfaceMonotone) {
-  const Ess& ess = *entry().ess;
+  const Ess& ess = *entry()->ess;
   for (int64_t lin = 0; lin < ess.num_locations(); ++lin) {
     const GridLoc loc = ess.FromLinear(lin);
     for (int d = 0; d < ess.dims(); ++d) {
@@ -64,7 +65,7 @@ TEST_P(SuitePropertyTest, OptimalCostSurfaceMonotone) {
 }
 
 TEST_P(SuitePropertyTest, FrontiersAreMaximalAndWithinBudget) {
-  const Ess& ess = *entry().ess;
+  const Ess& ess = *entry()->ess;
   for (int i = 0; i < ess.num_contours(); ++i) {
     // Same relative tolerance as the frontier computation itself.
     const double budget = ess.ContourCost(i) * (1 + 1e-12);
@@ -84,7 +85,7 @@ TEST_P(SuitePropertyTest, FrontiersAreMaximalAndWithinBudget) {
 TEST_P(SuitePropertyTest, EveryPlanSpillsOnSomeDim) {
   // Valid SPJ plans contain every epp join, so with all dims unlearned
   // each POSP plan has a well-defined spill dimension.
-  const Ess& ess = *entry().ess;
+  const Ess& ess = *entry()->ess;
   const std::vector<bool> unlearned(static_cast<size_t>(ess.dims()), true);
   for (const Plan* p : ess.pool().plans()) {
     const int dim = p->SpillDimension(unlearned);
@@ -99,7 +100,7 @@ TEST_P(SuitePropertyTest, EveryPlanSpillsOnSomeDim) {
 }
 
 TEST_P(SuitePropertyTest, AllAlgorithmsWithinGuaranteesOnSampledLocations) {
-  const Ess& ess = *entry().ess;
+  const Ess& ess = *entry()->ess;
   const int D = ess.dims();
   PlanBouquet pb(&ess);
   SpillBound sb(&ess);
@@ -132,7 +133,7 @@ TEST_P(SuitePropertyTest, AllAlgorithmsWithinGuaranteesOnSampledLocations) {
 }
 
 TEST_P(SuitePropertyTest, PospPlansAreDistinctAndValid) {
-  const Ess& ess = *entry().ess;
+  const Ess& ess = *entry()->ess;
   std::set<std::string> signatures;
   for (const Plan* p : ess.pool().plans()) {
     EXPECT_TRUE(signatures.insert(p->signature()).second)

@@ -30,32 +30,29 @@
 #include "harness/evaluator.h"
 #include "harness/trace_printer.h"
 #include "harness/true_selectivity.h"
-#include "harness/workbench.h"
 #include "optimizer/epp_identifier.h"
+#include "server/context_cache.h"
+#include "server/request_options.h"
 #include "workloads/queries.h"
 
 namespace robustqp {
 namespace {
 
+// Every per-run knob lives in the unified RequestOptions and is parsed
+// exactly once; CliOptions only adds the CLI's own mode switches. Exit
+// codes are the stable ExitCodeFor() numbers the service layer shares.
 struct CliOptions {
   std::string query = "2D_Q91";
   std::string algo = "sb";  // sb | ab | pb | native | all
   std::vector<double> qa;   // empty => data truth / ESS midpoint
   bool engine = false;
-  Executor::Engine exec_engine = Executor::Engine::kBatch;
   bool trace = false;
   bool list = false;
   bool identify_epps = false;
   bool evaluate = false;
-  int points = 0;
-  int threads = 0;
-  double cost_ratio = 2.0;
-  EssBuildMode build_mode = EssBuildMode::kExhaustive;
-  double recost_lambda = 2.0;
   std::string save_ess;
   std::string load_ess;
-  std::string faults;
-  uint64_t fault_seed = 42;
+  RequestOptions req;
 };
 
 void PrintUsage() {
@@ -123,36 +120,38 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
     } else if (arg == "--exec-engine") {
       const char* v = next();
       if (v == nullptr) return false;
-      if (!Executor::ParseEngine(v, &out->exec_engine)) {
+      if (!Executor::ParseEngine(v, &out->req.engine)) {
         std::cerr << "unknown --exec-engine " << v << " (want tuple | batch)\n";
         return false;
       }
     } else if (arg == "--points") {
       const char* v = next();
       if (v == nullptr) return false;
-      out->points = std::atoi(v);
+      out->req.points_per_dim = std::atoi(v);
     } else if (arg == "--threads") {
       const char* v = next();
       if (v == nullptr) return false;
-      out->threads = std::atoi(v);
+      // One flag, both thread knobs: surface work and per-query morsels.
+      out->req.ess_threads = std::atoi(v);
+      out->req.num_threads = out->req.ess_threads;
     } else if (arg == "--ratio") {
       const char* v = next();
       if (v == nullptr) return false;
-      out->cost_ratio = std::atof(v);
+      out->req.contour_cost_ratio = std::atof(v);
     } else if (arg == "--ess-build-mode") {
       const char* v = next();
       if (v == nullptr) return false;
       const std::string mode = v;
       if (mode == "exhaustive") {
-        out->build_mode = EssBuildMode::kExhaustive;
+        out->req.ess_build_mode = EssBuildMode::kExhaustive;
       } else if (mode == "exact") {
-        out->build_mode = EssBuildMode::kExact;
+        out->req.ess_build_mode = EssBuildMode::kExact;
       } else if (mode.rfind("recost", 0) == 0) {
-        out->build_mode = EssBuildMode::kRecost;
+        out->req.ess_build_mode = EssBuildMode::kRecost;
         if (mode.size() > 7 && mode[6] == ':') {
-          out->recost_lambda = std::atof(mode.c_str() + 7);
+          out->req.recost_lambda = std::atof(mode.c_str() + 7);
         }
-        if (out->recost_lambda <= 1.0) {
+        if (out->req.recost_lambda <= 1.0) {
           std::cerr << "recost lambda must be > 1\n";
           return false;
         }
@@ -164,11 +163,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
     } else if (arg == "--faults") {
       const char* v = next();
       if (v == nullptr) return false;
-      out->faults = v;
+      out->req.fault_spec = v;
     } else if (arg == "--fault-seed") {
       const char* v = next();
       if (v == nullptr) return false;
-      out->fault_seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+      out->req.fault_seed =
+          static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--save-ess") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -220,43 +220,52 @@ int Run(const CliOptions& opts) {
     return 0;
   }
 
-  Ess::Config config;
-  config.points_per_dim = opts.points;
-  config.contour_cost_ratio = opts.cost_ratio;
-  config.num_threads = opts.threads;
-  config.build_mode = opts.build_mode;
-  config.recost_lambda = opts.recost_lambda;
+  // The unified knob struct is the single source of per-run options; the
+  // ESS-construction view of it derives directly.
+  const Ess::Config config = opts.req.ToEssConfig();
+
+  // This invocation's instance-scoped context cache (the old process-wide
+  // Workbench::Get singleton survives only as a deprecated shim).
+  static ContextCache context_cache(ContextCache::Options{/*capacity=*/4});
 
   // Owners for the --load-ess path (the query must outlive the Ess).
   static std::unique_ptr<Query> loaded_query;
   static std::unique_ptr<Ess> loaded_ess;
+  static std::shared_ptr<const ContextCache::Entry> cached_entry;
   std::shared_ptr<Catalog> catalog;
   const Ess* ess_ptr = nullptr;
   const Query* query_ptr = nullptr;
   if (!opts.load_ess.empty()) {
-    catalog = IsJobQuery(opts.query) ? Workbench::JobCatalog()
-                                     : Workbench::TpcdsCatalog();
+    catalog = IsJobQuery(opts.query) ? ContextCache::JobCatalog()
+                                     : ContextCache::TpcdsCatalog();
     loaded_query = std::make_unique<Query>(MakeSuiteQuery(opts.query));
     std::ifstream in(opts.load_ess);
     if (!in) {
       std::cerr << "cannot open " << opts.load_ess << "\n";
-      return 1;
+      return ExitCodeFor(StatusCode::kNotFound);
     }
     Result<std::unique_ptr<Ess>> loaded =
         Ess::Load(in, *catalog, *loaded_query);
     if (!loaded.ok()) {
       std::cerr << "load failed: " << loaded.status().ToString() << "\n";
-      return 1;
+      return ExitCodeFor(loaded.status().code());
     }
     loaded_ess = loaded.MoveValue();
     ess_ptr = loaded_ess.get();
     query_ptr = loaded_query.get();
     std::cout << "(loaded ESS from " << opts.load_ess << ")\n";
   } else {
-    const Workbench::Entry& wb = Workbench::Get(opts.query, config);
-    catalog = wb.catalog;
-    ess_ptr = wb.ess.get();
-    query_ptr = wb.query.get();
+    Result<std::shared_ptr<const ContextCache::Entry>> entry =
+        context_cache.Get(opts.query, config);
+    if (!entry.ok()) {
+      std::cerr << "context build failed: " << entry.status().ToString()
+                << "\n";
+      return ExitCodeFor(entry.status().code());
+    }
+    cached_entry = entry.MoveValue();
+    catalog = cached_entry->catalog;
+    ess_ptr = cached_entry->ess.get();
+    query_ptr = cached_entry->query.get();
   }
   const Ess& ess = *ess_ptr;
 
@@ -265,7 +274,7 @@ int Run(const CliOptions& opts) {
     const Status st = ess.Save(out_file);
     if (!st.ok()) {
       std::cerr << "save failed: " << st.ToString() << "\n";
-      return 1;
+      return ExitCodeFor(st.code());
     }
     std::cout << "(saved ESS to " << opts.save_ess << ")\n";
   }
@@ -292,7 +301,7 @@ int Run(const CliOptions& opts) {
   if (!opts.qa.empty()) {
     if (static_cast<int>(opts.qa.size()) != ess.dims()) {
       std::cerr << "--qa needs exactly " << ess.dims() << " values\n";
-      return 1;
+      return ExitCodeFor(StatusCode::kInvalidArgument);
     }
     qa_sel = opts.qa;
   } else {
@@ -340,23 +349,20 @@ int Run(const CliOptions& opts) {
     if (all || opts.algo == "ab") algos.push_back(std::make_unique<AlignedBound>(&ess));
     if (algos.empty()) {
       std::cerr << "--evaluate needs --algo pb | sb | ab | all\n";
-      return 1;
+      return ExitCodeFor(StatusCode::kInvalidArgument);
     }
-    EvalOptions eval_opts;
-    eval_opts.num_threads = opts.threads;
-    eval_opts.fault_spec = opts.faults;
-    eval_opts.fault_seed = opts.fault_seed;
-    if (!opts.faults.empty()) {
+    const EvalOptions eval_opts = MakeEvalOptions(opts.req);
+    if (!opts.req.fault_spec.empty()) {
       // Validate the spec up front (Evaluate re-configures per sweep).
-      const Status st =
-          FaultInjector::Global().Configure(opts.faults, opts.fault_seed);
+      const Status st = FaultInjector::Global().Configure(opts.req.fault_spec,
+                                                          opts.req.fault_seed);
       if (!st.ok()) {
         std::cerr << "bad --faults spec: " << st.ToString() << "\n";
-        return 1;
+        return ExitCodeFor(StatusCode::kInvalidArgument);
       }
       FaultInjector::Global().Disarm();
-      std::cout << "chaos sweep: faults \"" << opts.faults << "\" seed "
-                << opts.fault_seed << "\n";
+      std::cout << "chaos sweep: faults \"" << opts.req.fault_spec << "\" seed "
+                << opts.req.fault_seed << "\n";
     }
     for (const auto& algo : algos) {
       const SuboptimalityStats stats = Evaluate(*algo, ess, eval_opts);
@@ -373,23 +379,21 @@ int Run(const CliOptions& opts) {
     return 0;
   }
 
-  if (!opts.faults.empty()) {
+  if (!opts.req.fault_spec.empty()) {
     // Single-run chaos mode: arm the injector for the discovery runs
     // below (the per-run RobustnessReport is printed by ReportRun).
-    const Status st =
-        FaultInjector::Global().Configure(opts.faults, opts.fault_seed);
+    const Status st = FaultInjector::Global().Configure(opts.req.fault_spec,
+                                                        opts.req.fault_seed);
     if (!st.ok()) {
       std::cerr << "bad --faults spec: " << st.ToString() << "\n";
-      return 1;
+      return ExitCodeFor(StatusCode::kInvalidArgument);
     }
-    std::cout << "fault injection armed: \"" << opts.faults << "\" seed "
-              << opts.fault_seed << "\n";
+    std::cout << "fault injection armed: \"" << opts.req.fault_spec
+              << "\" seed " << opts.req.fault_seed << "\n";
   }
 
-  Executor::Options exec_opts;
-  exec_opts.engine = opts.exec_engine;
-  exec_opts.num_threads = opts.threads;  // 0 = all cores (full runs only)
-  Executor executor(catalog.get(), ess.config().cost_model, exec_opts);
+  Executor executor(catalog.get(), ess.config().cost_model,
+                    opts.req.ToExecutorOptions());
   auto make_oracle = [&]() -> std::unique_ptr<ExecutionOracle> {
     if (opts.engine) return std::make_unique<EngineOracle>(&executor);
     return std::make_unique<SimulatedOracle>(&ess, qa);
@@ -425,7 +429,7 @@ int Run(const CliOptions& opts) {
   if (!all && opts.algo != "native" && opts.algo != "pb" && opts.algo != "sb" &&
       opts.algo != "ab") {
     std::cerr << "unknown --algo " << opts.algo << "\n";
-    return 1;
+    return ExitCodeFor(StatusCode::kInvalidArgument);
   }
   return 0;
 }

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Service smoke driver: start robustqp_server, fire a batch of mixed
+requests at it over the TCP line protocol (clean, parameterized, erroneous,
+and chaos-spec'd), assert every one reaches the documented terminal shape,
+then shut the server down cleanly.
+
+Usage:
+    python3 tools/service_smoke.py [--binary build/tools/robustqp_server]
+                                   [--requests 100] [--clients 4]
+
+Exit code 0 iff every assertion holds and the server exits 0.
+"""
+
+import argparse
+import re
+import socket
+import subprocess
+import sys
+import threading
+
+
+def build_requests(n):
+    """A deterministic mixed stream: ~70% clean, plus error and chaos cases.
+
+    Returns (line, expected) pairs where expected is "OK", or "ERR:<code>"
+    for requests whose stable error number is part of the contract.
+    """
+    clean = [
+        ("SUBMIT query=2D_Q91 mode=sb points=8 threads=1", "OK"),
+        ("SUBMIT query=2D_Q91 mode=pb points=8 threads=1 qa=0.04,0.1", "OK"),
+        ("SUBMIT query=2D_Q91 mode=ab points=8 threads=1 qa=0.2,0.3", "OK"),
+        ("SUBMIT query=2D_Q91 mode=native points=8 threads=1", "OK"),
+        ("SUBMIT query=3D_Q15 mode=sb points=6 threads=1", "OK"),
+        # Chaos spec: deterministic injected faults, still a clean OK run.
+        ("SUBMIT query=2D_Q91 mode=sb points=8 threads=1 "
+         "faults=*:p=0.05 seed=7", "OK"),
+    ]
+    errors = [
+        ("SUBMIT query=9D_NOPE mode=sb", "ERR:3"),           # NotFound
+        ("SUBMIT query=2D_Q91 mode=sb points=8 qa=0.5", "ERR:2"),  # arity
+        ("SUBMIT query=2D_Q91 mode=sb points=8 qa=0.5,2.5", "ERR:4"),  # range
+        ("SUBMIT query=2D_Q91 mode=sb points=8 budget=0.001", "ERR:7"),
+        ("SUBMIT color=blue", "ERR:2"),                      # protocol error
+    ]
+    out = []
+    for i in range(n):
+        # Interleave: every 4th request is an error case.
+        if i % 4 == 3:
+            out.append(errors[(i // 4) % len(errors)])
+        else:
+            out.append(clean[i % len(clean)])
+    return out
+
+
+class LineClient:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+        self.buf = b""
+
+    def round_trip(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise RuntimeError("server closed connection")
+            self.buf += chunk
+        reply, self.buf = self.buf.split(b"\n", 1)
+        return reply.decode()
+
+    def close(self):
+        self.sock.close()
+
+
+def drive_client(port, requests, failures):
+    try:
+        client = LineClient(port)
+        if client.round_trip("PING") != "PONG":
+            failures.append("PING did not answer PONG")
+        for line, expected in requests:
+            reply = client.round_trip(line)
+            if expected == "OK":
+                if not reply.startswith("OK "):
+                    failures.append(f"{line!r} -> {reply!r} (wanted OK)")
+                elif "completed=1" not in reply:
+                    failures.append(f"{line!r} -> {reply!r} (not completed)")
+            else:
+                code = expected.split(":")[1]
+                if not reply.startswith(f"ERR code={code} "):
+                    failures.append(f"{line!r} -> {reply!r} (wanted {expected})")
+        client.round_trip("STATS")
+        client.close()
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the driver
+        failures.append(f"client error: {exc}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--binary", default="build/tools/robustqp_server")
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--clients", type=int, default=4)
+    args = parser.parse_args()
+
+    server = subprocess.Popen(
+        [args.binary, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = server.stdout.readline()
+        match = re.match(r"listening on port (\d+)", line)
+        if not match:
+            print(f"FAIL: unexpected server banner: {line!r}")
+            server.kill()
+            return 1
+        port = int(match.group(1))
+
+        requests = build_requests(args.requests)
+        per_client = [requests[i::args.clients] for i in range(args.clients)]
+        failures = []
+        threads = [
+            threading.Thread(target=drive_client, args=(port, chunk, failures))
+            for chunk in per_client
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Clean shutdown via the protocol; the server must exit 0.
+        shutdown = LineClient(port)
+        if shutdown.round_trip("SHUTDOWN") != "BYE":
+            failures.append("SHUTDOWN did not answer BYE")
+        shutdown.close()
+        rc = server.wait(timeout=60)
+        if rc != 0:
+            failures.append(f"server exited {rc}, wanted 0")
+
+        if failures:
+            print(f"FAIL: {len(failures)} problem(s)")
+            for f in failures[:20]:
+                print(f"  {f}")
+            return 1
+        print(
+            f"PASS: {len(requests)} requests over {args.clients} clients, "
+            "all terminal statuses as expected, clean shutdown"
+        )
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
