@@ -48,3 +48,24 @@ fi
   --benchmark_out="$SERVICE_OUT"
 
 echo "wrote $SERVICE_OUT"
+
+# Storage baseline: encode/decode throughput per layout, fused vs
+# decode-then-filter vs raw by selectivity, and the TPC-DS footprint /
+# low-cardinality-scan numbers behind the ROADMAP's >=3x memory and >=2x
+# effective-scan-throughput claims. Same perf-smoke gating.
+STORAGE_BIN="$BUILD_DIR/bench/bench_storage_micro"
+STORAGE_OUT="$(dirname "$0")/BENCH_storage.json"
+
+if [[ ! -x "$STORAGE_BIN" ]]; then
+  echo "error: $STORAGE_BIN not found or not executable (build first)" >&2
+  exit 1
+fi
+
+"$STORAGE_BIN" \
+  --benchmark_filter='BM_EncodeInt64|BM_DecodeInt64|BM_FilterEncoded|BM_TpcdsFootprint|BM_TpcdsLowCardScan' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out="$STORAGE_OUT"
+
+echo "wrote $STORAGE_OUT"

@@ -626,6 +626,10 @@ struct WorkCtx {
   /// Physical-only scan pruning switch (Executor::Options::use_zone_maps);
   /// never affects results or counts, only which rows get *evaluated*.
   bool use_zone_maps = true;
+  /// Fused filter-on-compressed switch (Executor::Options::use_compression);
+  /// like zone maps, purely physical: encoded scans decode-then-filter
+  /// when off, with identical survivors and counts.
+  bool use_compression = true;
 
   NodeStats& St(int node_id) {
     return (*stats)[static_cast<size_t>(node_id)];
@@ -694,8 +698,8 @@ void RestoreSnapshot(const Pipeline& p, const MorselSnapshot& s, WorkCtx* ctx) {
 // ---------------------------------------------------------------------------
 
 int64_t FilterCascade(const std::vector<Filter>& filters, int64_t r0,
-                      int64_t r1, bool use_zones, NodeStats* st,
-                      std::vector<int64_t>* sel,
+                      int64_t r1, bool use_zones, bool use_fused,
+                      NodeStats* st, std::vector<int64_t>* sel,
                       kernels::FilterScratch* fsc, bool* dense);
 
 void RunPreOps(const Pipeline& p, WorkCtx* ctx) {
@@ -718,7 +722,8 @@ void RunPreOps(const Pipeline& p, WorkCtx* ctx) {
       const int64_t r1 = std::min<int64_t>(n, r0 + kZoneBlockRows);
       bool dense = false;
       jst.right_in += FilterCascade(po.filters, r0, r1, ctx->use_zone_maps,
-                                    &st, &sel, &fsc, &dense);
+                                    ctx->use_compression, &st, &sel, &fsc,
+                                    &dense);
     }
   }
 }
@@ -739,8 +744,8 @@ void RunPreOps(const Pipeline& p, WorkCtx* ctx) {
 /// bumps both by the incoming count — the same totals row-at-a-time
 /// evaluation produces, just without touching the rows.
 int64_t FilterCascade(const std::vector<Filter>& filters, int64_t r0,
-                      int64_t r1, bool use_zones, NodeStats* st,
-                      std::vector<int64_t>* sel,
+                      int64_t r1, bool use_zones, bool use_fused,
+                      NodeStats* st, std::vector<int64_t>* sel,
                       kernels::FilterScratch* fsc, bool* dense) {
   *dense = true;
   int64_t cur = r1 - r0;
@@ -766,7 +771,8 @@ int64_t FilterCascade(const std::vector<Filter>& filters, int64_t r0,
     } else if (zm == kernels::ZoneMatch::kAll) {
       // Every row in [r0, r1) passes; the current selection is a subset.
     } else if (*dense) {
-      cur = kernels::FilterRange(*f.col, f.op, f.value, r0, r1, est, sel, fsc);
+      cur = kernels::FilterRange(*f.col, f.op, f.value, r0, r1, est, sel, fsc,
+                                 use_fused);
       *dense = false;
     } else {
       cur = kernels::FilterRefine(*f.col, f.op, f.value, sel);
@@ -789,8 +795,8 @@ void ScanBulk(const ScanSource& s, int64_t r0, int64_t r1, WorkCtx* ctx,
   bool dense = true;
   int64_t cur = n;
   if (!s.filters.empty()) {
-    cur = FilterCascade(s.filters, r0, r1, ctx->use_zone_maps, &st, &sc->sel,
-                        &sc->fsc, &dense);
+    cur = FilterCascade(s.filters, r0, r1, ctx->use_zone_maps,
+                        ctx->use_compression, &st, &sc->sel, &sc->fsc, &dense);
   }
   st.out += cur;
   out->n = cur;
@@ -1328,6 +1334,53 @@ Status ReplayScanMorsel(const Pipeline& p, int64_t r0, int64_t r1,
   PrepareReplayRows(p, sc);
   const ScanSource& s = p.scan;
   NodeStats& st = ctx->St(s.node_id);
+  // Block-exact pruned replay: when the zone maps prove filters 0..j-1
+  // pass every row of [r0, r1) and filter j rejects every row, each
+  // replayed row produces the identical event pattern — one scan_tuple
+  // charge, filters 0..j reached, filters 0..j-1 passed, nothing beyond —
+  // so the abort row is the smallest m whose cumulative scan charge
+  // pushes the canonical total past the budget, found by binary search
+  // without evaluating a single row. Aligned morsels sit inside one
+  // 4096-row block, so this is the common shape for pruned scans; any
+  // undecided (kSome) filter falls through to the row-at-a-time loop.
+  if (ctx->use_zone_maps && !s.filters.empty()) {
+    size_t j = 0;
+    kernels::ZoneMatch zm = kernels::ZoneMatch::kAll;
+    while (j < s.filters.size()) {
+      const Filter& f = s.filters[j];
+      zm = kernels::ClassifyZones(*f.col, f.op, f.value, r0, r1);
+      if (zm != kernels::ZoneMatch::kAll) break;
+      ++j;
+    }
+    if (j < s.filters.size() && zm == kernels::ZoneMatch::kNone) {
+      const int64_t n = r1 - r0;
+      const auto exceeds = [&](int64_t m) {
+        CostLedger probe = *ctx->ledger;
+        probe.scan_tuple += m;
+        return probe.Total(*ctx->params) > ctx->budget;
+      };
+      // The bulk pass for this morsel charged exactly n scan_tuple events
+      // (the cascade emptied the batch, so no stage or sink event fired)
+      // and tripped the hazard, so the abort row exists within [1, n].
+      RQP_CHECK(exceeds(n));
+      int64_t lo = 1, hi = n;
+      while (lo < hi) {
+        const int64_t mid = lo + (hi - lo) / 2;
+        if (exceeds(mid)) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      // Row-at-a-time bookkeeping for m rows: the aborting row charges
+      // its scan event but never reaches the filter cascade.
+      ctx->ledger->scan_tuple += lo;
+      st.left_in += lo;
+      for (size_t k = 0; k <= j; ++k) st.filter_in[k] += lo - 1;
+      for (size_t k = 0; k < j; ++k) st.filter_pass[k] += lo - 1;
+      return Status::BudgetExhausted("scan");
+    }
+  }
   for (int64_t r = r0; r < r1; ++r) {
     ++st.left_in;
     if (!ctx->Charge(&CostLedger::scan_tuple)) {
@@ -1483,6 +1536,7 @@ Status RunPipelineParallel(const Pipeline& p, const CostModel& cm,
     wctx.stats = &wo.stats;
     wctx.output_rows = &wo.output_rows;
     wctx.use_zone_maps = ctx->use_zone_maps;
+    wctx.use_compression = ctx->use_compression;
     Scratch wsc;
     size_t width = 0;
     for (int64_t r0 = begin; r0 < end; r0 += kBatchRows) {
@@ -1534,7 +1588,8 @@ Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
                                        const Plan& plan, const PlanNode& root,
                                        const CostModel& cost_model,
                                        double budget, ThreadPool* pool,
-                                       bool use_zone_maps) {
+                                       bool use_zone_maps,
+                                       bool use_compression) {
   ExecutionResult result;
   result.node_stats.assign(static_cast<size_t>(plan.num_nodes()), NodeStats{});
 
@@ -1551,6 +1606,7 @@ Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
   ctx.budget = budget;
   ctx.params = &cost_model.params();
   ctx.use_zone_maps = use_zone_maps;
+  ctx.use_compression = use_compression;
 
   Scratch sc;
   Status st = Status::OK();

@@ -17,13 +17,17 @@ class ThreadPool;
 /// Executes the subtree rooted at `root` with the batch engine.
 /// `pool` (may be null) enables morsel-parallel scans; the caller only
 /// passes it for full runs (budget < 0, not spill). `use_zone_maps`
-/// enables physical-only scan-block pruning (results and every count are
-/// identical either way; the flag exists for differential testing).
+/// enables physical-only scan-block pruning — including block-exact
+/// pruned replay of budgeted aborts — and `use_compression` enables the
+/// fused filter-on-compressed kernels on encoded columns (results and
+/// every count are identical either way; the flags exist for
+/// differential testing).
 Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
                                        const Plan& plan, const PlanNode& root,
                                        const CostModel& cost_model,
                                        double budget, ThreadPool* pool,
-                                       bool use_zone_maps = true);
+                                       bool use_zone_maps = true,
+                                       bool use_compression = true);
 
 }  // namespace robustqp
 

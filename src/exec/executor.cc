@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "exec/batch_engine.h"
 #include "exec/cost_ledger.h"
+#include "exec/kernels.h"
 #include "storage/hash_index.h"
 #include "storage/table.h"
 
@@ -779,7 +780,7 @@ Result<ExecutionResult> Executor::RunOnce(const Plan& plan,
     ThreadPool* pool =
         (budget < 0.0 && !spill && allow_parallel) ? pool_.get() : nullptr;
     return RunBatchEngine(*catalog_, plan, root, cost_model_, budget, pool,
-                          options_.use_zone_maps);
+                          options_.use_zone_maps, options_.use_compression);
   }
 
   ExecutionResult result;
@@ -878,6 +879,57 @@ Result<ExecutionResult> Executor::ExecuteSpill(const Plan& plan,
                                                double budget) const {
   RQP_CHECK(spill_node_id >= 0 && spill_node_id < plan.num_nodes());
   return Run(plan, plan.node(spill_node_id), budget, /*spill=*/true);
+}
+
+Result<Executor::MinMaxResult> Executor::ExecuteMinMax(
+    const std::string& table, const std::string& column, double budget) const {
+  const CatalogEntry* entry = catalog_->FindTable(table);
+  if (entry == nullptr) {
+    return Status::NotFound("min/max: unknown table '" + table + "'");
+  }
+  const Table* t = entry->table.get();
+  const int c = t->schema().FindColumn(column);
+  if (c < 0) {
+    return Status::NotFound("min/max: table '" + table + "' has no column '" +
+                            column + "'");
+  }
+  const int64_t n = t->num_rows();
+  const CostParams& params = cost_model_.params();
+  // What a tuple-at-a-time scan charges after m rows.
+  auto total_at = [&params](int64_t m) {
+    CostLedger probe;
+    probe.scan_tuple += m;
+    return probe.Total(params);
+  };
+
+  MinMaxResult out;
+  if (budget >= 0.0 && n > 0 && total_at(n) > budget) {
+    // The naive loop charges row r's scan event and then aborts when the
+    // running total first exceeds the budget; find that row exactly.
+    // Total is non-decreasing in the event count, so binary search.
+    int64_t lo = 1, hi = n;
+    while (lo < hi) {
+      const int64_t mid = lo + (hi - lo) / 2;
+      if (total_at(mid) > budget) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    out.rows = lo;
+    out.cost_used = budget;  // min(total, budget), as in Execute
+    out.completed = false;
+    return out;
+  }
+
+  out.rows = n;
+  out.cost_used = total_at(n);
+  out.completed = true;
+  const kernels::MinMaxStats s = kernels::ColumnMinMax(t->column(c));
+  out.min = s.min;
+  out.max = s.max;
+  out.has_nan = s.has_nan;
+  return out;
 }
 
 }  // namespace robustqp

@@ -105,10 +105,17 @@ class Executor {
     /// learning primitive's abort semantics are untouched. 0 means
     /// ThreadPool::DefaultThreads(); 1 disables parallelism.
     int num_threads = 1;
-    /// Batch engine only: let scans skip zone-map-pruned blocks. Purely
-    /// physical — results, cost_used, and every NodeStats counter are
-    /// bit-identical either way (differential tests run both settings).
+    /// Batch engine only: let scans skip zone-map-pruned blocks — in full,
+    /// budgeted, and replayed runs alike. Purely physical — results,
+    /// cost_used, and every NodeStats counter are bit-identical either way
+    /// (differential tests run both settings).
     bool use_zone_maps = true;
+    /// Batch engine only: let scans over encoded columns
+    /// (storage/encoding.h) filter on compressed data — unsigned compares
+    /// on frame-of-reference codes, per-dictionary-entry predicate rewrite
+    /// — instead of decoding blocks first. Purely physical, same contract
+    /// as use_zone_maps.
+    bool use_compression = true;
   };
 
   Executor(const Catalog* catalog, CostModel cost_model);
@@ -125,6 +132,33 @@ class Executor {
   /// Runs only the subtree rooted at `spill_node_id`, discarding output.
   Result<ExecutionResult> ExecuteSpill(const Plan& plan, int spill_node_id,
                                        double budget) const;
+
+  /// Outcome of a min/max aggregate execution (see ExecuteMinMax).
+  struct MinMaxResult {
+    bool completed = false;
+    double cost_used = 0.0;
+    /// Rows whose scan event was charged (== table rows when completed).
+    int64_t rows = 0;
+    /// Extremes in GetNumeric double semantics; only valid once
+    /// completed. NaNs are excluded (reported via has_nan); an empty or
+    /// all-NaN column keeps min > max (+inf / -inf).
+    double min = 0.0;
+    double max = 0.0;
+    bool has_nan = false;
+  };
+
+  /// MIN/MAX aggregate over one column. The *answer* comes from the
+  /// cheapest sound physical source — dictionary extremes for
+  /// dictionary-coded columns, zone-map block folds for finalized tables,
+  /// a full scan otherwise — but the *cost* is always what a naive
+  /// tuple-at-a-time scan would charge: one scan_tuple event per row,
+  /// aborting at exactly the row whose charge first exceeds `budget`
+  /// (< 0 means unlimited). cost_used is therefore bit-identical to
+  /// running the scan for real, keeping the aggregate fast path invisible
+  /// to the paper's cost-budgeted learning primitive.
+  Result<MinMaxResult> ExecuteMinMax(const std::string& table,
+                                     const std::string& column,
+                                     double budget = -1.0) const;
 
   const CostModel& cost_model() const { return cost_model_; }
   const Options& options() const { return options_; }

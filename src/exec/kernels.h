@@ -18,6 +18,28 @@
 //    which wins when most rows pass (the predicate loop has no
 //    loop-carried dependency, so the compiler can SIMD it).
 //
+// Encoded columns (storage/encoding.h) add a third axis — how much to
+// decode before filtering:
+//
+//  * *filter-on-compressed* for frame-of-reference packed blocks: when
+//    the predicate constant maps exactly into unsigned code space
+//    (MapPredicateToCodes — sound only while block values and constant
+//    are within ±2^53, where the int64->double cast is exact), compare
+//    the stored code lanes directly and never materialize values. Blocks
+//    pack at lane widths (bitpack::LaneWidthFor), so 8/16/32/64-bit
+//    codes are native arrays the compare loop SIMDs over at lane
+//    granularity, and survivors are emitted from the byte mask with
+//    zero-word skipping (eight rows per test when nothing passes);
+//  * *dictionary-predicate rewrite*: evaluate the predicate once per
+//    dictionary entry into a pass bitmap (cached in FilterScratch), then
+//    filter rows by code-lane lookup — O(cardinality) predicate work per
+//    (column, predicate) instead of O(rows);
+//  * *decode-then-filter* fallback for vbyte blocks and unmappable
+//    constants: block-decode into scratch, then the raw kernels above.
+//
+// All three produce bit-identical selection vectors to the raw kernels
+// by construction; exec_batch_test differential fuzz enforces it.
+//
 // The flat join table stores unique keys in open-addressed slots (linear
 // probing, power-of-two capacity, build-once so no tombstones) with
 // insertion-ordered entry chains per key, matching the tuple engine's
@@ -60,9 +82,22 @@ ZoneMatch ClassifyZones(const ColumnData& col, CompareOp op, double value,
 // Filter kernels
 // ---------------------------------------------------------------------------
 
+/// One cached dictionary-rewrite result: the predicate evaluated over
+/// every dictionary entry of one encoded column.
+struct DictPassEntry {
+  const void* column = nullptr;  // identity of the EncodedColumn
+  CompareOp op = CompareOp::kLt;
+  uint64_t value_bits = 0;       // exact constant identity (NaN-safe)
+  std::vector<uint8_t> pass;     // per dictionary code: 1 iff it passes
+};
+
 /// Scratch buffers reused across kernel calls (one per execution thread).
 struct FilterScratch {
   std::vector<uint8_t> mask;
+  std::vector<uint8_t> lanes;        // 1/2/4-bit codes widened to bytes
+  std::vector<int64_t> decoded_i;    // decode-then-filter staging
+  std::vector<double> decoded_d;
+  std::vector<DictPassEntry> dict_pass;  // small MRU cache
 };
 
 /// Selectivity above which FilterRange takes the dense (byte-mask) path.
@@ -73,14 +108,74 @@ inline constexpr double kDensePathSelectivity = 0.20;
 /// `*sel` (overwritten, resized to the survivor count). `est_selectivity`
 /// picks the dense vs sparse variant; pass a running observed pass rate,
 /// or 0.5 when unknown. Returns the survivor count.
+///
+/// Encoded columns take the fused filter-on-compressed / dictionary
+/// rewrite paths when `fused` is true and the exactness conditions hold,
+/// and decode-then-filter otherwise; the selection vector is identical
+/// either way (`fused` exists for differential testing and as the
+/// Executor::Options::use_compression toggle).
 int64_t FilterRange(const ColumnData& col, CompareOp op, double value,
                     int64_t r0, int64_t r1, double est_selectivity,
-                    std::vector<int64_t>* sel, FilterScratch* scratch);
+                    std::vector<int64_t>* sel, FilterScratch* scratch,
+                    bool fused = true);
 
 /// Compacts `*sel` in place to the ids satisfying `col OP value`
 /// (branch-free). Returns the new count.
 int64_t FilterRefine(const ColumnData& col, CompareOp op, double value,
                      std::vector<int64_t>* sel);
+
+// ---------------------------------------------------------------------------
+// Fused filters over encoded blocks
+// ---------------------------------------------------------------------------
+
+/// `x OP value` translated into frame-of-reference code space: the block
+/// stores codes with x = ref + code, so the comparison becomes a pure
+/// unsigned compare against `u`.
+struct CodePred {
+  enum class Kind { kNone, kAll, kLt, kGe, kEq };
+  Kind kind = Kind::kNone;
+  uint64_t u = 0;
+};
+
+/// Maps `(double)x OP value` into code space for a block with the given
+/// frame of reference and range. Returns false when the mapping cannot be
+/// proven exact — block values or constant outside ±2^53 (where the
+/// int64 -> double cast starts rounding) — in which case the caller must
+/// decode-then-filter. A NaN constant maps to kNone, and constants
+/// outside the block's value range collapse to kNone / kAll.
+bool MapPredicateToCodes(CompareOp op, double value, int64_t ref,
+                         uint64_t range, CodePred* out);
+
+/// Fused filter over one packed (or dictionary-code) block: compares
+/// bit-unpacked codes against the mapped constant without materializing
+/// values. Writes surviving absolute row ids (base_row + in-block index,
+/// for in-block indices [i0, i1)) to out[0..count); returns the count, or
+/// -1 when MapPredicateToCodes declines (caller falls back to decode).
+int64_t FilterPackedInt64(const EncodedColumn::PackedView& view,
+                          int64_t base_row, int64_t i0, int64_t i1,
+                          CompareOp op, double value, double est_selectivity,
+                          int64_t* out, FilterScratch* scratch);
+
+// ---------------------------------------------------------------------------
+// Min/max from block metadata
+// ---------------------------------------------------------------------------
+
+/// Column extremes in GetNumeric double semantics (NaN excluded from
+/// min/max, reported via has_nan; an all-NaN or empty column keeps
+/// min > max).
+struct MinMaxStats {
+  double min = 0.0;
+  double max = 0.0;
+  bool has_nan = false;
+  int64_t rows = 0;
+};
+
+/// Computes column extremes from the cheapest sound source: dictionary
+/// extremes for dictionary-coded columns (every entry occurs at least
+/// once), zone-map folds otherwise, full scan when the table was never
+/// finalized. Purely physical — callers charge full scan events
+/// regardless (see Executor::ExecuteMinMax).
+MinMaxStats ColumnMinMax(const ColumnData& col);
 
 // ---------------------------------------------------------------------------
 // Gather kernels

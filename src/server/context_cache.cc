@@ -1,6 +1,7 @@
 #include "server/context_cache.h"
 
 #include <algorithm>
+#include <functional>
 #include <sstream>
 
 #include "common/status.h"
@@ -12,8 +13,8 @@ namespace robustqp {
 
 ContextCache::ContextCache(Options options) : options_(options) {}
 
-std::string ContextCache::Key(const std::string& id,
-                              const Ess::Config& c) {
+std::string ContextCache::Key(const std::string& id, const Ess::Config& c,
+                              Encoding encoding, bool use_compression) {
   std::ostringstream os;
   os << id << "|" << c.min_sel << "|" << c.points_per_dim << "|"
      << c.contour_cost_ratio << "|" << c.cost_model.params().scan_tuple << ","
@@ -23,18 +24,49 @@ std::string ContextCache::Key(const std::string& id,
      << c.cost_model.params().nlj_pair << ","
      << c.cost_model.params().join_output_tuple << "|"
      << static_cast<int>(c.build_mode) << "|" << c.recost_lambda << "|"
-     << c.refine_fallback_fraction;
+     << c.refine_fallback_fraction << "|" << EncodingName(encoding) << "|"
+     << (use_compression ? "fused" : "decode");
   return os.str();
 }
 
-std::shared_ptr<Catalog> ContextCache::TpcdsCatalog() {
-  static std::shared_ptr<Catalog> catalog = BuildTpcdsCatalog();
-  return catalog;
+namespace {
+
+/// The whole-catalog policy for one requested encoding: kAuto means the
+/// per-column auto policy, anything else forces that encoding everywhere.
+EncodingPolicy PolicyForEncoding(Encoding encoding) {
+  EncodingPolicy policy;
+  policy.kind = encoding;
+  return policy;
 }
 
-std::shared_ptr<Catalog> ContextCache::JobCatalog() {
-  static std::shared_ptr<Catalog> catalog = BuildJobCatalog();
-  return catalog;
+/// One lazily-built catalog per encoding, shared process-wide.
+std::shared_ptr<Catalog> CatalogForEncoding(
+    Encoding encoding, std::map<Encoding, std::shared_ptr<Catalog>>* cats,
+    std::mutex* mu, const std::function<std::shared_ptr<Catalog>()>& build) {
+  std::lock_guard<std::mutex> lock(*mu);
+  std::shared_ptr<Catalog>& slot = (*cats)[encoding];
+  if (slot == nullptr) slot = build();
+  return slot;
+}
+
+}  // namespace
+
+std::shared_ptr<Catalog> ContextCache::TpcdsCatalog(Encoding encoding) {
+  static std::mutex* mu = new std::mutex();
+  static auto* cats = new std::map<Encoding, std::shared_ptr<Catalog>>();
+  return CatalogForEncoding(encoding, cats, mu, [encoding] {
+    return std::shared_ptr<Catalog>(
+        BuildTpcdsCatalog(42, 1.0, PolicyForEncoding(encoding)));
+  });
+}
+
+std::shared_ptr<Catalog> ContextCache::JobCatalog(Encoding encoding) {
+  static std::mutex* mu = new std::mutex();
+  static auto* cats = new std::map<Encoding, std::shared_ptr<Catalog>>();
+  return CatalogForEncoding(encoding, cats, mu, [encoding] {
+    return std::shared_ptr<Catalog>(
+        BuildJobCatalog(7, 1.0, PolicyForEncoding(encoding)));
+  });
 }
 
 ContextCache& ContextCache::Default() {
@@ -55,6 +87,12 @@ void ContextCache::EvictLocked() {
 
 Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
     const std::string& id, const Ess::Config& config, bool* cache_hit) {
+  return Get(id, config, Encoding::kAuto, /*use_compression=*/true, cache_hit);
+}
+
+Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
+    const std::string& id, const Ess::Config& config, Encoding encoding,
+    bool use_compression, bool* cache_hit) {
   if (cache_hit != nullptr) *cache_hit = false;
   {
     const std::vector<std::string> ids = SuiteQueryIds();
@@ -62,7 +100,7 @@ Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
       return Status::NotFound("unknown suite query: " + id);
     }
   }
-  const std::string key = Key(id, config);
+  const std::string key = Key(id, config, encoding, use_compression);
 
   std::shared_ptr<Node> node;
   {
@@ -89,7 +127,8 @@ Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
   std::lock_guard<std::mutex> build_lock(node->build_mu);
   if (!node->built) {
     auto entry = std::make_shared<Entry>();
-    entry->catalog = IsJobQuery(id) ? JobCatalog() : TpcdsCatalog();
+    entry->catalog = IsJobQuery(id) ? JobCatalog(encoding)
+                                    : TpcdsCatalog(encoding);
     entry->query = std::make_unique<Query>(MakeSuiteQuery(id));
     entry->key = key;
     RQP_CHECK(entry->query->Validate(*entry->catalog).ok());

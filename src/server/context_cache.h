@@ -32,6 +32,7 @@
 
 #include "ess/ess.h"
 #include "query/query.h"
+#include "storage/encoding.h"
 
 namespace robustqp {
 
@@ -77,23 +78,40 @@ class ContextCache {
   /// (e.g. an armed permanent optimizer fault), or NotFound for an unknown
   /// suite id. When `cache_hit` is non-null it is set to whether the
   /// context was already resident (false for misses and failed builds).
+  /// `encoding` picks the catalog's storage layout (kAuto = the
+  /// per-column auto policy) and `use_compression` is the request's fused
+  /// execution toggle; both are part of the cache key so contexts built
+  /// under different storage knobs never alias. The two-argument form is
+  /// the historical default (kAuto, compression on).
   Result<std::shared_ptr<const Entry>> Get(const std::string& id,
                                            const Ess::Config& config,
+                                           bool* cache_hit = nullptr);
+  Result<std::shared_ptr<const Entry>> Get(const std::string& id,
+                                           const Ess::Config& config,
+                                           Encoding encoding,
+                                           bool use_compression,
                                            bool* cache_hit = nullptr);
 
   Stats stats() const;
 
-  /// The cache key for (id, config) — exposed for goldens and logging.
-  static std::string Key(const std::string& id, const Ess::Config& config);
+  /// The cache key for (id, config, storage knobs) — exposed for goldens
+  /// and logging.
+  static std::string Key(const std::string& id, const Ess::Config& config,
+                         Encoding encoding = Encoding::kAuto,
+                         bool use_compression = true);
 
   /// Process-default instance (unbounded), shared by the deprecated
   /// Workbench shim and anything that wants Workbench's old semantics.
   static ContextCache& Default();
 
-  /// The shared synthetic catalogs (built once per process; every cache
-  /// instance reuses them — only the per-query ESS differs per entry).
-  static std::shared_ptr<Catalog> TpcdsCatalog();
-  static std::shared_ptr<Catalog> JobCatalog();
+  /// The shared synthetic catalogs (built once per process *per storage
+  /// encoding*; every cache instance reuses them — only the per-query ESS
+  /// differs per entry). The data, statistics, and plans are identical
+  /// for every encoding; only the physical column layout differs.
+  static std::shared_ptr<Catalog> TpcdsCatalog(
+      Encoding encoding = Encoding::kAuto);
+  static std::shared_ptr<Catalog> JobCatalog(
+      Encoding encoding = Encoding::kAuto);
 
  private:
   struct Node {

@@ -215,6 +215,7 @@ void QueryService::Execute(const ServiceRequest& request, ContextCache* cache,
     std::shared_lock<std::shared_mutex> lock(*fault_mu);
     Result<std::shared_ptr<const ContextCache::Entry>> ctx_or =
         cache->Get(request.query_id, request.options.ToEssConfig(),
+                   request.options.encoding, request.options.use_compression,
                    &resp->cache_hit);
     if (!ctx_or.ok()) {
       resp->status = ctx_or.status();

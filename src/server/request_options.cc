@@ -36,6 +36,7 @@ Executor::Options RequestOptions::ToExecutorOptions() const {
   opts.engine = engine;
   opts.num_threads = num_threads;
   opts.use_zone_maps = use_zone_maps;
+  opts.use_compression = use_compression;
   return opts;
 }
 

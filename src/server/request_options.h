@@ -18,6 +18,7 @@
 
 #include "ess/ess.h"
 #include "exec/executor.h"
+#include "storage/encoding.h"
 
 namespace robustqp {
 
@@ -45,6 +46,18 @@ struct RequestOptions {
   /// executions (not the service pool's width); 1 disables, 0 = all cores.
   int num_threads = 1;
   bool use_zone_maps = true;
+  /// Fused filter-on-compressed execution over encoded columns (the
+  /// Executor::Options::use_compression toggle). Physical only: results
+  /// and cost accounting are bit-identical either way.
+  bool use_compression = true;
+
+  // --- storage (which catalog layout the request's context uses) ---
+  /// Column storage encoding for the request's catalog: kAuto is the
+  /// per-column auto policy (dictionary for low-cardinality columns,
+  /// packed/vbyte for the rest), kRaw is the uncompressed layout, and a
+  /// specific encoding forces it on every column. Part of the
+  /// ContextCache key; the data itself is identical for every choice.
+  Encoding encoding = Encoding::kAuto;
 
   // --- ESS construction (the Ess::Config fields front-ends expose) ---
   int points_per_dim = 0;  // 0 = DefaultPointsPerDim(D)

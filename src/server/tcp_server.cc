@@ -92,6 +92,20 @@ Status ParseSubmitLine(const std::string& line, ServiceRequest* out) {
             "unknown build mode " + value +
             " (want exhaustive|exact|recost:<lambda>)");
       }
+    } else if (key == "compression") {
+      // One knob for the storage layout: auto|on, raw|off, packed, vbyte,
+      // dict. Raw storage has nothing to fuse, so it also clears the
+      // fused-execution toggle (override with fused=).
+      if (!ParseEncoding(value, &req.options.encoding)) {
+        return Status::InvalidArgument(
+            "unknown compression " + value +
+            " (want auto|raw|packed|vbyte|dict|on|off)");
+      }
+      req.options.use_compression = req.options.encoding != Encoding::kRaw;
+    } else if (key == "fused") {
+      // Differential knob: decode-then-filter (fused=0) on encoded
+      // columns; results and cost accounting are identical either way.
+      req.options.use_compression = value != "0";
     } else if (key == "faults") {
       req.options.fault_spec = value;
     } else if (key == "seed") {

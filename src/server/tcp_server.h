@@ -19,8 +19,11 @@
 // SUBMIT keys mirror ServiceRequest / RequestOptions: query, mode
 // (native|pb|sb|ab), qa (comma-separated selectivities), budget,
 // deadline_ms, use_engine (0|1), engine (tuple|batch), threads, points,
-// ratio, build (exhaustive|exact|recost:<l>), faults (spec string, no
-// spaces), seed. Unknown keys are an error; values never contain spaces.
+// ratio, build (exhaustive|exact|recost:<l>), compression
+// (auto|raw|packed|vbyte|dict|on|off — the catalog's storage encoding;
+// raw also disables fused execution), fused (0|1 — decode-then-filter
+// override on encoded columns), faults (spec string, no spaces), seed.
+// Unknown keys are an error; values never contain spaces.
 // Each SUBMIT is served synchronously on its connection (Submit + Wait) —
 // concurrency comes from concurrent connections, which is exactly how the
 // throughput bench drives it. ERR `code` is the stable ExitCodeFor()

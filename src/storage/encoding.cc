@@ -1,0 +1,599 @@
+#include "storage/encoding.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace robustqp {
+
+const char* EncodingName(Encoding e) {
+  switch (e) {
+    case Encoding::kAuto:
+      return "auto";
+    case Encoding::kRaw:
+      return "raw";
+    case Encoding::kPacked:
+      return "packed";
+    case Encoding::kVbyte:
+      return "vbyte";
+    case Encoding::kDict:
+      return "dict";
+  }
+  return "auto";
+}
+
+bool ParseEncoding(const std::string& token, Encoding* out) {
+  if (token == "auto" || token == "on" || token == "1") {
+    *out = Encoding::kAuto;
+  } else if (token == "raw" || token == "off" || token == "0" ||
+             token == "none") {
+    *out = Encoding::kRaw;
+  } else if (token == "packed") {
+    *out = Encoding::kPacked;
+  } else if (token == "vbyte") {
+    *out = Encoding::kVbyte;
+  } else if (token == "dict" || token == "dictionary") {
+    *out = Encoding::kDict;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string EncodingPolicy::CacheKey() const {
+  std::string key = EncodingName(kind);
+  if (kind == Encoding::kAuto || kind == Encoding::kDict ||
+      !per_column.empty()) {
+    key += "/" + std::to_string(dict_max_card);
+  }
+  for (const auto& [col, enc] : per_column) {  // std::map: sorted, stable
+    key += "," + col + "=" + EncodingName(enc);
+  }
+  return key;
+}
+
+namespace bitpack {
+
+int WidthFor(uint64_t range) {
+  int w = 0;
+  while (range != 0) {
+    ++w;
+    range >>= 1;
+  }
+  return w;
+}
+
+int LaneWidthFor(uint64_t range) {
+  const int w = WidthFor(range);
+  for (int lane : {0, 1, 2, 4, 8, 16, 32}) {
+    if (w <= lane) return lane;
+  }
+  return 64;
+}
+
+void Pack(const uint64_t* codes, int64_t n, int width,
+          std::vector<uint64_t>* words) {
+  if (width == 0 || n <= 0) return;
+  const size_t base = words->size();
+  const uint64_t total_bits =
+      static_cast<uint64_t>(n) * static_cast<uint64_t>(width);
+  words->resize(base + static_cast<size_t>((total_bits + 63) / 64), 0);
+  uint64_t* w = words->data() + base;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t bit = static_cast<uint64_t>(i) * width;
+    const uint64_t w0 = bit >> 6;
+    const int shift = static_cast<int>(bit & 63);
+    w[w0] |= codes[i] << shift;
+    if (shift + width > 64) w[w0 + 1] |= codes[i] >> (64 - shift);
+  }
+}
+
+void Unpack(const uint64_t* words, int64_t start, int64_t n, int width,
+            uint64_t* out) {
+  if (width == 0) {
+    std::fill(out, out + n, uint64_t{0});
+    return;
+  }
+  // Lane-width fast paths: 8/16/32/64-bit codes are native little-endian
+  // arrays (the per-element memcpy compiles to a plain load and the
+  // widening loops auto-vectorize); 1/2/4-bit codes sit whole inside one
+  // byte. Arbitrary widths (tests, external callers) fall through to
+  // generic bit extraction.
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
+  switch (width) {
+    case 8:
+      for (int64_t i = 0; i < n; ++i) out[i] = bytes[start + i];
+      return;
+    case 16:
+      for (int64_t i = 0; i < n; ++i) {
+        uint16_t v;
+        std::memcpy(&v, bytes + (start + i) * 2, sizeof(v));
+        out[i] = v;
+      }
+      return;
+    case 32:
+      for (int64_t i = 0; i < n; ++i) {
+        uint32_t v;
+        std::memcpy(&v, bytes + (start + i) * 4, sizeof(v));
+        out[i] = v;
+      }
+      return;
+    case 64:
+      for (int64_t i = 0; i < n; ++i) out[i] = words[start + i];
+      return;
+    case 1:
+    case 2:
+    case 4: {
+      const int per = 8 / width;
+      const uint8_t mask = static_cast<uint8_t>((1u << width) - 1);
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t lane = start + i;
+        out[i] = static_cast<uint64_t>(
+            (bytes[lane / per] >> ((lane % per) * width)) & mask);
+      }
+      return;
+    }
+    default:
+      for (int64_t i = 0; i < n; ++i) out[i] = Extract(words, start + i, width);
+  }
+}
+
+}  // namespace bitpack
+
+namespace vbyte {
+
+int EncodedSize(uint64_t v) {
+  int n = 1;
+  while (v >= 0x80u) {
+    ++n;
+    v >>= 7;
+  }
+  return n;
+}
+
+void Encode(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80u) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+}  // namespace vbyte
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+}  // namespace
+
+EncodedColumn::EncodedColumn(DataType type, Encoding requested,
+                             int64_t dict_max_card)
+    : type_(type),
+      requested_(requested),
+      dict_cap_(std::max<int64_t>(1, dict_max_card)) {
+  RQP_CHECK(requested != Encoding::kRaw);
+  if (type_ == DataType::kDouble) {
+    // Doubles have no frame-of-reference layout; anything but dictionary
+    // falls back to raw (handled by AbandonDict + owner demotion).
+    mode_ = Encoding::kDict;
+  } else if (requested == Encoding::kAuto || requested == Encoding::kDict) {
+    mode_ = Encoding::kDict;
+  } else {
+    mode_ = requested;  // forced kPacked / kVbyte
+  }
+}
+
+void EncodedColumn::AppendInt(int64_t v) {
+  RQP_CHECK(!finished_ && type_ == DataType::kInt64);
+  if (mode_ == Encoding::kDict) {
+    const uint64_t bits = static_cast<uint64_t>(v);
+    auto it = dict_map_.find(bits);
+    if (it == dict_map_.end()) {
+      if (static_cast<int64_t>(dict_i_.size()) >= dict_cap_) {
+        AbandonDict();
+        stage_i_.push_back(v);
+      } else {
+        const uint32_t code = static_cast<uint32_t>(dict_i_.size());
+        dict_i_.push_back(v);
+        dict_map_.emplace(bits, code);
+        stage_c_.push_back(code);
+      }
+    } else {
+      stage_c_.push_back(it->second);
+    }
+  } else {
+    stage_i_.push_back(v);
+  }
+  ++num_rows_;
+  if (static_cast<int64_t>(stage_i_.size() + stage_c_.size()) >= kBlockRows) {
+    FlushStage();
+  }
+}
+
+void EncodedColumn::AppendDouble(double v) {
+  RQP_CHECK(!finished_ && type_ == DataType::kDouble);
+  if (mode_ == Encoding::kDict) {
+    const uint64_t bits = DoubleBits(v);
+    auto it = dict_map_.find(bits);
+    if (it == dict_map_.end()) {
+      if (static_cast<int64_t>(dict_d_.size()) >= dict_cap_) {
+        AbandonDict();
+        raw_d_.push_back(v);
+      } else {
+        const uint32_t code = static_cast<uint32_t>(dict_d_.size());
+        dict_d_.push_back(v);
+        dict_map_.emplace(bits, code);
+        stage_c_.push_back(code);
+      }
+    } else {
+      stage_c_.push_back(it->second);
+    }
+    if (static_cast<int64_t>(stage_c_.size()) >= kBlockRows) FlushStage();
+  } else {
+    raw_d_.push_back(v);  // dictionary overflowed earlier
+  }
+  ++num_rows_;
+}
+
+void EncodedColumn::Finish() {
+  if (finished_) return;
+  MaybeDemoteDictToPacked();
+  FlushStage();
+  finished_ = true;
+  dict_map_.clear();
+  words_.shrink_to_fit();
+  bytes_.shrink_to_fit();
+  skips_.shrink_to_fit();
+  blocks_.shrink_to_fit();
+  dict_i_.shrink_to_fit();
+  dict_d_.shrink_to_fit();
+}
+
+void EncodedColumn::MaybeDemoteDictToPacked() {
+  // kAuto int columns start dictionary-coded because cardinality is
+  // unknown up front; once the column is complete the tradeoff is
+  // decidable. When frame-of-reference codes are no wider than the
+  // dictionary codes, packing is strictly smaller (same lane bytes, no
+  // dictionary array) and scans faster — the fused filter compares code
+  // lanes directly instead of gathering through a pass bitmap. Sparse
+  // domains, where the value range needs wider lanes than the
+  // cardinality, keep the dictionary.
+  if (mode_ != Encoding::kDict || type_ != DataType::kInt64 ||
+      requested_ != Encoding::kAuto || dict_i_.empty()) {
+    return;
+  }
+  int64_t lo = dict_i_[0], hi = dict_i_[0];
+  for (int64_t v : dict_i_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  const uint64_t max_code = static_cast<uint64_t>(dict_i_.size()) - 1;
+  if (bitpack::LaneWidthFor(range) <= bitpack::LaneWidthFor(max_code)) {
+    AbandonDict();
+  }
+}
+
+void EncodedColumn::FlushStage() {
+  if (mode_ == Encoding::kDict) {
+    if (!stage_c_.empty()) {
+      EncodeDictCodeBlock(stage_c_.data(),
+                          static_cast<int64_t>(stage_c_.size()));
+      stage_c_.clear();
+    }
+  } else if (!stage_i_.empty()) {
+    EncodeAdaptiveBlock(stage_i_.data(), static_cast<int64_t>(stage_i_.size()));
+    stage_i_.clear();
+  }
+}
+
+void EncodedColumn::EncodePackedBlock(const int64_t* v, int64_t n, int64_t ref,
+                                      uint64_t range) {
+  Block blk;
+  blk.kind = Encoding::kPacked;
+  blk.rows = static_cast<int32_t>(n);
+  blk.ref = ref;
+  blk.range = range;
+  blk.width = static_cast<uint8_t>(bitpack::LaneWidthFor(range));
+  blk.word_off = words_.size();
+  if (blk.width > 0) {
+    std::vector<uint64_t> codes(static_cast<size_t>(n));
+    const uint64_t uref = static_cast<uint64_t>(ref);
+    for (int64_t i = 0; i < n; ++i) {
+      codes[static_cast<size_t>(i)] = static_cast<uint64_t>(v[i]) - uref;
+    }
+    bitpack::Pack(codes.data(), n, blk.width, &words_);
+  }
+  blocks_.push_back(blk);
+}
+
+void EncodedColumn::EncodeVbyteBlock(const int64_t* v, int64_t n, int64_t ref) {
+  Block blk;
+  blk.kind = Encoding::kVbyte;
+  blk.rows = static_cast<int32_t>(n);
+  blk.ref = ref;
+  blk.byte_off = bytes_.size();
+  blk.skip_off = skips_.size();
+  const uint64_t uref = static_cast<uint64_t>(ref);
+  uint64_t range = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (i % vbyte::kVbyteGroup == 0) skips_.push_back(bytes_.size());
+    const uint64_t delta = static_cast<uint64_t>(v[i]) - uref;
+    range = std::max(range, delta);
+    vbyte::Encode(delta, &bytes_);
+  }
+  blk.range = range;
+  blocks_.push_back(blk);
+}
+
+void EncodedColumn::EncodeAdaptiveBlock(const int64_t* v, int64_t n) {
+  int64_t lo = v[0], hi = v[0];
+  for (int64_t i = 1; i < n; ++i) {
+    lo = std::min(lo, v[i]);
+    hi = std::max(hi, v[i]);
+  }
+  const uint64_t range =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  if (mode_ == Encoding::kPacked) {
+    EncodePackedBlock(v, n, lo, range);
+    return;
+  }
+  if (mode_ == Encoding::kVbyte) {
+    EncodeVbyteBlock(v, n, lo);
+    return;
+  }
+  // Adaptive: packed vs vbyte by encoded size, ties to packed (O(1)
+  // access and fused filtering beat O(group) when bytes are equal).
+  const int width = bitpack::LaneWidthFor(range);
+  const uint64_t packed_bytes =
+      ((static_cast<uint64_t>(n) * width + 63) / 64) * 8;
+  uint64_t vb_bytes =
+      ((n + vbyte::kVbyteGroup - 1) / vbyte::kVbyteGroup) * sizeof(uint64_t);
+  const uint64_t ulo = static_cast<uint64_t>(lo);
+  for (int64_t i = 0; i < n && vb_bytes <= packed_bytes; ++i) {
+    vb_bytes += vbyte::EncodedSize(static_cast<uint64_t>(v[i]) - ulo);
+  }
+  if (vb_bytes < packed_bytes) {
+    EncodeVbyteBlock(v, n, lo);
+  } else {
+    EncodePackedBlock(v, n, lo, range);
+  }
+}
+
+void EncodedColumn::EncodeDictCodeBlock(const uint32_t* codes, int64_t n) {
+  uint64_t maxcode = 0;
+  std::vector<uint64_t> wide(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    wide[static_cast<size_t>(i)] = codes[i];
+    maxcode = std::max<uint64_t>(maxcode, codes[i]);
+  }
+  Block blk;
+  blk.kind = Encoding::kDict;
+  blk.rows = static_cast<int32_t>(n);
+  blk.ref = 0;
+  blk.range = maxcode;
+  blk.width = static_cast<uint8_t>(bitpack::LaneWidthFor(maxcode));
+  blk.word_off = words_.size();
+  if (blk.width > 0) bitpack::Pack(wide.data(), n, blk.width, &words_);
+  blocks_.push_back(blk);
+}
+
+void EncodedColumn::AbandonDict() {
+  // Re-encode the already-flushed dictionary blocks one block at a time
+  // so the transient memory cost stays one block, not the whole column.
+  std::vector<Block> old_blocks;
+  std::vector<uint64_t> old_words;
+  old_blocks.swap(blocks_);
+  old_words.swap(words_);
+  std::vector<int64_t> tmp_i;
+  std::vector<double> tmp_d;
+  if (type_ == DataType::kInt64) {
+    mode_ = (requested_ == Encoding::kPacked || requested_ == Encoding::kVbyte)
+                ? requested_
+                : Encoding::kAuto;
+    tmp_i.resize(static_cast<size_t>(kBlockRows));
+  } else {
+    mode_ = Encoding::kRaw;
+    raw_d_.reserve(static_cast<size_t>(num_rows_));
+  }
+  for (const Block& blk : old_blocks) {
+    const uint64_t* w = old_words.data() + blk.word_off;
+    if (type_ == DataType::kInt64) {
+      for (int64_t i = 0; i < blk.rows; ++i) {
+        tmp_i[static_cast<size_t>(i)] =
+            dict_i_[bitpack::Extract(w, i, blk.width)];
+      }
+      EncodeAdaptiveBlock(tmp_i.data(), blk.rows);
+    } else {
+      for (int64_t i = 0; i < blk.rows; ++i) {
+        raw_d_.push_back(dict_d_[bitpack::Extract(w, i, blk.width)]);
+      }
+    }
+  }
+  // Staging codes become staged values (ints) or raw values (doubles).
+  if (type_ == DataType::kInt64) {
+    stage_i_.reserve(stage_c_.size() + 1);
+    for (uint32_t c : stage_c_) stage_i_.push_back(dict_i_[c]);
+  } else {
+    for (uint32_t c : stage_c_) raw_d_.push_back(dict_d_[c]);
+  }
+  stage_c_.clear();
+  stage_c_.shrink_to_fit();
+  dict_i_.clear();
+  dict_i_.shrink_to_fit();
+  dict_d_.clear();
+  dict_d_.shrink_to_fit();
+  dict_map_.clear();
+}
+
+int64_t EncodedColumn::GetInt(int64_t row) const {
+  const int64_t b = row / kBlockRows;
+  const int64_t i = row % kBlockRows;
+  const Block& blk = blocks_[static_cast<size_t>(b)];
+  switch (blk.kind) {
+    case Encoding::kDict:
+      return dict_i_[bitpack::Extract(words_.data() + blk.word_off, i,
+                                      blk.width)];
+    case Encoding::kPacked:
+      return static_cast<int64_t>(
+          static_cast<uint64_t>(blk.ref) +
+          bitpack::Extract(words_.data() + blk.word_off, i, blk.width));
+    default: {  // kVbyte
+      const int64_t group = i / vbyte::kVbyteGroup;
+      const uint8_t* p =
+          bytes_.data() + skips_[blk.skip_off + static_cast<uint64_t>(group)];
+      uint64_t delta = 0;
+      for (int64_t k = group * vbyte::kVbyteGroup; k <= i; ++k) {
+        p = vbyte::Decode(p, &delta);
+      }
+      return static_cast<int64_t>(static_cast<uint64_t>(blk.ref) + delta);
+    }
+  }
+}
+
+double EncodedColumn::GetDouble(int64_t row) const {
+  const int64_t b = row / kBlockRows;
+  const int64_t i = row % kBlockRows;
+  const Block& blk = blocks_[static_cast<size_t>(b)];
+  return dict_d_[bitpack::Extract(words_.data() + blk.word_off, i, blk.width)];
+}
+
+namespace {
+
+/// Shared partial-block decode skeleton: calls sink(i, value) for each
+/// in-block index i in [i0, i1) with the decoded int64 value.
+template <typename Sink>
+void DecodeIntPart(const uint64_t* words, const uint8_t* bytes,
+                   const uint64_t* skips, const int64_t* dict, Encoding kind,
+                   int64_t ref, int width, int64_t i0, int64_t i1,
+                   Sink&& sink) {
+  if (kind == Encoding::kDict) {
+    for (int64_t i = i0; i < i1; ++i) {
+      sink(i, dict[bitpack::Extract(words, i, width)]);
+    }
+  } else if (kind == Encoding::kPacked) {
+    const uint64_t uref = static_cast<uint64_t>(ref);
+    for (int64_t i = i0; i < i1; ++i) {
+      sink(i, static_cast<int64_t>(uref + bitpack::Extract(words, i, width)));
+    }
+  } else {  // kVbyte: start at the preceding skip point, discard the run-in
+    const uint64_t uref = static_cast<uint64_t>(ref);
+    const int64_t group = i0 / vbyte::kVbyteGroup;
+    const uint8_t* p = bytes + skips[group];
+    uint64_t delta = 0;
+    for (int64_t k = group * vbyte::kVbyteGroup; k < i0; ++k) {
+      p = vbyte::Decode(p, &delta);
+    }
+    for (int64_t i = i0; i < i1; ++i) {
+      p = vbyte::Decode(p, &delta);
+      sink(i, static_cast<int64_t>(uref + delta));
+    }
+  }
+}
+
+}  // namespace
+
+void EncodedColumn::DecodeInto(int64_t b, int64_t* out) const {
+  const Block& blk = blocks_[static_cast<size_t>(b)];
+  DecodeIntPart(words_.data() + blk.word_off, bytes_.data(),
+                skips_.data() + blk.skip_off, dict_i_.data(), blk.kind,
+                blk.ref, blk.width, 0, blk.rows,
+                [out](int64_t i, int64_t v) { out[i] = v; });
+}
+
+void EncodedColumn::DecodeInto(int64_t b, double* out) const {
+  const Block& blk = blocks_[static_cast<size_t>(b)];
+  if (type_ == DataType::kDouble) {
+    const uint64_t* w = words_.data() + blk.word_off;
+    for (int64_t i = 0; i < blk.rows; ++i) {
+      out[i] = dict_d_[bitpack::Extract(w, i, blk.width)];
+    }
+    return;
+  }
+  DecodeIntPart(words_.data() + blk.word_off, bytes_.data(),
+                skips_.data() + blk.skip_off, dict_i_.data(), blk.kind,
+                blk.ref, blk.width, 0, blk.rows,
+                [out](int64_t i, int64_t v) {
+                  out[i] = static_cast<double>(v);
+                });
+}
+
+void EncodedColumn::DecodeRange(int64_t r0, int64_t r1, int64_t* out) const {
+  while (r0 < r1) {
+    const int64_t b = r0 / kBlockRows;
+    const Block& blk = blocks_[static_cast<size_t>(b)];
+    const int64_t base = b * kBlockRows;
+    const int64_t i0 = r0 - base;
+    const int64_t i1 = std::min<int64_t>(r1 - base, blk.rows);
+    int64_t* o = out - i0;
+    DecodeIntPart(words_.data() + blk.word_off, bytes_.data(),
+                  skips_.data() + blk.skip_off, dict_i_.data(), blk.kind,
+                  blk.ref, blk.width, i0, i1,
+                  [o](int64_t i, int64_t v) { o[i] = v; });
+    out += i1 - i0;
+    r0 = base + i1;
+  }
+}
+
+void EncodedColumn::DecodeRange(int64_t r0, int64_t r1, double* out) const {
+  while (r0 < r1) {
+    const int64_t b = r0 / kBlockRows;
+    const Block& blk = blocks_[static_cast<size_t>(b)];
+    const int64_t base = b * kBlockRows;
+    const int64_t i0 = r0 - base;
+    const int64_t i1 = std::min<int64_t>(r1 - base, blk.rows);
+    double* o = out - i0;
+    if (type_ == DataType::kDouble) {
+      const uint64_t* w = words_.data() + blk.word_off;
+      for (int64_t i = i0; i < i1; ++i) {
+        o[i] = dict_d_[bitpack::Extract(w, i, blk.width)];
+      }
+    } else {
+      DecodeIntPart(words_.data() + blk.word_off, bytes_.data(),
+                    skips_.data() + blk.skip_off, dict_i_.data(), blk.kind,
+                    blk.ref, blk.width, i0, i1, [o](int64_t i, int64_t v) {
+                      o[i] = static_cast<double>(v);
+                    });
+    }
+    out += i1 - i0;
+    r0 = base + i1;
+  }
+}
+
+EncodedColumn::PackedView EncodedColumn::packed_view(int64_t b) const {
+  const Block& blk = blocks_[static_cast<size_t>(b)];
+  PackedView v;
+  v.words = blk.width > 0 ? words_.data() + blk.word_off : nullptr;
+  v.width = blk.width;
+  v.ref = blk.kind == Encoding::kDict ? 0 : blk.ref;
+  v.range = blk.range;
+  v.rows = blk.rows;
+  return v;
+}
+
+int64_t EncodedColumn::dict_size() const {
+  return type_ == DataType::kInt64 ? static_cast<int64_t>(dict_i_.size())
+                                   : static_cast<int64_t>(dict_d_.size());
+}
+
+double EncodedColumn::DictNumeric(int64_t code) const {
+  return type_ == DataType::kInt64
+             ? static_cast<double>(dict_i_[static_cast<size_t>(code)])
+             : dict_d_[static_cast<size_t>(code)];
+}
+
+size_t EncodedColumn::MemoryBytes() const {
+  return words_.size() * sizeof(uint64_t) + bytes_.size() +
+         skips_.size() * sizeof(uint64_t) + blocks_.size() * sizeof(Block) +
+         dict_i_.size() * sizeof(int64_t) + dict_d_.size() * sizeof(double) +
+         stage_i_.size() * sizeof(int64_t) +
+         stage_c_.size() * sizeof(uint32_t) + raw_d_.size() * sizeof(double);
+}
+
+}  // namespace robustqp

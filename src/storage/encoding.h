@@ -1,0 +1,316 @@
+// Compressed columnar encodings. Columns are encoded as independently
+// decodable blocks of kZoneBlockRows (4096) rows — the same granularity
+// as the zone maps, so a pruned block is also a skipped decode and an
+// aligned batch-engine morsel never straddles more than two blocks.
+//
+// Three physical encodings, chosen per column (and, for the two integer
+// layouts, per block):
+//
+//  * *packed* — frame-of-reference bit-packing: each block stores its
+//    minimum as the reference and every value as an unsigned delta in
+//    ceil(log2(range+1)) bits, little-endian within 64-bit words that
+//    start at a word boundary per block (O(1) point access by shift and
+//    mask). Wraparound-safe over the full int64 domain: deltas are
+//    computed in uint64 arithmetic, so INT64_MIN..INT64_MAX blocks simply
+//    pack at width 64.
+//  * *vbyte* — LEB128 varints of the same frame-of-reference deltas, for
+//    blocks whose range needs many bits but whose typical delta is small
+//    (RDF-TDAA's adjacency-array trick). A skip table every 64 values
+//    bounds point access to at most 64 sequential varint decodes.
+//  * *dictionary* — a column-level first-appearance-order dictionary with
+//    bit-packed per-row codes (block width grows with the dictionary, so
+//    early blocks stay narrow). Doubles are interned by *bit pattern*,
+//    which keeps NaN payloads and -0.0 exactly round-trippable; value
+//    semantics (NaN matches nothing, -0.0 == 0.0) are preserved because
+//    predicates are evaluated against the decoded dictionary values.
+//
+// The encoders are streaming: appends accumulate one staging block that
+// is flushed when full, so generators can build 10^7..10^8-row columns
+// without ever materializing the raw vector. `Encoding::kAuto` adapts as
+// data arrives — start dictionary-coded, fall back (re-encoding the
+// already-flushed blocks block-by-block) when the cardinality cap is
+// exceeded, and pick packed vs vbyte greedily per block by encoded size.
+// Double columns that are not dictionary-friendly stay raw.
+//
+// Everything here is physical-layer machinery. The execution engines
+// charge scan_tuple / filter_in / filter_pass for every logical row of
+// every block, encoded or not, so cost_used and all NodeStats are
+// bit-identical to raw storage (see exec/kernels.h for the fused filter
+// paths and the differential tests that enforce this).
+
+#ifndef ROBUSTQP_STORAGE_ENCODING_H_
+#define ROBUSTQP_STORAGE_ENCODING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace robustqp {
+
+/// Physical column layout. kAuto is a *request* (adaptive choice); the
+/// others force one layout. kRaw means plain value vectors.
+enum class Encoding : uint8_t {
+  kAuto,
+  kRaw,
+  kPacked,  // frame-of-reference bit-packing (int columns)
+  kVbyte,   // frame-of-reference LEB128 varints (int columns)
+  kDict,    // dictionary + bit-packed codes (int or double columns)
+};
+
+/// Stable lowercase name ("auto", "raw", "packed", "vbyte", "dict").
+const char* EncodingName(Encoding e);
+
+/// Parses an encoding token. Accepts the names above plus the CLI
+/// conveniences on|1 -> auto and off|0|none -> raw. Returns false (and
+/// leaves *out alone) on anything else.
+bool ParseEncoding(const std::string& token, Encoding* out);
+
+/// Per-table encoding choice applied by Table::Finalize(policy) and the
+/// streaming Table(schema, policy) constructor. `kind` is the default for
+/// every column; `per_column` overrides by column name. Auto consults the
+/// same cardinality/range signals stats_builder reports: a column stays
+/// dictionary-coded while its running distinct count is within
+/// `dict_max_card`, otherwise integers pick packed/vbyte per block by
+/// encoded size and doubles fall back to raw.
+struct EncodingPolicy {
+  Encoding kind = Encoding::kAuto;
+  int64_t dict_max_card = 4096;
+  std::map<std::string, Encoding> per_column;
+
+  Encoding For(const std::string& column) const {
+    auto it = per_column.find(column);
+    return it == per_column.end() ? kind : it->second;
+  }
+
+  static EncodingPolicy Auto() { return EncodingPolicy{}; }
+  static EncodingPolicy Raw() {
+    EncodingPolicy p;
+    p.kind = Encoding::kRaw;
+    return p;
+  }
+
+  /// Deterministic string for context-cache keys ("auto/4096", ...).
+  std::string CacheKey() const;
+};
+
+// ---------------------------------------------------------------------------
+// Bit-packing and vbyte primitives (exposed for tests and benchmarks)
+// ---------------------------------------------------------------------------
+
+namespace bitpack {
+
+/// Bits needed to represent any value in [0, range]: 0 for range == 0,
+/// else the position of range's highest set bit plus one (max 64).
+int WidthFor(uint64_t range);
+
+/// WidthFor rounded up to a *lane* width (0, 1, 2, 4, 8, 16, 32, 64).
+/// Lane widths divide 64, so a packed code never straddles a word
+/// boundary, and the 8/16/32/64 layouts are native little-endian
+/// uint8/16/32/64 arrays — which is what lets the fused filter kernels
+/// compare codes with auto-vectorized typed loops instead of per-element
+/// bit extraction. The storage blocks always pack at lane widths; the
+/// few wasted bits are the price of SIMD-able scans.
+int LaneWidthFor(uint64_t range);
+
+/// Appends ceil(n*width/64) fresh words to `*words` holding
+/// codes[0..n) packed little-endian at bit i*width. width in [0, 64].
+void Pack(const uint64_t* codes, int64_t n, int width,
+          std::vector<uint64_t>* words);
+
+/// Code at index `idx` of a word run packed with `Pack`.
+inline uint64_t Extract(const uint64_t* words, int64_t idx, int width) {
+  if (width == 0) return 0;
+  const uint64_t bit = static_cast<uint64_t>(idx) * static_cast<uint64_t>(width);
+  const uint64_t w0 = bit >> 6;
+  const int shift = static_cast<int>(bit & 63);
+  uint64_t v = words[w0] >> shift;
+  if (shift + width > 64) v |= words[w0 + 1] << (64 - shift);
+  return width == 64 ? v : (v & ((uint64_t{1} << width) - 1));
+}
+
+/// Unpacks codes [start, start+n) into out[0..n).
+void Unpack(const uint64_t* words, int64_t start, int64_t n, int width,
+            uint64_t* out);
+
+}  // namespace bitpack
+
+namespace vbyte {
+
+/// Bytes Encode() will append for `v` (1..10).
+int EncodedSize(uint64_t v);
+
+/// Appends the LEB128 encoding of `v` to `*out`.
+void Encode(uint64_t v, std::vector<uint8_t>* out);
+
+/// Decodes one varint at `p`, stores it in `*v`, returns the byte after.
+inline const uint8_t* Decode(const uint8_t* p, uint64_t* v) {
+  uint64_t x = 0;
+  int shift = 0;
+  while (*p & 0x80u) {
+    x |= static_cast<uint64_t>(*p & 0x7fu) << shift;
+    shift += 7;
+    ++p;
+  }
+  *v = x | (static_cast<uint64_t>(*p) << shift);
+  return p + 1;
+}
+
+/// Values per skip-table entry in vbyte blocks: point access decodes at
+/// most this many varints.
+inline constexpr int64_t kVbyteGroup = 64;
+
+}  // namespace vbyte
+
+// ---------------------------------------------------------------------------
+// EncodedColumn
+// ---------------------------------------------------------------------------
+
+/// One encoded column: a sequence of 4096-row blocks plus (for dictionary
+/// mode) the column-level dictionary. Built by streaming appends and
+/// sealed with Finish(); all read APIs are const, allocation-free and
+/// thread-safe after that.
+class EncodedColumn {
+ public:
+  /// Rows per encoded block. Equal to the zone-map block size by design;
+  /// storage/table.h checks this.
+  static constexpr int64_t kBlockRows = 4096;
+
+  EncodedColumn(DataType type, Encoding requested, int64_t dict_max_card);
+
+  DataType type() const { return type_; }
+  int64_t size() const { return num_rows_; }
+  bool finished() const { return finished_; }
+
+  /// Current column-level layout: kDict while dictionary-coded, kAuto for
+  /// adaptive per-block packed/vbyte, kPacked / kVbyte when forced, kRaw
+  /// only for a double column whose dictionary overflowed (the owner is
+  /// expected to demote such a column back to a raw vector).
+  Encoding mode() const { return mode_; }
+
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+
+  /// Flushes the staging tail and seals the column.
+  void Finish();
+
+  // ---- Point access (valid after Finish) ----
+  int64_t GetInt(int64_t row) const;
+  double GetDouble(int64_t row) const;
+
+  // ---- Block / range decode (valid after Finish) ----
+  int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
+  int64_t block_rows(int64_t b) const {
+    return blocks_[static_cast<size_t>(b)].rows;
+  }
+
+  /// Scratch-free block decode: writes block_rows(b) values into `out`
+  /// (caller-owned, no allocation here). The double overload casts int
+  /// columns the same way ColumnData::GetNumeric does.
+  void DecodeInto(int64_t b, int64_t* out) const;
+  void DecodeInto(int64_t b, double* out) const;
+
+  /// Decodes the row range [r0, r1) (may span blocks) into out[0..r1-r0).
+  void DecodeRange(int64_t r0, int64_t r1, int64_t* out) const;
+  void DecodeRange(int64_t r0, int64_t r1, double* out) const;
+
+  // ---- Fused-kernel access ----
+
+  /// Per-block code layout for the fused filter kernels. Valid for
+  /// packed blocks and for every dictionary block (where codes index the
+  /// dictionary and ref is 0). words is null when width == 0 (constant
+  /// block: every code is 0).
+  struct PackedView {
+    const uint64_t* words;
+    int width;
+    int64_t ref;     // frame of reference (0 for dictionary codes)
+    uint64_t range;  // max code: actual block range, not the width bound
+    int64_t rows;
+  };
+
+  Encoding block_kind(int64_t b) const {
+    return blocks_[static_cast<size_t>(b)].kind;
+  }
+  PackedView packed_view(int64_t b) const;
+
+  /// Dictionary contents (dictionary mode only). Entry i decodes code i;
+  /// every entry occurs in the column at least once (first-appearance
+  /// interning), so dictionary extremes are column extremes.
+  int64_t dict_size() const;
+  /// Dictionary entry as the double the filter kernels compare with
+  /// (int entries cast, double entries verbatim).
+  double DictNumeric(int64_t code) const;
+  int64_t DictInt(int64_t code) const {
+    return dict_i_[static_cast<size_t>(code)];
+  }
+  double DictDouble(int64_t code) const {
+    return dict_d_[static_cast<size_t>(code)];
+  }
+
+  /// kRaw-mode double payload (dictionary overflow fallback); the owner
+  /// moves this out and drops the EncodedColumn.
+  std::vector<double>&& TakeRawDoubles() { return std::move(raw_d_); }
+
+  /// Encoded footprint in bytes (payload + dictionary + block directory +
+  /// skip tables).
+  size_t MemoryBytes() const;
+
+ private:
+  struct Block {
+    int64_t ref = 0;        // frame of reference (packed/vbyte)
+    uint64_t range = 0;     // max unsigned delta (or max dict code)
+    uint64_t word_off = 0;  // packed/dict: first word in words_
+    uint64_t byte_off = 0;  // vbyte: first byte in bytes_
+    uint64_t skip_off = 0;  // vbyte: first entry in skips_
+    int32_t rows = 0;
+    Encoding kind = Encoding::kPacked;
+    uint8_t width = 0;  // packed/dict code width in bits
+  };
+
+  void FlushStage();
+  /// At Finish of a kAuto int column: drop the dictionary when
+  /// frame-of-reference codes would be no wider than dictionary codes
+  /// (packed is then strictly smaller and fused-filters faster).
+  void MaybeDemoteDictToPacked();
+  void EncodePackedBlock(const int64_t* v, int64_t n, int64_t ref,
+                         uint64_t range);
+  void EncodeVbyteBlock(const int64_t* v, int64_t n, int64_t ref);
+  void EncodeAdaptiveBlock(const int64_t* v, int64_t n);
+  void EncodeDictCodeBlock(const uint32_t* codes, int64_t n);
+  /// Dictionary cardinality cap exceeded: re-encode flushed blocks
+  /// block-by-block (bounded extra memory), switch ints to adaptive
+  /// packed/vbyte and doubles to the raw fallback.
+  void AbandonDict();
+  int64_t DictCodeAt(int64_t row) const;
+
+  DataType type_;
+  Encoding requested_;
+  Encoding mode_;
+  int64_t dict_cap_;
+  int64_t num_rows_ = 0;
+  bool finished_ = false;
+
+  // Staging for the block being built: values in non-dict modes, codes in
+  // dictionary mode (the dictionary itself holds the values).
+  std::vector<int64_t> stage_i_;
+  std::vector<uint32_t> stage_c_;
+
+  std::vector<Block> blocks_;
+  std::vector<uint64_t> words_;  // packed payloads (word-aligned per block)
+  std::vector<uint8_t> bytes_;   // vbyte payloads
+  std::vector<uint64_t> skips_;  // vbyte skip tables (absolute byte offsets)
+
+  std::vector<int64_t> dict_i_;
+  std::vector<double> dict_d_;
+  std::unordered_map<uint64_t, uint32_t> dict_map_;  // value bits -> code
+
+  std::vector<double> raw_d_;  // double dictionary-overflow fallback
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_STORAGE_ENCODING_H_

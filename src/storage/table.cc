@@ -6,6 +6,45 @@
 
 namespace robustqp {
 
+ColumnData::ColumnData(DataType type, Encoding encoding, int64_t dict_max_card)
+    : type_(type) {
+  if (encoding != Encoding::kRaw) {
+    enc_ = std::make_unique<EncodedColumn>(type, encoding, dict_max_card);
+  }
+}
+
+void ColumnData::Encode(Encoding encoding, int64_t dict_max_card) {
+  if (encoding == Encoding::kRaw || enc_ != nullptr) return;
+  auto enc = std::make_unique<EncodedColumn>(type_, encoding, dict_max_card);
+  if (type_ == DataType::kInt64) {
+    for (int64_t v : ints_) enc->AppendInt(v);
+  } else {
+    for (double v : doubles_) enc->AppendDouble(v);
+  }
+  enc_ = std::move(enc);
+  FinishEncoding();
+  if (enc_ != nullptr) {
+    ints_ = {};
+    doubles_ = {};
+  }
+}
+
+void ColumnData::FinishEncoding() {
+  if (enc_ == nullptr || enc_->finished()) return;
+  enc_->Finish();
+  if (enc_->mode() == Encoding::kRaw) {
+    // Double column whose dictionary overflowed: the encoder kept the
+    // values raw, so keep them as a plain vector and drop the wrapper.
+    doubles_ = std::move(enc_->TakeRawDoubles());
+    enc_.reset();
+  }
+}
+
+size_t ColumnData::MemoryBytes() const {
+  if (enc_ != nullptr) return enc_->MemoryBytes();
+  return ints_.size() * sizeof(int64_t) + doubles_.size() * sizeof(double);
+}
+
 void ColumnData::BuildZoneMap() {
   const int64_t n = size();
   const int64_t blocks = (n + kZoneBlockRows - 1) / kZoneBlockRows;
@@ -14,12 +53,27 @@ void ColumnData::BuildZoneMap() {
   zones_.max.assign(static_cast<size_t>(blocks),
                     -std::numeric_limits<double>::infinity());
   zones_.has_nan.assign(static_cast<size_t>(blocks), 0);
+  std::vector<double> decoded;
+  if (enc_ != nullptr) decoded.resize(static_cast<size_t>(kZoneBlockRows));
   for (int64_t b = 0; b < blocks; ++b) {
     const int64_t r0 = b * kZoneBlockRows;
     const int64_t r1 = std::min<int64_t>(n, r0 + kZoneBlockRows);
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();
-    if (type_ == DataType::kInt64) {
+    if (enc_ != nullptr) {
+      enc_->DecodeInto(b, decoded.data());
+      const double* v = decoded.data();
+      bool nan = false;
+      for (int64_t r = 0; r < r1 - r0; ++r) {
+        const double x = v[r];
+        nan |= std::isnan(x);
+        lo = x < lo ? x : lo;
+        hi = x > hi ? x : hi;
+      }
+      if (type_ == DataType::kDouble) {
+        zones_.has_nan[static_cast<size_t>(b)] = nan ? 1 : 0;
+      }
+    } else if (type_ == DataType::kInt64) {
       const int64_t* v = ints_.data();
       for (int64_t r = r0; r < r1; ++r) {
         const double x = static_cast<double>(v[r]);
@@ -50,11 +104,22 @@ Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   }
 }
 
+Table::Table(TableSchema schema, const EncodingPolicy& policy)
+    : schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_.num_columns()));
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    columns_.push_back(std::make_unique<ColumnData>(
+        schema_.column(i).type, policy.For(schema_.column(i).name),
+        policy.dict_max_card));
+  }
+}
+
 Status Table::Finalize() {
   if (columns_.empty()) {
     num_rows_ = 0;
     return Status::OK();
   }
+  for (const auto& col : columns_) col->FinishEncoding();
   const int64_t n = columns_[0]->size();
   for (const auto& col : columns_) {
     if (col->size() != n) {
@@ -65,6 +130,20 @@ Status Table::Finalize() {
   num_rows_ = n;
   for (const auto& col : columns_) col->BuildZoneMap();
   return Status::OK();
+}
+
+Status Table::Finalize(const EncodingPolicy& policy) {
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    columns_[static_cast<size_t>(i)]->Encode(
+        policy.For(schema_.column(i).name), policy.dict_max_card);
+  }
+  return Finalize();
+}
+
+size_t Table::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& col : columns_) total += col->MemoryBytes();
+  return total;
 }
 
 }  // namespace robustqp

@@ -1,15 +1,28 @@
-// In-memory columnar storage. A Table owns one value vector per column;
-// the Volcano executor scans these vectors directly. This plays the role
-// of the heap/buffer-pool layer of the paper's PostgreSQL substrate — the
-// discovery algorithms only need a scannable relation with countable
-// cardinalities, which this provides at laptop scale.
+// In-memory columnar storage. A Table owns one column per schema entry;
+// each column is either a raw value vector or a compressed EncodedColumn
+// (storage/encoding.h: frame-of-reference bit-packing, vbyte varints, or
+// dictionary codes in independently decodable 4096-row blocks). The
+// Volcano executor and all per-row consumers go through GetInt /
+// GetDouble / GetNumeric, which dispatch on the storage form; the batch
+// engine's kernels additionally use the block views for fused
+// filter-on-compressed paths. This plays the role of the heap/buffer-pool
+// layer of the paper's PostgreSQL substrate — the discovery algorithms
+// only need a scannable relation with countable cardinalities, which this
+// provides at laptop scale (and, encoded, at 10^7..10^8-row scale).
 //
 // Finalize() additionally builds per-block *zone maps* (min/max over
 // kZoneBlockRows-row blocks, in GetNumeric double semantics) for every
 // column. The batch engine's scan kernels use them to skip blocks that
 // cannot satisfy (or that trivially satisfy) a filter predicate; the
 // logical cost accounting still charges pruned blocks as scanned, so zone
-// maps are a pure physical-layer speedup.
+// maps — like compression — are a pure physical-layer speedup.
+//
+// Two ways to get an encoded table:
+//  * build raw, then Finalize(policy) — re-encodes each column per the
+//    EncodingPolicy and drops the raw vectors;
+//  * construct Table(schema, policy) and append as usual — values stream
+//    straight into the encoders one block at a time, so the raw column is
+//    never materialized (what the workload generators do).
 
 #ifndef ROBUSTQP_STORAGE_TABLE_H_
 #define ROBUSTQP_STORAGE_TABLE_H_
@@ -21,12 +34,16 @@
 
 #include "catalog/schema.h"
 #include "common/status.h"
+#include "storage/encoding.h"
 
 namespace robustqp {
 
 /// Rows per zone-map block. A multiple of the batch engine's morsel width
-/// so aligned morsels fall inside a single block.
+/// so aligned morsels fall inside a single block, and equal to the
+/// encoded-block size so zone-map pruning skips whole decodes.
 inline constexpr int64_t kZoneBlockRows = 4096;
+static_assert(kZoneBlockRows == EncodedColumn::kBlockRows,
+              "zone-map and encoded blocks must stay aligned");
 
 /// Per-block min/max summary of one column, over GetNumeric() values
 /// (i.e. int64 columns are summarized after the double cast the filter
@@ -44,44 +61,83 @@ struct ZoneMap {
   int64_t num_blocks() const { return static_cast<int64_t>(min.size()); }
 };
 
-/// A single column of values. Exactly one of the two vectors is populated,
-/// per the declared type.
+/// A single column of values: raw vectors, or an EncodedColumn once an
+/// encoding policy is applied (streaming constructor or Encode()).
 class ColumnData {
  public:
   explicit ColumnData(DataType type) : type_(type) {}
+  /// Streaming-encoded column: appends go straight into the encoder
+  /// (kRaw behaves exactly like the plain constructor).
+  ColumnData(DataType type, Encoding encoding, int64_t dict_max_card);
 
   DataType type() const { return type_; }
   int64_t size() const {
+    if (enc_ != nullptr) return enc_->size();
     return type_ == DataType::kInt64 ? static_cast<int64_t>(ints_.size())
                                      : static_cast<int64_t>(doubles_.size());
   }
 
-  void AppendInt(int64_t v) { ints_.push_back(v); }
-  void AppendDouble(double v) { doubles_.push_back(v); }
+  /// True once the column's payload lives in an EncodedColumn.
+  bool encoded() const { return enc_ != nullptr; }
+  const EncodedColumn& enc() const { return *enc_; }
 
-  int64_t GetInt(int64_t row) const { return ints_[static_cast<size_t>(row)]; }
+  void AppendInt(int64_t v) {
+    if (enc_ != nullptr) {
+      enc_->AppendInt(v);
+    } else {
+      ints_.push_back(v);
+    }
+  }
+  void AppendDouble(double v) {
+    if (enc_ != nullptr) {
+      enc_->AppendDouble(v);
+    } else {
+      doubles_.push_back(v);
+    }
+  }
+
+  int64_t GetInt(int64_t row) const {
+    return enc_ != nullptr ? enc_->GetInt(row)
+                           : ints_[static_cast<size_t>(row)];
+  }
   double GetDouble(int64_t row) const {
-    return doubles_[static_cast<size_t>(row)];
+    return enc_ != nullptr ? enc_->GetDouble(row)
+                           : doubles_[static_cast<size_t>(row)];
   }
 
   /// Value as double regardless of storage type (used by stats and
   /// predicate evaluation).
   double GetNumeric(int64_t row) const {
-    return type_ == DataType::kInt64
-               ? static_cast<double>(ints_[static_cast<size_t>(row)])
-               : doubles_[static_cast<size_t>(row)];
+    return type_ == DataType::kInt64 ? static_cast<double>(GetInt(row))
+                                     : GetDouble(row);
   }
 
+  /// Raw payloads — only meaningful (non-empty) when !encoded(); the
+  /// kernels branch on encoded() before touching these.
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
 
   void Reserve(int64_t n) {
+    if (enc_ != nullptr) return;  // encoders size themselves per block
     if (type_ == DataType::kInt64) {
       ints_.reserve(static_cast<size_t>(n));
     } else {
       doubles_.reserve(static_cast<size_t>(n));
     }
   }
+
+  /// Re-encodes the current (raw) values with the given layout and drops
+  /// the raw vectors. kRaw and already-encoded columns are left alone.
+  void Encode(Encoding encoding, int64_t dict_max_card);
+
+  /// Seals a streaming encoder (no-op otherwise). A double column whose
+  /// dictionary overflowed is demoted back to a raw vector here, so
+  /// encoded() afterwards implies a genuinely compressed layout.
+  void FinishEncoding();
+
+  /// Logical payload footprint in bytes (values + dictionaries + block
+  /// directories; excludes the zone map, which raw and encoded share).
+  size_t MemoryBytes() const;
 
   /// The zone map, valid after Table::Finalize() (empty before).
   const ZoneMap& zones() const { return zones_; }
@@ -94,6 +150,7 @@ class ColumnData {
   DataType type_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
+  std::unique_ptr<EncodedColumn> enc_;
   ZoneMap zones_;
 };
 
@@ -101,6 +158,9 @@ class ColumnData {
 class Table {
  public:
   explicit Table(TableSchema schema);
+  /// Streaming-encoded table: every column encodes per `policy` as rows
+  /// are appended (raw columns for kRaw policy entries).
+  Table(TableSchema schema, const EncodingPolicy& policy);
 
   const TableSchema& schema() const { return schema_; }
   int64_t num_rows() const { return num_rows_; }
@@ -111,9 +171,18 @@ class Table {
   }
 
   /// Validates that all columns have equal length, records the row count,
-  /// and builds every column's zone map. Must be called after
-  /// bulk-appending values.
+  /// seals any streaming encoders, and builds every column's zone map.
+  /// Must be called after bulk-appending values.
   Status Finalize();
+
+  /// Finalize plus re-encoding: applies `policy` to every still-raw
+  /// column (auto picks dictionary / packed / vbyte from the data, the
+  /// same cardinality and range signals stats_builder reports), then
+  /// builds zone maps over the encoded blocks.
+  Status Finalize(const EncodingPolicy& policy);
+
+  /// Total column payload bytes (MemoryBytes over all columns).
+  size_t MemoryBytes() const;
 
  private:
   TableSchema schema_;

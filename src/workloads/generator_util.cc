@@ -5,11 +5,13 @@
 namespace robustqp {
 
 void BuildAndRegister(Catalog* catalog, const std::string& name, int64_t rows,
-                      const std::vector<ColumnSpec>& columns, Rng* rng) {
+                      const std::vector<ColumnSpec>& columns, Rng* rng,
+                      const EncodingPolicy& policy) {
   std::vector<ColumnDef> defs;
   defs.reserve(columns.size());
   for (const auto& c : columns) defs.push_back({c.name, c.type});
-  auto table = std::make_shared<Table>(TableSchema(name, std::move(defs)));
+  auto table =
+      std::make_shared<Table>(TableSchema(name, std::move(defs)), policy);
 
   for (int64_t r = 0; r < rows; ++r) {
     for (size_t c = 0; c < columns.size(); ++c) {

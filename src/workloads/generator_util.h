@@ -10,6 +10,7 @@
 
 #include "catalog/catalog.h"
 #include "common/rng.h"
+#include "storage/encoding.h"
 #include "storage/table.h"
 
 namespace robustqp {
@@ -23,9 +24,14 @@ struct ColumnSpec {
 };
 
 /// Materializes a table of `rows` rows from column specs and registers it
-/// (with freshly computed statistics) in `catalog`.
+/// (with freshly computed statistics) in `catalog`. Rows stream straight
+/// into columns encoded per `policy` (one 4096-row staging block per
+/// column), so generator memory stays near the *encoded* footprint and
+/// fact tables can scale to 1e7-1e8 rows. The generated values, stats,
+/// and plans are identical for every policy — encoding is physical only.
 void BuildAndRegister(Catalog* catalog, const std::string& name, int64_t rows,
-                      const std::vector<ColumnSpec>& columns, Rng* rng);
+                      const std::vector<ColumnSpec>& columns, Rng* rng,
+                      const EncodingPolicy& policy = EncodingPolicy::Auto());
 
 }  // namespace robustqp
 

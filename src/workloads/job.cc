@@ -7,7 +7,8 @@
 
 namespace robustqp {
 
-std::unique_ptr<Catalog> BuildJobCatalog(uint64_t seed, double scale) {
+std::unique_ptr<Catalog> BuildJobCatalog(uint64_t seed, double scale,
+                                         const EncodingPolicy& policy) {
   auto catalog = std::make_unique<Catalog>();
   Rng rng(seed);
 
@@ -26,14 +27,14 @@ std::unique_ptr<Catalog> BuildJobCatalog(uint64_t seed, double scale) {
                      [](Rng&, int64_t row) { return static_cast<double>(row + 1); }},
                     {"ct_kind_id", DataType::kInt64,
                      [](Rng&, int64_t row) { return static_cast<double>(row + 1); }}},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "info_type", n_it,
                    {{"it_id", DataType::kInt64,
                      [](Rng&, int64_t row) { return static_cast<double>(row + 1); }},
                     {"it_info_id", DataType::kInt64,
                      [](Rng&, int64_t row) { return static_cast<double>(row + 1); }}},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "title", n_title,
                    {{"t_id", DataType::kInt64,
@@ -44,7 +45,7 @@ std::unique_ptr<Catalog> BuildJobCatalog(uint64_t seed, double scale) {
                      [](Rng& r, int64_t) {
                        return static_cast<double>(r.UniformInt(1950, 2025));
                      }}},
-                   &rng);
+                   &rng, policy);
 
   {
     auto movie_zipf = std::make_shared<ZipfSampler>(n_title, 1.1);
@@ -63,7 +64,7 @@ std::unique_ptr<Catalog> BuildJobCatalog(uint64_t seed, double scale) {
           [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 4)); }},
          {"mc_note_id", DataType::kInt64,
           [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 50)); }}},
-        &rng);
+        &rng, policy);
   }
 
   {
@@ -81,7 +82,7 @@ std::unique_ptr<Catalog> BuildJobCatalog(uint64_t seed, double scale) {
           }},
          {"mi_info_rank", DataType::kInt64,
           [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 250)); }}},
-        &rng);
+        &rng, policy);
   }
 
   for (const auto& [table, column] :

@@ -10,12 +10,16 @@
 #include <memory>
 
 #include "catalog/catalog.h"
+#include "storage/encoding.h"
 
 namespace robustqp {
 
 /// Builds the IMDB-shaped catalog. `scale` multiplies the large tables'
-/// row counts. Deterministic for a given seed.
-std::unique_ptr<Catalog> BuildJobCatalog(uint64_t seed = 7, double scale = 1.0);
+/// row counts. Deterministic for a given seed; data, statistics, and
+/// plans are identical for every `policy` (physical layout only).
+std::unique_ptr<Catalog> BuildJobCatalog(
+    uint64_t seed = 7, double scale = 1.0,
+    const EncodingPolicy& policy = EncodingPolicy::Auto());
 
 }  // namespace robustqp
 

@@ -51,7 +51,8 @@ ColumnSpec UniformPrice(const std::string& name, double lo, double hi) {
 
 }  // namespace
 
-std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale) {
+std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale,
+                                           const EncodingPolicy& policy) {
   auto catalog = std::make_unique<Catalog>();
   Rng rng(seed);
 
@@ -85,7 +86,7 @@ std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale) {
                        return static_cast<double>((row / 30) % 12 + 1);
                      }},
                     UniformAttr("d_dow", 1, 7)},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "time_dim", n_time,
                    {SerialKey("t_time_sk"),
@@ -94,33 +95,33 @@ std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale) {
                        return static_cast<double>(row * 24 / n_time);
                      }},
                     UniformAttr("t_minute", 0, 59)},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "item", n_item,
                    {SerialKey("i_item_sk"), UniformAttr("i_category_id", 1, 10),
                     UniformAttr("i_manufact_id", 1, 100),
                     UniformPrice("i_current_price", 0.5, 100.0)},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "customer_address", n_address,
                    {SerialKey("ca_address_sk"), UniformAttr("ca_state_id", 1, 50),
                     UniformAttr("ca_city_id", 1, 400),
                     UniformAttr("ca_gmt_offset", -10, -5)},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "customer_demographics", n_cdemo,
                    {SerialKey("cd_demo_sk"), UniformAttr("cd_gender", 0, 1),
                     UniformAttr("cd_marital_status", 1, 5),
                     UniformAttr("cd_education_id", 1, 7),
                     UniformAttr("cd_dep_count", 0, 6)},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "household_demographics", n_hdemo,
                    {SerialKey("hd_demo_sk"),
                     UniformFk("hd_income_band_sk", n_income),
                     UniformAttr("hd_dep_count", 0, 9),
                     UniformAttr("hd_vehicle_count", 0, 4)},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "income_band", n_income,
                    {SerialKey("ib_income_band_sk"),
@@ -130,22 +131,22 @@ std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale) {
                      [](Rng&, int64_t row) {
                        return static_cast<double>((row + 1) * 10000 - 1);
                      }}},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "store", n_store,
                    {SerialKey("s_store_sk"), UniformAttr("s_city_id", 1, 30),
                     UniformAttr("s_number_employees", 50, 300)},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "call_center", n_callcenter,
                    {SerialKey("cc_call_center_sk"), UniformAttr("cc_class_id", 1, 3),
                     UniformAttr("cc_employees", 10, 200)},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "promotion", n_promo,
                    {SerialKey("p_promo_sk"), UniformAttr("p_channel_id", 1, 5),
                     UniformPrice("p_cost", 100.0, 5000.0)},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(catalog.get(), "customer", n_customer,
                    {SerialKey("c_customer_sk"),
@@ -153,7 +154,7 @@ std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale) {
                     UniformFk("c_current_cdemo_sk", n_cdemo),
                     ZipfFk("c_current_hdemo_sk", n_hdemo, 0.6),
                     UniformAttr("c_birth_year", 1930, 2005)},
-                   &rng);
+                   &rng, policy);
 
   BuildAndRegister(
       catalog.get(), "store_sales", n_ss,
@@ -164,7 +165,7 @@ std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale) {
        ZipfFk("ss_promo_sk", n_promo, 1.1), UniformAttr("ss_quantity", 1, 100),
        UniformPrice("ss_sales_price", 1.0, 300.0),
        SerialKey("ss_ticket_number")},
-      &rng);
+      &rng, policy);
 
   BuildAndRegister(
       catalog.get(), "catalog_sales", n_cs,
@@ -175,7 +176,7 @@ std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale) {
        ZipfFk("cs_call_center_sk", n_callcenter, 0.9),
        ZipfFk("cs_promo_sk", n_promo, 1.0), UniformAttr("cs_quantity", 1, 100),
        UniformPrice("cs_sales_price", 1.0, 300.0), SerialKey("cs_order_number")},
-      &rng);
+      &rng, policy);
 
   BuildAndRegister(
       catalog.get(), "store_returns", n_sr,
@@ -187,7 +188,7 @@ std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale) {
           return static_cast<double>(rng2.UniformInt(1, std::max<int64_t>(1, n_ss)));
         }},
        UniformAttr("sr_return_quantity", 1, 40)},
-      &rng);
+      &rng, policy);
 
   // Hash indexes on the dimension keys (and the customer key), giving the
   // optimizer index nested-loop access paths.

@@ -11,13 +11,17 @@
 #include <memory>
 
 #include "catalog/catalog.h"
+#include "storage/encoding.h"
 
 namespace robustqp {
 
 /// Builds the TPC-DS-shaped catalog. `scale` multiplies fact-table row
-/// counts (1.0 ~ 60k store_sales). Deterministic for a given seed.
-std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed = 42,
-                                           double scale = 1.0);
+/// counts (1.0 ~ 60k store_sales). Deterministic for a given seed; the
+/// data, statistics, and plans are identical for every `policy` (rows
+/// stream into columns stored per the policy — physical layout only).
+std::unique_ptr<Catalog> BuildTpcdsCatalog(
+    uint64_t seed = 42, double scale = 1.0,
+    const EncodingPolicy& policy = EncodingPolicy::Auto());
 
 }  // namespace robustqp
 

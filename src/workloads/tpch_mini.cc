@@ -8,7 +8,8 @@
 
 namespace robustqp {
 
-std::unique_ptr<Catalog> BuildTpchMiniCatalog(uint64_t seed, double scale) {
+std::unique_ptr<Catalog> BuildTpchMiniCatalog(uint64_t seed, double scale,
+                                              const EncodingPolicy& policy) {
   auto catalog = std::make_unique<Catalog>();
   Rng rng(seed);
 
@@ -25,7 +26,7 @@ std::unique_ptr<Catalog> BuildTpchMiniCatalog(uint64_t seed, double scale) {
         [](Rng& r, int64_t) { return r.UniformDouble(1.0, 2000.0); }},
        {"p_brand_id", DataType::kInt64,
         [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 25)); }}},
-      &rng);
+      &rng, policy);
 
   BuildAndRegister(
       catalog.get(), "orders", n_orders,
@@ -37,7 +38,7 @@ std::unique_ptr<Catalog> BuildTpchMiniCatalog(uint64_t seed, double scale) {
         }},
        {"o_orderpriority", DataType::kInt64,
         [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 5)); }}},
-      &rng);
+      &rng, policy);
 
   {
     // Hot parts and hot orders: the skew that defeats NDV estimation.
@@ -57,7 +58,7 @@ std::unique_ptr<Catalog> BuildTpchMiniCatalog(uint64_t seed, double scale) {
           [](Rng& r, int64_t) { return static_cast<double>(r.UniformInt(1, 50)); }},
          {"l_extendedprice", DataType::kDouble,
           [](Rng& r, int64_t) { return r.UniformDouble(10.0, 5000.0); }}},
-        &rng);
+        &rng, policy);
   }
 
   RQP_CHECK(catalog->BuildIndex("part", "p_partkey").ok());

@@ -11,13 +11,16 @@
 
 #include "catalog/catalog.h"
 #include "query/query.h"
+#include "storage/encoding.h"
 
 namespace robustqp {
 
 /// Builds the part/orders/lineitem catalog. `scale` multiplies the
-/// lineitem row count. Deterministic for a given seed.
-std::unique_ptr<Catalog> BuildTpchMiniCatalog(uint64_t seed = 4242,
-                                              double scale = 1.0);
+/// lineitem row count. Deterministic for a given seed; data, statistics,
+/// and plans are identical for every `policy` (physical layout only).
+std::unique_ptr<Catalog> BuildTpchMiniCatalog(
+    uint64_t seed = 4242, double scale = 1.0,
+    const EncodingPolicy& policy = EncodingPolicy::Auto());
 
 /// The paper's example query EQ: part |x| lineitem |x| orders with the
 /// filter p_retailprice < 1000. With `filter_epp` true the filter joins

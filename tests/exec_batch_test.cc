@@ -30,11 +30,13 @@ using testing_util::MakeStarQuery;
 using testing_util::MakeTinyCatalog;
 
 Executor MakeEngine(const Catalog* catalog, Executor::Engine engine,
-                    int threads = 1, bool zone_maps = true) {
+                    int threads = 1, bool zone_maps = true,
+                    bool compression = true) {
   Executor::Options options;
   options.engine = engine;
   options.num_threads = threads;
   options.use_zone_maps = zone_maps;
+  options.use_compression = compression;
   return Executor(catalog, CostModel::PostgresFlavour(), options);
 }
 
@@ -494,8 +496,14 @@ TEST_P(ExecBatchDifferentialTest, TupleAndBatchAgreeUnderFaults) {
 /// Star instance tuned for zone maps: a multi-block fact table with a
 /// clustered int column (monotone in row order, so blocks have disjoint
 /// ranges) and a double column salted with NaN/±inf/-0.0; filter
-/// constants drawn from block edges and out-of-domain values.
-ExecInstance MakeZoneInstance(uint64_t seed) {
+/// constants drawn from block edges and out-of-domain values. `policy`
+/// picks the storage layout — the same seed yields identical data and
+/// query under every policy, which is what the compression differential
+/// tests lean on (fk1/fk2/c0 are dictionary-friendly, k0 is serial so it
+/// packs, d0's salted doubles abandon the dictionary under kAuto).
+ExecInstance MakeZoneInstance(uint64_t seed,
+                              const EncodingPolicy& policy =
+                                  EncodingPolicy::Raw()) {
   Rng rng(seed);
   ExecInstance inst;
   inst.catalog = std::make_unique<Catalog>();
@@ -525,7 +533,7 @@ ExecInstance MakeZoneInstance(uint64_t seed) {
       if (rng.Bernoulli(0.005)) d = -0.0;
       table->column(4).AppendDouble(d);
     }
-    RQP_CHECK(table->Finalize().ok());
+    RQP_CHECK(table->Finalize(policy).ok());
     auto stats = ComputeTableStats(*table);
     RQP_CHECK(inst.catalog->AddTable(std::move(table), std::move(stats)).ok());
   }
@@ -538,7 +546,7 @@ ExecInstance MakeZoneInstance(uint64_t seed) {
       table->column(0).AppendInt(r + 1);
       table->column(1).AppendInt(rng.UniformInt(1, 20));
     }
-    RQP_CHECK(table->Finalize().ok());
+    RQP_CHECK(table->Finalize(policy).ok());
     auto stats = ComputeTableStats(*table);
     RQP_CHECK(inst.catalog->AddTable(std::move(table), std::move(stats)).ok());
     RQP_CHECK(
@@ -723,6 +731,246 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ZoneMapDifferentialTest,
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+// ---------------------------------------------------------------------------
+// Compression differential fuzz: the same instance built raw and encoded
+// must be indistinguishable through every cost-visible surface — tuple
+// engine, batch fused filter-on-compressed, batch decode-then-filter,
+// zone maps on and off, full / budgeted / spill runs, faults armed.
+// ---------------------------------------------------------------------------
+
+class CompressionDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(CompressionDifferentialTest, EncodedAndRawAgreeExactly) {
+  const uint64_t seed = GetParam();
+  for (const Encoding kind :
+       {Encoding::kAuto, Encoding::kDict, Encoding::kPacked}) {
+    EncodingPolicy policy;
+    policy.kind = kind;
+    ExecInstance raw = MakeZoneInstance(seed);
+    ExecInstance enc = MakeZoneInstance(seed, policy);
+    Rng rng(seed * 131 + static_cast<uint64_t>(kind));
+
+    Executor tuple_raw = MakeEngine(raw.catalog.get(), Executor::Engine::kTuple);
+    Executor tuple_enc = MakeEngine(enc.catalog.get(), Executor::Engine::kTuple);
+    Executor batch_raw = MakeEngine(raw.catalog.get(), Executor::Engine::kBatch);
+    Executor fused =
+        MakeEngine(enc.catalog.get(), Executor::Engine::kBatch, 1, true, true);
+    Executor decoded =
+        MakeEngine(enc.catalog.get(), Executor::Engine::kBatch, 1, true, false);
+    Executor fused_nz =
+        MakeEngine(enc.catalog.get(), Executor::Engine::kBatch, 1, false, true);
+
+    Optimizer opt(raw.catalog.get(), raw.query.get());
+    const int dims = raw.query->num_epps();
+    for (int trial = 0; trial < 2; ++trial) {
+      const std::unique_ptr<Plan> plan = opt.Optimize(RandomPoint(&rng, dims));
+      const std::string tag = "seed " + std::to_string(seed) + " enc " +
+                              EncodingName(kind) + " plan " +
+                              plan->signature();
+
+      const Result<ExecutionResult> rt = tuple_raw.Execute(*plan, -1.0);
+      const Result<ExecutionResult> et = tuple_enc.Execute(*plan, -1.0);
+      const Result<ExecutionResult> rb = batch_raw.Execute(*plan, -1.0);
+      const Result<ExecutionResult> ef = fused.Execute(*plan, -1.0);
+      const Result<ExecutionResult> ed = decoded.Execute(*plan, -1.0);
+      const Result<ExecutionResult> en = fused_nz.Execute(*plan, -1.0);
+      ASSERT_TRUE(rt.ok() && et.ok() && rb.ok() && ef.ok() && ed.ok() &&
+                  en.ok())
+          << tag;
+      ExpectSameResult(*rt, *et, tag + " [tuple raw vs encoded]");
+      ExpectSameResult(*rt, *rb, tag + " [tuple vs batch raw]");
+      ExpectSameResult(*rb, *ef, tag + " [batch raw vs fused]");
+      ExpectSameResult(*ef, *ed, tag + " [fused vs decode-then-filter]");
+      ExpectSameResult(*ef, *en, tag + " [fused zones on vs off]");
+
+      // Budget aborts must land on the same tuple on every storage form.
+      for (const double frac : {0.22, 0.71}) {
+        const double budget = rt->cost_used * frac;
+        const std::string btag =
+            tag + " [budget " + std::to_string(budget) + "]";
+        const Result<ExecutionResult> bt = tuple_raw.Execute(*plan, budget);
+        const Result<ExecutionResult> bf = fused.Execute(*plan, budget);
+        const Result<ExecutionResult> bd = decoded.Execute(*plan, budget);
+        const Result<ExecutionResult> bn = fused_nz.Execute(*plan, budget);
+        ASSERT_TRUE(bt.ok() && bf.ok() && bd.ok() && bn.ok()) << btag;
+        ExpectSameResult(*bt, *bf, btag + " tuple vs fused");
+        ExpectSameResult(*bf, *bd, btag + " fused vs decoded");
+        ExpectSameResult(*bf, *bn, btag + " zones on vs off");
+      }
+
+      // Spill executions over the epp subtrees.
+      for (int d = 0; d < dims; ++d) {
+        const int node_id = plan->EppNodeId(d);
+        if (node_id < 0) continue;
+        const std::string stag = tag + " [spill " + std::to_string(node_id) +
+                                 "]";
+        const Result<ExecutionResult> sr =
+            batch_raw.ExecuteSpill(*plan, node_id, -1.0);
+        const Result<ExecutionResult> sf =
+            fused.ExecuteSpill(*plan, node_id, -1.0);
+        const Result<ExecutionResult> sd =
+            decoded.ExecuteSpill(*plan, node_id, -1.0);
+        ASSERT_TRUE(sr.ok() && sf.ok() && sd.ok()) << stag;
+        ExpectSameResult(*sr, *sf, stag + " raw vs fused");
+        ExpectSameResult(*sf, *sd, stag + " fused vs decoded");
+      }
+    }
+  }
+}
+
+// Armed fault specs must not distinguish the storage forms either: the
+// per-attempt draw sequence depends on charged events, which compression
+// leaves untouched.
+TEST_P(CompressionDifferentialTest, EncodedAndRawAgreeUnderFaults) {
+  const uint64_t seed = GetParam() + 800;
+  EncodingPolicy policy;  // kAuto
+  ExecInstance raw = MakeZoneInstance(seed);
+  ExecInstance enc = MakeZoneInstance(seed, policy);
+  Rng rng(seed * 577 + 1);
+  Executor batch_raw = MakeEngine(raw.catalog.get(), Executor::Engine::kBatch);
+  Executor fused =
+      MakeEngine(enc.catalog.get(), Executor::Engine::kBatch, 1, true, true);
+  Executor decoded =
+      MakeEngine(enc.catalog.get(), Executor::Engine::kBatch, 1, true, false);
+
+  Optimizer opt(raw.catalog.get(), raw.query.get());
+  const int dims = raw.query->num_epps();
+  const char* spec =
+      "exec.scan.read:p=0.3;exec.hashjoin.build:p=0.3;"
+      "exec.nljoin.pair:p=0.2,kind=spike,mult=2";
+  for (int trial = 0; trial < 2; ++trial) {
+    const std::unique_ptr<Plan> plan = opt.Optimize(RandomPoint(&rng, dims));
+    const std::string tag = "seed " + std::to_string(seed) + " plan " +
+                            plan->signature();
+    FaultInjector::Disarm();
+    const Result<ExecutionResult> clean = batch_raw.Execute(*plan, -1.0);
+    ASSERT_TRUE(clean.ok()) << tag;
+    for (const double frac : {-1.0, 0.55}) {
+      const double budget = frac < 0.0 ? -1.0 : clean->cost_used * frac;
+      ExecutionResult rr, rf, rd;
+      bool rr_ok, rf_ok, rd_ok;
+      ASSERT_TRUE(FaultInjector::Global().Configure(spec, seed).ok());
+      {
+        FaultStreamScope scope(static_cast<uint64_t>(trial));
+        Result<ExecutionResult> r = batch_raw.Execute(*plan, budget);
+        rr_ok = r.ok();
+        if (rr_ok) rr = r.MoveValue();
+        if (!rr_ok) ASSERT_TRUE(r.status().IsTransient()) << tag;
+      }
+      {
+        FaultStreamScope scope(static_cast<uint64_t>(trial));
+        Result<ExecutionResult> r = fused.Execute(*plan, budget);
+        rf_ok = r.ok();
+        if (rf_ok) rf = r.MoveValue();
+        if (!rf_ok) ASSERT_TRUE(r.status().IsTransient()) << tag;
+      }
+      {
+        FaultStreamScope scope(static_cast<uint64_t>(trial));
+        Result<ExecutionResult> r = decoded.Execute(*plan, budget);
+        rd_ok = r.ok();
+        if (rd_ok) rd = r.MoveValue();
+        if (!rd_ok) ASSERT_TRUE(r.status().IsTransient()) << tag;
+      }
+      FaultInjector::Disarm();
+      ASSERT_EQ(rr_ok, rf_ok) << tag;
+      ASSERT_EQ(rf_ok, rd_ok) << tag;
+      if (!rr_ok) continue;
+      ExpectSameResult(rr, rf, tag + " [faulted raw vs fused]");
+      ExpectSameResult(rf, rd, tag + " [faulted fused vs decoded]");
+      EXPECT_EQ(rr.robustness.transient_retries, rf.robustness.transient_retries)
+          << tag;
+      EXPECT_EQ(rr.robustness.retried_cost, rf.robustness.retried_cost) << tag;
+    }
+  }
+  FaultInjector::Disarm();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionDifferentialTest,
+                         ::testing::Values(7, 23, 47),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// ExecuteMinMax: the metadata fast path must answer like a naive scan and
+// charge like one, identically on raw and encoded storage.
+// ---------------------------------------------------------------------------
+
+TEST(ExecuteMinMaxTest, MatchesNaiveScanAndIsStorageInvariant) {
+  const uint64_t seed = 5;
+  EncodingPolicy dict;
+  dict.kind = Encoding::kDict;
+  ExecInstance raw = MakeZoneInstance(seed);
+  ExecInstance enc = MakeZoneInstance(seed, dict);
+  Executor eraw = MakeEngine(raw.catalog.get(), Executor::Engine::kBatch);
+  Executor eenc = MakeEngine(enc.catalog.get(), Executor::Engine::kBatch);
+
+  for (const std::string& tname : raw.catalog->TableNames()) {
+    const Table& table = *raw.catalog->FindTable(tname)->table;
+    for (int c = 0; c < table.schema().num_columns(); ++c) {
+      const std::string cname = table.schema().column(c).name;
+      const std::string tag = tname + "." + cname;
+      const Result<Executor::MinMaxResult> a = eraw.ExecuteMinMax(tname, cname);
+      const Result<Executor::MinMaxResult> b = eenc.ExecuteMinMax(tname, cname);
+      ASSERT_TRUE(a.ok() && b.ok()) << tag;
+      EXPECT_TRUE(a->completed) << tag;
+      EXPECT_EQ(a->rows, table.num_rows()) << tag;
+      // Storage-invariant: answer and cost bitwise equal across layouts.
+      EXPECT_EQ(a->completed, b->completed) << tag;
+      EXPECT_EQ(a->cost_used, b->cost_used) << tag;
+      EXPECT_EQ(a->rows, b->rows) << tag;
+      EXPECT_EQ(a->min, b->min) << tag;
+      EXPECT_EQ(a->max, b->max) << tag;
+      EXPECT_EQ(a->has_nan, b->has_nan) << tag;
+      EXPECT_GT(a->cost_used, 0.0) << tag;
+      // Naive reference over the raw column.
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -std::numeric_limits<double>::infinity();
+      bool has_nan = false;
+      for (int64_t r = 0; r < table.num_rows(); ++r) {
+        const double v = table.column(c).GetNumeric(r);
+        if (std::isnan(v)) {
+          has_nan = true;
+          continue;
+        }
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      EXPECT_EQ(a->has_nan, has_nan) << tag;
+      if (mn <= mx) {
+        EXPECT_EQ(a->min, mn) << tag;
+        EXPECT_EQ(a->max, mx) << tag;
+      } else {
+        EXPECT_GT(a->min, a->max) << tag;
+      }
+
+      // Budget abort: same row and bitwise-equal cost on both layouts.
+      const double budget = a->cost_used * 0.4;
+      const Result<Executor::MinMaxResult> ba =
+          eraw.ExecuteMinMax(tname, cname, budget);
+      const Result<Executor::MinMaxResult> bb =
+          eenc.ExecuteMinMax(tname, cname, budget);
+      ASSERT_TRUE(ba.ok() && bb.ok()) << tag;
+      EXPECT_FALSE(ba->completed) << tag;
+      EXPECT_EQ(ba->completed, bb->completed) << tag;
+      EXPECT_EQ(ba->cost_used, bb->cost_used) << tag;
+      EXPECT_EQ(ba->rows, bb->rows) << tag;
+      EXPECT_EQ(ba->cost_used, budget) << tag;
+      EXPECT_LT(ba->rows, table.num_rows()) << tag;
+      // A budget covering the whole scan completes with the same answer.
+      const Result<Executor::MinMaxResult> fa =
+          eraw.ExecuteMinMax(tname, cname, a->cost_used);
+      ASSERT_TRUE(fa.ok()) << tag;
+      EXPECT_TRUE(fa->completed) << tag;
+      EXPECT_EQ(fa->cost_used, a->cost_used) << tag;
+    }
+  }
+
+  EXPECT_FALSE(eraw.ExecuteMinMax("nope", "k0").ok());
+  EXPECT_FALSE(eraw.ExecuteMinMax("t0", "nope").ok());
+}
 
 TEST(ExecBatchGoldenTest, ParseEngine) {
   Executor::Engine e;

@@ -78,6 +78,12 @@ void PrintUsage() {
       "  --ess-build-mode <m>   exhaustive | exact | recost:<lambda>\n"
       "                         (grid-refinement surface construction;\n"
       "                         default exhaustive)\n"
+      "  --compression <c>      auto | raw | packed | vbyte | dict | on | off\n"
+      "                         catalog storage encoding (default auto:\n"
+      "                         dictionary for low-cardinality columns,\n"
+      "                         bit-packed/vbyte otherwise); raw also turns\n"
+      "                         fused filter-on-compressed execution off.\n"
+      "                         Results are bit-identical for every choice\n"
       "  --faults <spec>        chaos testing: arm the deterministic fault\n"
       "                         injector, e.g. \"exec.*:p=0.01\" or\n"
       "                         \"optimizer.dp:after=100;exec.scan.read:p=0.05,"
@@ -160,6 +166,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
                   << " (want exhaustive | exact | recost:<lambda>)\n";
         return false;
       }
+    } else if (arg == "--compression") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (!ParseEncoding(v, &out->req.encoding)) {
+        std::cerr << "unknown --compression " << v
+                  << " (want auto|raw|packed|vbyte|dict|on|off)\n";
+        return false;
+      }
+      out->req.use_compression = out->req.encoding != Encoding::kRaw;
     } else if (arg == "--faults") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -236,8 +251,9 @@ int Run(const CliOptions& opts) {
   const Ess* ess_ptr = nullptr;
   const Query* query_ptr = nullptr;
   if (!opts.load_ess.empty()) {
-    catalog = IsJobQuery(opts.query) ? ContextCache::JobCatalog()
-                                     : ContextCache::TpcdsCatalog();
+    catalog = IsJobQuery(opts.query)
+                  ? ContextCache::JobCatalog(opts.req.encoding)
+                  : ContextCache::TpcdsCatalog(opts.req.encoding);
     loaded_query = std::make_unique<Query>(MakeSuiteQuery(opts.query));
     std::ifstream in(opts.load_ess);
     if (!in) {
@@ -256,7 +272,8 @@ int Run(const CliOptions& opts) {
     std::cout << "(loaded ESS from " << opts.load_ess << ")\n";
   } else {
     Result<std::shared_ptr<const ContextCache::Entry>> entry =
-        context_cache.Get(opts.query, config);
+        context_cache.Get(opts.query, config, opts.req.encoding,
+                          opts.req.use_compression);
     if (!entry.ok()) {
       std::cerr << "context build failed: " << entry.status().ToString()
                 << "\n";
