@@ -12,7 +12,7 @@
 #include "core/plan_diagram.h"
 #include "core/planbouquet.h"
 #include "harness/evaluator.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 
 namespace robustqp {
 
@@ -30,7 +30,7 @@ void BM_Anorexic(benchmark::State& state, const std::string& id,
   int rho = 0;
   int rho_diagram = 0;
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get(id);
+    const ContextCache::Entry& wb = ContextCache::GetDefault(id);
     PlanBouquet pb(wb.ess.get(), {lambda, lambda > 0.0, 1.0});
     rho = pb.rho();
     msog = pb.MsoGuarantee();

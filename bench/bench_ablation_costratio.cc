@@ -10,7 +10,7 @@
 #include "bench_util.h"
 #include "core/spillbound.h"
 #include "harness/evaluator.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 
 namespace robustqp {
 
@@ -28,7 +28,7 @@ void BM_CostRatio(benchmark::State& state, const std::string& id,
   for (auto _ : state) {
     Ess::Config config;
     config.contour_cost_ratio = ratio;
-    const Workbench::Entry& wb = Workbench::Get(id, config);
+    const ContextCache::Entry& wb = ContextCache::GetDefault(id, config);
     guarantee = SpillBound::MsoGuaranteeForRatio(wb.ess->dims(), ratio);
     SpillBound sb(wb.ess.get());
     const SuboptimalityStats stats = Evaluate(sb, *wb.ess, bench::EvalOpts());

@@ -18,7 +18,7 @@
 #include "core/oracle.h"
 #include "core/spillbound.h"
 #include "exec/executor.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "optimizer/optimizer.h"
 #include "workloads/queries.h"
 #include "workloads/tpcds.h"
@@ -26,7 +26,7 @@
 namespace robustqp {
 namespace {
 
-const Catalog& SharedCatalog() { return *Workbench::TpcdsCatalog(); }
+const Catalog& SharedCatalog() { return *ContextCache::TpcdsCatalog(); }
 
 Executor::Options EngineOpts(Executor::Engine engine, int threads = 1,
                              bool zone_maps = true) {
@@ -332,7 +332,7 @@ void BM_SeqScanArmedQuiet(benchmark::State& state) {
 BENCHMARK(BM_SeqScanArmedQuiet)->Unit(benchmark::kMillisecond);
 
 void BM_SpillBoundDiscovery(benchmark::State& state) {
-  const Workbench::Entry& wb = Workbench::Get("4D_Q91");
+  const ContextCache::Entry& wb = ContextCache::GetDefault("4D_Q91");
   SpillBound sb(wb.ess.get());
   const int64_t n = wb.ess->num_locations();
   int64_t lin = n / 3;

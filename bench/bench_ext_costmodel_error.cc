@@ -12,7 +12,7 @@
 #include "bench_util.h"
 #include "core/noisy_oracle.h"
 #include "core/spillbound.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 
 namespace robustqp {
 
@@ -29,7 +29,7 @@ void BM_CostModelError(benchmark::State& state, const std::string& id,
                        double delta) {
   double mso = 0.0, aso = 0.0, guarantee = 0.0;
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get(id);
+    const ContextCache::Entry& wb = ContextCache::GetDefault(id);
     const Ess& ess = *wb.ess;
     SpillBound sb(&ess, SpillBound::Options{1.0 + delta});
     guarantee = SpillBound::MsoGuarantee(ess.dims()) * (1.0 + delta) *

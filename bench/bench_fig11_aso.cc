@@ -8,7 +8,7 @@
 #include "core/planbouquet.h"
 #include "core/spillbound.h"
 #include "harness/evaluator.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "workloads/queries.h"
 
 namespace robustqp {
@@ -25,7 +25,7 @@ void BM_Fig11(benchmark::State& state, const std::string& id) {
   double pb_aso = 0.0, sb_aso = 0.0;
   int dims = 0;
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get(id);
+    const ContextCache::Entry& wb = ContextCache::GetDefault(id);
     dims = wb.ess->dims();
     PlanBouquet pb(wb.ess.get(), {0.2, true});
     pb_aso = Evaluate(pb, *wb.ess, bench::EvalOpts()).aso;

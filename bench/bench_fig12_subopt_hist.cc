@@ -9,7 +9,7 @@
 #include "core/planbouquet.h"
 #include "core/spillbound.h"
 #include "harness/evaluator.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 
 namespace robustqp {
 
@@ -29,7 +29,7 @@ void BM_Fig12(benchmark::State& state) {
   int64_t total = 0;
   double pb_frac5 = 0.0, sb_frac5 = 0.0;
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get("4D_Q91");
+    const ContextCache::Entry& wb = ContextCache::GetDefault("4D_Q91");
     PlanBouquet pb(wb.ess.get(), {0.2, true});
     const SuboptimalityStats pb_stats = Evaluate(pb, *wb.ess, bench::EvalOpts());
     SpillBound sb(wb.ess.get());

@@ -10,7 +10,7 @@
 #include "core/alignedbound.h"
 #include "core/spillbound.h"
 #include "harness/evaluator.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "workloads/queries.h"
 
 namespace robustqp {
@@ -28,7 +28,7 @@ void BM_Fig13(benchmark::State& state, const std::string& id) {
   double ab_p95 = 0.0;
   int dims = 0;
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get(id);
+    const ContextCache::Entry& wb = ContextCache::GetDefault(id);
     dims = wb.ess->dims();
     SpillBound sb(wb.ess.get());
     const SuboptimalityStats s_sb = Evaluate(sb, *wb.ess, bench::EvalOpts());

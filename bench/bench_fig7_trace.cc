@@ -14,7 +14,7 @@
 #include "core/oracle.h"
 #include "core/spillbound.h"
 #include "harness/trace_printer.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 
 namespace robustqp {
 
@@ -28,7 +28,7 @@ namespace {
 
 void BM_Fig7(benchmark::State& state) {
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get("2D_Q91");
+    const ContextCache::Entry& wb = ContextCache::GetDefault("2D_Q91");
     const Ess& ess = *wb.ess;
     // The paper's scenario places q_a at (0.04, 0.1): selectivities the
     // estimator (~1e-4 .. 1e-3 for these FK joins) could never predict.

@@ -9,7 +9,7 @@
 #include "bench_util.h"
 #include "core/planbouquet.h"
 #include "core/spillbound.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "workloads/queries.h"
 
 namespace robustqp {
@@ -28,7 +28,7 @@ void BM_Fig8(benchmark::State& state, const std::string& id) {
   int rho = 0;
   int dims = 0;
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get(id);
+    const ContextCache::Entry& wb = ContextCache::GetDefault(id);
     PlanBouquet pb(wb.ess.get(), {0.2, true});
     rho = pb.rho();
     dims = wb.ess->dims();

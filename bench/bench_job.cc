@@ -11,7 +11,7 @@
 #include "core/alignedbound.h"
 #include "core/spillbound.h"
 #include "harness/evaluator.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 
 namespace robustqp {
 
@@ -24,7 +24,7 @@ namespace {
 
 void BM_Job(benchmark::State& state) {
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get("4D_JOB_Q1a");
+    const ContextCache::Entry& wb = ContextCache::GetDefault("4D_JOB_Q1a");
     const Ess& ess = *wb.ess;
 
     const SuboptimalityStats native = EvaluateNativeWorstCase(ess, bench::EvalOpts());

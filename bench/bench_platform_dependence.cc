@@ -8,7 +8,7 @@
 #include "bench_util.h"
 #include "core/planbouquet.h"
 #include "core/spillbound.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "workloads/queries.h"
 
 namespace robustqp {
@@ -29,7 +29,7 @@ void BM_Platform(benchmark::State& state, const std::string& id,
     Ess::Config config;
     config.cost_model = commercial ? CostModel::CommercialFlavour()
                                    : CostModel::PostgresFlavour();
-    const Workbench::Entry& wb = Workbench::Get(id, config);
+    const ContextCache::Entry& wb = ContextCache::GetDefault(id, config);
     dims = wb.ess->dims();
     PlanBouquet pb(wb.ess.get(), {0.2, true});
     rho = pb.rho();

@@ -13,7 +13,7 @@
 
 #include "bench_util.h"
 #include "core/alignment.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "workloads/queries.h"
 
 namespace robustqp {
@@ -29,7 +29,7 @@ namespace {
 void BM_Table2(benchmark::State& state, const std::string& id) {
   std::vector<ContourAlignmentInfo> infos;
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get(id);
+    const ContextCache::Entry& wb = ContextCache::GetDefault(id);
     ConstrainedPlanCache cache(wb.ess.get());
     infos = AnalyzeContourAlignment(*wb.ess, &cache);
   }

@@ -27,7 +27,7 @@
 #include "exec/executor.h"
 #include "harness/trace_printer.h"
 #include "harness/true_selectivity.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "workloads/stale_stats.h"
 
 namespace robustqp {
@@ -49,7 +49,7 @@ double Secs(Clock::time_point a, Clock::time_point b) {
 
 void BM_Table3(benchmark::State& state) {
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get("4D_Q91");
+    const ContextCache::Entry& wb = ContextCache::GetDefault("4D_Q91");
     const Ess& ess = *wb.ess;
     Executor executor(wb.catalog.get(), ess.config().cost_model,
                       bench::ExecOpts());

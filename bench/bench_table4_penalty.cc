@@ -10,7 +10,7 @@
 #include "bench_util.h"
 #include "core/alignedbound.h"
 #include "harness/evaluator.h"
-#include "harness/workbench.h"
+#include "server/context_cache.h"
 #include "workloads/queries.h"
 
 namespace robustqp {
@@ -28,7 +28,7 @@ void BM_Table4(benchmark::State& state, const std::string& id) {
   double ab_msoe = 0.0;
   int dims = 0;
   for (auto _ : state) {
-    const Workbench::Entry& wb = Workbench::Get(id);
+    const ContextCache::Entry& wb = ContextCache::GetDefault(id);
     dims = wb.ess->dims();
     AlignedBound ab(wb.ess.get());
     const SuboptimalityStats stats = Evaluate(ab, *wb.ess, bench::EvalOpts());

@@ -69,3 +69,23 @@ fi
   --benchmark_out="$STORAGE_OUT"
 
 echo "wrote $STORAGE_OUT"
+
+# Shard baseline: whole-chunk-pruned selective scan vs the unsharded
+# zone-map scan, and scatter-gather join throughput at 1/2/4 shards.
+# Same perf-smoke gating; the pruned variants must beat Unsharded.
+SHARD_BIN="$BUILD_DIR/bench/bench_shard"
+SHARD_OUT="$(dirname "$0")/BENCH_shard.json"
+
+if [[ ! -x "$SHARD_BIN" ]]; then
+  echo "error: $SHARD_BIN not found or not executable (build first)" >&2
+  exit 1
+fi
+
+"$SHARD_BIN" \
+  --benchmark_filter='BM_ChunkPrunedScan|BM_ScatterGather' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out="$SHARD_OUT"
+
+echo "wrote $SHARD_OUT"

@@ -22,6 +22,8 @@ constexpr const char* kSiteNames[fault_site::kNumSites] = {
     "ess.corner_opt",      // kEssCornerOpt
     "io.ess_load",         // kIoEssLoad
     "oracle.cost_model",   // kOracleCostModel
+    "shard.straggler",     // kShardStraggler
+    "shard.lost_chunk",    // kShardLostChunk
 };
 
 uint64_t SplitMix64(uint64_t z) {
@@ -292,6 +294,8 @@ void RobustnessReport::Merge(const RobustnessReport& o) {
   pcm_violations += o.pcm_violations;
   contour_clamps += o.contour_clamps;
   retries_exhausted += o.retries_exhausted;
+  shard_stragglers += o.shard_stragglers;
+  shard_lost_chunks += o.shard_lost_chunks;
   retried_cost += o.retried_cost;
   spike_cost += o.spike_cost;
   // mso_delta is a harness-level derived quantity, not additive.
@@ -301,7 +305,8 @@ bool RobustnessReport::Any() const {
   return transient_retries || permanent_faults || cost_spikes || corruptions ||
          engine_degradations || serial_degradations || sweep_degradations ||
          escalations || pcm_violations || contour_clamps || retries_exhausted ||
-         retried_cost != 0.0 || spike_cost != 0.0;
+         shard_stragglers || shard_lost_chunks || retried_cost != 0.0 ||
+         spike_cost != 0.0;
 }
 
 std::string RobustnessReport::Summary() const {
@@ -325,6 +330,8 @@ std::string RobustnessReport::Summary() const {
   add("pcm_violations", pcm_violations);
   add("contour_clamps", contour_clamps);
   add("retries_exhausted", retries_exhausted);
+  add("shard_stragglers", shard_stragglers);
+  add("shard_lost_chunks", shard_lost_chunks);
   if (retried_cost != 0.0) {
     std::snprintf(buf, sizeof(buf), " retried_cost=%.3g", retried_cost);
     out += buf;

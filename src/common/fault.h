@@ -84,6 +84,8 @@ enum Site : int {
   kEssCornerOpt,        // ess.corner_opt (fault => degrade to sweep)
   kIoEssLoad,           // io.ess_load
   kOracleCostModel,     // oracle.cost_model (kCorrupt perturbs costs)
+  kShardStraggler,      // shard.straggler (speculative re-dispatch of a shard)
+  kShardLostChunk,      // shard.lost_chunk (chunk re-executed on a replica)
   kNumSites,
 };
 }  // namespace fault_site
@@ -126,6 +128,10 @@ struct RobustnessReport {
   int64_t contour_clamps = 0;
   /// Executions that hit the transient-retry cap.
   int64_t retries_exhausted = 0;
+  /// Sharded runs: straggling shards speculatively re-dispatched.
+  int64_t shard_stragglers = 0;
+  /// Sharded runs: chunks lost mid-scan and re-executed on a replica.
+  int64_t shard_lost_chunks = 0;
   /// Cost units charged for work lost to faulted attempts.
   double retried_cost = 0.0;
   /// Extra cost units charged by spikes on surviving attempts.

@@ -8,6 +8,8 @@ DiscoveryResult DiscoveryAlgorithm::Run(ExecutionOracle* oracle) const {
   oracle->ResetReport();
   DiscoveryResult result = RunImpl(oracle);
   result.robustness.Merge(oracle->report());
+  result.composed_mso = shard::ComposeMsoBound(MsoGuarantee(),
+                                               oracle->num_shards());
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "shard/mso.h"
 
 namespace robustqp {
 
@@ -51,6 +52,12 @@ struct DiscoveryResult {
   /// Fault accounting aggregated over the run's executions (all zeros
   /// unless the process-wide FaultInjector is armed).
   RobustnessReport robustness;
+  /// The algorithm's MSO guarantee composed across the oracle's shards
+  /// (shard/mso.h). Because cost is additive over the chunk partition and
+  /// every shard runs the same discovery-issued budgets, the composed
+  /// global bound equals the per-shard guarantee — surfaced here so
+  /// callers see the guarantee that actually covers total_cost.
+  shard::ComposedMso composed_mso;
 
   int num_executions() const { return static_cast<int>(steps.size()); }
 };

@@ -105,6 +105,32 @@ ExecOutcome SimulatedOracle::ExecuteFullFaulted(const Plan& plan,
           cost *= act.magnitude;
           ++report_.corruptions;
         }
+        if (num_shards_ > 1) {
+          // Sharded chaos: each simulated worker carries cost/n of the
+          // run; a straggler draw charges the duplicate work of its
+          // speculative re-dispatch (u of the slice for transients, all
+          // of it for permanents), a spike draw surcharges without
+          // re-dispatch. Recovery always succeeds, so the only effect is
+          // the surcharge — which can push a contour execution over its
+          // budget, exactly the chaos the composed bound must absorb.
+          const double per_shard = cost / static_cast<double>(num_shards_);
+          for (int s = 0; s < num_shards_; ++s) {
+            const FaultAction sa = inj.Evaluate(fault_site::kShardStraggler);
+            if (sa.kind == FaultKind::kTransient ||
+                sa.kind == FaultKind::kPermanent) {
+              const double dup =
+                  (sa.kind == FaultKind::kTransient ? sa.u : 1.0) * per_shard;
+              cost += dup;
+              ++report_.shard_stragglers;
+              report_.retried_cost += dup;
+            } else if (sa.kind == FaultKind::kCostSpike) {
+              const double extra = (sa.magnitude - 1.0) * per_shard;
+              cost += extra;
+              ++report_.cost_spikes;
+              report_.spike_cost += extra;
+            }
+          }
+        }
         if (eff < 0.0 || cost <= eff * (1.0 + kBudgetEps)) {
           a.completed = true;
           a.cost = cost;

@@ -62,6 +62,11 @@ class ExecutionOracle {
   const RobustnessReport& report() const { return report_; }
   void ResetReport() { report_ = RobustnessReport{}; }
 
+  /// Scatter-gather workers behind this oracle's executions. 1 for
+  /// simulated oracles and unsharded engines; discovery composes its
+  /// per-shard MSO guarantee across this many shards (shard/mso.h).
+  virtual int num_shards() const { return 1; }
+
  protected:
   RobustnessReport report_;
 };
@@ -78,6 +83,14 @@ class SimulatedOracle : public ExecutionOracle {
 
   const GridLoc& qa() const { return qa_; }
 
+  /// Sharded chaos mode: full executions are treated as scattered over
+  /// `n` simulated workers, each carrying cost/n of the work, and armed
+  /// shard.straggler draws surcharge the duplicate fraction — the
+  /// cost-model mirror of the engine's speculative re-dispatch
+  /// accounting. Clean (disarmed) costs are unchanged at any value.
+  void set_num_shards(int n) { num_shards_ = n > 1 ? n : 1; }
+  int num_shards() const override { return num_shards_; }
+
  private:
   ExecOutcome ExecuteFullFaulted(const Plan& plan, double budget);
   ExecOutcome ExecuteSpillFaulted(const Plan& plan, int dim, double budget,
@@ -86,6 +99,7 @@ class SimulatedOracle : public ExecutionOracle {
   const Ess* ess_;
   GridLoc qa_;
   EssPoint qa_sel_;
+  int num_shards_ = 1;
 };
 
 /// Executor-backed oracle: real scans, joins, budget aborts, and observed
@@ -106,6 +120,8 @@ class EngineOracle : public ExecutionOracle {
   const ExecutionResult* last_completed_full() const {
     return has_last_full_ ? &last_full_ : nullptr;
   }
+
+  int num_shards() const override { return executor_->options().num_shards; }
 
  private:
   const Executor* executor_;

@@ -50,9 +50,11 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "exec/cost_ledger.h"
 #include "exec/kernels.h"
+#include "shard/chunking.h"
 #include "storage/hash_index.h"
 #include "storage/table.h"
 
@@ -1584,14 +1586,257 @@ Status RunPipelineParallel(const Pipeline& p, const CostModel& cm,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Sharded scatter-gather driver (full scan pipelines only).
+//
+// The table's chunks (kShardChunkRows rows, block-aligned) scatter
+// round-robin across `num_shards` simulated workers; each worker runs
+// the compiled pipeline over its chunks into private per-chunk partials
+// (ledger, NodeStats, buffered sink rows). The gather merges partials in
+// ascending chunk order — the PR-3 worker-order merge discipline at
+// chunk granularity — so the global row order, every integer count, and
+// therefore cost_used are bit-identical to the unsharded run at any
+// (shard count x thread count).
+//
+// Whole-chunk pruning: before scattering, the coordinator classifies
+// each chunk against the scan's filter cascade using the chunk zone
+// summaries. A chunk is pruned only when filters 0..j-1 classify kAll
+// and filter j classifies kNone over the entire chunk; the gather then
+// charges exactly what per-batch evaluation charges for that shape (one
+// scan_tuple per row, filters 0..j reached, 0..j-1 passed, nothing
+// downstream), so pruning stays cost-invisible while skipping all ~32
+// per-batch classifications and the batch machinery.
+//
+// Shard faults: when the injector is armed, the coordinator draws
+// shard.straggler once per shard and shard.lost_chunk once per chunk, in
+// fixed index order *before* the scatter — never inside workers — so the
+// draw sequence is schedule-independent. Recovery always succeeds and is
+// charged into cost_used, keeping MSO accounting valid: a lost chunk's
+// doomed primary is physically executed and discarded, the chunk
+// re-executed on a "replica" (fraction u of the primary's cost charged
+// for transients, all of it for permanents); a straggling shard is
+// speculatively re-dispatched, charging the duplicate fraction of the
+// shard's cost. Cost-spike draws surcharge without re-execution;
+// corrupt draws are no-ops (these sites produce no statistics).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status RunPipelineSharded(const Pipeline& p, const CostModel& cm, WorkCtx* ctx,
+                          Scratch* sc, ThreadPool* pool, int num_shards,
+                          int num_nodes, shard::ShardReport* srep,
+                          RobustnessReport* rob) {
+  RunPreOps(p, ctx);
+  const int64_t n = p.scan.table->num_rows();
+  const int64_t chunks = shard::ChunkCount(n);
+  const CostParams& params = *ctx->params;
+
+  // Coordinator-side whole-chunk classification: prune_j[c] is the first
+  // filter the chunk summary proves rejects every row, with all earlier
+  // filters proven to pass every row; -1 means scan the chunk.
+  std::vector<int> prune_j(static_cast<size_t>(chunks), -1);
+  if (ctx->use_zone_maps) {
+    for (int64_t c = 0; c < chunks; ++c) {
+      for (size_t k = 0; k < p.scan.filters.size(); ++k) {
+        const Filter& f = p.scan.filters[k];
+        const shard::ChunkMatch m =
+            shard::ClassifyChunk(*f.col, f.op, f.value, c);
+        if (m == shard::ChunkMatch::kNone) {
+          prune_j[static_cast<size_t>(c)] = static_cast<int>(k);
+          break;
+        }
+        if (m != shard::ChunkMatch::kAll) break;
+      }
+    }
+  }
+
+  // Fault draws in fixed (site, index) order on the coordinator thread.
+  // Drawn for every chunk — pruned or not — so the sequence is invariant
+  // across zone-map settings; a fired draw charges off the chunk's
+  // ledger total, which pruning does not change (cost invisibility).
+  std::vector<FaultAction> straggle(static_cast<size_t>(num_shards));
+  std::vector<FaultAction> lost(static_cast<size_t>(chunks));
+  if (FaultInjector::Armed()) {
+    FaultInjector& inj = FaultInjector::Global();
+    for (int s = 0; s < num_shards; ++s) {
+      straggle[static_cast<size_t>(s)] =
+          inj.Evaluate(fault_site::kShardStraggler);
+    }
+    for (int64_t c = 0; c < chunks; ++c) {
+      lost[static_cast<size_t>(c)] = inj.Evaluate(fault_site::kShardLostChunk);
+    }
+  }
+
+  struct ChunkOut {
+    CostLedger ledger;
+    std::vector<NodeStats> stats;
+    int64_t output_rows = 0;
+    Batch sink;
+    double fault_cost = 0.0;  // charged for lost / spiked work
+    bool lost = false;
+    bool spiked = false;
+  };
+  std::vector<ChunkOut> outs(static_cast<size_t>(chunks));
+
+  auto run_chunk_into = [&](int64_t c, ChunkOut* co, Scratch* wsc) {
+    co->ledger = CostLedger{};
+    co->output_rows = 0;
+    co->sink = Batch{};
+    co->stats.assign(static_cast<size_t>(num_nodes), NodeStats{});
+    NodeStats& sst = co->stats[static_cast<size_t>(p.scan.node_id)];
+    sst.filter_in.assign(p.scan.filters.size(), 0);
+    sst.filter_pass.assign(p.scan.filters.size(), 0);
+    WorkCtx cctx;
+    cctx.ledger = &co->ledger;
+    cctx.stats = &co->stats;
+    cctx.output_rows = &co->output_rows;
+    cctx.params = ctx->params;
+    cctx.use_zone_maps = ctx->use_zone_maps;
+    cctx.use_compression = ctx->use_compression;
+    const int64_t e = shard::ChunkEnd(c, n);
+    for (int64_t r0 = shard::ChunkBegin(c); r0 < e; r0 += kBatchRows) {
+      const int64_t r1 = std::min<int64_t>(e, r0 + kBatchRows);
+      ScanBulk(p.scan, r0, r1, &cctx, wsc, &wsc->a);
+      Batch* out = nullptr;
+      StagesBulk(p, &wsc->a, &cctx, wsc, &out);
+      if (p.sink.kind == Sink::Kind::kRoot) {
+        co->output_rows += out->n;
+        continue;
+      }
+      if (co->sink.cols.empty()) co->sink.Reset(out->cols.size());
+      for (size_t cc = 0; cc < out->cols.size(); ++cc) {
+        co->sink.cols[cc].insert(co->sink.cols[cc].end(),
+                                 out->cols[cc].begin(), out->cols[cc].end());
+      }
+      co->sink.n += out->n;
+    }
+  };
+
+  auto run_shard = [&](int s, Scratch* wsc) {
+    for (int64_t c = s; c < chunks; c += num_shards) {
+      if (prune_j[static_cast<size_t>(c)] >= 0) continue;
+      ChunkOut& co = outs[static_cast<size_t>(c)];
+      const FaultAction la = lost[static_cast<size_t>(c)];
+      if (la.kind == FaultKind::kTransient ||
+          la.kind == FaultKind::kPermanent) {
+        // Doomed primary: execute, charge the lost fraction, discard.
+        // The committed partial below is the replica's re-execution.
+        run_chunk_into(c, &co, wsc);
+        const double chunk_cost = co.ledger.Total(params);
+        co.fault_cost =
+            (la.kind == FaultKind::kTransient ? la.u : 1.0) * chunk_cost;
+        co.lost = true;
+      }
+      run_chunk_into(c, &co, wsc);
+      if (la.kind == FaultKind::kCostSpike) {
+        co.fault_cost = (la.magnitude - 1.0) * co.ledger.Total(params);
+        co.spiked = true;
+      }
+    }
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1) {
+    // One contiguous shard range per pool worker; chunk partials are
+    // private, so no synchronization beyond the ParallelFor barrier.
+    ParallelFor(pool, num_shards, [&](int w, int64_t s0, int64_t s1) {
+      (void)w;
+      Scratch wsc;
+      for (int64_t s = s0; s < s1; ++s) run_shard(static_cast<int>(s), &wsc);
+    });
+  } else {
+    Scratch wsc;
+    for (int s = 0; s < num_shards; ++s) run_shard(s, &wsc);
+  }
+
+  // Gather: merge partials in ascending chunk order (== row order).
+  srep->chunks_total += chunks;
+  if (srep->shard_cost.size() < static_cast<size_t>(num_shards)) {
+    srep->shard_cost.resize(static_cast<size_t>(num_shards), 0.0);
+  }
+  std::vector<double> pipe_shard_cost(static_cast<size_t>(num_shards), 0.0);
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int s = shard::ShardOfChunk(c, num_shards);
+    if (prune_j[static_cast<size_t>(c)] >= 0) {
+      // Whole-chunk prune: per-batch evaluation of this chunk would see
+      // filters 0..j-1 classify kAll and filter j kNone for every batch,
+      // charging one scan_tuple per row, filters 0..j reached, 0..j-1
+      // passed, and nothing downstream. Charge exactly that.
+      const int64_t rows = shard::ChunkEnd(c, n) - shard::ChunkBegin(c);
+      const size_t j = static_cast<size_t>(prune_j[static_cast<size_t>(c)]);
+      NodeStats& st = ctx->St(p.scan.node_id);
+      st.left_in += rows;
+      ctx->ledger->scan_tuple += rows;
+      for (size_t k = 0; k <= j; ++k) st.filter_in[k] += rows;
+      for (size_t k = 0; k < j; ++k) st.filter_pass[k] += rows;
+      ++srep->chunks_pruned;
+      CostLedger probe;
+      probe.scan_tuple += rows;
+      pipe_shard_cost[static_cast<size_t>(s)] += probe.Total(params);
+      continue;
+    }
+    ChunkOut& co = outs[static_cast<size_t>(c)];
+    ctx->ledger->Merge(co.ledger);
+    *ctx->output_rows += co.output_rows;
+    for (int id : p.touched) {
+      NodeStats& dst = ctx->St(id);
+      const NodeStats& src = co.stats[static_cast<size_t>(id)];
+      dst.left_in += src.left_in;
+      dst.right_in += src.right_in;
+      dst.out += src.out;
+      for (size_t k = 0; k < src.filter_in.size(); ++k) {
+        dst.filter_in[k] += src.filter_in[k];
+        dst.filter_pass[k] += src.filter_pass[k];
+      }
+    }
+    if (p.sink.kind != Sink::Kind::kRoot && co.sink.n > 0) {
+      SinkApply(p.sink, co.sink, ctx, sc);
+    }
+    ++srep->chunks_scanned;
+    pipe_shard_cost[static_cast<size_t>(s)] += co.ledger.Total(params);
+    if (co.lost) {
+      ++srep->lost_chunks;
+      ++rob->shard_lost_chunks;
+      srep->retried_cost += co.fault_cost;
+      rob->retried_cost += co.fault_cost;
+    } else if (co.spiked) {
+      ++rob->cost_spikes;
+      rob->spike_cost += co.fault_cost;
+    }
+  }
+
+  // Straggler recovery: a straggling shard's work is speculatively
+  // re-dispatched; the duplicate fraction of its (clean) cost is charged.
+  for (int s = 0; s < num_shards; ++s) {
+    const FaultAction sa = straggle[static_cast<size_t>(s)];
+    const double scost = pipe_shard_cost[static_cast<size_t>(s)];
+    if (sa.kind == FaultKind::kTransient || sa.kind == FaultKind::kPermanent) {
+      const double dup =
+          (sa.kind == FaultKind::kTransient ? sa.u : 1.0) * scost;
+      ++srep->straggler_retries;
+      ++rob->shard_stragglers;
+      srep->retried_cost += dup;
+      rob->retried_cost += dup;
+    } else if (sa.kind == FaultKind::kCostSpike) {
+      ++rob->cost_spikes;
+      rob->spike_cost += (sa.magnitude - 1.0) * scost;
+    }
+    srep->shard_cost[static_cast<size_t>(s)] += scost;
+  }
+  return FinishSink(p.sink, cm, ctx);
+}
+
+}  // namespace
+
 Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
                                        const Plan& plan, const PlanNode& root,
                                        const CostModel& cost_model,
                                        double budget, ThreadPool* pool,
                                        bool use_zone_maps,
-                                       bool use_compression) {
+                                       bool use_compression, int num_shards) {
   ExecutionResult result;
   result.node_stats.assign(static_cast<size_t>(plan.num_nodes()), NodeStats{});
+  num_shards = std::max(1, num_shards);
+  result.shard.num_shards = num_shards;
 
   Compiler compiler(catalog, plan.query(), root, plan.num_nodes());
   compiler.Compile();
@@ -1611,16 +1856,34 @@ Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
   Scratch sc;
   Status st = Status::OK();
   for (const Pipeline& p : compiler.pipelines) {
-    const bool parallel = !ctx.budgeted && pool != nullptr &&
-                          pool->num_threads() > 1 && p.is_scan &&
-                          p.scan.table->num_rows() >= kMinParallelRows;
-    st = parallel ? RunPipelineParallel(p, cost_model, &ctx, &sc, pool,
-                                        plan.num_nodes())
-                  : RunPipelineSequential(p, cost_model, &ctx, &sc);
+    // Scan pipelines of a full run scatter over the shards (with or
+    // without a pool — a serial shard loop gathers identically, which is
+    // what makes sharded results thread-count-invariant); merge-side
+    // pipelines run on the coordinator as before.
+    const bool sharded = !ctx.budgeted && num_shards > 1 && p.is_scan &&
+                         p.scan.table->num_rows() > 0;
+    if (sharded) {
+      st = RunPipelineSharded(p, cost_model, &ctx, &sc, pool, num_shards,
+                              plan.num_nodes(), &result.shard,
+                              &result.robustness);
+    } else {
+      const bool parallel = !ctx.budgeted && pool != nullptr &&
+                            pool->num_threads() > 1 && p.is_scan &&
+                            p.scan.table->num_rows() >= kMinParallelRows;
+      st = parallel ? RunPipelineParallel(p, cost_model, &ctx, &sc, pool,
+                                          plan.num_nodes())
+                    : RunPipelineSequential(p, cost_model, &ctx, &sc);
+    }
     if (!st.ok()) break;
   }
 
-  const double cost_used = ledger.Total(cost_model.params());
+  // Shard-fault surcharges (lost work, straggler duplicates, spikes) live
+  // outside the integer ledger so the clean ledger total stays
+  // bit-identical to unsharded; they are added to cost_used here, which is
+  // what keeps recovered runs inside the composed MSO accounting.
+  const double fault_extra =
+      result.shard.retried_cost + result.robustness.spike_cost;
+  const double cost_used = ledger.Total(cost_model.params()) + fault_extra;
   result.cost_used =
       std::min(cost_used, budget < 0.0 ? cost_used : budget);
   result.output_rows = output_rows;

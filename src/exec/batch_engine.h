@@ -21,13 +21,18 @@ class ThreadPool;
 /// pruned replay of budgeted aborts — and `use_compression` enables the
 /// fused filter-on-compressed kernels on encoded columns (results and
 /// every count are identical either way; the flags exist for
-/// differential testing).
+/// differential testing). `num_shards` > 1 scatters scan pipelines over
+/// that many simulated workers at chunk granularity (the caller only
+/// passes it for full runs, same contract as `pool`); the gather merges
+/// per-chunk partials in chunk order, so results and counts stay
+/// bit-identical, and ExecutionResult::shard carries the accounting.
 Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
                                        const Plan& plan, const PlanNode& root,
                                        const CostModel& cost_model,
                                        double budget, ThreadPool* pool,
                                        bool use_zone_maps = true,
-                                       bool use_compression = true);
+                                       bool use_compression = true,
+                                       int num_shards = 1);
 
 }  // namespace robustqp
 

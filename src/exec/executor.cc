@@ -777,10 +777,14 @@ Result<ExecutionResult> Executor::RunOnce(const Plan& plan,
     // Morsel parallelism only for full runs: a budgeted abort must land on
     // one well-defined tuple, and a spill's whole point is to time-limit
     // learning, so both stay single-threaded.
-    ThreadPool* pool =
-        (budget < 0.0 && !spill && allow_parallel) ? pool_.get() : nullptr;
+    const bool full = budget < 0.0 && !spill && allow_parallel;
+    ThreadPool* pool = full ? pool_.get() : nullptr;
+    // Sharding obeys the same full-run-only rule, and the serial
+    // degradation rung (allow_parallel=false) collapses it too.
+    const int shards = full ? options_.num_shards : 1;
     return RunBatchEngine(*catalog_, plan, root, cost_model_, budget, pool,
-                          options_.use_zone_maps, options_.use_compression);
+                          options_.use_zone_maps, options_.use_compression,
+                          shards);
   }
 
   ExecutionResult result;
@@ -865,7 +869,12 @@ Result<ExecutionResult> Executor::RunFaulted(const Plan& plan,
   }
   result.completed = outcome.completed;
   result.cost_used = outcome.cost_used;
-  result.robustness = outcome.report;
+  // The surviving attempt may carry its own fault accounting (shard
+  // straggler / lost-chunk recoveries fire inside RunOnce); merge rather
+  // than overwrite so neither side's counters are dropped.
+  RobustnessReport rep = outcome.report;
+  rep.Merge(result.robustness);
+  result.robustness = rep;
   return result;
 }
 

@@ -43,6 +43,7 @@
 #include "common/status.h"
 #include "optimizer/cost_model.h"
 #include "plan/plan.h"
+#include "shard/chunking.h"
 
 namespace robustqp {
 
@@ -74,6 +75,11 @@ struct ExecutionResult {
   /// Fault accounting for this run: all zeros unless the process-wide
   /// FaultInjector is armed and a fault actually fired.
   RobustnessReport robustness;
+  /// Sharded scatter-gather accounting (shard/chunking.h): chunk counts,
+  /// whole-chunk prunes, shard-fault recoveries, and the per-shard cost
+  /// decomposition. Default-constructed (num_shards == 1, no chunks)
+  /// unless the run scattered.
+  shard::ShardReport shard;
 
   /// Observed selectivity of the join at `node_id`:
   /// out / (left_in * right_in). Only exact once the subtree completed.
@@ -116,6 +122,12 @@ class Executor {
     /// — instead of decoding blocks first. Purely physical, same contract
     /// as use_zone_maps.
     bool use_compression = true;
+    /// Simulated scatter-gather workers (shard/shard_executor.h). Like
+    /// morsel parallelism, only full batch-engine executions (budget < 0,
+    /// not spilled) scatter; results, cost_used, and every NodeStats
+    /// counter are bit-identical to the unsharded run at any shard count
+    /// x thread count. <= 1 disables sharding.
+    int num_shards = 1;
   };
 
   Executor(const Catalog* catalog, CostModel cost_model);

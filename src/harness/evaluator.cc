@@ -38,6 +38,7 @@ EvalOptions MakeEvalOptions(const RequestOptions& request) {
   opts.num_threads = request.ess_threads;
   opts.fault_spec = request.fault_spec;
   opts.fault_seed = request.fault_seed;
+  opts.num_shards = request.num_shards;
   return opts;
 }
 
@@ -95,6 +96,7 @@ SuboptimalityStats Evaluate(const DiscoveryAlgorithm& algo, const Ess& ess,
         double max_clean = 1.0;
         for (int64_t lin = begin; lin < end; ++lin) {
           SimulatedOracle oracle(&ess, ess.FromLinear(lin));
+          oracle.set_num_shards(opts.num_shards);
           DiscoveryResult result;
           if (armed) {
             FaultStreamScope scope(static_cast<uint64_t>(lin));
@@ -140,6 +142,8 @@ SuboptimalityStats Evaluate(const DiscoveryAlgorithm& algo, const Ess& ess,
     stats.robustness.mso_delta = std::max(0.0, stats.mso - max_clean);
     if (!opts.fault_spec.empty()) FaultInjector::Global().Disarm();
   }
+  stats.composed_mso = shard::ComposeMsoBound(algo.MsoGuarantee(),
+                                              opts.num_shards);
   return stats;
 }
 

@@ -38,6 +38,12 @@ struct EvalOptions {
   std::string fault_spec;
   /// Seed for the deterministic fault draws of a chaos sweep.
   uint64_t fault_seed = 42;
+  /// Sharded chaos mode: simulate every full execution as scattered over
+  /// this many workers (SimulatedOracle::set_num_shards) and compose the
+  /// algorithm's MSO guarantee across them into
+  /// SuboptimalityStats::composed_mso. <= 1 means unsharded; clean
+  /// (fault-free) sweeps are bit-identical at any value.
+  int num_shards = 1;
 };
 
 /// The sweep view of the unified per-request knob struct: threads come
@@ -59,6 +65,9 @@ struct SuboptimalityStats {
   /// fault-free ("clean") sub-optimality, where each run's clean cost
   /// excludes the work lost to retries.
   RobustnessReport robustness;
+  /// The algorithm's guarantee composed across EvalOptions::num_shards
+  /// (shard/mso.h); num_shards == 1 outside sharded mode.
+  shard::ComposedMso composed_mso;
   /// SubOpt per linear grid location.
   std::vector<double> subopt;
 

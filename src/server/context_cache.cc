@@ -74,6 +74,15 @@ ContextCache& ContextCache::Default() {
   return *cache;
 }
 
+const ContextCache::Entry& ContextCache::GetDefault(const std::string& id,
+                                                    const Ess::Config& config) {
+  Result<std::shared_ptr<const Entry>> entry = Default().Get(id, config);
+  RQP_CHECK(entry.ok());
+  // Default() never evicts, so the shared_ptr it retains keeps *entry
+  // alive for the process: handing out a reference is sound.
+  return **entry;
+}
+
 void ContextCache::EvictLocked() {
   if (options_.capacity == 0) return;
   while (slots_.size() > options_.capacity) {

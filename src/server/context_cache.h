@@ -100,9 +100,16 @@ class ContextCache {
                          Encoding encoding = Encoding::kAuto,
                          bool use_compression = true);
 
-  /// Process-default instance (unbounded), shared by the deprecated
-  /// Workbench shim and anything that wants Workbench's old semantics.
+  /// Process-default instance (unbounded), for callers that want
+  /// process-lifetime contexts without owning a cache.
   static ContextCache& Default();
+
+  /// Default-instance convenience for infallible callers (benches, demos):
+  /// builds on first use, aborts on any failure, and the returned
+  /// reference lives for the process (Default() never evicts). Fallible
+  /// callers use Get() on an owned instance.
+  static const Entry& GetDefault(const std::string& id,
+                                 const Ess::Config& config = Ess::Config{});
 
   /// The shared synthetic catalogs (built once per process *per storage
   /// encoding*; every cache instance reuses them — only the per-query ESS

@@ -142,6 +142,11 @@ void QueryService::RunRequest(const std::shared_ptr<RequestState>& state) {
     std::lock_guard<std::mutex> lock(mu_);
     --admitted_;
     ++stats_.completed;
+    const shard::ShardReport& srep = resp.execution.shard;
+    stats_.shard_chunks_scanned += srep.chunks_scanned;
+    stats_.shard_chunks_pruned += srep.chunks_pruned;
+    stats_.shard_straggler_retries += srep.straggler_retries;
+    stats_.shard_lost_chunks += srep.lost_chunks;
   }
   {
     std::lock_guard<std::mutex> lock(state->mu);
@@ -189,7 +194,9 @@ Result<ServiceResponse> QueryService::Wait(int64_t session_id,
 
 QueryService::ServiceStats QueryService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats out = stats_;
+  out.queue_depth = static_cast<int64_t>(admitted_);
+  return out;
 }
 
 ServiceResponse QueryService::RunOneShot(const ServiceRequest& request,
@@ -309,7 +316,9 @@ Status QueryService::RunResolved(const ServiceRequest& request,
       engine_oracle = eo.get();
       oracle = std::move(eo);
     } else {
-      oracle = std::make_unique<SimulatedOracle>(&ess, qa);
+      auto so = std::make_unique<SimulatedOracle>(&ess, qa);
+      so->set_num_shards(request.options.num_shards);
+      oracle = std::move(so);
     }
     resp->discovery = algo->Run(oracle.get());
     resp->completed = resp->discovery.completed;

@@ -151,6 +151,16 @@ class QueryService {
     int64_t completed = 0;  // terminal responses produced (any status)
     int64_t rejected = 0;   // kResourceExhausted admissions
     int64_t deadline_expired = 0;
+    /// Requests admitted but not yet terminal (queued + running) at the
+    /// moment stats() was taken.
+    int64_t queue_depth = 0;
+    /// Sharded scatter-gather accounting, accumulated from the shard
+    /// report of every terminal engine-mode response (zeros until some
+    /// request ran with num_shards > 1).
+    int64_t shard_chunks_scanned = 0;
+    int64_t shard_chunks_pruned = 0;
+    int64_t shard_straggler_retries = 0;
+    int64_t shard_lost_chunks = 0;
   };
 
   // (Two constructors rather than one defaulted argument: in-class default

@@ -37,6 +37,7 @@ Executor::Options RequestOptions::ToExecutorOptions() const {
   opts.num_threads = num_threads;
   opts.use_zone_maps = use_zone_maps;
   opts.use_compression = use_compression;
+  opts.num_shards = num_shards;
   return opts;
 }
 

@@ -50,6 +50,11 @@ struct RequestOptions {
   /// Executor::Options::use_compression toggle). Physical only: results
   /// and cost accounting are bit-identical either way.
   bool use_compression = true;
+  /// Simulated scatter-gather workers for full batch-engine executions
+  /// (the Executor::Options::num_shards knob; CLI --shards, TCP shards=).
+  /// Results and cost accounting are bit-identical at any shard count;
+  /// <= 1 disables sharding.
+  int num_shards = 1;
 
   // --- storage (which catalog layout the request's context uses) ---
   /// Column storage encoding for the request's catalog: kAuto is the

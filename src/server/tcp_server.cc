@@ -72,6 +72,10 @@ Status ParseSubmitLine(const std::string& line, ServiceRequest* out) {
       }
     } else if (key == "threads") {
       req.options.num_threads = std::atoi(value.c_str());
+    } else if (key == "shards") {
+      // Scatter-gather workers for full engine executions; results are
+      // bit-identical at any value, so this is a pure performance knob.
+      req.options.num_shards = std::atoi(value.c_str());
     } else if (key == "points") {
       req.options.points_per_dim = std::atoi(value.c_str());
     } else if (key == "ratio") {
@@ -241,7 +245,11 @@ void TcpServer::ServeConnection(int fd) {
         os << "STATS hits=" << cs.hits << " misses=" << cs.misses
            << " evictions=" << cs.evictions << " cache_size=" << cs.size
            << " submitted=" << ss.submitted << " completed=" << ss.completed
-           << " rejected=" << ss.rejected;
+           << " rejected=" << ss.rejected << " queue_depth=" << ss.queue_depth
+           << " shard_chunks_scanned=" << ss.shard_chunks_scanned
+           << " shard_chunks_pruned=" << ss.shard_chunks_pruned
+           << " shard_straggler_retries=" << ss.shard_straggler_retries
+           << " shard_lost_chunks=" << ss.shard_lost_chunks;
         reply = os.str();
       } else {
         ServiceRequest req;

@@ -12,13 +12,17 @@
 //     -> ERR code=9 status=ResourceExhausted msg=admission queue full ...
 //   PING      -> PONG
 //   STATS     -> STATS hits=.. misses=.. evictions=.. cache_size=..
-//                submitted=.. completed=.. rejected=..
+//                submitted=.. completed=.. rejected=.. queue_depth=..
+//                shard_chunks_scanned=.. shard_chunks_pruned=..
+//                shard_straggler_retries=.. shard_lost_chunks=..
 //   QUIT      -> closes the connection
 //   SHUTDOWN  -> stops the whole server
 //
 // SUBMIT keys mirror ServiceRequest / RequestOptions: query, mode
 // (native|pb|sb|ab), qa (comma-separated selectivities), budget,
-// deadline_ms, use_engine (0|1), engine (tuple|batch), threads, points,
+// deadline_ms, use_engine (0|1), engine (tuple|batch), threads, shards
+// (scatter-gather workers for full engine runs — results bit-identical
+// at any value), points,
 // ratio, build (exhaustive|exact|recost:<l>), compression
 // (auto|raw|packed|vbyte|dict|on|off — the catalog's storage encoding;
 // raw also disables fused execution), fused (0|1 — decode-then-filter

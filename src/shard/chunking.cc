@@ -1,0 +1,80 @@
+#include "shard/chunking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace robustqp {
+namespace shard {
+
+int64_t ChunkCount(int64_t num_rows) {
+  return (num_rows + kShardChunkRows - 1) / kShardChunkRows;
+}
+
+int64_t ChunkBegin(int64_t chunk) { return chunk * kShardChunkRows; }
+
+int64_t ChunkEnd(int64_t chunk, int64_t num_rows) {
+  return std::min<int64_t>(num_rows, (chunk + 1) * kShardChunkRows);
+}
+
+int ShardOfChunk(int64_t chunk, int num_shards) {
+  RQP_CHECK(num_shards >= 1);
+  return static_cast<int>(chunk % num_shards);
+}
+
+ChunkMatch ClassifyChunk(const ColumnData& col, CompareOp op, double value,
+                         int64_t chunk) {
+  if (std::isnan(value)) return ChunkMatch::kNone;
+  const ZoneMap& z = col.chunk_zones();
+  if (chunk < 0 || chunk >= z.num_blocks()) return ChunkMatch::kSome;
+  const size_t i = static_cast<size_t>(chunk);
+  const double lo = z.min[i];
+  const double hi = z.max[i];
+  const bool nan = !z.has_nan.empty() && z.has_nan[i] != 0;
+  // Same verdict table as the per-block classifier (kernels.cc
+  // ClassifyBlock): lo > hi means no comparable value in the chunk.
+  if (lo > hi) return ChunkMatch::kNone;
+  switch (op) {
+    case CompareOp::kLt:
+      if (lo >= value) return ChunkMatch::kNone;
+      if (hi < value && !nan) return ChunkMatch::kAll;
+      return ChunkMatch::kSome;
+    case CompareOp::kLe:
+      if (lo > value) return ChunkMatch::kNone;
+      if (hi <= value && !nan) return ChunkMatch::kAll;
+      return ChunkMatch::kSome;
+    case CompareOp::kGt:
+      if (hi <= value) return ChunkMatch::kNone;
+      if (lo > value && !nan) return ChunkMatch::kAll;
+      return ChunkMatch::kSome;
+    case CompareOp::kGe:
+      if (hi < value) return ChunkMatch::kNone;
+      if (lo >= value && !nan) return ChunkMatch::kAll;
+      return ChunkMatch::kSome;
+    case CompareOp::kEq:
+      if (value < lo || value > hi) return ChunkMatch::kNone;
+      if (lo == value && hi == value && !nan) return ChunkMatch::kAll;
+      return ChunkMatch::kSome;
+  }
+  return ChunkMatch::kSome;
+}
+
+void ShardReport::Merge(const ShardReport& o) {
+  num_shards = std::max(num_shards, o.num_shards);
+  chunks_total += o.chunks_total;
+  chunks_scanned += o.chunks_scanned;
+  chunks_pruned += o.chunks_pruned;
+  straggler_retries += o.straggler_retries;
+  lost_chunks += o.lost_chunks;
+  retried_cost += o.retried_cost;
+  if (shard_cost.size() < o.shard_cost.size()) {
+    shard_cost.resize(o.shard_cost.size(), 0.0);
+  }
+  for (size_t s = 0; s < o.shard_cost.size(); ++s) {
+    shard_cost[s] += o.shard_cost[s];
+  }
+}
+
+}  // namespace shard
+}  // namespace robustqp

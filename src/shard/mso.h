@@ -1,0 +1,70 @@
+// Exact per-shard MSO composition.
+//
+// The paper's guarantees (SpillBound's D^2 + 3D, PlanBouquet's 4|contours|)
+// bound the *suboptimality* cost_used / opt of one execution platform.
+// Sharded scatter-gather extends the statement to N workers:
+//
+//   * Chunk ownership is a pure function of (chunk, num_shards), so each
+//     shard s executes a fixed sub-relation R_s of every fact table, and
+//     the discovery protocol run against the sharded executor is the same
+//     protocol run against the union — budgets, contours, and spill
+//     decisions are driven by the globally merged cost ledger, which
+//     aggregates the per-chunk integer event counts exactly (no
+//     floating-point reassociation; see shard/chunking.h).
+//
+//   * Cost is additive across shards: cost_used = sum_s cost_s and
+//     opt = sum_s opt_s, where opt_s is the oracle-optimal cost of the
+//     work shard s owns (the optimal plan executes the same chunks, so
+//     its cost decomposes over the same partition).
+//
+//   * Hence if every shard's suboptimality is bounded by its guarantee
+//     G_s, then
+//
+//       cost_used = sum_s cost_s <= sum_s G_s * opt_s
+//                 <= (max_s G_s) * sum_s opt_s = (max_s G_s) * opt,
+//
+//     so the composed global bound is the *maximum* of the per-shard
+//     guarantees — with homogeneous shards (the in-process simulation),
+//     exactly the single-platform guarantee. Sharding is guarantee-
+//     preserving, not guarantee-degrading: the D^2 + 3D bound survives
+//     scale-out unchanged, which is the platform-independence claim
+//     extended to distributed execution.
+//
+// Shard faults keep the accounting valid the same way transient retries
+// do (PR 4): lost work (doomed chunk primaries, speculative straggler
+// duplicates) is *charged into cost_used*, so the realized suboptimality
+// visibly includes recovery overhead rather than silently exceeding the
+// stated bound.
+
+#ifndef ROBUSTQP_SHARD_MSO_H_
+#define ROBUSTQP_SHARD_MSO_H_
+
+#include <vector>
+
+namespace robustqp {
+namespace shard {
+
+/// The composed bound for a sharded run.
+struct ComposedMso {
+  int num_shards = 1;
+  /// The guarantee each simulated worker runs under (the discovery
+  /// algorithm's single-platform MSO bound).
+  double per_shard_guarantee = 0.0;
+  /// Global bound: max over shards (== per_shard_guarantee for the
+  /// homogeneous in-process simulation).
+  double composed = 0.0;
+};
+
+/// Composes a homogeneous per-shard guarantee over `num_shards` workers.
+/// `num_shards` < 1 is clamped to 1; a guarantee of 0 (algorithm without
+/// a bound, e.g. the native baseline) composes to 0.
+ComposedMso ComposeMsoBound(double per_shard_guarantee, int num_shards);
+
+/// Heterogeneous composition: the max of the per-shard guarantees
+/// (0 for an empty vector).
+double ComposeShardGuarantees(const std::vector<double>& guarantees);
+
+}  // namespace shard
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_SHARD_MSO_H_

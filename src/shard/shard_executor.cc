@@ -1,0 +1,47 @@
+#include "shard/shard_executor.h"
+
+#include <algorithm>
+
+namespace robustqp {
+namespace shard {
+
+ShardLayout MakeShardLayout(int64_t num_rows, int num_shards) {
+  ShardLayout out;
+  out.num_shards = std::max(1, num_shards);
+  out.num_chunks = ChunkCount(num_rows);
+  out.worker_chunks.assign(static_cast<size_t>(out.num_shards), {});
+  for (int64_t c = 0; c < out.num_chunks; ++c) {
+    out.worker_chunks[static_cast<size_t>(ShardOfChunk(c, out.num_shards))]
+        .push_back(c);
+  }
+  return out;
+}
+
+namespace {
+Executor::Options ClampShards(Executor::Options options) {
+  options.num_shards = std::max(1, options.num_shards);
+  return options;
+}
+}  // namespace
+
+ShardExecutor::ShardExecutor(const Catalog* catalog, CostModel cost_model,
+                             Executor::Options options)
+    : executor_(catalog, cost_model, ClampShards(options)) {}
+
+Result<ExecutionResult> ShardExecutor::Execute(const Plan& plan,
+                                               double budget) const {
+  return executor_.Execute(plan, budget);
+}
+
+Result<ExecutionResult> ShardExecutor::ExecuteSpill(const Plan& plan,
+                                                    int spill_node_id,
+                                                    double budget) const {
+  return executor_.ExecuteSpill(plan, spill_node_id, budget);
+}
+
+ComposedMso ShardExecutor::ComposeBound(double per_shard_guarantee) const {
+  return ComposeMsoBound(per_shard_guarantee, num_shards());
+}
+
+}  // namespace shard
+}  // namespace robustqp

@@ -1,0 +1,75 @@
+// Scatter-gather execution facade: N simulated workers over one Executor.
+//
+// A worker ("shard") is a chunk set plus a slice of the executor's
+// ThreadPool. The simulation is in-process: ShardExecutor wraps an
+// Executor whose Options::num_shards drives the batch engine's sharded
+// driver (exec/batch_engine.cc) — chunks scatter round-robin across
+// shards, each shard runs the existing batch pipelines over its chunks
+// with a private cost ledger and NodeStats, and the gather merges the
+// per-chunk partials in ascending chunk order. Results, cost_used, and
+// every NodeStats counter are bit-identical to the unsharded run at any
+// (shard count x thread count); the per-run ShardReport
+// (ExecutionResult::shard) carries chunk/prune/fault accounting and the
+// per-shard cost decomposition for the composed MSO statement
+// (shard/mso.h).
+
+#ifndef ROBUSTQP_SHARD_SHARD_EXECUTOR_H_
+#define ROBUSTQP_SHARD_SHARD_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/executor.h"
+#include "shard/chunking.h"
+#include "shard/mso.h"
+
+namespace robustqp {
+namespace shard {
+
+/// Static chunk-to-worker assignment for one table: worker w owns the
+/// ascending chunk sequence {c : c mod num_shards == w}.
+struct ShardLayout {
+  int num_shards = 1;
+  int64_t num_chunks = 0;
+  std::vector<std::vector<int64_t>> worker_chunks;  // per worker, ascending
+};
+
+/// Computes the layout for a table of `num_rows` rows.
+ShardLayout MakeShardLayout(int64_t num_rows, int num_shards);
+
+/// The sharded execution front. Thin by design: all scatter-gather
+/// mechanics live in the batch engine so the sharded and unsharded paths
+/// share one compiled pipeline; this class owns the worker simulation's
+/// configuration and the composed-bound statement.
+class ShardExecutor {
+ public:
+  /// `options.num_shards` is the worker count (clamped to >= 1);
+  /// `options.num_threads` is the pool the workers share.
+  ShardExecutor(const Catalog* catalog, CostModel cost_model,
+                Executor::Options options);
+
+  /// Runs the full plan (budget < 0 = unlimited). Only full, non-spill
+  /// runs scatter — budgeted and spill executions keep the sequential
+  /// single-platform semantics the learning primitive depends on — but
+  /// the result is bit-identical either way.
+  Result<ExecutionResult> Execute(const Plan& plan, double budget = -1.0) const;
+
+  /// Spill-mode execution (never scatters; see Execute).
+  Result<ExecutionResult> ExecuteSpill(const Plan& plan, int spill_node_id,
+                                       double budget) const;
+
+  /// The composed global MSO bound when every worker runs a discovery
+  /// algorithm with the given single-platform guarantee.
+  ComposedMso ComposeBound(double per_shard_guarantee) const;
+
+  int num_shards() const { return executor_.options().num_shards; }
+  const Executor& executor() const { return executor_; }
+
+ private:
+  Executor executor_;
+};
+
+}  // namespace shard
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_SHARD_SHARD_EXECUTOR_H_

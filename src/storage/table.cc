@@ -95,6 +95,25 @@ void ColumnData::BuildZoneMap() {
     zones_.min[static_cast<size_t>(b)] = lo;
     zones_.max[static_cast<size_t>(b)] = hi;
   }
+
+  // Fold block summaries into chunk summaries. Chunks are whole multiples
+  // of blocks, so the fold is exact: a chunk's min/max/has_nan is the
+  // min/max/or over its blocks (empty tail blocks keep min > max, which
+  // folds away harmlessly).
+  const int64_t chunks = (n + kShardChunkRows - 1) / kShardChunkRows;
+  chunk_zones_.min.assign(static_cast<size_t>(chunks),
+                          std::numeric_limits<double>::infinity());
+  chunk_zones_.max.assign(static_cast<size_t>(chunks),
+                          -std::numeric_limits<double>::infinity());
+  chunk_zones_.has_nan.assign(static_cast<size_t>(chunks), 0);
+  for (int64_t b = 0; b < blocks; ++b) {
+    const size_t c = static_cast<size_t>(b / kShardChunkBlocks);
+    chunk_zones_.min[c] =
+        std::min(chunk_zones_.min[c], zones_.min[static_cast<size_t>(b)]);
+    chunk_zones_.max[c] =
+        std::max(chunk_zones_.max[c], zones_.max[static_cast<size_t>(b)]);
+    chunk_zones_.has_nan[c] |= zones_.has_nan[static_cast<size_t>(b)];
+  }
 }
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {

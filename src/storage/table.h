@@ -45,6 +45,14 @@ inline constexpr int64_t kZoneBlockRows = 4096;
 static_assert(kZoneBlockRows == EncodedColumn::kBlockRows,
               "zone-map and encoded blocks must stay aligned");
 
+/// Rows per shard chunk (src/shard): the unit of scatter-gather
+/// distribution. A whole multiple of the zone-map block so chunk
+/// boundaries never split a block — per-chunk zone summaries are then
+/// exact folds of the block summaries, and chunk-local scans reuse the
+/// block-aligned batch grid unchanged.
+inline constexpr int64_t kShardChunkBlocks = 8;
+inline constexpr int64_t kShardChunkRows = kShardChunkBlocks * kZoneBlockRows;
+
 /// Per-block min/max summary of one column, over GetNumeric() values
 /// (i.e. int64 columns are summarized after the double cast the filter
 /// kernels compare with). NaN values are excluded from min/max and
@@ -142,8 +150,13 @@ class ColumnData {
   /// The zone map, valid after Table::Finalize() (empty before).
   const ZoneMap& zones() const { return zones_; }
 
-  /// (Re)builds the zone map over the current values. Called by
-  /// Table::Finalize(); exposed for tests.
+  /// Chunk-granularity zone summary (one entry per kShardChunkRows rows),
+  /// folded from the block zone map. Valid after Table::Finalize(); the
+  /// shard layer uses it to prune whole chunks before scattering them.
+  const ZoneMap& chunk_zones() const { return chunk_zones_; }
+
+  /// (Re)builds the zone map (and its chunk-granularity fold) over the
+  /// current values. Called by Table::Finalize(); exposed for tests.
   void BuildZoneMap();
 
  private:
@@ -152,6 +165,7 @@ class ColumnData {
   std::vector<double> doubles_;
   std::unique_ptr<EncodedColumn> enc_;
   ZoneMap zones_;
+  ZoneMap chunk_zones_;
 };
 
 /// An immutable (once built) columnar table.

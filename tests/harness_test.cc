@@ -1,5 +1,5 @@
 // Tests for the harness layer: exhaustive evaluator plumbing, the
-// workbench cache, ground-truth selectivity measurement, and the trace
+// context cache, ground-truth selectivity measurement, and the trace
 // printers.
 
 #include <gtest/gtest.h>
@@ -11,7 +11,6 @@
 #include "harness/evaluator.h"
 #include "harness/trace_printer.h"
 #include "harness/true_selectivity.h"
-#include "harness/workbench.h"
 #include "server/context_cache.h"
 #include "test_util.h"
 
@@ -48,15 +47,13 @@ TEST(ContextCacheTest, SharedCatalogs) {
   EXPECT_EQ(job->catalog.get(), ContextCache::JobCatalog().get());
 }
 
-// The deprecated Workbench shim must keep its old contract: a stable
-// reference into the process-default (unbounded) cache, identical to the
-// entry ContextCache::Default() serves for the same key.
-TEST(WorkbenchShimTest, DelegatesToDefaultCache) {
-  const Workbench::Entry& shim = Workbench::Get("2D_Q91");
+// GetDefault (the old Workbench::Get contract, now on ContextCache) must
+// hand out a stable reference into the process-default (unbounded) cache,
+// identical to the entry Default().Get serves for the same key.
+TEST(ContextCacheTest, GetDefaultAliasesDefaultCache) {
+  const ContextCache::Entry& ref = ContextCache::GetDefault("2D_Q91");
   const auto direct = *ContextCache::Default().Get("2D_Q91", Ess::Config{});
-  EXPECT_EQ(&shim, direct.get());
-  EXPECT_EQ(Workbench::TpcdsCatalog().get(), ContextCache::TpcdsCatalog().get());
-  EXPECT_EQ(Workbench::JobCatalog().get(), ContextCache::JobCatalog().get());
+  EXPECT_EQ(&ref, direct.get());
 }
 
 TEST(TrueSelectivityTest, MatchesHandCount) {

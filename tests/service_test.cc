@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -509,8 +510,28 @@ TEST(TcpServerTest, ServesSubmitsOverALiveSocket) {
   const std::string err = client.RoundTrip("SUBMIT query=2D_NOPE mode=sb");
   EXPECT_EQ(err.rfind("ERR code=3 status=NotFound", 0), 0u) << err;
 
+  // Both submits above are terminal by the time their replies arrived, so
+  // the counters and the shard/queue extensions are fully deterministic.
   const std::string stats = client.RoundTrip("STATS");
   EXPECT_EQ(stats.rfind("STATS hits=", 0), 0u) << stats;
+  EXPECT_NE(stats.find(" submitted=2 completed=2 rejected=0 queue_depth=0"),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find(" shard_chunks_scanned=0 shard_chunks_pruned=0"
+                       " shard_straggler_retries=0 shard_lost_chunks=0"),
+            std::string::npos)
+      << stats;
+
+  // A sharded engine run scatters its scans; STATS must account the
+  // chunks it committed.
+  const std::string sharded = client.RoundTrip(
+      "SUBMIT query=2D_Q91 mode=native use_engine=1 shards=2 points=8 "
+      "threads=1");
+  EXPECT_EQ(sharded.rfind("OK ", 0), 0u) << sharded;
+  const std::string stats2 = client.RoundTrip("STATS");
+  const size_t pos = stats2.find(" shard_chunks_scanned=");
+  ASSERT_NE(pos, std::string::npos) << stats2;
+  EXPECT_GT(std::atoll(stats2.c_str() + pos + 22), 0) << stats2;
 
   server.Stop();
 }

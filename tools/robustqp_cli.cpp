@@ -73,6 +73,13 @@ void PrintUsage() {
       "  --threads <n>          worker threads for the ESS build, the\n"
       "                         --evaluate sweep, and batch-engine morsel\n"
       "                         scans (default: all cores)\n"
+      "  --shards <n>           scatter-gather workers for full engine\n"
+      "                         executions (default 1). Results, cost_used\n"
+      "                         and all counters are bit-identical at any\n"
+      "                         shard count; chunk-level zone pruning and\n"
+      "                         per-chunk parallelism make selective scans\n"
+      "                         faster. SpillBound's MSO bound composes\n"
+      "                         exactly across shards\n"
       "  --points <n>           ESS grid points per dimension (default auto)\n"
       "  --ratio <r>            inter-contour cost ratio (default 2.0)\n"
       "  --ess-build-mode <m>   exhaustive | exact | recost:<lambda>\n"
@@ -140,6 +147,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       // One flag, both thread knobs: surface work and per-query morsels.
       out->req.ess_threads = std::atoi(v);
       out->req.num_threads = out->req.ess_threads;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->req.num_shards = std::atoi(v);
     } else if (arg == "--ratio") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -221,6 +232,10 @@ void ReportRun(const Ess& ess, const std::string& name,
   if (r.robustness.Any()) {
     std::cout << "  robustness: " << r.robustness.Summary() << "\n";
   }
+  if (r.composed_mso.num_shards > 1) {
+    std::cout << "  composed MSO bound: " << r.composed_mso.composed
+              << " across " << r.composed_mso.num_shards << " shards\n";
+  }
   if (trace) PrintExecutionTrace(ess, r, std::cout);
 }
 
@@ -239,8 +254,7 @@ int Run(const CliOptions& opts) {
   // ESS-construction view of it derives directly.
   const Ess::Config config = opts.req.ToEssConfig();
 
-  // This invocation's instance-scoped context cache (the old process-wide
-  // Workbench::Get singleton survives only as a deprecated shim).
+  // This invocation's instance-scoped context cache.
   static ContextCache context_cache(ContextCache::Options{/*capacity=*/4});
 
   // Owners for the --load-ess path (the query must outlive the Ess).
