@@ -1,0 +1,126 @@
+// Closed-loop feedback benchmarks: cold discovery vs warm-started
+// discovery on a repeated query. The cold run pays the full budgeted
+// doubling sequence every time; the warm run consults the FeedbackStore's
+// calibration (seeded by two prior completions, the store's
+// min_observations) and opens at the confirmed contour. The committed
+// bench/BENCH_feedback.json baseline is held by CI's perf-smoke gate;
+// regenerate with bench/record_baseline.sh.
+//
+// Per-iteration cost units and oracle executions are exported as
+// benchmark counters ("cost", "execs") — they, not wall time, are the
+// paper-level claim: a warm repeated query is >= 2x cheaper than cold
+// (enforced by RQP_CHECK here and by feedback_test.cc).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/spillbound.h"
+#include "core/planbouquet.h"
+#include "feedback/feedback_store.h"
+#include "harness/evaluator.h"
+#include "server/context_cache.h"
+
+namespace robustqp {
+namespace {
+
+constexpr char kQuery[] = "2D_Q91";
+
+const ContextCache::Entry& Ctx() {
+  static const ContextCache::Entry& ctx = ContextCache::GetDefault(kQuery);
+  return ctx;
+}
+
+/// A deep true location (3/4 up the grid in every dimension): the cold
+/// doubling sequence climbs several contours to reach it, so the warm
+/// start has something substantial to amortize.
+GridLoc DeepQa(const Ess& ess) {
+  return GridLoc(static_cast<size_t>(ess.dims()), ess.points() * 3 / 4);
+}
+
+std::unique_ptr<DiscoveryAlgorithm> MakeAlgo(const std::string& name,
+                                             const Ess* ess) {
+  if (name == "pb") return std::make_unique<PlanBouquet>(ess);
+  return std::make_unique<SpillBound>(ess);
+}
+
+/// One cold discovery per iteration through the same EvaluateRepeated
+/// path the warm benchmark uses (null store = feedback disabled).
+void BM_ColdDiscovery(benchmark::State& state, const std::string& algo_name) {
+  const Ess& ess = *Ctx().ess;
+  const std::unique_ptr<DiscoveryAlgorithm> algo = MakeAlgo(algo_name, &ess);
+  const GridLoc qa = DeepQa(ess);
+  double cost = 0.0;
+  int execs = 0;
+  for (auto _ : state) {
+    const std::vector<RepeatedRunStats> runs = EvaluateRepeated(
+        *algo, ess, qa, kQuery, /*store=*/nullptr, /*repeats=*/1);
+    RQP_CHECK(runs.size() == 1 && runs[0].completed);
+    cost = runs[0].total_cost;
+    execs = runs[0].num_executions;
+    // DoNotOptimize takes its argument by mutable reference (an "+r"
+    // clobber), so keep the counters we report out of its reach.
+    double sink = cost;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["cost"] = cost;
+  state.counters["execs"] = execs;
+}
+BENCHMARK_CAPTURE(BM_ColdDiscovery, SpillBound, "sb")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_ColdDiscovery, PlanBouquet, "pb")
+    ->Unit(benchmark::kMicrosecond);
+
+/// One warm discovery per iteration: the store enters the loop already
+/// calibrated (min_observations prior completions), so every measured
+/// run opens at the confirmed contour. Store read + observation
+/// write-back are inside the measurement — that is the serving cost.
+void BM_WarmDiscovery(benchmark::State& state, const std::string& algo_name) {
+  const Ess& ess = *Ctx().ess;
+  const std::unique_ptr<DiscoveryAlgorithm> algo = MakeAlgo(algo_name, &ess);
+  const GridLoc qa = DeepQa(ess);
+
+  feedback::FeedbackStore store;
+  const std::vector<RepeatedRunStats> seed = EvaluateRepeated(
+      *algo, ess, qa, kQuery, &store,
+      /*repeats=*/store.options().min_observations);
+  const double cold_cost = seed.front().total_cost;
+
+  double cost = 0.0;
+  int execs = 0;
+  for (auto _ : state) {
+    const std::vector<RepeatedRunStats> runs =
+        EvaluateRepeated(*algo, ess, qa, kQuery, &store, /*repeats=*/1);
+    RQP_CHECK(runs.size() == 1 && runs[0].completed);
+    RQP_CHECK(runs[0].warm_started && runs[0].warm_completed);
+    cost = runs[0].total_cost;
+    execs = runs[0].num_executions;
+    double sink = cost;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["cost"] = cost;
+  state.counters["execs"] = execs;
+  state.counters["cold_cost"] = cold_cost;
+  state.counters["speedup"] = cost > 0.0 ? cold_cost / cost : 0.0;
+  // The acceptance claim: a warm repeated query is >= 2x cheaper than the
+  // cold run in charged cost units.
+  RQP_CHECK(2.0 * cost <= cold_cost);
+}
+BENCHMARK_CAPTURE(BM_WarmDiscovery, SpillBound, "sb")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_WarmDiscovery, PlanBouquet, "pb")
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace robustqp
+
+int main(int argc, char** argv) {
+  ::robustqp::bench::ParseThreads(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -89,3 +89,24 @@ fi
   --benchmark_out="$SHARD_OUT"
 
 echo "wrote $SHARD_OUT"
+
+# Feedback baseline: cold vs warm-started discovery on a repeated query.
+# The cost/execs counters carry the >=2x warm-start amortization claim
+# (also RQP_CHECK-enforced inside the binary); wall time is gated by the
+# same perf-smoke comparison as the other baselines.
+FEEDBACK_BIN="$BUILD_DIR/bench/bench_feedback"
+FEEDBACK_OUT="$(dirname "$0")/BENCH_feedback.json"
+
+if [[ ! -x "$FEEDBACK_BIN" ]]; then
+  echo "error: $FEEDBACK_BIN not found or not executable (build first)" >&2
+  exit 1
+fi
+
+"$FEEDBACK_BIN" \
+  --benchmark_filter='BM_ColdDiscovery|BM_WarmDiscovery' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out="$FEEDBACK_OUT"
+
+echo "wrote $FEEDBACK_OUT"

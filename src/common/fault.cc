@@ -24,6 +24,7 @@ constexpr const char* kSiteNames[fault_site::kNumSites] = {
     "oracle.cost_model",   // kOracleCostModel
     "shard.straggler",     // kShardStraggler
     "shard.lost_chunk",    // kShardLostChunk
+    "feedback.store_load", // kFeedbackStoreLoad
 };
 
 uint64_t SplitMix64(uint64_t z) {
@@ -296,6 +297,7 @@ void RobustnessReport::Merge(const RobustnessReport& o) {
   retries_exhausted += o.retries_exhausted;
   shard_stragglers += o.shard_stragglers;
   shard_lost_chunks += o.shard_lost_chunks;
+  feedback_degradations += o.feedback_degradations;
   retried_cost += o.retried_cost;
   spike_cost += o.spike_cost;
   // mso_delta is a harness-level derived quantity, not additive.
@@ -305,8 +307,8 @@ bool RobustnessReport::Any() const {
   return transient_retries || permanent_faults || cost_spikes || corruptions ||
          engine_degradations || serial_degradations || sweep_degradations ||
          escalations || pcm_violations || contour_clamps || retries_exhausted ||
-         shard_stragglers || shard_lost_chunks || retried_cost != 0.0 ||
-         spike_cost != 0.0;
+         shard_stragglers || shard_lost_chunks || feedback_degradations ||
+         retried_cost != 0.0 || spike_cost != 0.0;
 }
 
 std::string RobustnessReport::Summary() const {
@@ -332,6 +334,7 @@ std::string RobustnessReport::Summary() const {
   add("retries_exhausted", retries_exhausted);
   add("shard_stragglers", shard_stragglers);
   add("shard_lost_chunks", shard_lost_chunks);
+  add("feedback_degraded", feedback_degradations);
   if (retried_cost != 0.0) {
     std::snprintf(buf, sizeof(buf), " retried_cost=%.3g", retried_cost);
     out += buf;

@@ -86,6 +86,7 @@ enum Site : int {
   kOracleCostModel,     // oracle.cost_model (kCorrupt perturbs costs)
   kShardStraggler,      // shard.straggler (speculative re-dispatch of a shard)
   kShardLostChunk,      // shard.lost_chunk (chunk re-executed on a replica)
+  kFeedbackStoreLoad,   // feedback.store_load (fault => cold-start degradation)
   kNumSites,
 };
 }  // namespace fault_site
@@ -132,6 +133,9 @@ struct RobustnessReport {
   int64_t shard_stragglers = 0;
   /// Sharded runs: chunks lost mid-scan and re-executed on a replica.
   int64_t shard_lost_chunks = 0;
+  /// Feedback-store loads that failed (feedback.store_load fault) and
+  /// degraded the request to a cold start.
+  int64_t feedback_degradations = 0;
   /// Cost units charged for work lost to faulted attempts.
   double retried_cost = 0.0;
   /// Extra cost units charged by spikes on surviving attempts.

@@ -1,12 +1,66 @@
 #include "core/discovery.h"
 
+#include <utility>
+
 #include "core/oracle.h"
+#include "plan/plan.h"
 
 namespace robustqp {
 
 DiscoveryResult DiscoveryAlgorithm::Run(ExecutionOracle* oracle) const {
+  return Run(oracle, nullptr);
+}
+
+DiscoveryResult DiscoveryAlgorithm::Run(ExecutionOracle* oracle,
+                                        const WarmStartHint* warm) const {
   oracle->ResetReport();
-  DiscoveryResult result = RunImpl(oracle);
+  DiscoveryResult result;
+
+  // Warm phase: try the region's upper-corner plan under the unchanged
+  // cold contour budgets. Any completion ends the run; exhausting the
+  // probes proves the true location crossed the confidence region and
+  // the full cold sequence below takes over from contour 0.
+  if (warm != nullptr && warm->valid && warm->probe_plan != nullptr &&
+      !warm->probe_budgets.empty()) {
+    result.warm_started = true;
+    for (size_t i = 0; i < warm->probe_budgets.size(); ++i) {
+      const double budget = warm->probe_budgets[i];
+      const ExecOutcome out = oracle->ExecuteFull(*warm->probe_plan, budget);
+      ExecutionStep step;
+      step.contour = warm->first_contour + static_cast<int>(i);
+      step.plan_name = warm->probe_plan->display_name();
+      step.spill_dim = -1;
+      step.budget = budget;
+      step.cost_charged = out.cost_charged;
+      step.completed = out.completed;
+      result.steps.push_back(std::move(step));
+      result.total_cost += out.cost_charged;
+      result.warm_cost += out.cost_charged;
+      if (out.completed) {
+        result.completed = true;
+        result.warm_completed = true;
+        result.final_contour = warm->first_contour + static_cast<int>(i);
+        break;
+      }
+    }
+    if (!result.completed) result.warm_fell_back = true;
+  }
+
+  if (!result.completed) {
+    // Cold phase — the algorithm's own doubling sequence, in full. For a
+    // fallback run the warm spend above is an additive surcharge on this
+    // phase's cold-MSO-bounded cost (at most twice the largest probe
+    // budget under a geometric contour schedule).
+    DiscoveryResult cold = RunImpl(oracle);
+    result.completed = cold.completed;
+    result.final_contour = cold.final_contour;
+    result.max_replacement_penalty = cold.max_replacement_penalty;
+    result.total_cost += cold.total_cost;
+    for (ExecutionStep& step : cold.steps) {
+      result.steps.push_back(std::move(step));
+    }
+  }
+
   result.robustness.Merge(oracle->report());
   result.composed_mso = shard::ComposeMsoBound(MsoGuarantee(),
                                                oracle->num_shards());

@@ -14,6 +14,34 @@
 namespace robustqp {
 
 class ExecutionOracle;
+class Plan;
+
+/// A feedback-derived head start for one discovery run (built by
+/// feedback/warm_start.h; core only consumes it). The hint names one
+/// probe plan — the optimal plan at the upper corner of the observed
+/// confidence region — and the UNCHANGED cold contour budgets to try it
+/// under. Run executes the probes in full (non-spill) mode before the
+/// algorithm's own doubling sequence:
+///  * a completion inside the probes ends the run there (the common
+///    repeated-query case: one execution near the optimal cost);
+///  * if every probe fails, the true location crossed the region
+///    boundary and Run falls back to the complete cold sequence from
+///    contour 0 — the cold MSO analysis applies verbatim, the abandoned
+///    probe spend is an additive tax bounded by twice the largest probe
+///    budget (geometric schedule), and the guarantee is never weakened.
+/// An invalid hint is treated exactly as an absent one, so
+/// empty-store == store-disabled holds bitwise.
+struct WarmStartHint {
+  bool valid = false;
+  /// Optimal plan at the (grid-snapped) upper corner of the confidence
+  /// region; borrowed from the Ess's POSP pool, never owned.
+  const Plan* probe_plan = nullptr;
+  /// Cold-schedule budgets ContourCost(first_contour..last_contour).
+  std::vector<double> probe_budgets;
+  /// Contour indices the probes correspond to (display/accounting).
+  int first_contour = 0;
+  int last_contour = 0;
+};
 
 /// One budgeted execution performed during discovery (a row of the
 /// paper's Table 3 drill-down, a segment of Fig. 7's Manhattan profile).
@@ -58,6 +86,12 @@ struct DiscoveryResult {
   /// global bound equals the per-shard guarantee — surfaced here so
   /// callers see the guarantee that actually covers total_cost.
   shard::ComposedMso composed_mso;
+  /// Warm-start accounting (all false/zero for cold runs and invalid
+  /// hints — those runs are bit-identical to hint-less ones).
+  bool warm_started = false;    // a valid hint's probes were executed
+  bool warm_completed = false;  // the run completed inside the probes
+  bool warm_fell_back = false;  // probes exhausted; full cold restart ran
+  double warm_cost = 0.0;       // cost charged to the probe phase
 
   int num_executions() const { return static_cast<int>(steps.size()); }
 };
@@ -80,6 +114,12 @@ class DiscoveryAlgorithm {
   /// the oracle's robustness report first and folds it into the result's,
   /// so each run's fault accounting is self-contained.
   DiscoveryResult Run(ExecutionOracle* oracle) const;
+
+  /// As above, with an optional feedback warm start: a valid `warm` hint's
+  /// probes run first; on boundary crossing the full cold sequence runs
+  /// after them (see WarmStartHint). Null or invalid `warm` is
+  /// bit-identical to the hint-less overload.
+  DiscoveryResult Run(ExecutionOracle* oracle, const WarmStartHint* warm) const;
 
   /// Display name ("SpillBound").
   virtual std::string name() const = 0;

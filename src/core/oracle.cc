@@ -238,6 +238,27 @@ ExecOutcome SimulatedOracle::ExecuteSpillFaulted(
   return out;
 }
 
+std::vector<double> ObservedEppSelectivities(const Plan& plan,
+                                             const ExecutionResult& result) {
+  const Query& query = plan.query();
+  std::vector<double> obs(static_cast<size_t>(query.num_epps()), -1.0);
+  for (int d = 0; d < query.num_epps(); ++d) {
+    const int node_id = plan.EppNodeId(d);
+    if (node_id < 0) continue;
+    const int filter_idx = query.FilterOfEppDimension(d);
+    if (filter_idx >= 0) {
+      const auto& fi = plan.node(node_id).filter_indices;
+      const auto it = std::find(fi.begin(), fi.end(), filter_idx);
+      if (it == fi.end()) continue;
+      obs[static_cast<size_t>(d)] = result.ObservedFilterSelectivity(
+          node_id, static_cast<int>(it - fi.begin()));
+    } else {
+      obs[static_cast<size_t>(d)] = result.ObservedJoinSelectivity(node_id);
+    }
+  }
+  return obs;
+}
+
 ExecOutcome EngineOracle::ExecuteFull(const Plan& plan, double budget) {
   ExecOutcome out;
   Result<ExecutionResult> res = executor_->Execute(plan, budget);
@@ -256,6 +277,11 @@ ExecOutcome EngineOracle::ExecuteFull(const Plan& plan, double budget) {
   if (res->completed) {
     last_full_ = res.MoveValue();
     has_last_full_ = true;
+    // Feedback observations come from the committed attempt's NodeStats
+    // only: RunFaulted publishes the surviving attempt's counters and
+    // zeroes them when no attempt survived, so retried transient work
+    // can never inflate what the store learns.
+    observed_ = ObservedEppSelectivities(plan, last_full_);
   }
   return out;
 }

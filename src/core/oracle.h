@@ -67,6 +67,14 @@ class ExecutionOracle {
   /// per-shard MSO guarantee across this many shards (shard/mso.h).
   virtual int num_shards() const { return 1; }
 
+  /// Per-ESS-dimension selectivities observed by this oracle's
+  /// executions, for the feedback store: the engine oracle measures them
+  /// on its most recent *completed* full execution (committed attempt
+  /// only — retried transient attempts never contribute counts), the
+  /// simulated oracle reports its hypothetical truth. Entries <= 0 mean
+  /// no evidence for that dimension; empty means nothing completed yet.
+  virtual std::vector<double> ObservedSelectivities() const { return {}; }
+
  protected:
   RobustnessReport report_;
 };
@@ -90,6 +98,11 @@ class SimulatedOracle : public ExecutionOracle {
   /// accounting. Clean (disarmed) costs are unchanged at any value.
   void set_num_shards(int n) { num_shards_ = n > 1 ? n : 1; }
   int num_shards() const override { return num_shards_; }
+
+  /// The hypothetical truth — what a measuring engine would observe.
+  std::vector<double> ObservedSelectivities() const override {
+    return qa_sel_;
+  }
 
  private:
   ExecOutcome ExecuteFullFaulted(const Plan& plan, double budget);
@@ -123,11 +136,26 @@ class EngineOracle : public ExecutionOracle {
 
   int num_shards() const override { return executor_->options().num_shards; }
 
+  /// Measured on the most recent completed full execution (committed
+  /// attempt only under transient retries; see Executor::RunFaulted).
+  std::vector<double> ObservedSelectivities() const override {
+    return observed_;
+  }
+
  private:
   const Executor* executor_;
   ExecutionResult last_full_;
   bool has_last_full_ = false;
+  std::vector<double> observed_;
 };
+
+/// Per-ESS-dimension observed selectivities of one completed execution of
+/// `plan`: the filter pass rate for filter epps, the join output ratio
+/// for join epps — both from the committed attempt's NodeStats. Entries
+/// are -1 for dimensions the plan gives no evidence on. Shared by
+/// EngineOracle and the service layer's native-mode engine path.
+std::vector<double> ObservedEppSelectivities(const Plan& plan,
+                                             const ExecutionResult& result);
 
 }  // namespace robustqp
 

@@ -88,6 +88,13 @@ struct ExecutionResult {
   /// side empty (denominator <= 0) or the product overflowing to
   /// non-finite — and clamps the ratio to [0, 1], since a selectivity
   /// cannot exceed 1 and callers feed the value into log-space grids.
+  ///
+  /// Committed-attempt guarantee: under transient-fault retries the
+  /// node_stats these ratios read are the surviving attempt's alone —
+  /// RunFaulted overwrites per-attempt counters and zeroes them when no
+  /// attempt survived — so retried work never inflates an observation
+  /// (the feedback store depends on this; regression-tested in
+  /// feedback_test.cc).
   double ObservedJoinSelectivity(int node_id) const;
 
   /// Observed selectivity of the `k`-th filter (position within the scan

@@ -1,0 +1,46 @@
+#include "feedback/warm_start.h"
+
+#include <algorithm>
+
+namespace robustqp {
+namespace feedback {
+
+WarmStartHint MakeWarmStartHint(const Ess& ess,
+                                const FeedbackStore::Calibration& cal,
+                                int max_probes) {
+  WarmStartHint hint;
+  const int dims = ess.dims();
+  if (!cal.valid || cal.degraded ||
+      static_cast<int>(cal.sel.size()) != dims || max_probes < 1) {
+    return hint;
+  }
+
+  // Snap the confidence region to the grid conservatively: lo floored,
+  // hi ceiled, so the snapped box contains the continuous region.
+  const LogAxis& axis = ess.axis();
+  GridLoc lo_loc(static_cast<size_t>(dims));
+  GridLoc hi_loc(static_cast<size_t>(dims));
+  for (int d = 0; d < dims; ++d) {
+    const size_t sd = static_cast<size_t>(d);
+    lo_loc[sd] = std::max(axis.FloorIndex(cal.lo[sd]), 0);
+    hi_loc[sd] = std::min(axis.CeilIndex(cal.hi[sd]), axis.points() - 1);
+  }
+
+  const int k_hi = ess.ContourOf(ess.OptimalCost(hi_loc));
+  int k_w = ess.ContourOf(ess.OptimalCost(lo_loc));
+  // Width cap: starting more than max_probes-1 contours below k_hi would
+  // let the failed-probe spend outgrow the 2*r^max_probes bound.
+  k_w = std::max(k_w, k_hi - (max_probes - 1));
+
+  hint.valid = true;
+  hint.probe_plan = ess.OptimalPlan(hi_loc);
+  hint.first_contour = k_w;
+  hint.last_contour = k_hi;
+  for (int t = k_w; t <= k_hi; ++t) {
+    hint.probe_budgets.push_back(ess.ContourCost(t));
+  }
+  return hint;
+}
+
+}  // namespace feedback
+}  // namespace robustqp

@@ -1,0 +1,55 @@
+// Turns a FeedbackStore calibration into the WarmStartHint that
+// DiscoveryAlgorithm::Run executes before its cold doubling sequence.
+//
+// Construction (all on the built ESS, no new optimizer calls):
+//  * the confidence region [lo, hi] is snapped conservatively to the
+//    grid — lo floored, hi ceiled — so the snapped region contains the
+//    continuous one;
+//  * k_hi = ContourOf(OptimalCost(hi corner)) is the contour whose cold
+//    budget provably covers every in-region location: by plan cost
+//    monotonicity (PCM), the hi-corner optimal plan P_hi costs at most
+//    OptimalCost(hi) <= ContourCost(k_hi) at any q_a <= hi
+//    coordinate-wise;
+//  * k_w = max(ContourOf(OptimalCost(lo corner)), k_hi - max_probes + 1)
+//    is where probing starts — the last confirmed contour the region's
+//    cheap corner admits, width-capped so the in-region warm
+//    sub-optimality stays bounded (see below);
+//  * the hint's probes execute P_hi in full (non-spill) mode with the
+//    UNCHANGED cold contour budgets ContourCost(k_w) .. ContourCost(k_hi).
+//
+// Guarantee. For a true location inside the region the final probe
+// completes (PCM argument above), and the geometric budget schedule
+// bounds the warm spend by sum_{t<=k_hi} ContourCost(t) <= 2*ContourCost(k_hi)
+// at ratio 2 — so warm sub-optimality is at most 2*r^max_probes (the
+// region spans < max_probes contours and the optimal cost exceeds
+// ContourCost(k_w - 1)). For a true location OUTSIDE the region all
+// probes fail, Run falls back to the complete cold doubling sequence
+// from contour 0 — the cold MSO analysis applies verbatim to that phase,
+// and the abandoned warm spend is an additive tax of at most
+// 2*ContourCost(k_hi). The guarantee is therefore never weakened, only
+// the constant improved; with drift detection feeding the store the tax
+// is paid at most once per regime change.
+
+#ifndef ROBUSTQP_FEEDBACK_WARM_START_H_
+#define ROBUSTQP_FEEDBACK_WARM_START_H_
+
+#include "core/discovery.h"
+#include "ess/ess.h"
+#include "feedback/feedback_store.h"
+
+namespace robustqp {
+namespace feedback {
+
+/// Builds the warm-start hint for `cal` over `ess`. Returns an invalid
+/// hint (Run treats it as absent, bit-identically to a cold start) when
+/// the calibration is invalid/degraded or its dimensionality does not
+/// match the surface. `max_probes` caps the probe count (and thereby the
+/// in-region sub-optimality at 2*r^max_probes).
+WarmStartHint MakeWarmStartHint(const Ess& ess,
+                                const FeedbackStore::Calibration& cal,
+                                int max_probes = 2);
+
+}  // namespace feedback
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_FEEDBACK_WARM_START_H_

@@ -5,6 +5,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/oracle.h"
+#include "feedback/warm_start.h"
 
 namespace robustqp {
 
@@ -197,6 +198,61 @@ SuboptimalityStats EvaluateNativeAtEstimate(const Ess& ess,
     const EssPoint q = ess.SelAt(ess.FromLinear(lin));
     return ess.optimizer().PlanCost(*plan, q) / ess.OptimalCost(lin);
   });
+}
+
+std::vector<RepeatedRunStats> EvaluateRepeated(
+    const DiscoveryAlgorithm& algo, const Ess& ess, const GridLoc& qa,
+    const std::string& query_id, feedback::FeedbackStore* store, int repeats,
+    const EvalOptions& opts) {
+  std::vector<RepeatedRunStats> runs;
+  if (repeats <= 0) return runs;
+  runs.reserve(static_cast<size_t>(repeats));
+
+  if (!opts.fault_spec.empty()) {
+    const Status st =
+        FaultInjector::Global().Configure(opts.fault_spec, opts.fault_seed);
+    RQP_CHECK(st.ok());
+  }
+  const bool armed = FaultInjector::Armed();
+  const std::string key = feedback::FeedbackStore::Key(query_id, ess.dims());
+  const double opt_cost = ess.OptimalCost(qa);
+
+  for (int i = 0; i < repeats; ++i) {
+    RepeatedRunStats run;
+    WarmStartHint hint;
+    if (store != nullptr) {
+      const feedback::FeedbackStore::Calibration cal = store->Get(key);
+      run.feedback_hit = cal.valid;
+      hint = feedback::MakeWarmStartHint(ess, cal);
+    }
+
+    SimulatedOracle oracle(&ess, qa);
+    oracle.set_num_shards(opts.num_shards);
+    DiscoveryResult result;
+    if (armed) {
+      FaultStreamScope scope(opts.fault_seed + static_cast<uint64_t>(i));
+      result = algo.Run(&oracle, hint.valid ? &hint : nullptr);
+    } else {
+      result = algo.Run(&oracle, hint.valid ? &hint : nullptr);
+    }
+
+    run.completed = result.completed;
+    run.total_cost = result.total_cost;
+    run.suboptimality = opt_cost > 0.0 ? result.total_cost / opt_cost : 0.0;
+    run.num_executions = result.num_executions();
+    run.warm_started = result.warm_started;
+    run.warm_completed = result.warm_completed;
+    run.warm_fell_back = result.warm_fell_back;
+    if (store != nullptr && result.completed) {
+      run.drifted = store->Observe(key, oracle.ObservedSelectivities(),
+                                   result.total_cost, result.final_contour)
+                        .drifted;
+    }
+    runs.push_back(run);
+  }
+
+  if (!opts.fault_spec.empty()) FaultInjector::Global().Disarm();
+  return runs;
 }
 
 std::vector<int64_t> SuboptHistogram(const SuboptimalityStats& stats,

@@ -20,6 +20,7 @@
 #include "common/fault.h"
 #include "core/discovery.h"
 #include "ess/ess.h"
+#include "feedback/feedback_store.h"
 #include "server/request_options.h"
 
 namespace robustqp {
@@ -102,6 +103,43 @@ SuboptimalityStats EvaluateNativeAtEstimate(
 /// includes [1, width].
 std::vector<int64_t> SuboptHistogram(const SuboptimalityStats& stats,
                                      double width, int max_buckets = 20);
+
+/// One run of a repeated-query (closed-loop) evaluation.
+struct RepeatedRunStats {
+  bool completed = false;
+  double total_cost = 0.0;
+  /// total_cost / OptimalCost(q_a) — must stay within the cold MSO
+  /// guarantee on every run, warm-started or not.
+  double suboptimality = 0.0;
+  /// Oracle executions (budgeted probes + spills + the completing run).
+  int num_executions = 0;
+  /// The store held a valid calibration going into this run.
+  bool feedback_hit = false;
+  /// Discovery opened with warm-start probes / completed inside them /
+  /// exhausted them and restarted the full cold schedule.
+  bool warm_started = false;
+  bool warm_completed = false;
+  bool warm_fell_back = false;
+  /// This run's observation tripped the drift monitor.
+  bool drifted = false;
+};
+
+/// Repeated-query evaluation — the closed loop the one-shot sweeps cannot
+/// see: the same true location q_a is queried `repeats` times against one
+/// FeedbackStore; each completed run feeds its observed selectivities
+/// back, so run 0 pays the cold discovery cost and later runs warm-start
+/// from the accumulated calibration. Serial by design (run i+1 depends on
+/// run i's observations). Chaos fields of `opts` apply, with fault draws
+/// keyed to (fault_seed + run index) so each run's draw sequence is
+/// deterministic. The store key is FeedbackStore::Key(query_id,
+/// ess.dims()); pass a fresh store to start cold, or a null store to
+/// disable feedback entirely — every run then repeats the cold discovery
+/// (the baseline the warm runs are measured against), through the exact
+/// same code path.
+std::vector<RepeatedRunStats> EvaluateRepeated(
+    const DiscoveryAlgorithm& algo, const Ess& ess, const GridLoc& qa,
+    const std::string& query_id, feedback::FeedbackStore* store, int repeats,
+    const EvalOptions& opts = EvalOptions{});
 
 }  // namespace robustqp
 

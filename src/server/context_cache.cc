@@ -94,6 +94,24 @@ void ContextCache::EvictLocked() {
   stats_.size = slots_.size();
 }
 
+size_t ContextCache::InvalidateQuery(const std::string& id) {
+  const std::string prefix = id + "|";
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      lru_.erase(it->second.lru_it);
+      it = slots_.erase(it);
+      ++dropped;
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+  stats_.size = slots_.size();
+  return dropped;
+}
+
 Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
     const std::string& id, const Ess::Config& config, bool* cache_hit) {
   return Get(id, config, Encoding::kAuto, /*use_compression=*/true, cache_hit);

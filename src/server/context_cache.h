@@ -59,6 +59,9 @@ class ContextCache {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
+    /// Entries dropped by InvalidateQuery (feedback drift evictions);
+    /// counted separately from capacity evictions.
+    int64_t invalidations = 0;
     /// Builds that returned a non-OK Status (not cached).
     int64_t failures = 0;
     /// Contexts currently resident.
@@ -93,6 +96,15 @@ class ContextCache {
                                            bool* cache_hit = nullptr);
 
   Stats stats() const;
+
+  /// Evicts every cached context for suite query `id`, under any
+  /// (config, encoding) — the feedback layer's drift invalidation: when
+  /// observed selectivities leave a query's confidence region, its
+  /// cached surfaces (and thereby their cached plans, re-costed on the
+  /// rebuild) are stale. Entries still referenced by in-flight requests
+  /// stay alive until the last holder drops them, as with LRU eviction.
+  /// Returns the number of entries dropped.
+  size_t InvalidateQuery(const std::string& id);
 
   /// The cache key for (id, config, storage knobs) — exposed for goldens
   /// and logging.

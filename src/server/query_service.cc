@@ -8,6 +8,7 @@
 #include "core/oracle.h"
 #include "core/planbouquet.h"
 #include "core/spillbound.h"
+#include "feedback/warm_start.h"
 
 namespace robustqp {
 
@@ -131,7 +132,7 @@ void QueryService::RunRequest(const std::shared_ptr<RequestState>& state) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.deadline_expired;
   } else {
-    Execute(state->request, &cache_, &fault_mu_, &resp);
+    Execute(state->request, &cache_, &feedback_store_, &fault_mu_, &resp);
     resp.request_id = state->id;
   }
   resp.run_ms = MsSince(start, std::chrono::steady_clock::now());
@@ -147,6 +148,13 @@ void QueryService::RunRequest(const std::shared_ptr<RequestState>& state) {
     stats_.shard_chunks_pruned += srep.chunks_pruned;
     stats_.shard_straggler_retries += srep.straggler_retries;
     stats_.shard_lost_chunks += srep.lost_chunks;
+    if (state->request.options.use_feedback) {
+      resp.feedback_hit ? ++stats_.feedback_hits : ++stats_.feedback_misses;
+      stats_.warm_starts += resp.warm_started ? 1 : 0;
+      stats_.warm_completions += resp.warm_completed ? 1 : 0;
+      stats_.drift_events += resp.feedback_drift ? 1 : 0;
+      stats_.feedback_degraded += resp.robustness.feedback_degradations;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(state->mu);
@@ -200,18 +208,20 @@ QueryService::ServiceStats QueryService::stats() const {
 }
 
 ServiceResponse QueryService::RunOneShot(const ServiceRequest& request,
-                                         ContextCache* cache) {
+                                         ContextCache* cache,
+                                         feedback::FeedbackStore* store) {
   // One-shots share the concurrent path's body; the lock they pass is a
   // private one, merely satisfying the same discipline.
   static std::shared_mutex* one_shot_mu = new std::shared_mutex();
   ServiceResponse resp;
   resp.query_id = request.query_id;
-  Execute(request, cache != nullptr ? cache : &ContextCache::Default(),
+  Execute(request, cache != nullptr ? cache : &ContextCache::Default(), store,
           one_shot_mu, &resp);
   return resp;
 }
 
 void QueryService::Execute(const ServiceRequest& request, ContextCache* cache,
+                           feedback::FeedbackStore* store,
                            std::shared_mutex* fault_mu,
                            ServiceResponse* resp) {
   // Phase 1 — resolve the context under the shared lock: no chaos request
@@ -235,7 +245,7 @@ void QueryService::Execute(const ServiceRequest& request, ContextCache* cache,
   // exclusively, arm the injector, and disarm before releasing.
   if (request.options.fault_spec.empty()) {
     std::shared_lock<std::shared_mutex> lock(*fault_mu);
-    resp->status = RunResolved(request, *ctx, resp);
+    resp->status = RunResolved(request, *ctx, store, resp);
   } else {
     std::unique_lock<std::shared_mutex> lock(*fault_mu);
     const Status st = FaultInjector::Global().Configure(
@@ -248,14 +258,23 @@ void QueryService::Execute(const ServiceRequest& request, ContextCache* cache,
       // Stream keyed by the request's seed: the draw sequence depends only
       // on (spec, seed), never on scheduling or request order.
       FaultStreamScope scope(request.options.fault_seed);
-      resp->status = RunResolved(request, *ctx, resp);
+      resp->status = RunResolved(request, *ctx, store, resp);
     }
     FaultInjector::Global().Disarm();
   }
+
+  // Drift invalidation: the run's observation left the calibration's
+  // confidence regime, so every cached context (and thereby cached plan)
+  // for this query is stale — drop them; the next request rebuilds with
+  // freshly costed plans. Done after releasing the fault lock (cache
+  // mutation needs no injector discipline and must not extend a chaos
+  // request's exclusive hold).
+  if (resp->feedback_drift) cache->InvalidateQuery(request.query_id);
 }
 
 Status QueryService::RunResolved(const ServiceRequest& request,
                                  const ContextCache::Entry& ctx,
+                                 feedback::FeedbackStore* store,
                                  ServiceResponse* resp) {
   const Ess& ess = *ctx.ess;
   const int dims = ess.dims();
@@ -282,6 +301,20 @@ Status QueryService::RunResolved(const ServiceRequest& request,
   const EssPoint qa_sel = ess.SelAt(qa);
   resp->opt_cost = ess.OptimalCost(qa);
 
+  // Feedback read side: fetch the calibration (a no-op Calibration when
+  // feedback is off or no store is attached — those paths are
+  // bit-identical to an empty store by construction). A store_load fault
+  // degrades to the same cold path, charged into fb_report.
+  const bool use_fb = request.options.use_feedback && store != nullptr;
+  feedback::FeedbackStore::Calibration cal;
+  RobustnessReport fb_report;
+  std::string fb_key;
+  if (use_fb) {
+    fb_key = feedback::FeedbackStore::Key(request.query_id, dims);
+    cal = store->Get(fb_key, &fb_report);
+    resp->feedback_hit = cal.valid;
+  }
+
   std::unique_ptr<Executor> executor;
   if (request.use_engine) {
     executor = std::make_unique<Executor>(ctx.catalog.get(),
@@ -289,9 +322,25 @@ Status QueryService::RunResolved(const ServiceRequest& request,
                                           request.options.ToExecutorOptions());
   }
 
+  // What this run observed, for the feedback write side: the simulated
+  // oracle's q_a is exact; engine runs report per-epp observed counts
+  // from the committed attempt (empty until a full execution completes).
+  std::vector<double> observed;
+  int observed_contour = -1;
+
   if (request.mode == RobustnessMode::kNative) {
     resp->algorithm = "native";
-    const EssPoint qe = ess.optimizer().estimator().NativeEstimatePoint();
+    EssPoint qe = ess.optimizer().estimator().NativeEstimatePoint();
+    if (use_fb && cal.valid &&
+        static_cast<int>(cal.sel.size()) == dims) {
+      // Calibrated seed: optimize at the observed geometric mean instead
+      // of the statistics estimate (the stale_stats closing move).
+      for (int d = 0; d < dims; ++d) {
+        qe[static_cast<size_t>(d)] = std::min(
+            1.0, std::max(cal.sel[static_cast<size_t>(d)],
+                          ess.axis().value(0)));
+      }
+    }
     const std::unique_ptr<Plan> plan = ess.optimizer().Optimize(qe);
     if (request.use_engine) {
       Result<ExecutionResult> res = executor->Execute(*plan, request.budget);
@@ -300,9 +349,13 @@ Status QueryService::RunResolved(const ServiceRequest& request,
       resp->completed = resp->execution.completed;
       resp->cost_used = resp->execution.cost_used;
       resp->robustness = resp->execution.robustness;
+      if (resp->completed) {
+        observed = ObservedEppSelectivities(*plan, resp->execution);
+      }
     } else {
       resp->completed = true;
       resp->cost_used = ess.optimizer().PlanCost(*plan, qa_sel);
+      observed = qa_sel;
     }
   } else {
     const std::unique_ptr<DiscoveryAlgorithm> algo =
@@ -320,13 +373,37 @@ Status QueryService::RunResolved(const ServiceRequest& request,
       so->set_num_shards(request.options.num_shards);
       oracle = std::move(so);
     }
-    resp->discovery = algo->Run(oracle.get());
+    // Warm start: shrink the search to the calibration's confidence
+    // region. MakeWarmStartHint rejects invalid/degraded calibrations,
+    // and Run with a null/invalid hint is the cold path verbatim — the
+    // MSO guarantee is never weakened, only the constant improved.
+    WarmStartHint hint;
+    if (use_fb) hint = feedback::MakeWarmStartHint(ess, cal);
+    resp->discovery =
+        algo->Run(oracle.get(), hint.valid ? &hint : nullptr);
     resp->completed = resp->discovery.completed;
     resp->cost_used = resp->discovery.total_cost;
     resp->robustness = resp->discovery.robustness;
+    resp->warm_started = resp->discovery.warm_started;
+    resp->warm_completed = resp->discovery.warm_completed;
     if (engine_oracle != nullptr &&
         engine_oracle->last_completed_full() != nullptr) {
       resp->execution = *engine_oracle->last_completed_full();
+    }
+    if (resp->completed) {
+      observed = oracle->ObservedSelectivities();
+      observed_contour = resp->discovery.final_contour;
+    }
+  }
+
+  // Feedback accounting merges after the run's own robustness snapshot so
+  // a store_load degradation is never overwritten.
+  if (use_fb) {
+    resp->robustness.Merge(fb_report);
+    if (resp->completed && !observed.empty()) {
+      const feedback::FeedbackStore::DriftSignal drift = store->Observe(
+          fb_key, observed, resp->cost_used, observed_contour);
+      resp->feedback_drift = drift.drifted;
     }
   }
 

@@ -63,6 +63,7 @@
 
 #include "core/discovery.h"
 #include "exec/executor.h"
+#include "feedback/feedback_store.h"
 #include "server/context_cache.h"
 #include "server/request_options.h"
 
@@ -124,6 +125,17 @@ struct ServiceResponse {
   RobustnessReport robustness;
   /// True iff the context came out of the cache warm.
   bool cache_hit = false;
+  /// Feedback loop (all false unless options.use_feedback):
+  /// the store held a valid calibration for this query...
+  bool feedback_hit = false;
+  /// ...discovery opened with warm-start probes from it...
+  bool warm_started = false;
+  /// ...and one of those probes completed (no cold fallback needed).
+  bool warm_completed = false;
+  /// This run's observation tripped the drift monitor: the calibration
+  /// was invalidated and the serving cache's contexts for this query
+  /// evicted (rebuilt — with re-costed plans — on next use).
+  bool feedback_drift = false;
   /// Wall-clock measurements; NOT part of the determinism contract.
   double queue_ms = 0.0;
   double run_ms = 0.0;
@@ -161,6 +173,15 @@ class QueryService {
     int64_t shard_chunks_pruned = 0;
     int64_t shard_straggler_retries = 0;
     int64_t shard_lost_chunks = 0;
+    /// Feedback-loop accounting, accumulated from every terminal
+    /// feedback-enabled response (zeros until some request ran with
+    /// use_feedback).
+    int64_t feedback_hits = 0;    // requests served with a valid calibration
+    int64_t feedback_misses = 0;  // feedback requests without one
+    int64_t warm_starts = 0;      // discoveries opened with warm probes
+    int64_t warm_completions = 0; // ...that finished without cold fallback
+    int64_t drift_events = 0;     // runs whose observation tripped drift
+    int64_t feedback_degraded = 0;  // store_load faults absorbed
   };
 
   // (Two constructors rather than one defaulted argument: in-class default
@@ -197,15 +218,25 @@ class QueryService {
   Result<ServiceResponse> Wait(int64_t session_id, int64_t request_id);
 
   ContextCache::Stats cache_stats() const { return cache_.stats(); }
+  feedback::FeedbackStore::Stats feedback_stats() const {
+    return feedback_store_.stats();
+  }
   ServiceStats stats() const;
 
   /// The serial one-shot reference: runs `request` to completion on the
   /// calling thread against `cache` (Default() when null) with exactly the
   /// semantics of the concurrent path — the payload a Submit/Wait of the
   /// same request must match bit-for-bit. Admission, deadline, and timing
-  /// fields do not apply.
+  /// fields do not apply. `store` is the feedback store consulted when the
+  /// request sets use_feedback (null = no store: behaves exactly like
+  /// use_feedback off, matching a service whose store is empty). Note the
+  /// feedback loop is deliberately stateful — a response depends on the
+  /// store's accumulated history, so bit-equality with a concurrent run
+  /// holds per store state, i.e. for the same sequence of prior
+  /// feedback-enabled completions on the key.
   static ServiceResponse RunOneShot(const ServiceRequest& request,
-                                    ContextCache* cache = nullptr);
+                                    ContextCache* cache = nullptr,
+                                    feedback::FeedbackStore* store = nullptr);
 
  private:
   struct RequestState {
@@ -224,18 +255,25 @@ class QueryService {
 
   /// The request body shared by the concurrent path and RunOneShot:
   /// resolves the context, applies the fault-exclusion discipline, runs,
-  /// and fills `resp` (everything except ids and timing).
+  /// fills `resp` (everything except ids and timing), and — when the run
+  /// trips the drift monitor — evicts the query's cached contexts.
   static void Execute(const ServiceRequest& request, ContextCache* cache,
+                      feedback::FeedbackStore* store,
                       std::shared_mutex* fault_mu, ServiceResponse* resp);
 
   /// Runs against a resolved context (no locking, injector state already
-  /// arranged by Execute).
+  /// arranged by Execute). `store` may be null (feedback off).
   static Status RunResolved(const ServiceRequest& request,
                             const ContextCache::Entry& ctx,
+                            feedback::FeedbackStore* store,
                             ServiceResponse* resp);
 
   const Options options_;
   ContextCache cache_;
+  /// The serving instance's selectivity memory (see feedback_store.h):
+  /// written by every completed feedback-enabled request, read to
+  /// calibrate native estimates and warm-start discovery.
+  feedback::FeedbackStore feedback_store_;
   std::unique_ptr<ThreadPool> pool_;
 
   mutable std::mutex mu_;

@@ -73,6 +73,14 @@ struct RequestOptions {
   int ess_threads = 0;
   CostModel cost_model = CostModel::PostgresFlavour();
 
+  // --- feedback (closed-loop robustness; CLI --feedback, TCP feedback=) ---
+  /// Opt-in: consult the serving instance's FeedbackStore — calibrate the
+  /// native seed estimate, warm-start discovery from the observed
+  /// confidence region, and record this run's observations (drift
+  /// detection included). Off by default; with an empty store the
+  /// response payload is bit-identical to feedback disabled.
+  bool use_feedback = false;
+
   // --- chaos (subsumes the EvalOptions fault fields) ---
   /// When non-empty, the deterministic FaultInjector is armed with this
   /// spec for the request's run (see FaultInjector::Configure).

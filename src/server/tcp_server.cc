@@ -110,6 +110,12 @@ Status ParseSubmitLine(const std::string& line, ServiceRequest* out) {
       // Differential knob: decode-then-filter (fused=0) on encoded
       // columns; results and cost accounting are identical either way.
       req.options.use_compression = value != "0";
+    } else if (key == "feedback") {
+      // Closed-loop knob: consult/update the serving instance's
+      // FeedbackStore (calibrated native seeds, warm-started discovery,
+      // drift-driven cache invalidation). With an empty store the
+      // response payload is bit-identical to feedback=0.
+      req.options.use_feedback = value != "0";
     } else if (key == "faults") {
       req.options.fault_spec = value;
     } else if (key == "seed") {
@@ -139,6 +145,10 @@ std::string FormatResponseLine(const ServiceResponse& resp) {
      << " contour=" << resp.discovery.final_contour
      << " cache_hit=" << (resp.cache_hit ? 1 : 0)
      << " retries=" << resp.robustness.transient_retries
+     << " fb_hit=" << (resp.feedback_hit ? 1 : 0)
+     << " warm=" << (resp.warm_started ? 1 : 0)
+     << " warm_done=" << (resp.warm_completed ? 1 : 0)
+     << " drift=" << (resp.feedback_drift ? 1 : 0)
      << " queue_ms=" << resp.queue_ms << " run_ms=" << resp.run_ms;
   return os.str();
 }
@@ -249,7 +259,14 @@ void TcpServer::ServeConnection(int fd) {
            << " shard_chunks_scanned=" << ss.shard_chunks_scanned
            << " shard_chunks_pruned=" << ss.shard_chunks_pruned
            << " shard_straggler_retries=" << ss.shard_straggler_retries
-           << " shard_lost_chunks=" << ss.shard_lost_chunks;
+           << " shard_lost_chunks=" << ss.shard_lost_chunks
+           << " invalidations=" << cs.invalidations
+           << " feedback_hits=" << ss.feedback_hits
+           << " feedback_misses=" << ss.feedback_misses
+           << " warm_starts=" << ss.warm_starts
+           << " warm_completions=" << ss.warm_completions
+           << " drift_events=" << ss.drift_events
+           << " feedback_degraded=" << ss.feedback_degraded;
         reply = os.str();
       } else {
         ServiceRequest req;

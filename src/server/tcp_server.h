@@ -7,14 +7,17 @@
 //
 //   SUBMIT query=2D_Q91 mode=sb qa=0.04,0.1 faults=exec.*:p=0.01 seed=7
 //     -> OK id=3 algo=SpillBound completed=1 cost=412.1 opt=301.9
-//        subopt=1.365 execs=6 contour=4 cache_hit=1 retries=0 queue_ms=0.1
-//        run_ms=3.2
+//        subopt=1.365 execs=6 contour=4 cache_hit=1 retries=0 fb_hit=0
+//        warm=0 warm_done=0 drift=0 queue_ms=0.1 run_ms=3.2
 //     -> ERR code=9 status=ResourceExhausted msg=admission queue full ...
 //   PING      -> PONG
 //   STATS     -> STATS hits=.. misses=.. evictions=.. cache_size=..
 //                submitted=.. completed=.. rejected=.. queue_depth=..
 //                shard_chunks_scanned=.. shard_chunks_pruned=..
 //                shard_straggler_retries=.. shard_lost_chunks=..
+//                invalidations=.. feedback_hits=.. feedback_misses=..
+//                warm_starts=.. warm_completions=.. drift_events=..
+//                feedback_degraded=..
 //   QUIT      -> closes the connection
 //   SHUTDOWN  -> stops the whole server
 //
@@ -26,7 +29,9 @@
 // ratio, build (exhaustive|exact|recost:<l>), compression
 // (auto|raw|packed|vbyte|dict|on|off — the catalog's storage encoding;
 // raw also disables fused execution), fused (0|1 — decode-then-filter
-// override on encoded columns), faults (spec string, no spaces), seed.
+// override on encoded columns), feedback (0|1 — closed-loop calibration,
+// warm-started discovery, and drift detection against the serving
+// instance's FeedbackStore), faults (spec string, no spaces), seed.
 // Unknown keys are an error; values never contain spaces.
 // Each SUBMIT is served synchronously on its connection (Submit + Wait) —
 // concurrency comes from concurrent connections, which is exactly how the

@@ -8,6 +8,7 @@
 //   robustqp_cli --query 2D_Q91 --algo ab --qa 0.04,0.1 --trace
 //   robustqp_cli --query 4D_JOB_Q1a --algo sb --engine
 //   robustqp_cli --query 3D_Q96 --algo all --qa 0.1,0.1,0.1
+//   robustqp_cli --query 2D_Q91 --algo sb --feedback --repeat 5
 //   robustqp_cli --query 4D_Q91 --identify-epps
 //   robustqp_cli --query 3D_Q15 --save-ess /tmp/q15.ess
 //   robustqp_cli --query 3D_Q15 --load-ess /tmp/q15.ess --algo sb
@@ -27,6 +28,7 @@
 #include "core/planbouquet.h"
 #include "core/spillbound.h"
 #include "exec/executor.h"
+#include "feedback/feedback_store.h"
 #include "harness/evaluator.h"
 #include "harness/trace_printer.h"
 #include "harness/true_selectivity.h"
@@ -50,6 +52,9 @@ struct CliOptions {
   bool list = false;
   bool identify_epps = false;
   bool evaluate = false;
+  /// Repeated-query mode: run the same (query, q_a) this many times
+  /// serially; with --feedback, later runs warm-start from the store.
+  int repeat = 1;
   std::string save_ess;
   std::string load_ess;
   RequestOptions req;
@@ -91,6 +96,15 @@ void PrintUsage() {
       "                         bit-packed/vbyte otherwise); raw also turns\n"
       "                         fused filter-on-compressed execution off.\n"
       "                         Results are bit-identical for every choice\n"
+      "  --feedback             closed-loop mode: record each completed\n"
+      "                         run's observed selectivities in a feedback\n"
+      "                         store and warm-start later runs from the\n"
+      "                         accumulated calibration (see --repeat)\n"
+      "  --repeat <n>           run the same query n times serially\n"
+      "                         (simulated oracle at q_a); with --feedback\n"
+      "                         run 0 is cold and later runs amortize via\n"
+      "                         warm-started discovery; prints per-run cost\n"
+      "                         and the warm-vs-cold speedup\n"
       "  --faults <spec>        chaos testing: arm the deterministic fault\n"
       "                         injector, e.g. \"exec.*:p=0.01\" or\n"
       "                         \"optimizer.dp:after=100;exec.scan.read:p=0.05,"
@@ -186,6 +200,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->req.use_compression = out->req.encoding != Encoding::kRaw;
+    } else if (arg == "--feedback") {
+      out->req.use_feedback = true;
+    } else if (arg == "--repeat") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->repeat = std::atoi(v);
+      if (out->repeat < 1) {
+        std::cerr << "--repeat must be >= 1\n";
+        return false;
+      }
     } else if (arg == "--faults") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -369,6 +393,49 @@ int Run(const CliOptions& opts) {
   }
   const double opt_cost = ess.OptimalCost(qa);
   std::cout << ")  optimal cost " << opt_cost << "\n\n";
+
+  if (opts.repeat > 1) {
+    // Repeated-query closed-loop mode: one algorithm, one q_a, `repeat`
+    // serial runs against one FeedbackStore (simulated oracle — the
+    // repeats must see the same truth). Run 0 is cold; with --feedback
+    // later runs warm-start from the accumulated calibration.
+    std::unique_ptr<DiscoveryAlgorithm> algo;
+    if (opts.algo == "pb") algo = std::make_unique<PlanBouquet>(&ess);
+    if (opts.algo == "sb") algo = std::make_unique<SpillBound>(&ess);
+    if (opts.algo == "ab") algo = std::make_unique<AlignedBound>(&ess);
+    if (algo == nullptr) {
+      std::cerr << "--repeat needs --algo pb | sb | ab\n";
+      return ExitCodeFor(StatusCode::kInvalidArgument);
+    }
+    feedback::FeedbackStore store;
+    const EvalOptions eval_opts = MakeEvalOptions(opts.req);
+    std::cout << "repeated mode: " << opts.repeat << " runs, feedback "
+              << (opts.req.use_feedback ? "on" : "off") << "\n";
+    const std::vector<RepeatedRunStats> runs = EvaluateRepeated(
+        *algo, ess, qa, opts.query, opts.req.use_feedback ? &store : nullptr,
+        opts.repeat, eval_opts);
+    double cold_cost = 0.0;
+    double best_warm = -1.0;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const RepeatedRunStats& r = runs[i];
+      std::cout << "run " << i << ": cost=" << r.total_cost
+                << " subopt=" << r.suboptimality << " execs="
+                << r.num_executions << " warm=" << (r.warm_started ? 1 : 0)
+                << " warm_done=" << (r.warm_completed ? 1 : 0)
+                << " drift=" << (r.drifted ? 1 : 0) << "\n";
+      if (i == 0) cold_cost = r.total_cost;
+      if (r.warm_completed &&
+          (best_warm < 0.0 || r.total_cost < best_warm)) {
+        best_warm = r.total_cost;
+      }
+    }
+    if (best_warm > 0.0) {
+      std::cout << "warm-start amortization: cold cost " << cold_cost
+                << ", best warm cost " << best_warm << ", speedup "
+                << cold_cost / best_warm << "x\n";
+    }
+    return 0;
+  }
 
   const bool all = opts.algo == "all";
   if (opts.evaluate) {

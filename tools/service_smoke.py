@@ -52,6 +52,63 @@ def build_requests(n):
     return out
 
 
+def field(reply, name):
+    """Extracts an integer `name=<n>` field from an OK/STATS line."""
+    match = re.search(rf"\b{name}=(-?\d+)\b", reply)
+    if not match:
+        raise RuntimeError(f"no field {name!r} in {reply!r}")
+    return int(match.group(1))
+
+
+def drive_feedback(port, failures):
+    """Repeated-SUBMIT closed-loop sequence on one connection: the same
+    feedback-enabled query warms up after min_observations completions, a
+    shifted q_a trips the drift monitor, and STATS accounts for all of it
+    (including the drift-driven context invalidation)."""
+    base = ("SUBMIT query=2D_Q91 mode=sb points=8 threads=1 "
+            "feedback=1 qa=0.2,0.2")
+    shifted = ("SUBMIT query=2D_Q91 mode=sb points=8 threads=1 "
+               "feedback=1 qa=0.0005,0.001")
+    try:
+        client = LineClient(port)
+        # Two cold runs seed the store (min_observations); the third is
+        # served warm from the calibration.
+        for i in range(2):
+            reply = client.round_trip(base)
+            if not reply.startswith("OK "):
+                failures.append(f"feedback seed {i} -> {reply!r}")
+                return
+            if field(reply, "fb_hit") != 0 or field(reply, "warm") != 0:
+                failures.append(f"feedback seed {i} unexpectedly warm: "
+                                f"{reply!r}")
+        reply = client.round_trip(base)
+        if not reply.startswith("OK ") or field(reply, "warm") != 1 \
+                or field(reply, "warm_done") != 1:
+            failures.append(f"repeat not warm-started: {reply!r}")
+        # The drifted regime: same query, selectivities orders of
+        # magnitude away -> CUSUM fires on the run's observation.
+        reply = client.round_trip(shifted)
+        if not reply.startswith("OK ") or field(reply, "drift") != 1:
+            failures.append(f"shifted qa did not report drift: {reply!r}")
+        stats = client.round_trip("STATS")
+        checks = [
+            ("feedback_misses", 2),   # the two seeding runs
+            ("feedback_hits", 2),     # the warm run and the drift run
+            ("warm_starts", 1),
+            ("warm_completions", 1),
+            ("drift_events", 1),
+            ("invalidations", 1),     # drift evicted the cached contexts
+        ]
+        for name, at_least in checks:
+            if field(stats, name) < at_least:
+                failures.append(
+                    f"STATS {name}={field(stats, name)} < {at_least}: "
+                    f"{stats!r}")
+        client.close()
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the driver
+        failures.append(f"feedback client error: {exc}")
+
+
 class LineClient:
     def __init__(self, port):
         self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
@@ -126,6 +183,11 @@ def main():
             t.start()
         for t in threads:
             t.join()
+
+        # The closed-loop feedback sequence (repeated SUBMITs on one
+        # connection: seed -> warm-start -> drift) after the mixed storm,
+        # so its counter assertions see exactly its own requests.
+        drive_feedback(port, failures)
 
         # Clean shutdown via the protocol; the server must exit 0.
         shutdown = LineClient(port)
