@@ -110,3 +110,24 @@ fi
   --benchmark_out="$FEEDBACK_OUT"
 
 echo "wrote $FEEDBACK_OUT"
+
+# Out-of-core scale baseline: streaming build throughput and cold vs warm
+# mmap scans (with the cold scan's resident-set delta against the store
+# size as counters). Same perf-smoke gating; the warm scan must stay well
+# under the cold one.
+SCALE_BIN="$BUILD_DIR/bench/bench_scale"
+SCALE_OUT="$(dirname "$0")/BENCH_scale.json"
+
+if [[ ! -x "$SCALE_BIN" ]]; then
+  echo "error: $SCALE_BIN not found or not executable (build first)" >&2
+  exit 1
+fi
+
+"$SCALE_BIN" \
+  --benchmark_filter='BM_ScaleStreamingBuild|BM_ColdMmapScan|BM_WarmMmapScan' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_out_format=json \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="$SCALE_OUT"
+
+echo "wrote $SCALE_OUT"

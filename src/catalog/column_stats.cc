@@ -30,4 +30,18 @@ double EquiDepthHistogram::EstimateLessEq(double v) const {
   return std::clamp((full + partial) / static_cast<double>(total_rows), 0.0, 1.0);
 }
 
+double StringHistogram::EstimateLessEq(const std::string& v) const {
+  if (total_rows == 0 || bounds.empty()) return 0.0;
+  if (v >= bounds.back()) return 1.0;
+  // First bucket whose upper edge is >= v; v falls inside it, and without
+  // an interpolation metric between strings the half-bucket position is
+  // the unbiased default.
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  const size_t bucket = static_cast<size_t>(it - bounds.begin());
+  const double full = static_cast<double>(bucket) * rows_per_bucket;
+  const double partial = 0.5 * static_cast<double>(rows_per_bucket);
+  return std::clamp((full + partial) / static_cast<double>(total_rows), 0.0,
+                    1.0);
+}
+
 }  // namespace robustqp

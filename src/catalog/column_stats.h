@@ -8,6 +8,7 @@
 #define ROBUSTQP_CATALOG_COLUMN_STATS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace robustqp {
@@ -24,13 +25,35 @@ struct EquiDepthHistogram {
   double EstimateLessEq(double v) const;
 };
 
-/// Statistics for one column of one table.
+/// Equi-depth histogram over a string column: `bounds` holds bucket upper
+/// edges in lexicographic order. Buckets are equi-depth over *rows* (not
+/// distinct values), mirroring EquiDepthHistogram; within the matched
+/// bucket the estimate assumes the half-bucket position, since there is no
+/// meaningful interpolation between two strings.
+struct StringHistogram {
+  std::vector<std::string> bounds;  // ascending; bounds.back() == column max
+  int64_t rows_per_bucket = 0;
+  int64_t total_rows = 0;
+
+  /// Estimated fraction of rows with value <= v. Returns a value in [0, 1].
+  double EstimateLessEq(const std::string& v) const;
+};
+
+/// Statistics for one column of one table. For string columns the numeric
+/// fields describe the *rank space* (min = 0, max = distinct - 1): scans of
+/// string columns operate on lexicographic ranks, so zone maps and generic
+/// numeric consumers stay meaningful, while the estimator consults the
+/// string histogram for the actual value distribution.
 struct ColumnStats {
   double min = 0.0;
   double max = 0.0;
   int64_t distinct_count = 0;
   int64_t row_count = 0;
   EquiDepthHistogram histogram;
+  /// Populated for string columns only (bounds empty otherwise).
+  StringHistogram str_histogram;
+  std::string str_min;
+  std::string str_max;
 };
 
 }  // namespace robustqp

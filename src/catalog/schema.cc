@@ -8,6 +8,8 @@ const char* DataTypeToString(DataType t) {
       return "INT64";
     case DataType::kDouble:
       return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
   }
   return "UNKNOWN";
 }

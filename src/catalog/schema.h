@@ -1,7 +1,8 @@
-// Table schemas: named, typed columns. The engine supports the two value
-// types the reproduction needs (64-bit integers for keys/codes and doubles
-// for measures); strings in the original benchmarks are dictionary-encoded
-// to integers by the data generators.
+// Table schemas: named, typed columns. 64-bit integers carry keys/codes,
+// doubles carry measures, and strings are first-class dictionary-encoded
+// columns: the storage layer interns each value once and scans operate on
+// the lexicographic *rank* of the interned value, so every kernel and the
+// zone maps see ordinary ordered integers.
 
 #ifndef ROBUSTQP_CATALOG_SCHEMA_H_
 #define ROBUSTQP_CATALOG_SCHEMA_H_
@@ -15,6 +16,7 @@ namespace robustqp {
 enum class DataType {
   kInt64,
   kDouble,
+  kString,
 };
 
 const char* DataTypeToString(DataType t);

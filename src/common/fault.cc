@@ -25,6 +25,7 @@ constexpr const char* kSiteNames[fault_site::kNumSites] = {
     "shard.straggler",     // kShardStraggler
     "shard.lost_chunk",    // kShardLostChunk
     "feedback.store_load", // kFeedbackStoreLoad
+    "storage.page_fault",  // kStoragePageFault
 };
 
 uint64_t SplitMix64(uint64_t z) {
@@ -298,6 +299,7 @@ void RobustnessReport::Merge(const RobustnessReport& o) {
   shard_stragglers += o.shard_stragglers;
   shard_lost_chunks += o.shard_lost_chunks;
   feedback_degradations += o.feedback_degradations;
+  page_fault_degradations += o.page_fault_degradations;
   retried_cost += o.retried_cost;
   spike_cost += o.spike_cost;
   // mso_delta is a harness-level derived quantity, not additive.
@@ -308,7 +310,7 @@ bool RobustnessReport::Any() const {
          engine_degradations || serial_degradations || sweep_degradations ||
          escalations || pcm_violations || contour_clamps || retries_exhausted ||
          shard_stragglers || shard_lost_chunks || feedback_degradations ||
-         retried_cost != 0.0 || spike_cost != 0.0;
+         page_fault_degradations || retried_cost != 0.0 || spike_cost != 0.0;
 }
 
 std::string RobustnessReport::Summary() const {
@@ -335,6 +337,7 @@ std::string RobustnessReport::Summary() const {
   add("shard_stragglers", shard_stragglers);
   add("shard_lost_chunks", shard_lost_chunks);
   add("feedback_degraded", feedback_degradations);
+  add("page_fault_degraded", page_fault_degradations);
   if (retried_cost != 0.0) {
     std::snprintf(buf, sizeof(buf), " retried_cost=%.3g", retried_cost);
     out += buf;

@@ -87,6 +87,8 @@ enum Site : int {
   kShardStraggler,      // shard.straggler (speculative re-dispatch of a shard)
   kShardLostChunk,      // shard.lost_chunk (chunk re-executed on a replica)
   kFeedbackStoreLoad,   // feedback.store_load (fault => cold-start degradation)
+  kStoragePageFault,    // storage.page_fault (mmap block read fault =>
+                        // block degrades to the resident decode path)
   kNumSites,
 };
 }  // namespace fault_site
@@ -136,6 +138,10 @@ struct RobustnessReport {
   /// Feedback-store loads that failed (feedback.store_load fault) and
   /// degraded the request to a cold start.
   int64_t feedback_degradations = 0;
+  /// Mapped-storage blocks whose page read faulted (storage.page_fault)
+  /// and were scanned via the resident decode path instead of the fused
+  /// kernels. Purely physical: counts and cost_used are unchanged.
+  int64_t page_fault_degradations = 0;
   /// Cost units charged for work lost to faulted attempts.
   double retried_cost = 0.0;
   /// Extra cost units charged by spikes on surviving attempts.

@@ -369,8 +369,15 @@ class Compiler {
     std::vector<Filter> out;
     for (int f : filter_indices) {
       const FilterPredicate& fp = query_.filters()[static_cast<size_t>(f)];
-      out.push_back({&table->column(table->schema().FindColumn(fp.column)),
-                     fp.op, fp.value});
+      const ColumnData* col =
+          &table->column(table->schema().FindColumn(fp.column));
+      CompareOp op = fp.op;
+      double value = fp.value;
+      if (fp.is_string) {
+        kernels::MapStringPredicate(col->enc(), fp.op, fp.value_str, &op,
+                                    &value);
+      }
+      out.push_back({col, op, value});
     }
     return out;
   }
@@ -632,6 +639,13 @@ struct WorkCtx {
   /// like zone maps, purely physical: encoded scans decode-then-filter
   /// when off, with identical survivors and counts.
   bool use_compression = true;
+  /// Per-block storage.page_fault degradation bitmap for the current
+  /// pipeline's scan table (null when disarmed or not mapped): a faulted
+  /// block declines the fused kernels and scans via the resident decode
+  /// path — survivors and counts are identical, so this is charged to the
+  /// robustness report, never to cost_used. Drawn coordinator-side in
+  /// RunBatchEngine and shared read-only by every worker.
+  const std::vector<uint8_t>* pf_blocks = nullptr;
 
   NodeStats& St(int node_id) {
     return (*stats)[static_cast<size_t>(node_id)];
@@ -797,8 +811,18 @@ void ScanBulk(const ScanSource& s, int64_t r0, int64_t r1, WorkCtx* ctx,
   bool dense = true;
   int64_t cur = n;
   if (!s.filters.empty()) {
-    cur = FilterCascade(s.filters, r0, r1, ctx->use_zone_maps,
-                        ctx->use_compression, &st, &sc->sel, &sc->fsc, &dense);
+    bool fused = ctx->use_compression;
+    if (fused && ctx->pf_blocks != nullptr) {
+      for (int64_t b = r0 / kZoneBlockRows; b <= (r1 - 1) / kZoneBlockRows;
+           ++b) {
+        if ((*ctx->pf_blocks)[static_cast<size_t>(b)] != 0) {
+          fused = false;
+          break;
+        }
+      }
+    }
+    cur = FilterCascade(s.filters, r0, r1, ctx->use_zone_maps, fused, &st,
+                        &sc->sel, &sc->fsc, &dense);
   }
   st.out += cur;
   out->n = cur;
@@ -1539,6 +1563,7 @@ Status RunPipelineParallel(const Pipeline& p, const CostModel& cm,
     wctx.output_rows = &wo.output_rows;
     wctx.use_zone_maps = ctx->use_zone_maps;
     wctx.use_compression = ctx->use_compression;
+    wctx.pf_blocks = ctx->pf_blocks;
     Scratch wsc;
     size_t width = 0;
     for (int64_t r0 = begin; r0 < end; r0 += kBatchRows) {
@@ -1693,6 +1718,7 @@ Status RunPipelineSharded(const Pipeline& p, const CostModel& cm, WorkCtx* ctx,
     cctx.params = ctx->params;
     cctx.use_zone_maps = ctx->use_zone_maps;
     cctx.use_compression = ctx->use_compression;
+    cctx.pf_blocks = ctx->pf_blocks;
     const int64_t e = shard::ChunkEnd(c, n);
     for (int64_t r0 = shard::ChunkBegin(c); r0 < e; r0 += kBatchRows) {
       const int64_t r1 = std::min<int64_t>(e, r0 + kBatchRows);
@@ -1853,9 +1879,37 @@ Result<ExecutionResult> RunBatchEngine(const Catalog& catalog,
   ctx.use_zone_maps = use_zone_maps;
   ctx.use_compression = use_compression;
 
+  // storage.page_fault draws: coordinator-side, in fixed (pipeline, block)
+  // ascending order — independent of engine knobs, thread count and shard
+  // layout — for every scan pipeline whose table is mapped. A fired draw
+  // degrades that block from the fused kernels to the resident decode path
+  // (count- and cost-identical) and is charged to the robustness report.
+  std::vector<std::vector<uint8_t>> pf(compiler.pipelines.size());
+  if (FaultInjector::Armed()) {
+    FaultInjector& inj = FaultInjector::Global();
+    for (size_t pi = 0; pi < compiler.pipelines.size(); ++pi) {
+      const Pipeline& p = compiler.pipelines[pi];
+      if (!p.is_scan || p.scan.table == nullptr ||
+          !p.scan.table->IsMapped()) {
+        continue;
+      }
+      const int64_t blocks =
+          (p.scan.table->num_rows() + kZoneBlockRows - 1) / kZoneBlockRows;
+      pf[pi].assign(static_cast<size_t>(blocks), 0);
+      for (int64_t b = 0; b < blocks; ++b) {
+        if (inj.Evaluate(fault_site::kStoragePageFault)) {
+          pf[pi][static_cast<size_t>(b)] = 1;
+          ++result.robustness.page_fault_degradations;
+        }
+      }
+    }
+  }
+
   Scratch sc;
   Status st = Status::OK();
-  for (const Pipeline& p : compiler.pipelines) {
+  for (size_t pi = 0; pi < compiler.pipelines.size(); ++pi) {
+    const Pipeline& p = compiler.pipelines[pi];
+    ctx.pf_blocks = pf[pi].empty() ? nullptr : &pf[pi];
     // Scan pipelines of a full run scatter over the shards (with or
     // without a pool — a serial shard loop gathers identically, which is
     // what makes sharded results thread-count-invariant); merge-side

@@ -104,7 +104,14 @@ class SeqScanOp : public OperatorBase {
     layout_.width = table_->schema().num_columns();
     for (int f : node.filter_indices) {
       const FilterPredicate& fp = query.filters()[static_cast<size_t>(f)];
-      filters_.push_back({table_->schema().FindColumn(fp.column), fp.op, fp.value});
+      const int col = table_->schema().FindColumn(fp.column);
+      CompareOp op = fp.op;
+      double value = fp.value;
+      if (fp.is_string) {
+        kernels::MapStringPredicate(table_->column(col).enc(), fp.op,
+                                    fp.value_str, &op, &value);
+      }
+      filters_.push_back({col, op, value});
     }
   }
 
@@ -590,8 +597,14 @@ class IndexNLJoinOp : public OperatorBase {
 
     for (int f : node.right->filter_indices) {
       const FilterPredicate& fp = query.filters()[static_cast<size_t>(f)];
-      filters_.push_back(
-          {inner_table_->schema().FindColumn(fp.column), fp.op, fp.value});
+      const int col = inner_table_->schema().FindColumn(fp.column);
+      CompareOp op = fp.op;
+      double value = fp.value;
+      if (fp.is_string) {
+        kernels::MapStringPredicate(inner_table_->column(col).enc(), fp.op,
+                                    fp.value_str, &op, &value);
+      }
+      filters_.push_back({col, op, value});
     }
   }
 

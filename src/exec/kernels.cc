@@ -484,6 +484,43 @@ int64_t FilterPackedInt64(const EncodedColumn::PackedView& view,
   }
 }
 
+void MapStringPredicate(const EncodedColumn& enc, CompareOp op,
+                        const std::string& literal, CompareOp* out_op,
+                        double* out_value) {
+  // Ranks are the integers 0..dict_size-1, so half-open rank bounds
+  // express every comparison exactly: lo = first rank >= literal,
+  // up = first rank > literal.
+  const int64_t lo = enc.StringLowerBoundRank(literal);
+  const int64_t up = enc.StringUpperBoundRank(literal);
+  switch (op) {
+    case CompareOp::kLt:  // values <  literal  <=>  rank < lo
+      *out_op = CompareOp::kLt;
+      *out_value = static_cast<double>(lo);
+      return;
+    case CompareOp::kLe:  // values <= literal  <=>  rank < up
+      *out_op = CompareOp::kLt;
+      *out_value = static_cast<double>(up);
+      return;
+    case CompareOp::kGt:  // values >  literal  <=>  rank >= up
+      *out_op = CompareOp::kGe;
+      *out_value = static_cast<double>(up);
+      return;
+    case CompareOp::kGe:  // values >= literal  <=>  rank >= lo
+      *out_op = CompareOp::kGe;
+      *out_value = static_cast<double>(lo);
+      return;
+    case CompareOp::kEq:
+      if (lo < up) {  // literal present: exactly rank lo
+        *out_op = CompareOp::kEq;
+        *out_value = static_cast<double>(lo);
+      } else {  // absent: no rank satisfies rank < 0
+        *out_op = CompareOp::kLt;
+        *out_value = 0.0;
+      }
+      return;
+  }
+}
+
 bool MapPredicateToCodes(CompareOp op, double value, int64_t ref,
                          uint64_t range, CodePred* out) {
   if (std::isnan(value)) {

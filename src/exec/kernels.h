@@ -146,6 +146,17 @@ struct CodePred {
 bool MapPredicateToCodes(CompareOp op, double value, int64_t ref,
                          uint64_t range, CodePred* out);
 
+/// Rank-space translation of a string predicate (see storage/encoding.h):
+/// rewrites `col OP literal` into the equivalent numeric comparison over
+/// the column's lexicographic ranks, done once at filter resolution. The
+/// rewrite is exact — ranks are small integers, every boundary is a
+/// representable double — so the ordinary numeric kernels (including the
+/// fused dictionary/packed paths) evaluate string filters with no special
+/// casing. A predicate no rank satisfies comes back as `rank < 0`.
+void MapStringPredicate(const EncodedColumn& enc, CompareOp op,
+                        const std::string& literal, CompareOp* out_op,
+                        double* out_value);
+
 /// Fused filter over one packed (or dictionary-code) block: compares
 /// bit-unpacked codes against the mapped constant without materializing
 /// values. Writes surviving absolute row ids (base_row + in-block index,

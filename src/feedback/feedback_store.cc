@@ -49,8 +49,9 @@ double FeedbackStore::DimRing::Sigma() const {
 
 FeedbackStore::FeedbackStore(Options options) : options_(options) {}
 
-std::string FeedbackStore::Key(const std::string& query_id, int dims) {
-  return query_id + "|d" + std::to_string(dims);
+std::string FeedbackStore::Key(const std::string& query_id, int dims,
+                               const std::string& storage) {
+  return query_id + "|d" + std::to_string(dims) + "|" + storage;
 }
 
 FeedbackStore::Entry* FeedbackStore::Touch(const std::string& key, int dims) {

@@ -130,8 +130,12 @@ class FeedbackStore {
   /// The store key for a suite query with a D-dimensional ESS. Encodings,
   /// engines and build modes deliberately do NOT key the store: the
   /// data's true selectivities are identical across all of them, so their
-  /// observations pool.
-  static std::string Key(const std::string& query_id, int dims);
+  /// observations pool. The *storage backend* ("resident" / "mmap") DOES
+  /// key it: a mapped catalog can be an externally built store (e.g.
+  /// robustqp_server --scale-dir) holding different data under the same
+  /// query ids, so observations from distinct backends must never pool.
+  static std::string Key(const std::string& query_id, int dims,
+                         const std::string& storage = "resident");
 
   /// Records one completed run's observed per-dim selectivities (entries
   /// <= 0 are unknown and skipped). `total_cost` / `final_contour`

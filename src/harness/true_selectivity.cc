@@ -4,11 +4,24 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/kernels.h"
 #include "storage/table.h"
 
 namespace robustqp {
 
 namespace {
+
+/// Resolved (op, value) of a filter against its column: string predicates
+/// translate into rank space exactly as the execution engines do, so true
+/// selectivities match what a scan observes.
+void ResolveFilter(const ColumnData& col, const FilterPredicate& fp,
+                   CompareOp* op, double* value) {
+  *op = fp.op;
+  *value = fp.value;
+  if (fp.is_string) {
+    kernels::MapStringPredicate(col.enc(), fp.op, fp.value_str, op, value);
+  }
+}
 
 /// Values of `column` for rows of `table` passing the query's filters on
 /// that table.
@@ -29,7 +42,11 @@ std::vector<double> FilteredColumn(const Catalog& catalog, const Query& query,
   std::vector<Filter> filters;
   for (const auto& f : query.filters()) {
     if (f.table != table) continue;
-    filters.push_back({t.schema().FindColumn(f.column), f.op, f.value});
+    const int fcol = t.schema().FindColumn(f.column);
+    CompareOp op;
+    double value;
+    ResolveFilter(t.column(fcol), f, &op, &value);
+    filters.push_back({fcol, op, value});
   }
 
   std::vector<double> out;
@@ -66,16 +83,19 @@ EssPoint ComputeTrueSelectivities(const Catalog& catalog, const Query& query) {
       const Table& t = *entry->table;
       const int col = t.schema().FindColumn(fp.column);
       RQP_CHECK(col >= 0);
+      CompareOp op;
+      double value;
+      ResolveFilter(t.column(col), fp, &op, &value);
       int64_t pass = 0;
       for (int64_t r = 0; r < t.num_rows(); ++r) {
         const double v = t.column(col).GetNumeric(r);
         bool p = true;
-        switch (fp.op) {
-          case CompareOp::kLt: p = v < fp.value; break;
-          case CompareOp::kLe: p = v <= fp.value; break;
-          case CompareOp::kGt: p = v > fp.value; break;
-          case CompareOp::kGe: p = v >= fp.value; break;
-          case CompareOp::kEq: p = v == fp.value; break;
+        switch (op) {
+          case CompareOp::kLt: p = v < value; break;
+          case CompareOp::kLe: p = v <= value; break;
+          case CompareOp::kGt: p = v > value; break;
+          case CompareOp::kGe: p = v >= value; break;
+          case CompareOp::kEq: p = v == value; break;
         }
         if (p) ++pass;
       }

@@ -29,7 +29,12 @@ CardinalityEstimator::CardinalityEstimator(const Catalog* catalog,
       continue;
     }
     double sel = 1.0;
-    const double le = stats->histogram.EstimateLessEq(f.value);
+    // String filters estimate over the string histogram; the numeric
+    // histogram for a string column describes rank space, which the
+    // estimator cannot place a raw literal into without the dictionary.
+    const double le = f.is_string
+                          ? stats->str_histogram.EstimateLessEq(f.value_str)
+                          : stats->histogram.EstimateLessEq(f.value);
     switch (f.op) {
       case CompareOp::kLt:
       case CompareOp::kLe:

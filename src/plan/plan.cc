@@ -168,7 +168,12 @@ void RenderNode(const PlanNode& node, const Query& query, int depth,
         const FilterPredicate& f =
             query.filters()[static_cast<size_t>(node.filter_indices[i])];
         if (i > 0) *os << " AND ";
-        *os << f.column << CompareOpToString(f.op) << f.value;
+        *os << f.column << CompareOpToString(f.op);
+        if (f.is_string) {
+          *os << "'" << f.value_str << "'";
+        } else {
+          *os << f.value;
+        }
       }
       *os << "]";
     }

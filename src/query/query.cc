@@ -123,6 +123,16 @@ Status Query::Validate(const Catalog& catalog) const {
   }
   for (const auto& fp : filters_) {
     RQP_RETURN_NOT_OK(check_column(fp.table, fp.column));
+    const CatalogEntry* entry = catalog.FindTable(fp.table);
+    const int c = entry->table->schema().FindColumn(fp.column);
+    const bool col_is_string =
+        entry->table->schema().column(c).type == DataType::kString;
+    if (fp.is_string != col_is_string) {
+      return Status::InvalidArgument(
+          "filter on '" + fp.table + "." + fp.column + "' compares a " +
+          (fp.is_string ? "string" : "numeric") + " literal with a " +
+          (col_is_string ? "STRING" : "numeric") + " column");
+    }
   }
 
   // Join-graph connectivity over table ids.

@@ -28,12 +28,18 @@ enum class CompareOp {
 
 const char* CompareOpToString(CompareOp op);
 
-/// A base-table filter `table.column OP value`.
+/// A base-table filter `table.column OP value`. String-column filters set
+/// `is_string` and carry the literal in `value_str`; `value` is unused
+/// until filter resolution translates the predicate into the column's
+/// lexicographic rank space (see storage/encoding.h), after which the
+/// scan kernels evaluate it like any numeric comparison.
 struct FilterPredicate {
   std::string table;
   std::string column;
   CompareOp op = CompareOp::kLt;
   double value = 0.0;
+  bool is_string = false;
+  std::string value_str;
 };
 
 /// An equi-join predicate `left.column = right.column` — one edge of the

@@ -1,10 +1,16 @@
 #include "server/context_cache.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <sstream>
+#include <utility>
 
 #include "common/status.h"
+#include "storage/table.h"
 #include "workloads/job.h"
 #include "workloads/queries.h"
 #include "workloads/tpcds.h"
@@ -14,7 +20,8 @@ namespace robustqp {
 ContextCache::ContextCache(Options options) : options_(options) {}
 
 std::string ContextCache::Key(const std::string& id, const Ess::Config& c,
-                              Encoding encoding, bool use_compression) {
+                              Encoding encoding, bool use_compression,
+                              StorageBackend backend) {
   std::ostringstream os;
   os << id << "|" << c.min_sel << "|" << c.points_per_dim << "|"
      << c.contour_cost_ratio << "|" << c.cost_model.params().scan_tuple << ","
@@ -25,7 +32,8 @@ std::string ContextCache::Key(const std::string& id, const Ess::Config& c,
      << c.cost_model.params().join_output_tuple << "|"
      << static_cast<int>(c.build_mode) << "|" << c.recost_lambda << "|"
      << c.refine_fallback_fraction << "|" << EncodingName(encoding) << "|"
-     << (use_compression ? "fused" : "decode");
+     << (use_compression ? "fused" : "decode") << "|"
+     << StorageBackendName(backend);
   return os.str();
 }
 
@@ -39,34 +47,96 @@ EncodingPolicy PolicyForEncoding(Encoding encoding) {
   return policy;
 }
 
-/// One lazily-built catalog per encoding, shared process-wide.
-std::shared_ptr<Catalog> CatalogForEncoding(
-    Encoding encoding, std::map<Encoding, std::shared_ptr<Catalog>>* cats,
-    std::mutex* mu, const std::function<std::shared_ptr<Catalog>()>& build) {
+/// Rewrites a resident catalog through the column-file format: every table
+/// is serialized to a temp file, reopened demand-paged, and the file
+/// unlinked (the mapping keeps the inode alive until the catalog drops),
+/// then the same indexes are rebuilt. Statistics ride through the file,
+/// so the mapped twin carries bit-identical stats — only the physical
+/// residence of the payload bytes differs.
+std::shared_ptr<Catalog> RemapCatalog(const Catalog& resident) {
+  char tmpl[] = "/tmp/rqp_colf_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  RQP_CHECK(dir != nullptr);
+  auto mapped = std::make_shared<Catalog>();
+  for (const std::string& name : resident.TableNames()) {
+    const CatalogEntry* entry = resident.FindTable(name);
+    const std::string path = std::string(dir) + "/" + name + ".rqp";
+    RQP_CHECK(WriteTableFile(*entry->table, entry->stats, path).ok());
+    MappedTable mt;
+    RQP_CHECK(OpenMappedTable(path, &mt).ok());
+    std::remove(path.c_str());
+    RQP_CHECK(mapped->AddTable(mt.table, std::move(mt.stats)).ok());
+    for (const auto& [column, index] : entry->indexes) {
+      (void)index;
+      RQP_CHECK(mapped->BuildIndex(name, column).ok());
+    }
+  }
+  rmdir(dir);
+  return mapped;
+}
+
+using CatalogKey = std::pair<Encoding, StorageBackend>;
+
+/// One lazily-built catalog per (encoding, backend), shared process-wide.
+/// The kMmap variant is the resident build remapped through column files,
+/// so asking for kMmap materializes (and caches) the resident twin too.
+std::shared_ptr<Catalog> CatalogFor(
+    Encoding encoding, StorageBackend backend,
+    std::map<CatalogKey, std::shared_ptr<Catalog>>* cats, std::mutex* mu,
+    const std::function<std::shared_ptr<Catalog>()>& build_resident) {
   std::lock_guard<std::mutex> lock(*mu);
-  std::shared_ptr<Catalog>& slot = (*cats)[encoding];
-  if (slot == nullptr) slot = build();
+  std::shared_ptr<Catalog>& slot = (*cats)[{encoding, backend}];
+  if (slot == nullptr) {
+    // (std::map references are stable across the second operator[].)
+    std::shared_ptr<Catalog>& res =
+        (*cats)[{encoding, StorageBackend::kResident}];
+    if (res == nullptr) res = build_resident();
+    slot = backend == StorageBackend::kResident ? res : RemapCatalog(*res);
+  }
   return slot;
+}
+
+std::mutex* ExternalMu() {
+  static std::mutex* mu = new std::mutex();
+  return mu;
+}
+
+std::map<StorageBackend, std::shared_ptr<Catalog>>* ExternalTpcds() {
+  static auto* m = new std::map<StorageBackend, std::shared_ptr<Catalog>>();
+  return m;
 }
 
 }  // namespace
 
-std::shared_ptr<Catalog> ContextCache::TpcdsCatalog(Encoding encoding) {
+std::shared_ptr<Catalog> ContextCache::TpcdsCatalog(Encoding encoding,
+                                                    StorageBackend backend) {
+  {
+    std::lock_guard<std::mutex> lock(*ExternalMu());
+    auto it = ExternalTpcds()->find(backend);
+    if (it != ExternalTpcds()->end()) return it->second;
+  }
   static std::mutex* mu = new std::mutex();
-  static auto* cats = new std::map<Encoding, std::shared_ptr<Catalog>>();
-  return CatalogForEncoding(encoding, cats, mu, [encoding] {
+  static auto* cats = new std::map<CatalogKey, std::shared_ptr<Catalog>>();
+  return CatalogFor(encoding, backend, cats, mu, [encoding] {
     return std::shared_ptr<Catalog>(
         BuildTpcdsCatalog(42, 1.0, PolicyForEncoding(encoding)));
   });
 }
 
-std::shared_ptr<Catalog> ContextCache::JobCatalog(Encoding encoding) {
+std::shared_ptr<Catalog> ContextCache::JobCatalog(Encoding encoding,
+                                                  StorageBackend backend) {
   static std::mutex* mu = new std::mutex();
-  static auto* cats = new std::map<Encoding, std::shared_ptr<Catalog>>();
-  return CatalogForEncoding(encoding, cats, mu, [encoding] {
+  static auto* cats = new std::map<CatalogKey, std::shared_ptr<Catalog>>();
+  return CatalogFor(encoding, backend, cats, mu, [encoding] {
     return std::shared_ptr<Catalog>(
         BuildJobCatalog(7, 1.0, PolicyForEncoding(encoding)));
   });
+}
+
+void ContextCache::RegisterExternalTpcds(std::shared_ptr<Catalog> catalog,
+                                         StorageBackend backend) {
+  std::lock_guard<std::mutex> lock(*ExternalMu());
+  (*ExternalTpcds())[backend] = std::move(catalog);
 }
 
 ContextCache& ContextCache::Default() {
@@ -120,6 +190,13 @@ Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
 Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
     const std::string& id, const Ess::Config& config, Encoding encoding,
     bool use_compression, bool* cache_hit) {
+  return Get(id, config, encoding, use_compression, StorageBackend::kResident,
+             cache_hit);
+}
+
+Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
+    const std::string& id, const Ess::Config& config, Encoding encoding,
+    bool use_compression, StorageBackend backend, bool* cache_hit) {
   if (cache_hit != nullptr) *cache_hit = false;
   {
     const std::vector<std::string> ids = SuiteQueryIds();
@@ -127,7 +204,7 @@ Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
       return Status::NotFound("unknown suite query: " + id);
     }
   }
-  const std::string key = Key(id, config, encoding, use_compression);
+  const std::string key = Key(id, config, encoding, use_compression, backend);
 
   std::shared_ptr<Node> node;
   {
@@ -154,8 +231,8 @@ Result<std::shared_ptr<const ContextCache::Entry>> ContextCache::Get(
   std::lock_guard<std::mutex> build_lock(node->build_mu);
   if (!node->built) {
     auto entry = std::make_shared<Entry>();
-    entry->catalog = IsJobQuery(id) ? JobCatalog(encoding)
-                                    : TpcdsCatalog(encoding);
+    entry->catalog = IsJobQuery(id) ? JobCatalog(encoding, backend)
+                                    : TpcdsCatalog(encoding, backend);
     entry->query = std::make_unique<Query>(MakeSuiteQuery(id));
     entry->key = key;
     RQP_CHECK(entry->query->Validate(*entry->catalog).ok());

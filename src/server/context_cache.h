@@ -32,6 +32,7 @@
 
 #include "ess/ess.h"
 #include "query/query.h"
+#include "storage/column_file.h"
 #include "storage/encoding.h"
 
 namespace robustqp {
@@ -94,6 +95,16 @@ class ContextCache {
                                            Encoding encoding,
                                            bool use_compression,
                                            bool* cache_hit = nullptr);
+  /// Full-knob form: `backend` additionally picks resident vs mmap'd
+  /// catalog payloads (kMmap contexts never alias kResident ones — the
+  /// backend is part of the key — though their plans, stats, and surfaces
+  /// are bit-identical).
+  Result<std::shared_ptr<const Entry>> Get(const std::string& id,
+                                           const Ess::Config& config,
+                                           Encoding encoding,
+                                           bool use_compression,
+                                           StorageBackend backend,
+                                           bool* cache_hit = nullptr);
 
   Stats stats() const;
 
@@ -110,7 +121,8 @@ class ContextCache {
   /// and logging.
   static std::string Key(const std::string& id, const Ess::Config& config,
                          Encoding encoding = Encoding::kAuto,
-                         bool use_compression = true);
+                         bool use_compression = true,
+                         StorageBackend backend = StorageBackend::kResident);
 
   /// Process-default instance (unbounded), for callers that want
   /// process-lifetime contexts without owning a cache.
@@ -127,10 +139,25 @@ class ContextCache {
   /// encoding*; every cache instance reuses them — only the per-query ESS
   /// differs per entry). The data, statistics, and plans are identical
   /// for every encoding; only the physical column layout differs.
+  /// The kMmap variants serialize the resident build to column files in a
+  /// temp directory, reopen them mapped (the files are unlinked once
+  /// mapped; the mappings keep them alive), and rebuild the same indexes —
+  /// stats carried through the files bit-identically.
   static std::shared_ptr<Catalog> TpcdsCatalog(
-      Encoding encoding = Encoding::kAuto);
+      Encoding encoding = Encoding::kAuto,
+      StorageBackend backend = StorageBackend::kResident);
   static std::shared_ptr<Catalog> JobCatalog(
-      Encoding encoding = Encoding::kAuto);
+      Encoding encoding = Encoding::kAuto,
+      StorageBackend backend = StorageBackend::kResident);
+
+  /// Installs an externally built catalog (e.g. a scale-dir store opened
+  /// from column files by robustqp_server --scale-dir) as the process-wide
+  /// TPC-DS catalog for `backend` under every encoding: subsequent
+  /// context builds for TPC-DS suite queries at that backend use it
+  /// instead of the synthetic build. Must be called before the first Get
+  /// that would build the replaced variant; intended for process startup.
+  static void RegisterExternalTpcds(std::shared_ptr<Catalog> catalog,
+                                    StorageBackend backend);
 
  private:
   struct Node {

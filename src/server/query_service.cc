@@ -233,7 +233,7 @@ void QueryService::Execute(const ServiceRequest& request, ContextCache* cache,
     Result<std::shared_ptr<const ContextCache::Entry>> ctx_or =
         cache->Get(request.query_id, request.options.ToEssConfig(),
                    request.options.encoding, request.options.use_compression,
-                   &resp->cache_hit);
+                   request.options.storage, &resp->cache_hit);
     if (!ctx_or.ok()) {
       resp->status = ctx_or.status();
       return;
@@ -310,7 +310,8 @@ Status QueryService::RunResolved(const ServiceRequest& request,
   RobustnessReport fb_report;
   std::string fb_key;
   if (use_fb) {
-    fb_key = feedback::FeedbackStore::Key(request.query_id, dims);
+    fb_key = feedback::FeedbackStore::Key(
+        request.query_id, dims, StorageBackendName(request.options.storage));
     cal = store->Get(fb_key, &fb_report);
     resp->feedback_hit = cal.valid;
   }

@@ -18,6 +18,7 @@
 
 #include "ess/ess.h"
 #include "exec/executor.h"
+#include "storage/column_file.h"
 #include "storage/encoding.h"
 
 namespace robustqp {
@@ -63,6 +64,11 @@ struct RequestOptions {
   /// specific encoding forces it on every column. Part of the
   /// ContextCache key; the data itself is identical for every choice.
   Encoding encoding = Encoding::kAuto;
+  /// Where the catalog's payloads live: resident memory, or demand-paged
+  /// column files (CLI --storage, TCP storage=). Physical only — results
+  /// and cost accounting are bit-identical across backends — but part of
+  /// the ContextCache key, since the two layouts are distinct objects.
+  StorageBackend storage = StorageBackend::kResident;
 
   // --- ESS construction (the Ess::Config fields front-ends expose) ---
   int points_per_dim = 0;  // 0 = DefaultPointsPerDim(D)

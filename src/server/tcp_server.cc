@@ -110,6 +110,13 @@ Status ParseSubmitLine(const std::string& line, ServiceRequest* out) {
       // Differential knob: decode-then-filter (fused=0) on encoded
       // columns; results and cost accounting are identical either way.
       req.options.use_compression = value != "0";
+    } else if (key == "storage") {
+      // Catalog residence: resident memory or demand-paged column files.
+      // Physical only — responses are bit-identical across backends.
+      if (!ParseStorageBackend(value, &req.options.storage)) {
+        return Status::InvalidArgument("unknown storage " + value +
+                                       " (want resident|mmap)");
+      }
     } else if (key == "feedback") {
       // Closed-loop knob: consult/update the serving instance's
       // FeedbackStore (calibrated native seeds, warm-started discovery,

@@ -29,7 +29,10 @@
 // ratio, build (exhaustive|exact|recost:<l>), compression
 // (auto|raw|packed|vbyte|dict|on|off — the catalog's storage encoding;
 // raw also disables fused execution), fused (0|1 — decode-then-filter
-// override on encoded columns), feedback (0|1 — closed-loop calibration,
+// override on encoded columns), storage (resident|mmap — catalog
+// residence: in-memory or demand-paged column files; physical only,
+// responses are bit-identical across backends),
+// feedback (0|1 — closed-loop calibration,
 // warm-started discovery, and drift detection against the serving
 // instance's FeedbackStore), faults (spec string, no spaces), seed.
 // Unknown keys are an error; values never contain spaces.

@@ -177,8 +177,17 @@ EncodedColumn::EncodedColumn(DataType type, Encoding requested,
     : type_(type),
       requested_(requested),
       dict_cap_(std::max<int64_t>(1, dict_max_card)) {
-  RQP_CHECK(requested != Encoding::kRaw);
-  if (type_ == DataType::kDouble) {
+  if (type_ == DataType::kString) {
+    // Strings are always dictionary-coded (unbounded: the cardinality cap
+    // governs only the numeric auto policy) — the dictionary is what
+    // provides the rank order every numeric consumer sees.
+    mode_ = Encoding::kDict;
+  } else if (requested == Encoding::kRaw) {
+    // kRaw value blocks (one 64-bit word per row). Resident tables store
+    // raw columns as plain vectors instead; this layout serves sink-mode
+    // and mapped columns, where every column must be block-addressed.
+    mode_ = Encoding::kRaw;
+  } else if (type_ == DataType::kDouble) {
     // Doubles have no frame-of-reference layout; anything but dictionary
     // falls back to raw (handled by AbandonDict + owner demotion).
     mode_ = Encoding::kDict;
@@ -187,6 +196,21 @@ EncodedColumn::EncodedColumn(DataType type, Encoding requested,
   } else {
     mode_ = requested;  // forced kPacked / kVbyte
   }
+}
+
+void EncodedColumn::set_sink(BlockSink* sink) {
+  RQP_CHECK(num_rows_ == 0 && !finished_);
+  sink_ = sink;
+  // Sink-safe layouts only: nothing that could re-encode spilled blocks.
+  if (type_ == DataType::kInt64) {
+    RQP_CHECK(requested_ != Encoding::kDict);
+    if (requested_ == Encoding::kDict) mode_ = Encoding::kAuto;
+    if (mode_ == Encoding::kDict) mode_ = Encoding::kAuto;
+  } else if (type_ == DataType::kDouble) {
+    RQP_CHECK(requested_ != Encoding::kDict);
+    mode_ = Encoding::kRaw;  // one 64-bit word per value
+  }
+  // Strings keep the unbounded dictionary; it never abandons.
 }
 
 void EncodedColumn::AppendInt(int64_t v) {
@@ -235,10 +259,29 @@ void EncodedColumn::AppendDouble(double v) {
       stage_c_.push_back(it->second);
     }
     if (static_cast<int64_t>(stage_c_.size()) >= kBlockRows) FlushStage();
+  } else if (mode_ == Encoding::kRaw &&
+             (sink_ != nullptr || requested_ == Encoding::kRaw)) {
+    stage_d_.push_back(v);  // kRaw value blocks (sink/mapped layout)
+    if (static_cast<int64_t>(stage_d_.size()) >= kBlockRows) FlushStage();
   } else {
     raw_d_.push_back(v);  // dictionary overflowed earlier
   }
   ++num_rows_;
+}
+
+void EncodedColumn::AppendString(const std::string& v) {
+  RQP_CHECK(!finished_ && type_ == DataType::kString);
+  auto it = dict_smap_.find(v);
+  if (it == dict_smap_.end()) {
+    const uint32_t code = static_cast<uint32_t>(dict_s_.size());
+    dict_s_.push_back(v);
+    dict_smap_.emplace(v, code);
+    stage_c_.push_back(code);
+  } else {
+    stage_c_.push_back(it->second);
+  }
+  ++num_rows_;
+  if (static_cast<int64_t>(stage_c_.size()) >= kBlockRows) FlushStage();
 }
 
 void EncodedColumn::Finish() {
@@ -247,12 +290,18 @@ void EncodedColumn::Finish() {
   FlushStage();
   finished_ = true;
   dict_map_.clear();
+  dict_smap_.clear();
   words_.shrink_to_fit();
   bytes_.shrink_to_fit();
   skips_.shrink_to_fit();
   blocks_.shrink_to_fit();
   dict_i_.shrink_to_fit();
   dict_d_.shrink_to_fit();
+  dict_s_.shrink_to_fit();
+  wp_ = words_.data();
+  bp_ = bytes_.data();
+  sp_ = skips_.data();
+  if (type_ == DataType::kString) BuildStringRanks();
 }
 
 void EncodedColumn::MaybeDemoteDictToPacked() {
@@ -287,10 +336,46 @@ void EncodedColumn::FlushStage() {
                           static_cast<int64_t>(stage_c_.size()));
       stage_c_.clear();
     }
+  } else if (mode_ == Encoding::kRaw) {
+    if (!stage_i_.empty()) {
+      EncodeRawBlock(stage_i_.data(), static_cast<int64_t>(stage_i_.size()));
+      stage_i_.clear();
+    }
+    if (!stage_d_.empty()) {
+      EncodeRawBlock(stage_d_.data(), static_cast<int64_t>(stage_d_.size()));
+      stage_d_.clear();
+    }
   } else if (!stage_i_.empty()) {
     EncodeAdaptiveBlock(stage_i_.data(), static_cast<int64_t>(stage_i_.size()));
     stage_i_.clear();
   }
+  SpillToSink();
+}
+
+void EncodedColumn::SpillToSink() {
+  if (sink_ == nullptr) return;
+  if (!words_.empty()) {
+    sink_->AppendWords(words_.data(), words_.size());
+    flushed_words_ += words_.size();
+    words_.clear();
+  }
+  if (!bytes_.empty()) {
+    sink_->AppendBytes(bytes_.data(), bytes_.size());
+    flushed_bytes_ += bytes_.size();
+    bytes_.clear();
+  }
+}
+
+void EncodedColumn::EncodeRawBlock(const void* v, int64_t n) {
+  Block blk;
+  blk.kind = Encoding::kRaw;
+  blk.rows = static_cast<int32_t>(n);
+  blk.width = 64;
+  blk.word_off = flushed_words_ + words_.size();
+  const size_t base = words_.size();
+  words_.resize(base + static_cast<size_t>(n));
+  std::memcpy(words_.data() + base, v, static_cast<size_t>(n) * sizeof(uint64_t));
+  blocks_.push_back(blk);
 }
 
 void EncodedColumn::EncodePackedBlock(const int64_t* v, int64_t n, int64_t ref,
@@ -301,7 +386,7 @@ void EncodedColumn::EncodePackedBlock(const int64_t* v, int64_t n, int64_t ref,
   blk.ref = ref;
   blk.range = range;
   blk.width = static_cast<uint8_t>(bitpack::LaneWidthFor(range));
-  blk.word_off = words_.size();
+  blk.word_off = flushed_words_ + words_.size();
   if (blk.width > 0) {
     std::vector<uint64_t> codes(static_cast<size_t>(n));
     const uint64_t uref = static_cast<uint64_t>(ref);
@@ -318,12 +403,14 @@ void EncodedColumn::EncodeVbyteBlock(const int64_t* v, int64_t n, int64_t ref) {
   blk.kind = Encoding::kVbyte;
   blk.rows = static_cast<int32_t>(n);
   blk.ref = ref;
-  blk.byte_off = bytes_.size();
+  blk.byte_off = flushed_bytes_ + bytes_.size();
   blk.skip_off = skips_.size();
   const uint64_t uref = static_cast<uint64_t>(ref);
   uint64_t range = 0;
   for (int64_t i = 0; i < n; ++i) {
-    if (i % vbyte::kVbyteGroup == 0) skips_.push_back(bytes_.size());
+    if (i % vbyte::kVbyteGroup == 0) {
+      skips_.push_back(flushed_bytes_ + bytes_.size());
+    }
     const uint64_t delta = static_cast<uint64_t>(v[i]) - uref;
     range = std::max(range, delta);
     vbyte::Encode(delta, &bytes_);
@@ -379,12 +466,15 @@ void EncodedColumn::EncodeDictCodeBlock(const uint32_t* codes, int64_t n) {
   blk.ref = 0;
   blk.range = maxcode;
   blk.width = static_cast<uint8_t>(bitpack::LaneWidthFor(maxcode));
-  blk.word_off = words_.size();
+  blk.word_off = flushed_words_ + words_.size();
   if (blk.width > 0) bitpack::Pack(wide.data(), n, blk.width, &words_);
   blocks_.push_back(blk);
 }
 
 void EncodedColumn::AbandonDict() {
+  // Re-encoding flushed blocks is impossible once their payload has been
+  // spilled; set_sink() restricts layouts so this can never fire.
+  RQP_CHECK(sink_ == nullptr);
   // Re-encode the already-flushed dictionary blocks one block at a time
   // so the transient memory cost stays one block, not the whole column.
   std::vector<Block> old_blocks;
@@ -438,16 +528,17 @@ int64_t EncodedColumn::GetInt(int64_t row) const {
   const Block& blk = blocks_[static_cast<size_t>(b)];
   switch (blk.kind) {
     case Encoding::kDict:
-      return dict_i_[bitpack::Extract(words_.data() + blk.word_off, i,
-                                      blk.width)];
+      return dict_i_[bitpack::Extract(wp_ + blk.word_off, i, blk.width)];
     case Encoding::kPacked:
       return static_cast<int64_t>(
           static_cast<uint64_t>(blk.ref) +
-          bitpack::Extract(words_.data() + blk.word_off, i, blk.width));
+          bitpack::Extract(wp_ + blk.word_off, i, blk.width));
+    case Encoding::kRaw:
+      return static_cast<int64_t>(wp_[blk.word_off + static_cast<uint64_t>(i)]);
     default: {  // kVbyte
       const int64_t group = i / vbyte::kVbyteGroup;
       const uint8_t* p =
-          bytes_.data() + skips_[blk.skip_off + static_cast<uint64_t>(group)];
+          bp_ + sp_[blk.skip_off + static_cast<uint64_t>(group)];
       uint64_t delta = 0;
       for (int64_t k = group * vbyte::kVbyteGroup; k <= i; ++k) {
         p = vbyte::Decode(p, &delta);
@@ -461,7 +552,24 @@ double EncodedColumn::GetDouble(int64_t row) const {
   const int64_t b = row / kBlockRows;
   const int64_t i = row % kBlockRows;
   const Block& blk = blocks_[static_cast<size_t>(b)];
-  return dict_d_[bitpack::Extract(words_.data() + blk.word_off, i, blk.width)];
+  if (type_ == DataType::kString) {
+    return static_cast<double>(
+        rank_of_code_[bitpack::Extract(wp_ + blk.word_off, i, blk.width)]);
+  }
+  if (blk.kind == Encoding::kRaw) {
+    const uint64_t w = wp_[blk.word_off + static_cast<uint64_t>(i)];
+    double d;
+    std::memcpy(&d, &w, sizeof(d));
+    return d;
+  }
+  return dict_d_[bitpack::Extract(wp_ + blk.word_off, i, blk.width)];
+}
+
+const std::string& EncodedColumn::GetString(int64_t row) const {
+  const int64_t b = row / kBlockRows;
+  const int64_t i = row % kBlockRows;
+  const Block& blk = blocks_[static_cast<size_t>(b)];
+  return dict_s_[bitpack::Extract(wp_ + blk.word_off, i, blk.width)];
 }
 
 namespace {
@@ -473,7 +581,11 @@ void DecodeIntPart(const uint64_t* words, const uint8_t* bytes,
                    const uint64_t* skips, const int64_t* dict, Encoding kind,
                    int64_t ref, int width, int64_t i0, int64_t i1,
                    Sink&& sink) {
-  if (kind == Encoding::kDict) {
+  if (kind == Encoding::kRaw) {
+    for (int64_t i = i0; i < i1; ++i) {
+      sink(i, static_cast<int64_t>(words[i]));
+    }
+  } else if (kind == Encoding::kDict) {
     for (int64_t i = i0; i < i1; ++i) {
       sink(i, dict[bitpack::Extract(words, i, width)]);
     }
@@ -501,24 +613,42 @@ void DecodeIntPart(const uint64_t* words, const uint8_t* bytes,
 
 void EncodedColumn::DecodeInto(int64_t b, int64_t* out) const {
   const Block& blk = blocks_[static_cast<size_t>(b)];
-  DecodeIntPart(words_.data() + blk.word_off, bytes_.data(),
-                skips_.data() + blk.skip_off, dict_i_.data(), blk.kind,
-                blk.ref, blk.width, 0, blk.rows,
+  if (type_ == DataType::kString) {
+    const uint64_t* w = wp_ + blk.word_off;
+    for (int64_t i = 0; i < blk.rows; ++i) {
+      out[i] =
+          static_cast<int64_t>(rank_of_code_[bitpack::Extract(w, i, blk.width)]);
+    }
+    return;
+  }
+  DecodeIntPart(wp_ + blk.word_off, bp_, sp_ + blk.skip_off, dict_i_.data(),
+                blk.kind, blk.ref, blk.width, 0, blk.rows,
                 [out](int64_t i, int64_t v) { out[i] = v; });
 }
 
 void EncodedColumn::DecodeInto(int64_t b, double* out) const {
   const Block& blk = blocks_[static_cast<size_t>(b)];
+  if (type_ == DataType::kString) {
+    const uint64_t* w = wp_ + blk.word_off;
+    for (int64_t i = 0; i < blk.rows; ++i) {
+      out[i] =
+          static_cast<double>(rank_of_code_[bitpack::Extract(w, i, blk.width)]);
+    }
+    return;
+  }
   if (type_ == DataType::kDouble) {
-    const uint64_t* w = words_.data() + blk.word_off;
+    const uint64_t* w = wp_ + blk.word_off;
+    if (blk.kind == Encoding::kRaw) {
+      std::memcpy(out, w, static_cast<size_t>(blk.rows) * sizeof(double));
+      return;
+    }
     for (int64_t i = 0; i < blk.rows; ++i) {
       out[i] = dict_d_[bitpack::Extract(w, i, blk.width)];
     }
     return;
   }
-  DecodeIntPart(words_.data() + blk.word_off, bytes_.data(),
-                skips_.data() + blk.skip_off, dict_i_.data(), blk.kind,
-                blk.ref, blk.width, 0, blk.rows,
+  DecodeIntPart(wp_ + blk.word_off, bp_, sp_ + blk.skip_off, dict_i_.data(),
+                blk.kind, blk.ref, blk.width, 0, blk.rows,
                 [out](int64_t i, int64_t v) {
                   out[i] = static_cast<double>(v);
                 });
@@ -532,10 +662,17 @@ void EncodedColumn::DecodeRange(int64_t r0, int64_t r1, int64_t* out) const {
     const int64_t i0 = r0 - base;
     const int64_t i1 = std::min<int64_t>(r1 - base, blk.rows);
     int64_t* o = out - i0;
-    DecodeIntPart(words_.data() + blk.word_off, bytes_.data(),
-                  skips_.data() + blk.skip_off, dict_i_.data(), blk.kind,
-                  blk.ref, blk.width, i0, i1,
-                  [o](int64_t i, int64_t v) { o[i] = v; });
+    if (type_ == DataType::kString) {
+      const uint64_t* w = wp_ + blk.word_off;
+      for (int64_t i = i0; i < i1; ++i) {
+        o[i] = static_cast<int64_t>(
+            rank_of_code_[bitpack::Extract(w, i, blk.width)]);
+      }
+    } else {
+      DecodeIntPart(wp_ + blk.word_off, bp_, sp_ + blk.skip_off,
+                    dict_i_.data(), blk.kind, blk.ref, blk.width, i0, i1,
+                    [o](int64_t i, int64_t v) { o[i] = v; });
+    }
     out += i1 - i0;
     r0 = base + i1;
   }
@@ -549,15 +686,26 @@ void EncodedColumn::DecodeRange(int64_t r0, int64_t r1, double* out) const {
     const int64_t i0 = r0 - base;
     const int64_t i1 = std::min<int64_t>(r1 - base, blk.rows);
     double* o = out - i0;
-    if (type_ == DataType::kDouble) {
-      const uint64_t* w = words_.data() + blk.word_off;
+    if (type_ == DataType::kString) {
+      const uint64_t* w = wp_ + blk.word_off;
       for (int64_t i = i0; i < i1; ++i) {
-        o[i] = dict_d_[bitpack::Extract(w, i, blk.width)];
+        o[i] = static_cast<double>(
+            rank_of_code_[bitpack::Extract(w, i, blk.width)]);
+      }
+    } else if (type_ == DataType::kDouble) {
+      const uint64_t* w = wp_ + blk.word_off;
+      if (blk.kind == Encoding::kRaw) {
+        std::memcpy(o + i0, w + i0,
+                    static_cast<size_t>(i1 - i0) * sizeof(double));
+      } else {
+        for (int64_t i = i0; i < i1; ++i) {
+          o[i] = dict_d_[bitpack::Extract(w, i, blk.width)];
+        }
       }
     } else {
-      DecodeIntPart(words_.data() + blk.word_off, bytes_.data(),
-                    skips_.data() + blk.skip_off, dict_i_.data(), blk.kind,
-                    blk.ref, blk.width, i0, i1, [o](int64_t i, int64_t v) {
+      DecodeIntPart(wp_ + blk.word_off, bp_, sp_ + blk.skip_off,
+                    dict_i_.data(), blk.kind, blk.ref, blk.width, i0, i1,
+                    [o](int64_t i, int64_t v) {
                       o[i] = static_cast<double>(v);
                     });
     }
@@ -569,7 +717,7 @@ void EncodedColumn::DecodeRange(int64_t r0, int64_t r1, double* out) const {
 EncodedColumn::PackedView EncodedColumn::packed_view(int64_t b) const {
   const Block& blk = blocks_[static_cast<size_t>(b)];
   PackedView v;
-  v.words = blk.width > 0 ? words_.data() + blk.word_off : nullptr;
+  v.words = blk.width > 0 ? wp_ + blk.word_off : nullptr;
   v.width = blk.width;
   v.ref = blk.kind == Encoding::kDict ? 0 : blk.ref;
   v.range = blk.range;
@@ -578,21 +726,101 @@ EncodedColumn::PackedView EncodedColumn::packed_view(int64_t b) const {
 }
 
 int64_t EncodedColumn::dict_size() const {
-  return type_ == DataType::kInt64 ? static_cast<int64_t>(dict_i_.size())
-                                   : static_cast<int64_t>(dict_d_.size());
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<int64_t>(dict_i_.size());
+    case DataType::kDouble:
+      return static_cast<int64_t>(dict_d_.size());
+    case DataType::kString:
+      return static_cast<int64_t>(dict_s_.size());
+  }
+  return 0;
 }
 
 double EncodedColumn::DictNumeric(int64_t code) const {
-  return type_ == DataType::kInt64
-             ? static_cast<double>(dict_i_[static_cast<size_t>(code)])
-             : dict_d_[static_cast<size_t>(code)];
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(dict_i_[static_cast<size_t>(code)]);
+    case DataType::kDouble:
+      return dict_d_[static_cast<size_t>(code)];
+    case DataType::kString:
+      return static_cast<double>(rank_of_code_[static_cast<size_t>(code)]);
+  }
+  return 0.0;
+}
+
+void EncodedColumn::BuildStringRanks() {
+  const size_t n = dict_s_.size();
+  sorted_codes_.resize(n);
+  for (size_t i = 0; i < n; ++i) sorted_codes_[i] = static_cast<uint32_t>(i);
+  std::sort(sorted_codes_.begin(), sorted_codes_.end(),
+            [this](uint32_t a, uint32_t b) { return dict_s_[a] < dict_s_[b]; });
+  rank_of_code_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    rank_of_code_[sorted_codes_[r]] = static_cast<uint32_t>(r);
+  }
+}
+
+int64_t EncodedColumn::StringLowerBoundRank(const std::string& s) const {
+  int64_t lo = 0, hi = static_cast<int64_t>(sorted_codes_.size());
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (StringOfRank(mid) < s) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int64_t EncodedColumn::StringUpperBoundRank(const std::string& s) const {
+  int64_t lo = 0, hi = static_cast<int64_t>(sorted_codes_.size());
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (StringOfRank(mid) <= s) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::unique_ptr<EncodedColumn> EncodedColumn::FromMapped(
+    DataType type, Encoding mode, std::vector<Block> blocks, int64_t num_rows,
+    const uint64_t* words, uint64_t n_words, const uint8_t* bytes,
+    uint64_t n_bytes, std::vector<uint64_t> skips, std::vector<int64_t> dict_i,
+    std::vector<double> dict_d, std::vector<std::string> dict_s) {
+  auto col = std::make_unique<EncodedColumn>(type, Encoding::kAuto, 1);
+  col->mode_ = mode;
+  col->mapped_ = true;
+  col->blocks_ = std::move(blocks);
+  col->num_rows_ = num_rows;
+  col->finished_ = true;
+  col->wp_ = words;
+  col->ext_words_ = n_words;
+  col->bp_ = bytes;
+  col->ext_bytes_ = n_bytes;
+  col->skips_ = std::move(skips);
+  col->sp_ = col->skips_.data();
+  col->dict_i_ = std::move(dict_i);
+  col->dict_d_ = std::move(dict_d);
+  col->dict_s_ = std::move(dict_s);
+  if (type == DataType::kString) col->BuildStringRanks();
+  return col;
 }
 
 size_t EncodedColumn::MemoryBytes() const {
-  return words_.size() * sizeof(uint64_t) + bytes_.size() +
-         skips_.size() * sizeof(uint64_t) + blocks_.size() * sizeof(Block) +
-         dict_i_.size() * sizeof(int64_t) + dict_d_.size() * sizeof(double) +
-         stage_i_.size() * sizeof(int64_t) +
+  size_t dict_str = dict_s_.size() * sizeof(std::string);
+  for (const auto& s : dict_s_) dict_str += s.size();
+  return (words_.size() + flushed_words_ + ext_words_) * sizeof(uint64_t) +
+         bytes_.size() + flushed_bytes_ + ext_bytes_ +
+         skips_.size() * sizeof(uint64_t) +
+         blocks_.size() * sizeof(Block) + dict_i_.size() * sizeof(int64_t) +
+         dict_d_.size() * sizeof(double) + dict_str +
+         (rank_of_code_.size() + sorted_codes_.size()) * sizeof(uint32_t) +
+         stage_i_.size() * sizeof(int64_t) + stage_d_.size() * sizeof(double) +
          stage_c_.size() * sizeof(uint32_t) + raw_d_.size() * sizeof(double);
 }
 

@@ -24,6 +24,15 @@
 //    semantics (NaN matches nothing, -0.0 == 0.0) are preserved because
 //    predicates are evaluated against the decoded dictionary values.
 //
+// String columns are always dictionary-coded (there is no raw string
+// layout), with an unbounded interned dictionary. Finish() derives the
+// *lexicographic rank* of every dictionary entry; all numeric read APIs
+// (GetDouble, DecodeInto, DictNumeric) then yield the rank, so zone maps,
+// fused filter kernels and the execution engines operate on ordinary
+// ordered integers. String predicates are translated once, at filter
+// resolution, into exact rank-space comparisons (see
+// StringLowerBoundRank / StringUpperBoundRank).
+//
 // The encoders are streaming: appends accumulate one staging block that
 // is flushed when full, so generators can build 10^7..10^8-row columns
 // without ever materializing the raw vector. `Encoding::kAuto` adapts as
@@ -31,6 +40,27 @@
 // already-flushed blocks block-by-block) when the cardinality cap is
 // exceeded, and pick packed vs vbyte greedily per block by encoded size.
 // Double columns that are not dictionary-friendly stay raw.
+//
+// Two out-of-core extensions (see storage/column_file.h):
+//  * a *block sink* — attach with set_sink() before the first append and
+//    finished payload runs (packed words / vbyte bytes) spill to the sink
+//    as each block seals, keeping peak memory O(block + dictionary)
+//    instead of O(column). Sink mode restricts the layouts to the ones
+//    that never re-encode flushed blocks: strings keep the (unbounded)
+//    dictionary, kAuto integers go adaptive packed/vbyte directly, and
+//    doubles use kRaw value blocks.
+//  * a *mapped* read path — FromMapped() rebuilds a column whose payload
+//    pointers alias an mmap'd column file: the block directory, skip
+//    tables and dictionary are materialized (they are small), while the
+//    payload words/bytes demand-page zero-copy into the same decode and
+//    fused-filter kernels resident columns use.
+//
+// kRaw *blocks* (distinct from the kRaw column policy, which means plain
+// std::vector storage) hold one 64-bit word per row — int64 values
+// verbatim, doubles bit-cast — and exist only in sink/mapped columns, so
+// a mapped table never needs raw-vector accessors. The fused filter
+// declines kRaw blocks and takes the decode path, which preserves count
+// parity with the resident raw layout.
 //
 // Everything here is physical-layer machinery. The execution engines
 // charge scan_tuple / filter_in / filter_pass for every logical row of
@@ -43,6 +73,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -170,6 +201,16 @@ inline constexpr int64_t kVbyteGroup = 64;
 // EncodedColumn
 // ---------------------------------------------------------------------------
 
+/// Destination for sealed payload runs when a column streams out-of-core;
+/// offsets recorded in the block directory are global (across everything
+/// already appended), so the sink only ever appends.
+class BlockSink {
+ public:
+  virtual ~BlockSink() = default;
+  virtual void AppendWords(const uint64_t* w, size_t n) = 0;
+  virtual void AppendBytes(const uint8_t* b, size_t n) = 0;
+};
+
 /// One encoded column: a sequence of 4096-row blocks plus (for dictionary
 /// mode) the column-level dictionary. Built by streaming appends and
 /// sealed with Finish(); all read APIs are const, allocation-free and
@@ -179,6 +220,19 @@ class EncodedColumn {
   /// Rows per encoded block. Equal to the zone-map block size by design;
   /// storage/table.h checks this.
   static constexpr int64_t kBlockRows = 4096;
+
+  /// Directory entry for one sealed block. Public so the column-file
+  /// layer can serialize and rebuild columns without re-encoding.
+  struct Block {
+    int64_t ref = 0;        // frame of reference (packed/vbyte)
+    uint64_t range = 0;     // max unsigned delta (or max dict code)
+    uint64_t word_off = 0;  // packed/dict/raw: first word in the word run
+    uint64_t byte_off = 0;  // vbyte: first byte in the byte run
+    uint64_t skip_off = 0;  // vbyte: first entry in the skip table
+    int32_t rows = 0;
+    Encoding kind = Encoding::kPacked;
+    uint8_t width = 0;  // packed/dict code width in bits
+  };
 
   EncodedColumn(DataType type, Encoding requested, int64_t dict_max_card);
 
@@ -194,6 +248,30 @@ class EncodedColumn {
 
   void AppendInt(int64_t v);
   void AppendDouble(double v);
+  /// Interns `v` (unbounded dictionary) and appends its code. String
+  /// columns only.
+  void AppendString(const std::string& v);
+
+  /// Attaches an out-of-core sink; must precede the first append. Switches
+  /// the column to the sink-safe layouts documented in the header comment
+  /// (no mid-stream re-encoding): kAuto integers become adaptive
+  /// packed/vbyte, doubles become kRaw value blocks, strings keep the
+  /// dictionary. Requesting kDict for a numeric column with a sink is a
+  /// caller error (overflow would need a re-encode of spilled blocks).
+  void set_sink(BlockSink* sink);
+
+  /// Rebuilds a column over an external (typically mmap'd) payload:
+  /// `words` / `bytes` are aliased for the column's lifetime (counts are
+  /// element counts, kept for footprint reporting; the caller keeps the
+  /// mapping alive, see Table::Retain), while the block directory, skip
+  /// tables and dictionaries are owned copies — they are small. The
+  /// result is finished and read-only.
+  static std::unique_ptr<EncodedColumn> FromMapped(
+      DataType type, Encoding mode, std::vector<Block> blocks,
+      int64_t num_rows, const uint64_t* words, uint64_t n_words,
+      const uint8_t* bytes, uint64_t n_bytes, std::vector<uint64_t> skips,
+      std::vector<int64_t> dict_i, std::vector<double> dict_d,
+      std::vector<std::string> dict_s);
 
   /// Flushes the staging tail and seals the column.
   void Finish();
@@ -201,6 +279,8 @@ class EncodedColumn {
   // ---- Point access (valid after Finish) ----
   int64_t GetInt(int64_t row) const;
   double GetDouble(int64_t row) const;
+  /// String value at `row` (string columns only).
+  const std::string& GetString(int64_t row) const;
 
   // ---- Block / range decode (valid after Finish) ----
   int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
@@ -242,7 +322,9 @@ class EncodedColumn {
   /// interning), so dictionary extremes are column extremes.
   int64_t dict_size() const;
   /// Dictionary entry as the double the filter kernels compare with
-  /// (int entries cast, double entries verbatim).
+  /// (int entries cast, double entries verbatim, string entries as their
+  /// lexicographic rank — which is what makes rank-space predicates
+  /// exact).
   double DictNumeric(int64_t code) const;
   int64_t DictInt(int64_t code) const {
     return dict_i_[static_cast<size_t>(code)];
@@ -250,28 +332,60 @@ class EncodedColumn {
   double DictDouble(int64_t code) const {
     return dict_d_[static_cast<size_t>(code)];
   }
+  const std::string& DictString(int64_t code) const {
+    return dict_s_[static_cast<size_t>(code)];
+  }
+
+  bool is_string() const { return type_ == DataType::kString; }
+
+  /// True for columns built by FromMapped (payload aliases a mapping).
+  /// The batch engine uses this to decide which scans draw the
+  /// storage.page_fault site.
+  bool is_mapped() const { return mapped_; }
+
+  // ---- Rank-space translation (string columns, valid after Finish) ----
+
+  /// Lowest rank whose dictionary string is >= s; dict_size() when none.
+  int64_t StringLowerBoundRank(const std::string& s) const;
+  /// Lowest rank whose dictionary string is > s; dict_size() when none.
+  int64_t StringUpperBoundRank(const std::string& s) const;
+  /// The string of rank r (r in [0, dict_size())).
+  const std::string& StringOfRank(int64_t r) const {
+    return dict_s_[sorted_codes_[static_cast<size_t>(r)]];
+  }
+  /// The lexicographic rank of dictionary code c.
+  int64_t RankOfCode(int64_t c) const {
+    return rank_of_code_[static_cast<size_t>(c)];
+  }
 
   /// kRaw-mode double payload (dictionary overflow fallback); the owner
   /// moves this out and drops the EncodedColumn.
   std::vector<double>&& TakeRawDoubles() { return std::move(raw_d_); }
 
   /// Encoded footprint in bytes (payload + dictionary + block directory +
-  /// skip tables).
+  /// skip tables). Mapped payloads count too: the footprint is what the
+  /// file backs, whether or not it is currently paged in.
   size_t MemoryBytes() const;
 
- private:
-  struct Block {
-    int64_t ref = 0;        // frame of reference (packed/vbyte)
-    uint64_t range = 0;     // max unsigned delta (or max dict code)
-    uint64_t word_off = 0;  // packed/dict: first word in words_
-    uint64_t byte_off = 0;  // vbyte: first byte in bytes_
-    uint64_t skip_off = 0;  // vbyte: first entry in skips_
-    int32_t rows = 0;
-    Encoding kind = Encoding::kPacked;
-    uint8_t width = 0;  // packed/dict code width in bits
-  };
+  // ---- Serialization access (resident finished columns; the column-file
+  // writer reads these verbatim) ----
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const std::vector<uint64_t>& payload_words() const { return words_; }
+  const std::vector<uint8_t>& payload_bytes() const { return bytes_; }
+  const std::vector<uint64_t>& skip_table() const { return skips_; }
+  const std::vector<int64_t>& dict_ints() const { return dict_i_; }
+  const std::vector<double>& dict_doubles() const { return dict_d_; }
+  const std::vector<std::string>& dict_strings() const { return dict_s_; }
 
+ private:
   void FlushStage();
+  /// Sink mode: spills the in-memory payload tails to the sink and clears
+  /// them, keeping the global offsets in flushed_words_ / flushed_bytes_.
+  void SpillToSink();
+  /// Sorts the string dictionary into rank order (rank_of_code_ /
+  /// sorted_codes_); called by Finish and FromMapped.
+  void BuildStringRanks();
+  void EncodeRawBlock(const void* v, int64_t n);
   /// At Finish of a kAuto int column: drop the dictionary when
   /// frame-of-reference codes would be no wider than dictionary codes
   /// (packed is then strictly smaller and fused-filters faster).
@@ -285,7 +399,6 @@ class EncodedColumn {
   /// block-by-block (bounded extra memory), switch ints to adaptive
   /// packed/vbyte and doubles to the raw fallback.
   void AbandonDict();
-  int64_t DictCodeAt(int64_t row) const;
 
   DataType type_;
   Encoding requested_;
@@ -293,20 +406,47 @@ class EncodedColumn {
   int64_t dict_cap_;
   int64_t num_rows_ = 0;
   bool finished_ = false;
+  bool mapped_ = false;  // payload aliases an external mapping (FromMapped)
 
   // Staging for the block being built: values in non-dict modes, codes in
   // dictionary mode (the dictionary itself holds the values).
   std::vector<int64_t> stage_i_;
   std::vector<uint32_t> stage_c_;
+  std::vector<double> stage_d_;  // sink-mode doubles (kRaw value blocks)
 
   std::vector<Block> blocks_;
   std::vector<uint64_t> words_;  // packed payloads (word-aligned per block)
   std::vector<uint8_t> bytes_;   // vbyte payloads
   std::vector<uint64_t> skips_;  // vbyte skip tables (absolute byte offsets)
 
+  // Read-side payload pointers. Finish() aims them at the vectors above;
+  // FromMapped() aims them into the mapping. Every read path goes through
+  // these, which is the whole of the resident/mapped distinction.
+  const uint64_t* wp_ = nullptr;
+  const uint8_t* bp_ = nullptr;
+  const uint64_t* sp_ = nullptr;
+
+  // Out-of-core sink state: payload runs already spilled (global offsets
+  // continue from these counts).
+  BlockSink* sink_ = nullptr;
+  uint64_t flushed_words_ = 0;
+  uint64_t flushed_bytes_ = 0;
+
+  // Mapped payload element counts (FromMapped), for footprint reporting.
+  uint64_t ext_words_ = 0;
+  uint64_t ext_bytes_ = 0;
+
   std::vector<int64_t> dict_i_;
   std::vector<double> dict_d_;
+  std::vector<std::string> dict_s_;
   std::unordered_map<uint64_t, uint32_t> dict_map_;  // value bits -> code
+  std::unordered_map<std::string, uint32_t> dict_smap_;  // string -> code
+
+  // String rank order (built at Finish): rank_of_code_[code] is the
+  // lexicographic rank of the code's string, sorted_codes_[rank] its
+  // inverse.
+  std::vector<uint32_t> rank_of_code_;
+  std::vector<uint32_t> sorted_codes_;
 
   std::vector<double> raw_d_;  // double dictionary-overflow fallback
 };

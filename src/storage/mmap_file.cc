@@ -1,0 +1,46 @@
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace robustqp {
+
+Status MmapFile::Open(const std::string& path,
+                      std::shared_ptr<MmapFile>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat('" + path + "'): " + std::strerror(err));
+  }
+  auto file = std::shared_ptr<MmapFile>(new MmapFile());
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* p = ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal("mmap('" + path + "'): " + std::strerror(err));
+    }
+    file->data_ = static_cast<uint8_t*>(p);
+  }
+  ::close(fd);  // the mapping keeps the inode alive
+  *out = std::move(file);
+  return Status::OK();
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+}  // namespace robustqp

@@ -1,0 +1,46 @@
+// RAII read-only memory mapping of a whole file (POSIX mmap). Pages are
+// demand-faulted by the kernel on first touch and evictable under memory
+// pressure, which is what gives the mapped storage backend its bounded
+// resident set: scans touch only the payload blocks they decode.
+//
+// The mapping is MAP_PRIVATE + PROT_READ, the file descriptor is closed
+// immediately after mapping (the mapping keeps the inode alive), and the
+// destructor unmaps. Tables that alias a mapping's pages keep the
+// MmapFile alive via shared_ptr (Table::Retain).
+
+#ifndef ROBUSTQP_STORAGE_MMAP_FILE_H_
+#define ROBUSTQP_STORAGE_MMAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace robustqp {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Fails with a clean Status (never crashes) on
+  /// missing files, permission errors, or mmap failure. An empty file
+  /// maps to data() == nullptr, size() == 0.
+  static Status Open(const std::string& path, std::shared_ptr<MmapFile>* out);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile() = default;
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_STORAGE_MMAP_FILE_H_

@@ -1,9 +1,24 @@
 // Computes per-column statistics (min/max/NDV/equi-depth histogram) over a
-// stored table, mirroring an ANALYZE pass.
+// stored table, mirroring an ANALYZE pass. Two forms:
+//
+//  * ComputeTableStats — the original whole-table pass (sorts a decoded
+//    copy of each column; fine at resident scale);
+//  * StreamingColumnStats — one-pass accumulation with bounded memory for
+//    the out-of-core catalog build (storage/column_file.h). Below the
+//    cardinality cap it reproduces ComputeTableStats *exactly* (the value
+//    frequency map reconstructs the sorted multiset); above it, min/max
+//    stay exact while NDV comes from a KMV sketch and histogram edges
+//    from a deterministic row-hash sample. String columns are always
+//    exact at any scale: their frequency map mirrors the (already
+//    in-memory) dictionary.
 
 #ifndef ROBUSTQP_STORAGE_STATS_BUILDER_H_
 #define ROBUSTQP_STORAGE_STATS_BUILDER_H_
 
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "catalog/column_stats.h"
@@ -16,6 +31,55 @@ inline constexpr int kHistogramBuckets = 32;
 
 /// Computes statistics for every column of `table`.
 std::vector<ColumnStats> ComputeTableStats(const Table& table);
+
+/// One-pass per-column statistics accumulator (see header comment).
+/// Deterministic: results depend only on the value sequence, never on
+/// wall clock or randomness, so repeated builds produce identical
+/// catalogs — which the cost-invisibility tests rely on.
+class StreamingColumnStats {
+ public:
+  /// Distinct-value cap for the exact path; beyond it the accumulator
+  /// degrades to sketch + sample (numeric columns only).
+  static constexpr int64_t kExactDistinctCap = 65536;
+  /// Row-hash sample cap: when the sample fills, the acceptance
+  /// threshold halves and the sample is re-pruned (still deterministic).
+  static constexpr int64_t kSampleCap = int64_t{1} << 18;
+  /// KMV sketch size for the NDV estimate past the exact cap.
+  static constexpr int64_t kKmvSize = 4096;
+
+  explicit StreamingColumnStats(DataType type);
+
+  /// Numeric columns: int64 values pass their double cast (GetNumeric
+  /// semantics). NaN rows are counted but excluded from ordering stats,
+  /// matching ComputeTableStats.
+  void AddNumeric(double v);
+  /// String columns only.
+  void AddString(const std::string& v);
+
+  /// Seals and returns the column's statistics. For string columns the
+  /// numeric fields describe rank space (see catalog/column_stats.h).
+  ColumnStats Finish();
+
+  /// Transient accumulator footprint in bytes (monitoring the bounded-
+  /// memory claim).
+  size_t MemoryBytes() const;
+
+ private:
+  DataType type_;
+  int64_t rows_ = 0;
+
+  // Numeric state.
+  double min_ = 0.0, max_ = 0.0;
+  bool has_value_ = false;
+  std::map<double, int64_t> counts_;  // exact path (ordered -> sorted walk)
+  bool exact_ = true;
+  std::set<uint64_t> kmv_;                              // k smallest value hashes
+  std::vector<std::pair<uint64_t, double>> sample_;     // (row hash, value)
+  uint64_t sample_threshold_ = ~uint64_t{0};
+
+  // String state: value -> row count (mirrors the dictionary).
+  std::map<std::string, int64_t> str_counts_;
+};
 
 }  // namespace robustqp
 

@@ -6,9 +6,19 @@
 
 namespace robustqp {
 
+ColumnData::ColumnData(DataType type) : type_(type) {
+  if (type_ == DataType::kString) {
+    // No raw string layout: strings intern into an (unbounded) dictionary
+    // from the first append.
+    enc_ = std::make_unique<EncodedColumn>(type, Encoding::kDict, 1);
+  }
+}
+
 ColumnData::ColumnData(DataType type, Encoding encoding, int64_t dict_max_card)
     : type_(type) {
-  if (encoding != Encoding::kRaw) {
+  if (type_ == DataType::kString) {
+    enc_ = std::make_unique<EncodedColumn>(type, Encoding::kDict, 1);
+  } else if (encoding != Encoding::kRaw) {
     enc_ = std::make_unique<EncodedColumn>(type, encoding, dict_max_card);
   }
 }
@@ -43,6 +53,16 @@ void ColumnData::FinishEncoding() {
 size_t ColumnData::MemoryBytes() const {
   if (enc_ != nullptr) return enc_->MemoryBytes();
   return ints_.size() * sizeof(int64_t) + doubles_.size() * sizeof(double);
+}
+
+void ColumnData::AdoptEncoded(std::unique_ptr<EncodedColumn> enc,
+                              ZoneMap zones, ZoneMap chunk_zones) {
+  RQP_CHECK(enc != nullptr && enc->finished());
+  enc_ = std::move(enc);
+  ints_ = {};
+  doubles_ = {};
+  zones_ = std::move(zones);
+  chunk_zones_ = std::move(chunk_zones);
 }
 
 void ColumnData::BuildZoneMap() {
@@ -157,6 +177,22 @@ Status Table::Finalize(const EncodingPolicy& policy) {
         policy.For(schema_.column(i).name), policy.dict_max_card);
   }
   return Finalize();
+}
+
+Status Table::FinalizeAdopted() {
+  if (columns_.empty()) {
+    num_rows_ = 0;
+    return Status::OK();
+  }
+  const int64_t n = columns_[0]->size();
+  for (const auto& col : columns_) {
+    if (col->size() != n) {
+      return Status::Internal("table '" + schema_.name() +
+                              "' has ragged columns");
+    }
+  }
+  num_rows_ = n;
+  return Status::OK();
 }
 
 size_t Table::MemoryBytes() const {

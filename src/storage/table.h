@@ -73,9 +73,11 @@ struct ZoneMap {
 /// encoding policy is applied (streaming constructor or Encode()).
 class ColumnData {
  public:
-  explicit ColumnData(DataType type) : type_(type) {}
+  /// String columns are always dictionary-encoded (there is no raw string
+  /// vector), whatever the policy says; both constructors honor that.
+  explicit ColumnData(DataType type);
   /// Streaming-encoded column: appends go straight into the encoder
-  /// (kRaw behaves exactly like the plain constructor).
+  /// (kRaw behaves exactly like the plain constructor for numerics).
   ColumnData(DataType type, Encoding encoding, int64_t dict_max_card);
 
   DataType type() const { return type_; }
@@ -103,6 +105,7 @@ class ColumnData {
       doubles_.push_back(v);
     }
   }
+  void AppendString(const std::string& v) { enc_->AppendString(v); }
 
   int64_t GetInt(int64_t row) const {
     return enc_ != nullptr ? enc_->GetInt(row)
@@ -112,9 +115,15 @@ class ColumnData {
     return enc_ != nullptr ? enc_->GetDouble(row)
                            : doubles_[static_cast<size_t>(row)];
   }
+  /// String value (string columns only).
+  const std::string& GetString(int64_t row) const {
+    return enc_->GetString(row);
+  }
 
   /// Value as double regardless of storage type (used by stats and
-  /// predicate evaluation).
+  /// predicate evaluation). String columns yield the lexicographic rank,
+  /// which is what makes rank-space predicates exact (see
+  /// storage/encoding.h).
   double GetNumeric(int64_t row) const {
     return type_ == DataType::kInt64 ? static_cast<double>(GetInt(row))
                                      : GetDouble(row);
@@ -159,6 +168,12 @@ class ColumnData {
   /// current values. Called by Table::Finalize(); exposed for tests.
   void BuildZoneMap();
 
+  /// Adopts a finished encoded column together with precomputed zone maps
+  /// (the mapped open path: zones come from the column file, so nothing
+  /// is decoded — and nothing paged in — at open time).
+  void AdoptEncoded(std::unique_ptr<EncodedColumn> enc, ZoneMap zones,
+                    ZoneMap chunk_zones);
+
  private:
   DataType type_;
   std::vector<int64_t> ints_;
@@ -195,12 +210,32 @@ class Table {
   /// builds zone maps over the encoded blocks.
   Status Finalize(const EncodingPolicy& policy);
 
+  /// Seals a table assembled from adopted (already-finished) columns:
+  /// validates lengths and records the row count, but neither re-encodes
+  /// nor rebuilds zone maps — the mapped open path supplies those from
+  /// the column file, and decoding here would page the whole file in.
+  Status FinalizeAdopted();
+
+  /// Keeps `r` alive for the table's lifetime (the mmap backing an
+  /// adopted column's payload pointers).
+  void Retain(std::shared_ptr<void> r) { retained_.push_back(std::move(r)); }
+
+  /// True when any column's payload aliases a mapping (OpenMappedTable):
+  /// scans of this table are subject to the storage.page_fault site.
+  bool IsMapped() const {
+    for (const auto& c : columns_) {
+      if (c->encoded() && c->enc().is_mapped()) return true;
+    }
+    return false;
+  }
+
   /// Total column payload bytes (MemoryBytes over all columns).
   size_t MemoryBytes() const;
 
  private:
   TableSchema schema_;
   std::vector<std::unique_ptr<ColumnData>> columns_;
+  std::vector<std::shared_ptr<void>> retained_;
   int64_t num_rows_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "workloads/generator_util.h"
 
+#include "storage/column_file.h"
 #include "storage/stats_builder.h"
 
 namespace robustqp {
@@ -15,17 +16,45 @@ void BuildAndRegister(Catalog* catalog, const std::string& name, int64_t rows,
 
   for (int64_t r = 0; r < rows; ++r) {
     for (size_t c = 0; c < columns.size(); ++c) {
-      const double v = columns[c].gen(*rng, r);
-      if (columns[c].type == DataType::kInt64) {
-        table->column(static_cast<int>(c)).AppendInt(static_cast<int64_t>(v));
+      ColumnData& col = table->column(static_cast<int>(c));
+      if (columns[c].type == DataType::kString) {
+        col.AppendString(columns[c].str_gen(*rng, r));
+      } else if (columns[c].type == DataType::kInt64) {
+        col.AppendInt(static_cast<int64_t>(columns[c].gen(*rng, r)));
       } else {
-        table->column(static_cast<int>(c)).AppendDouble(v);
+        col.AppendDouble(columns[c].gen(*rng, r));
       }
     }
   }
   RQP_CHECK(table->Finalize().ok());
   std::vector<ColumnStats> stats = ComputeTableStats(*table);
   RQP_CHECK(catalog->AddTable(std::move(table), std::move(stats)).ok());
+}
+
+Status BuildTableFile(const std::string& path, const std::string& name,
+                      int64_t rows, const std::vector<ColumnSpec>& columns,
+                      Rng* rng, size_t* peak_bytes) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(columns.size());
+  for (const auto& c : columns) defs.push_back({c.name, c.type});
+  TableFileStreamWriter writer(TableSchema(name, std::move(defs)),
+                               EncodingPolicy::Auto());
+  RQP_RETURN_NOT_OK(writer.Open(path));
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const int ci = static_cast<int>(c);
+      if (columns[c].type == DataType::kString) {
+        writer.AppendString(ci, columns[c].str_gen(*rng, r));
+      } else if (columns[c].type == DataType::kInt64) {
+        writer.AppendInt(ci, static_cast<int64_t>(columns[c].gen(*rng, r)));
+      } else {
+        writer.AppendDouble(ci, columns[c].gen(*rng, r));
+      }
+    }
+  }
+  RQP_RETURN_NOT_OK(writer.Finish());
+  if (peak_bytes != nullptr) *peak_bytes = writer.PeakMemoryBytes();
+  return Status::OK();
 }
 
 }  // namespace robustqp

@@ -16,6 +16,11 @@ FilterPredicate F(const std::string& t, const std::string& c, CompareOp op,
   return FilterPredicate{t, c, op, v};
 }
 
+FilterPredicate SF(const std::string& t, const std::string& c, CompareOp op,
+                   const std::string& v) {
+  return FilterPredicate{t, c, op, /*value=*/0.0, /*is_string=*/true, v};
+}
+
 /// TPC-DS Q91 skeleton: catalog_sales star joined to a customer chain.
 /// The epp progression matches the paper's Fig. 9 dimensionality sweep,
 /// with the 2D pair (CS~DD, C~CA) matching Fig. 7.
@@ -190,6 +195,21 @@ Query MakeQ18() {
       {0, 1, 2, 3, 4, 5});
 }
 
+/// Brand-restricted store sales: the suite's string-predicate query. The
+/// i_brand filter resolves into dictionary rank space (storage/encoding.h)
+/// before reaching the scan kernels, so discovery, estimation and
+/// execution treat it exactly like a numeric range — which is the
+/// end-to-end property the string-vs-numeric differential tests pin.
+Query MakeQBrand() {
+  return Query(
+      "2D_QBRAND", {"store_sales", "item", "date_dim"},
+      {J("store_sales", "ss_item_sk", "item", "i_item_sk", "SS~I"),
+       J("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", "SS~DD")},
+      {SF("item", "i_brand", CompareOp::kLe, "brand_19"),
+       F("date_dim", "d_moy", CompareOp::kEq, 6)},
+      {0, 1});
+}
+
 /// JOB Q1a skeleton over the IMDB-shaped catalog (acyclic: the paper shuts
 /// off implicit cyclic predicates for this experiment).
 Query MakeJobQ1a() {
@@ -226,6 +246,7 @@ Query MakeSuiteQuery(const std::string& id) {
   if (id == "5D_Q29") return MakeQ29();
   if (id == "5D_Q84") return MakeQ84();
   if (id == "6D_Q18") return MakeQ18();
+  if (id == "2D_QBRAND") return MakeQBrand();
   if (id == "4D_JOB_Q1a") return MakeJobQ1a();
   RQP_CHECK(false && "unknown suite query id");
   return Query();
@@ -249,6 +270,7 @@ std::vector<std::string> SuiteQueryIds() {
   for (const auto& q : PaperQuerySuite()) {
     if (q != "4D_Q91" && q != "6D_Q91") ids.push_back(q);
   }
+  ids.push_back("2D_QBRAND");
   ids.push_back("4D_JOB_Q1a");
   return ids;
 }

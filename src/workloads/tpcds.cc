@@ -49,13 +49,27 @@ ColumnSpec UniformPrice(const std::string& name, double lo, double hi) {
           [lo, hi](Rng& rng, int64_t) { return rng.UniformDouble(lo, hi); }};
 }
 
+/// Dictionary-encoded string attribute cycling a fixed label set,
+/// deterministic from the row index alone. Drawing nothing from the Rng
+/// means it can ride at the end of an existing table's spec without
+/// shifting any other column's data — the catalogs that predate string
+/// columns keep their exact values (and their goldens).
+ColumnSpec LabelAttr(const std::string& name, const std::string& prefix,
+                     int64_t cardinality) {
+  return {name, DataType::kString, nullptr,
+          [prefix, cardinality](Rng&, int64_t row) {
+            // Knuth-scatter so adjacent rows land on distant labels (keeps
+            // dictionary codes unclustered, like real brand churn).
+            const int64_t v = (row * 2654435761LL) % cardinality;
+            std::string label = std::to_string(v);
+            while (label.size() < 2) label.insert(label.begin(), '0');
+            return prefix + label;
+          }};
+}
+
 }  // namespace
 
-std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale,
-                                           const EncodingPolicy& policy) {
-  auto catalog = std::make_unique<Catalog>();
-  Rng rng(seed);
-
+std::vector<TpcdsTableSpec> TpcdsTableSpecs(double scale) {
   // Dimension row counts (fixed) and fact row counts (scaled).
   const int64_t n_date = 1826;    // five years of days
   const int64_t n_time = 2400;
@@ -75,136 +89,150 @@ std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale,
   const int64_t n_cs = fact(40000);
   const int64_t n_sr = fact(12000);
 
-  BuildAndRegister(catalog.get(), "date_dim", n_date,
-                   {SerialKey("d_date_sk"),
-                    {"d_year", DataType::kInt64,
-                     [](Rng&, int64_t row) {
-                       return static_cast<double>(2020 + row / 365);
-                     }},
-                    {"d_moy", DataType::kInt64,
-                     [](Rng&, int64_t row) {
-                       return static_cast<double>((row / 30) % 12 + 1);
-                     }},
-                    UniformAttr("d_dow", 1, 7)},
-                   &rng, policy);
+  std::vector<TpcdsTableSpec> tables;
 
-  BuildAndRegister(catalog.get(), "time_dim", n_time,
-                   {SerialKey("t_time_sk"),
-                    {"t_hour", DataType::kInt64,
-                     [n_time](Rng&, int64_t row) {
-                       return static_cast<double>(row * 24 / n_time);
-                     }},
-                    UniformAttr("t_minute", 0, 59)},
-                   &rng, policy);
+  tables.push_back({"date_dim", n_date,
+                    {SerialKey("d_date_sk"),
+                     {"d_year", DataType::kInt64,
+                      [](Rng&, int64_t row) {
+                        return static_cast<double>(2020 + row / 365);
+                      }},
+                     {"d_moy", DataType::kInt64,
+                      [](Rng&, int64_t row) {
+                        return static_cast<double>((row / 30) % 12 + 1);
+                      }},
+                     UniformAttr("d_dow", 1, 7)}});
 
-  BuildAndRegister(catalog.get(), "item", n_item,
-                   {SerialKey("i_item_sk"), UniformAttr("i_category_id", 1, 10),
-                    UniformAttr("i_manufact_id", 1, 100),
-                    UniformPrice("i_current_price", 0.5, 100.0)},
-                   &rng, policy);
+  tables.push_back({"time_dim", n_time,
+                    {SerialKey("t_time_sk"),
+                     {"t_hour", DataType::kInt64,
+                      [n_time](Rng&, int64_t row) {
+                        return static_cast<double>(row * 24 / n_time);
+                      }},
+                     UniformAttr("t_minute", 0, 59)}});
 
-  BuildAndRegister(catalog.get(), "customer_address", n_address,
-                   {SerialKey("ca_address_sk"), UniformAttr("ca_state_id", 1, 50),
-                    UniformAttr("ca_city_id", 1, 400),
-                    UniformAttr("ca_gmt_offset", -10, -5)},
-                   &rng, policy);
+  // i_brand rides last and draws nothing from the Rng: the numeric item
+  // data (and everything generated after it) is unchanged from the
+  // pre-string-column catalog.
+  tables.push_back({"item", n_item,
+                    {SerialKey("i_item_sk"), UniformAttr("i_category_id", 1, 10),
+                     UniformAttr("i_manufact_id", 1, 100),
+                     UniformPrice("i_current_price", 0.5, 100.0),
+                     LabelAttr("i_brand", "brand_", 40)}});
 
-  BuildAndRegister(catalog.get(), "customer_demographics", n_cdemo,
-                   {SerialKey("cd_demo_sk"), UniformAttr("cd_gender", 0, 1),
-                    UniformAttr("cd_marital_status", 1, 5),
-                    UniformAttr("cd_education_id", 1, 7),
-                    UniformAttr("cd_dep_count", 0, 6)},
-                   &rng, policy);
+  tables.push_back({"customer_address", n_address,
+                    {SerialKey("ca_address_sk"),
+                     UniformAttr("ca_state_id", 1, 50),
+                     UniformAttr("ca_city_id", 1, 400),
+                     UniformAttr("ca_gmt_offset", -10, -5)}});
 
-  BuildAndRegister(catalog.get(), "household_demographics", n_hdemo,
-                   {SerialKey("hd_demo_sk"),
-                    UniformFk("hd_income_band_sk", n_income),
-                    UniformAttr("hd_dep_count", 0, 9),
-                    UniformAttr("hd_vehicle_count", 0, 4)},
-                   &rng, policy);
+  tables.push_back({"customer_demographics", n_cdemo,
+                    {SerialKey("cd_demo_sk"), UniformAttr("cd_gender", 0, 1),
+                     UniformAttr("cd_marital_status", 1, 5),
+                     UniformAttr("cd_education_id", 1, 7),
+                     UniformAttr("cd_dep_count", 0, 6)}});
 
-  BuildAndRegister(catalog.get(), "income_band", n_income,
-                   {SerialKey("ib_income_band_sk"),
-                    {"ib_lower_bound", DataType::kInt64,
-                     [](Rng&, int64_t row) { return static_cast<double>(row * 10000); }},
-                    {"ib_upper_bound", DataType::kInt64,
-                     [](Rng&, int64_t row) {
-                       return static_cast<double>((row + 1) * 10000 - 1);
-                     }}},
-                   &rng, policy);
+  tables.push_back({"household_demographics", n_hdemo,
+                    {SerialKey("hd_demo_sk"),
+                     UniformFk("hd_income_band_sk", n_income),
+                     UniformAttr("hd_dep_count", 0, 9),
+                     UniformAttr("hd_vehicle_count", 0, 4)}});
 
-  BuildAndRegister(catalog.get(), "store", n_store,
-                   {SerialKey("s_store_sk"), UniformAttr("s_city_id", 1, 30),
-                    UniformAttr("s_number_employees", 50, 300)},
-                   &rng, policy);
+  tables.push_back(
+      {"income_band", n_income,
+       {SerialKey("ib_income_band_sk"),
+        {"ib_lower_bound", DataType::kInt64,
+         [](Rng&, int64_t row) { return static_cast<double>(row * 10000); }},
+        {"ib_upper_bound", DataType::kInt64, [](Rng&, int64_t row) {
+           return static_cast<double>((row + 1) * 10000 - 1);
+         }}}});
 
-  BuildAndRegister(catalog.get(), "call_center", n_callcenter,
-                   {SerialKey("cc_call_center_sk"), UniformAttr("cc_class_id", 1, 3),
-                    UniformAttr("cc_employees", 10, 200)},
-                   &rng, policy);
+  tables.push_back({"store", n_store,
+                    {SerialKey("s_store_sk"), UniformAttr("s_city_id", 1, 30),
+                     UniformAttr("s_number_employees", 50, 300)}});
 
-  BuildAndRegister(catalog.get(), "promotion", n_promo,
-                   {SerialKey("p_promo_sk"), UniformAttr("p_channel_id", 1, 5),
-                    UniformPrice("p_cost", 100.0, 5000.0)},
-                   &rng, policy);
+  tables.push_back({"call_center", n_callcenter,
+                    {SerialKey("cc_call_center_sk"),
+                     UniformAttr("cc_class_id", 1, 3),
+                     UniformAttr("cc_employees", 10, 200)}});
 
-  BuildAndRegister(catalog.get(), "customer", n_customer,
-                   {SerialKey("c_customer_sk"),
-                    ZipfFk("c_current_addr_sk", n_address, 0.8),
-                    UniformFk("c_current_cdemo_sk", n_cdemo),
-                    ZipfFk("c_current_hdemo_sk", n_hdemo, 0.6),
-                    UniformAttr("c_birth_year", 1930, 2005)},
-                   &rng, policy);
+  tables.push_back({"promotion", n_promo,
+                    {SerialKey("p_promo_sk"), UniformAttr("p_channel_id", 1, 5),
+                     UniformPrice("p_cost", 100.0, 5000.0)}});
 
-  BuildAndRegister(
-      catalog.get(), "store_sales", n_ss,
-      {ZipfFk("ss_sold_date_sk", n_date, 0.5), UniformFk("ss_sold_time_sk", n_time),
-       ZipfFk("ss_item_sk", n_item, 0.9), ZipfFk("ss_customer_sk", n_customer, 0.7),
-       UniformFk("ss_cdemo_sk", n_cdemo), UniformFk("ss_hdemo_sk", n_hdemo),
-       ZipfFk("ss_addr_sk", n_address, 0.8), UniformFk("ss_store_sk", n_store),
-       ZipfFk("ss_promo_sk", n_promo, 1.1), UniformAttr("ss_quantity", 1, 100),
-       UniformPrice("ss_sales_price", 1.0, 300.0),
-       SerialKey("ss_ticket_number")},
-      &rng, policy);
+  tables.push_back({"customer", n_customer,
+                    {SerialKey("c_customer_sk"),
+                     ZipfFk("c_current_addr_sk", n_address, 0.8),
+                     UniformFk("c_current_cdemo_sk", n_cdemo),
+                     ZipfFk("c_current_hdemo_sk", n_hdemo, 0.6),
+                     UniformAttr("c_birth_year", 1930, 2005)}});
 
-  BuildAndRegister(
-      catalog.get(), "catalog_sales", n_cs,
-      {ZipfFk("cs_sold_date_sk", n_date, 0.6), ZipfFk("cs_item_sk", n_item, 0.8),
-       ZipfFk("cs_bill_customer_sk", n_customer, 0.9),
-       UniformFk("cs_bill_cdemo_sk", n_cdemo), UniformFk("cs_bill_hdemo_sk", n_hdemo),
-       ZipfFk("cs_bill_addr_sk", n_address, 0.7),
-       ZipfFk("cs_call_center_sk", n_callcenter, 0.9),
-       ZipfFk("cs_promo_sk", n_promo, 1.0), UniformAttr("cs_quantity", 1, 100),
-       UniformPrice("cs_sales_price", 1.0, 300.0), SerialKey("cs_order_number")},
-      &rng, policy);
+  tables.push_back(
+      {"store_sales", n_ss,
+       {ZipfFk("ss_sold_date_sk", n_date, 0.5),
+        UniformFk("ss_sold_time_sk", n_time), ZipfFk("ss_item_sk", n_item, 0.9),
+        ZipfFk("ss_customer_sk", n_customer, 0.7),
+        UniformFk("ss_cdemo_sk", n_cdemo), UniformFk("ss_hdemo_sk", n_hdemo),
+        ZipfFk("ss_addr_sk", n_address, 0.8), UniformFk("ss_store_sk", n_store),
+        ZipfFk("ss_promo_sk", n_promo, 1.1), UniformAttr("ss_quantity", 1, 100),
+        UniformPrice("ss_sales_price", 1.0, 300.0),
+        SerialKey("ss_ticket_number")}});
 
-  BuildAndRegister(
-      catalog.get(), "store_returns", n_sr,
-      {ZipfFk("sr_returned_date_sk", n_date, 0.5), ZipfFk("sr_item_sk", n_item, 0.9),
-       ZipfFk("sr_customer_sk", n_customer, 0.8),
-       // Return tickets reference a subset of store_sales tickets.
-       {"sr_ticket_number", DataType::kInt64,
-        [n_ss](Rng& rng2, int64_t) {
-          return static_cast<double>(rng2.UniformInt(1, std::max<int64_t>(1, n_ss)));
-        }},
-       UniformAttr("sr_return_quantity", 1, 40)},
-      &rng, policy);
+  tables.push_back(
+      {"catalog_sales", n_cs,
+       {ZipfFk("cs_sold_date_sk", n_date, 0.6), ZipfFk("cs_item_sk", n_item, 0.8),
+        ZipfFk("cs_bill_customer_sk", n_customer, 0.9),
+        UniformFk("cs_bill_cdemo_sk", n_cdemo),
+        UniformFk("cs_bill_hdemo_sk", n_hdemo),
+        ZipfFk("cs_bill_addr_sk", n_address, 0.7),
+        ZipfFk("cs_call_center_sk", n_callcenter, 0.9),
+        ZipfFk("cs_promo_sk", n_promo, 1.0), UniformAttr("cs_quantity", 1, 100),
+        UniformPrice("cs_sales_price", 1.0, 300.0),
+        SerialKey("cs_order_number")}});
 
+  tables.push_back(
+      {"store_returns", n_sr,
+       {ZipfFk("sr_returned_date_sk", n_date, 0.5),
+        ZipfFk("sr_item_sk", n_item, 0.9),
+        ZipfFk("sr_customer_sk", n_customer, 0.8),
+        // Return tickets reference a subset of store_sales tickets.
+        {"sr_ticket_number", DataType::kInt64,
+         [n_ss](Rng& rng2, int64_t) {
+           return static_cast<double>(
+               rng2.UniformInt(1, std::max<int64_t>(1, n_ss)));
+         }},
+        UniformAttr("sr_return_quantity", 1, 40)}});
+
+  return tables;
+}
+
+const std::vector<std::pair<std::string, std::string>>& TpcdsIndexColumns() {
   // Hash indexes on the dimension keys (and the customer key), giving the
   // optimizer index nested-loop access paths.
-  for (const auto& [table, column] :
-       std::initializer_list<std::pair<const char*, const char*>>{
-           {"date_dim", "d_date_sk"},
-           {"time_dim", "t_time_sk"},
-           {"item", "i_item_sk"},
-           {"customer", "c_customer_sk"},
-           {"customer_address", "ca_address_sk"},
-           {"customer_demographics", "cd_demo_sk"},
-           {"household_demographics", "hd_demo_sk"},
-           {"income_band", "ib_income_band_sk"},
-           {"store", "s_store_sk"},
-           {"call_center", "cc_call_center_sk"},
-           {"promotion", "p_promo_sk"}}) {
+  static const auto* specs =
+      new std::vector<std::pair<std::string, std::string>>{
+          {"date_dim", "d_date_sk"},
+          {"time_dim", "t_time_sk"},
+          {"item", "i_item_sk"},
+          {"customer", "c_customer_sk"},
+          {"customer_address", "ca_address_sk"},
+          {"customer_demographics", "cd_demo_sk"},
+          {"household_demographics", "hd_demo_sk"},
+          {"income_band", "ib_income_band_sk"},
+          {"store", "s_store_sk"},
+          {"call_center", "cc_call_center_sk"},
+          {"promotion", "p_promo_sk"}};
+  return *specs;
+}
+
+std::unique_ptr<Catalog> BuildTpcdsCatalog(uint64_t seed, double scale,
+                                           const EncodingPolicy& policy) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(seed);
+  for (const TpcdsTableSpec& t : TpcdsTableSpecs(scale)) {
+    BuildAndRegister(catalog.get(), t.name, t.rows, t.columns, &rng, policy);
+  }
+  for (const auto& [table, column] : TpcdsIndexColumns()) {
     RQP_CHECK(catalog->BuildIndex(table, column).ok());
   }
   return catalog;

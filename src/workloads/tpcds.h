@@ -9,11 +9,38 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "storage/encoding.h"
+#include "workloads/generator_util.h"
 
 namespace robustqp {
+
+/// One table of the synthetic TPC-DS set: name, row count at the given
+/// scale, and the per-row column generators. Shared by the resident
+/// catalog build and the streaming column-file scale build so both
+/// produce bit-identical data for a given seed (the generators are
+/// consumed in the same table order, row-major).
+struct TpcdsTableSpec {
+  std::string name;
+  int64_t rows = 0;
+  std::vector<ColumnSpec> columns;
+};
+
+/// The full table set at `scale` (1.0 ~ 60k store_sales; dimensions are
+/// fixed-size). Generator closures are freshly constructed per call, so a
+/// spec list must be consumed with one Rng from the first table onward to
+/// reproduce the canonical data.
+std::vector<TpcdsTableSpec> TpcdsTableSpecs(double scale);
+
+/// The (table, column) pairs BuildTpcdsCatalog installs hash indexes on —
+/// the dimension keys (and the customer key) that give the optimizer
+/// index nested-loop access paths. Shared with the scale-catalog open
+/// path so mapped catalogs expose the same access paths.
+const std::vector<std::pair<std::string, std::string>>& TpcdsIndexColumns();
 
 /// Builds the TPC-DS-shaped catalog. `scale` multiplies fact-table row
 /// counts (1.0 ~ 60k store_sales). Deterministic for a given seed; the

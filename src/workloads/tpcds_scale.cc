@@ -1,0 +1,75 @@
+#include "workloads/tpcds_scale.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "storage/column_file.h"
+#include "workloads/tpcds.h"
+
+namespace robustqp {
+
+Status BuildTpcdsScaleFiles(const std::string& dir, uint64_t seed,
+                            int64_t store_sales_rows, ScaleBuildStats* out) {
+  if (store_sales_rows <= 0) {
+    return Status::InvalidArgument("store_sales_rows must be positive");
+  }
+  // The spec's canonical scale=1.0 store_sales size is 60000 rows; the
+  // other fact tables keep their canonical ratios.
+  const double scale = static_cast<double>(store_sales_rows) / 60000.0;
+  ScaleBuildStats stats;
+  Rng rng(seed);
+  for (const TpcdsTableSpec& t : TpcdsTableSpecs(scale)) {
+    const std::string path = dir + "/" + t.name + ".rqp";
+    size_t peak = 0;
+    RQP_RETURN_NOT_OK(
+        BuildTableFile(path, t.name, t.rows, t.columns, &rng, &peak));
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::Internal("stat failed after build: " + path);
+    }
+    stats.total_rows += t.rows;
+    if (t.name == "store_sales") stats.store_sales_rows = t.rows;
+    stats.peak_stream_bytes = std::max(stats.peak_stream_bytes, peak);
+    stats.file_bytes += static_cast<size_t>(st.st_size);
+  }
+  if (out != nullptr) *out = stats;
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Catalog>> OpenTpcdsScaleCatalog(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("cannot open scale dir: " + dir);
+  }
+  std::vector<std::string> names;
+  while (dirent* e = readdir(d)) {
+    const std::string name = e->d_name;
+    const std::string suffix = ".rqp";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      names.push_back(name);
+    }
+  }
+  closedir(d);
+  if (names.empty()) {
+    return Status::NotFound("no .rqp column files in " + dir);
+  }
+  // Deterministic open order (readdir order is filesystem-dependent).
+  std::sort(names.begin(), names.end());
+  auto catalog = std::make_shared<Catalog>();
+  for (const std::string& name : names) {
+    MappedTable mt;
+    RQP_RETURN_NOT_OK(OpenMappedTable(dir + "/" + name, &mt));
+    RQP_RETURN_NOT_OK(catalog->AddTable(mt.table, std::move(mt.stats)));
+  }
+  for (const auto& [table, column] : TpcdsIndexColumns()) {
+    if (catalog->FindTable(table) == nullptr) continue;
+    RQP_RETURN_NOT_OK(catalog->BuildIndex(table, column));
+  }
+  return catalog;
+}
+
+}  // namespace robustqp

@@ -1,0 +1,55 @@
+// Out-of-core TPC-DS: the same synthetic table set as workloads/tpcds.h,
+// built as on-disk column files (storage/column_file.h) instead of a
+// resident catalog, so store_sales can scale to 1e7-1e8 rows on a bounded
+// heap. The build streams every table through TableFileStreamWriter —
+// peak memory is O(encoder staging + dictionaries), independent of row
+// count — and the open path maps the files without decoding anything.
+//
+// For a given seed, data is bit-identical to BuildTpcdsCatalog at the
+// same scale: both consume TpcdsTableSpecs row-major with one Rng.
+
+#ifndef ROBUSTQP_WORKLOADS_TPCDS_SCALE_H_
+#define ROBUSTQP_WORKLOADS_TPCDS_SCALE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace robustqp {
+
+/// What the streaming build did, for the bounded-RSS assertions and the
+/// bench/BENCH_scale.json throughput numbers.
+struct ScaleBuildStats {
+  /// Rows actually generated for store_sales (the requested count after
+  /// the spec's scale rounding).
+  int64_t store_sales_rows = 0;
+  /// Total rows across all tables.
+  int64_t total_rows = 0;
+  /// Largest transient high-water mark any single table's stream writer
+  /// reached. The scale tests assert this stays a small fraction of the
+  /// encoded output — the whole point of the streaming build.
+  size_t peak_stream_bytes = 0;
+  /// Total bytes of the produced column files (the encoded catalog size
+  /// the mmap-scan RSS budget is measured against).
+  size_t file_bytes = 0;
+};
+
+/// Builds the full TPC-DS table set as column files `<dir>/<table>.rqp`,
+/// with store_sales scaled to (approximately, after rounding)
+/// `store_sales_rows`. `dir` must already exist.
+Status BuildTpcdsScaleFiles(const std::string& dir, uint64_t seed,
+                            int64_t store_sales_rows,
+                            ScaleBuildStats* out = nullptr);
+
+/// Opens every `*.rqp` column file in `dir` into a mapped catalog and
+/// rebuilds the standard TPC-DS hash indexes (TpcdsIndexColumns) on the
+/// tables that are present. Nothing is decoded or paged in beyond the
+/// footers, so opening a 1e8-row store costs milliseconds.
+Result<std::shared_ptr<Catalog>> OpenTpcdsScaleCatalog(const std::string& dir);
+
+}  // namespace robustqp
+
+#endif  // ROBUSTQP_WORKLOADS_TPCDS_SCALE_H_

@@ -141,7 +141,7 @@ TEST_F(ExecTest, StarJoinMatchesNaive) {
   Optimizer opt(catalog_.get(), &q);
   const std::unique_ptr<Plan> plan = opt.Optimize({0.01, 0.0025, 0.02});
   const Result<ExecutionResult> res = executor_->Execute(*plan, -1.0);
-  ASSERT_TRUE(res.ok());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_TRUE(res->completed);
   EXPECT_EQ(res->output_rows, NaiveJoinCount(q));
 }

@@ -106,10 +106,15 @@ void SeedStore(FeedbackStore* store, const std::string& key, const Ess& ess,
 
 TEST(FeedbackStoreTest, KeyPoolsAcrossPlatformKnobs) {
   // Engines/encodings/build modes deliberately do NOT key the store —
-  // only query shape and ESS dimensionality do.
-  EXPECT_EQ(FeedbackStore::Key("2D_Q91", 2), "2D_Q91|d2");
-  EXPECT_EQ(FeedbackStore::Key("5D_Q19", 5), "5D_Q19|d5");
+  // only query shape, ESS dimensionality, and the storage backend do
+  // (mmap catalogs are rebuilt from disk, so their calibrations must not
+  // leak into resident serving and vice versa).
+  EXPECT_EQ(FeedbackStore::Key("2D_Q91", 2), "2D_Q91|d2|resident");
+  EXPECT_EQ(FeedbackStore::Key("5D_Q19", 5), "5D_Q19|d5|resident");
+  EXPECT_EQ(FeedbackStore::Key("2D_Q91", 2, "mmap"), "2D_Q91|d2|mmap");
   EXPECT_NE(FeedbackStore::Key("2D_Q91", 2), FeedbackStore::Key("2D_Q91", 3));
+  EXPECT_NE(FeedbackStore::Key("2D_Q91", 2),
+            FeedbackStore::Key("2D_Q91", 2, "mmap"));
 }
 
 TEST(FeedbackStoreTest, CalibrationGatesOnMinObservations) {

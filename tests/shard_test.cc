@@ -349,7 +349,7 @@ TEST(ShardPruningTest, WholeChunkPruneIsCountExact) {
   const Result<ExecutionResult> a = base.Execute(*plan, -1.0);
   const Result<ExecutionResult> b = no_zones.Execute(*plan, -1.0);
   const Result<ExecutionResult> c = sharded.Execute(*plan, -1.0);
-  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok()) << a.status().ToString() << " / " << b.status().ToString() << " / " << c.status().ToString();
   ExpectSameResult(*a, *c, "pruned vs unsharded");
   ExpectSameResult(*b, *c, "pruned vs zone-maps-off");
   EXPECT_GE(c->shard.chunks_pruned, 2);

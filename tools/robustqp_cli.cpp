@@ -96,6 +96,11 @@ void PrintUsage() {
       "                         bit-packed/vbyte otherwise); raw also turns\n"
       "                         fused filter-on-compressed execution off.\n"
       "                         Results are bit-identical for every choice\n"
+      "  --storage <s>          resident | mmap (default resident): where the\n"
+      "                         catalog's column payloads live — resident\n"
+      "                         memory, or demand-paged column files opened\n"
+      "                         zero-copy with mmap. Physical only: results\n"
+      "                         and cost accounting are bit-identical\n"
       "  --feedback             closed-loop mode: record each completed\n"
       "                         run's observed selectivities in a feedback\n"
       "                         store and warm-start later runs from the\n"
@@ -200,6 +205,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->req.use_compression = out->req.encoding != Encoding::kRaw;
+    } else if (arg == "--storage") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (!ParseStorageBackend(v, &out->req.storage)) {
+        std::cerr << "unknown --storage " << v << " (want resident | mmap)\n";
+        return false;
+      }
     } else if (arg == "--feedback") {
       out->req.use_feedback = true;
     } else if (arg == "--repeat") {
@@ -290,8 +302,10 @@ int Run(const CliOptions& opts) {
   const Query* query_ptr = nullptr;
   if (!opts.load_ess.empty()) {
     catalog = IsJobQuery(opts.query)
-                  ? ContextCache::JobCatalog(opts.req.encoding)
-                  : ContextCache::TpcdsCatalog(opts.req.encoding);
+                  ? ContextCache::JobCatalog(opts.req.encoding,
+                                             opts.req.storage)
+                  : ContextCache::TpcdsCatalog(opts.req.encoding,
+                                               opts.req.storage);
     loaded_query = std::make_unique<Query>(MakeSuiteQuery(opts.query));
     std::ifstream in(opts.load_ess);
     if (!in) {
@@ -311,7 +325,7 @@ int Run(const CliOptions& opts) {
   } else {
     Result<std::shared_ptr<const ContextCache::Entry>> entry =
         context_cache.Get(opts.query, config, opts.req.encoding,
-                          opts.req.use_compression);
+                          opts.req.use_compression, opts.req.storage);
     if (!entry.ok()) {
       std::cerr << "context build failed: " << entry.status().ToString()
                 << "\n";

@@ -1,0 +1,92 @@
+// robustqp_scale_build — builds the out-of-core TPC-DS column-file store
+// (workloads/tpcds_scale.h): every table streamed to <dir>/<table>.rqp
+// with bounded peak memory, ready for robustqp_server --scale-dir or any
+// OpenTpcdsScaleCatalog consumer.
+//
+//   robustqp_scale_build --dir /tmp/rqp_scale --rows 10000000
+//
+// Prints one summary line per run:
+//   built <rows> store_sales rows, <tables> tables, <bytes> file bytes,
+//   peak stream memory <bytes>, <secs>s (<rows/s> rows/s)
+// Drivers (the CI out-of-core smoke, bench_scale) parse the numbers.
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/status.h"
+#include "workloads/tpcds_scale.h"
+
+namespace robustqp {
+namespace {
+
+int RunBuild(int argc, char** argv) {
+  std::string dir;
+  int64_t rows = 1000000;
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--dir") {
+      const char* v = next();
+      if (v == nullptr) return ExitCodeFor(StatusCode::kInvalidArgument);
+      dir = v;
+    } else if (arg == "--rows") {
+      const char* v = next();
+      if (v == nullptr) return ExitCodeFor(StatusCode::kInvalidArgument);
+      rows = std::atoll(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return ExitCodeFor(StatusCode::kInvalidArgument);
+      seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: robustqp_scale_build --dir <d> [--rows n] "
+                   "[--seed n]\n"
+                   "  --dir <d>   output directory (created if absent)\n"
+                   "  --rows <n>  store_sales rows (default 1e6)\n"
+                   "  --seed <n>  generator seed (default 42)\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return ExitCodeFor(StatusCode::kInvalidArgument);
+    }
+  }
+  if (dir.empty()) {
+    std::cerr << "--dir is required\n";
+    return ExitCodeFor(StatusCode::kInvalidArgument);
+  }
+  ::mkdir(dir.c_str(), 0755);  // fine if it already exists
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ScaleBuildStats stats;
+  const Status st = BuildTpcdsScaleFiles(dir, seed, rows, &stats);
+  if (!st.ok()) {
+    std::cerr << "build failed: " << st.ToString() << "\n";
+    return ExitCodeFor(st.code());
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::cout << "built " << stats.store_sales_rows << " store_sales rows, "
+            << stats.total_rows << " total rows, " << stats.file_bytes
+            << " file bytes, peak stream memory " << stats.peak_stream_bytes
+            << ", " << secs << "s ("
+            << static_cast<int64_t>(static_cast<double>(stats.total_rows) /
+                                    (secs > 0 ? secs : 1e-9))
+            << " rows/s)" << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace robustqp
+
+int main(int argc, char** argv) { return robustqp::RunBuild(argc, argv); }

@@ -14,14 +14,18 @@
 #include <iostream>
 #include <string>
 
+#include "server/context_cache.h"
 #include "server/query_service.h"
 #include "server/tcp_server.h"
+#include "storage/column_file.h"
+#include "workloads/tpcds_scale.h"
 
 namespace robustqp {
 namespace {
 
 int RunServer(int argc, char** argv) {
   int port = 0;
+  std::string scale_dir;
   QueryService::Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,14 +52,37 @@ int RunServer(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return ExitCodeFor(StatusCode::kInvalidArgument);
       options.cache_capacity = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--scale-dir") {
+      const char* v = next();
+      if (v == nullptr) return ExitCodeFor(StatusCode::kInvalidArgument);
+      scale_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: robustqp_server [--port n] [--threads n] "
-                   "[--queue-limit n] [--cache-capacity n]\n";
+                   "[--queue-limit n] [--cache-capacity n] [--scale-dir d]\n"
+                   "  --scale-dir <d>  serve storage=mmap requests from the\n"
+                   "                   column files in <d> (robustqp_scale_\n"
+                   "                   build output) instead of the synthetic\n"
+                   "                   in-memory TPC-DS catalog\n";
       return 0;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return ExitCodeFor(StatusCode::kInvalidArgument);
     }
+  }
+
+  if (!scale_dir.empty()) {
+    // Out-of-core serving: map the prebuilt column files once and answer
+    // every storage=mmap request from them. Open touches only footers, so
+    // this is cheap even for a 1e8-row store.
+    Result<std::shared_ptr<Catalog>> scale = OpenTpcdsScaleCatalog(scale_dir);
+    if (!scale.ok()) {
+      std::cerr << "scale-dir open failed: " << scale.status().ToString()
+                << "\n";
+      return ExitCodeFor(scale.status().code());
+    }
+    ContextCache::RegisterExternalTpcds(*scale, StorageBackend::kMmap);
+    std::cout << "scale catalog: " << (*scale)->TableNames().size()
+              << " mapped tables from " << scale_dir << std::endl;
   }
 
   QueryService service(options);
